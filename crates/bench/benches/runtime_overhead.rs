@@ -1,0 +1,82 @@
+//! Per-task overhead of the three runtime engines on a no-op workload —
+//! the real-execution counterpart of the per-policy scheduler costs the
+//! simulator charges (PaRSEC targets tasks "order of magnitude under ten
+//! microseconds", §IV; this measures how close the Rust engines get).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dagfact_rt::dataflow::DataflowGraph;
+use dagfact_rt::native::{run_native, NativeTask};
+use dagfact_rt::ptg::{run_ptg, PtgProgram};
+use dagfact_rt::AccessMode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const NTASKS: usize = 10_000;
+
+fn bench_native(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("engine_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(NTASKS as u64));
+
+    // Independent no-op tasks.
+    let tasks: Vec<NativeTask> = (0..NTASKS)
+        .map(|i| NativeTask {
+            owner: i % threads,
+            npred: 0,
+            succs: vec![],
+            priority: (i % 97) as f64,
+        })
+        .collect();
+    group.bench_function(BenchmarkId::new("native", NTASKS), |bench| {
+        bench.iter(|| {
+            let count = AtomicUsize::new(0);
+            run_native(&tasks, threads, |_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), NTASKS);
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("dataflow", NTASKS), |bench| {
+        bench.iter(|| {
+            let count = AtomicUsize::new(0);
+            let mut g = DataflowGraph::new(64);
+            for i in 0..NTASKS {
+                let count = &count;
+                // Rotating data accesses: chains of length NTASKS/64.
+                g.submit(&[(i % 64, AccessMode::ReadWrite)], 0.0, move |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            g.execute(threads);
+            assert_eq!(count.load(Ordering::Relaxed), NTASKS);
+        });
+    });
+
+    struct Flat<'a> {
+        count: &'a AtomicUsize,
+    }
+    impl PtgProgram for Flat<'_> {
+        fn num_tasks(&self) -> usize {
+            NTASKS
+        }
+        fn num_predecessors(&self, _t: usize) -> u32 {
+            0
+        }
+        fn successors(&self, _t: usize, _out: &mut Vec<usize>) {}
+        fn execute(&self, _t: usize, _w: usize) {
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    group.bench_function(BenchmarkId::new("ptg", NTASKS), |bench| {
+        bench.iter(|| {
+            let count = AtomicUsize::new(0);
+            run_ptg(&Flat { count: &count }, threads);
+            assert_eq!(count.load(Ordering::Relaxed), NTASKS);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_native);
+criterion_main!(benches);

@@ -1,0 +1,400 @@
+//! # dagfact-cli
+//!
+//! Command-line front end to the `dagfact` solver stack:
+//!
+//! ```text
+//! dagfact analyze  <matrix.mtx> [--facto auto|chol|ldlt|lu]
+//! dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]
+//!                  [--threads N] [--rhs <file>] [--refine N] [--output <file>]
+//! dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]
+//!                  [--policy pastix|starpu|parsec] [--streams N]
+//! ```
+//!
+//! Matrices are Matrix Market coordinate files (real or complex,
+//! general or symmetric). Without `--rhs`, the right-hand side is `A·1`
+//! so the exact solution is the all-ones vector — handy for smoke tests.
+//!
+//! The logic lives in [`run`] (argument vector in, report text out) so the
+//! whole CLI is unit-testable without spawning processes.
+
+use dagfact_core::{
+    simulate_factorization, Analysis, RuntimeKind, SimOptions, Solver, SolverOptions,
+};
+use dagfact_gpusim::{Platform, SimPolicy};
+use dagfact_kernels::{Scalar, C64};
+use dagfact_sparse::mm::read_matrix_market_file;
+use dagfact_sparse::CscMatrix;
+use dagfact_symbolic::FactoKind;
+use std::fmt::Write as _;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+struct Opts {
+    command: String,
+    matrix: String,
+    facto: Option<FactoKind>,
+    runtime: RuntimeKind,
+    threads: usize,
+    rhs: Option<String>,
+    refine: usize,
+    output: Option<String>,
+    cores: usize,
+    gpus: usize,
+    policy: SimPolicy,
+}
+
+/// Entry point: parse `args` (without the program name), execute, return
+/// the report text.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let opts = parse(args)?;
+    let complex = matrix_is_complex(&opts.matrix)?;
+    if complex {
+        dispatch::<C64>(&opts, true)
+    } else {
+        dispatch::<f64>(&opts, false)
+    }
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "usage:\n  dagfact analyze  <matrix.mtx> [--facto auto|chol|ldlt|lu]\n  dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]\n                   [--threads N] [--rhs file] [--refine N] [--output file]\n  dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]\n                   [--policy pastix|starpu|parsec] [--streams N]"
+}
+
+fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or_else(|| usage().to_string())?.clone();
+    if !["analyze", "solve", "simulate"].contains(&command.as_str()) {
+        return Err(format!("unknown command {command:?}\n{}", usage()));
+    }
+    let matrix = it
+        .next()
+        .ok_or_else(|| format!("{command}: missing matrix file\n{}", usage()))?
+        .clone();
+    let mut opts = Opts {
+        command,
+        matrix,
+        facto: None,
+        runtime: RuntimeKind::Ptg,
+        threads: std::thread::available_parallelism().map_or(1, |v| v.get()),
+        rhs: None,
+        refine: 2,
+        output: None,
+        cores: 12,
+        gpus: 0,
+        policy: SimPolicy::ParsecLike { streams: 3 },
+    };
+    let mut streams = 3usize;
+    let mut policy_name = String::from("parsec");
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--facto" => {
+                opts.facto = match value()?.as_str() {
+                    "auto" => None,
+                    "chol" | "cholesky" | "llt" => Some(FactoKind::Cholesky),
+                    "ldlt" => Some(FactoKind::Ldlt),
+                    "lu" => Some(FactoKind::Lu),
+                    other => return Err(format!("unknown facto {other:?}")),
+                }
+            }
+            "--runtime" => {
+                opts.runtime = match value()?.as_str() {
+                    "native" | "pastix" => RuntimeKind::Native,
+                    "starpu" | "dataflow" => RuntimeKind::Dataflow,
+                    "parsec" | "ptg" => RuntimeKind::Ptg,
+                    other => return Err(format!("unknown runtime {other:?}")),
+                }
+            }
+            "--threads" => opts.threads = parse_num(&value()?)?,
+            "--rhs" => opts.rhs = Some(value()?),
+            "--refine" => opts.refine = parse_num(&value()?)?,
+            "--output" | "-o" => opts.output = Some(value()?),
+            "--cores" => opts.cores = parse_num(&value()?)?,
+            "--gpus" => opts.gpus = parse_num(&value()?)?,
+            "--streams" => streams = parse_num(&value()?)?,
+            "--policy" => policy_name = value()?,
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    opts.policy = match policy_name.as_str() {
+        "pastix" | "native" => SimPolicy::NativeStatic,
+        "starpu" => SimPolicy::StarPuLike,
+        "parsec" => SimPolicy::ParsecLike { streams },
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    Ok(opts)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>().map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+/// Sniff the Matrix Market header for the `complex` field.
+fn matrix_is_complex(path: &str) -> Result<bool, String> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let header = content.lines().next().unwrap_or("");
+    Ok(header.to_ascii_lowercase().contains("complex"))
+}
+
+fn dispatch<T: Scalar>(opts: &Opts, complex: bool) -> Result<String, String> {
+    let a: CscMatrix<T> =
+        read_matrix_market_file(&opts.matrix).map_err(|e| format!("read {}: {e}", opts.matrix))?;
+    if a.nrows() != a.ncols() {
+        return Err(format!("matrix is {}x{}, need square", a.nrows(), a.ncols()));
+    }
+    match opts.command.as_str() {
+        "analyze" => analyze(opts, &a, complex),
+        "solve" => solve(opts, &a),
+        "simulate" => simulate_cmd(opts, &a, complex),
+        _ => unreachable!(),
+    }
+}
+
+fn pick_facto<T: Scalar>(opts: &Opts, a: &CscMatrix<T>) -> FactoKind {
+    opts.facto.unwrap_or_else(|| {
+        if a.is_symmetric() {
+            if T::IS_COMPLEX {
+                FactoKind::Ldlt
+            } else {
+                FactoKind::Cholesky
+            }
+        } else {
+            FactoKind::Lu
+        }
+    })
+}
+
+fn analyze<T: Scalar>(opts: &Opts, a: &CscMatrix<T>, complex: bool) -> Result<String, String> {
+    let facto = pick_facto(opts, a);
+    let analysis = Analysis::new(a.pattern(), facto, &SolverOptions::default());
+    let st = analysis.stats();
+    let flops = if complex { st.flops_complex } else { st.flops_real };
+    let mut out = String::new();
+    let _ = writeln!(out, "matrix      : {}", opts.matrix);
+    let _ = writeln!(out, "order       : {}", st.n);
+    let _ = writeln!(out, "nnz(A)      : {} (symmetrized)", st.nnz_a);
+    let _ = writeln!(out, "factorization: {}", facto.label());
+    let _ = writeln!(out, "nnz(L)      : {}", st.nnz_l);
+    let _ = writeln!(out, "fill factor : {:.1}x", st.nnz_l as f64 / (st.nnz_a as f64 / 2.0));
+    let _ = writeln!(out, "flops       : {:.3} GFlop", flops / 1e9);
+    let _ = writeln!(out, "panels      : {}", st.ncblk);
+    let _ = writeln!(out, "blocks      : {}", st.nblocks);
+    Ok(out)
+}
+
+fn solve<T: Scalar>(opts: &Opts, a: &CscMatrix<T>) -> Result<String, String> {
+    let t0 = std::time::Instant::now();
+    let solver = Solver::with_options(
+        a,
+        opts.facto,
+        &SolverOptions::default(),
+        opts.runtime,
+        opts.threads,
+    )
+    .map_err(|e| format!("factorization failed: {e}"))?;
+    let t_facto = t0.elapsed().as_secs_f64();
+    let n = a.nrows();
+    let b: Vec<T> = match &opts.rhs {
+        Some(path) => read_vector(path, n)?,
+        None => {
+            // b = A·1 so the expected solution is the ones vector.
+            let ones = vec![T::one(); n];
+            let mut b = vec![T::zero(); n];
+            a.spmv(&ones, &mut b);
+            b
+        }
+    };
+    let t1 = std::time::Instant::now();
+    let refined = solver.solve_refined(&b, opts.refine, 1e-14);
+    let t_solve = t1.elapsed().as_secs_f64();
+    let mut out = String::new();
+    let _ = writeln!(out, "factorization: {}", solver.facto().label());
+    let _ = writeln!(
+        out,
+        "factorize    : {t_facto:.3} s on {} threads ({})",
+        opts.threads,
+        opts.runtime.label()
+    );
+    let _ = writeln!(out, "pivots fixed : {}", solver.pivots_repaired());
+    let _ = writeln!(
+        out,
+        "solve        : {t_solve:.3} s ({} refinement step(s))",
+        refined.iterations
+    );
+    let _ = writeln!(
+        out,
+        "backward err : {:.3e}",
+        refined.residuals.last().copied().unwrap_or(f64::NAN)
+    );
+    if let Some(path) = &opts.output {
+        write_vector(path, &refined.x)?;
+        let _ = writeln!(out, "solution     : written to {path}");
+    }
+    Ok(out)
+}
+
+fn simulate_cmd<T: Scalar>(opts: &Opts, a: &CscMatrix<T>, complex: bool) -> Result<String, String> {
+    let facto = pick_facto(opts, a);
+    let analysis = Analysis::new(a.pattern(), facto, &SolverOptions::default());
+    let platform = Platform::mirage(opts.cores, opts.gpus);
+    let sim_opts = SimOptions {
+        complex,
+        ..SimOptions::default()
+    };
+    let report = simulate_factorization(&analysis, &sim_opts, &platform, opts.policy);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "platform   : {} cores + {} GPUs (simulated Mirage node)",
+        opts.cores, opts.gpus
+    );
+    let _ = writeln!(out, "policy     : {:?}", opts.policy);
+    let _ = writeln!(out, "makespan   : {:.4} s", report.makespan);
+    let _ = writeln!(out, "performance: {:.2} GFlop/s", report.gflops());
+    let _ = writeln!(
+        out,
+        "tasks      : {} on CPU, {} on GPU",
+        report.tasks_on_cpu, report.tasks_on_gpu
+    );
+    let _ = writeln!(
+        out,
+        "transfers  : {:.1} MB to GPUs, {:.1} MB back",
+        report.bytes_h2d / 1e6,
+        report.bytes_d2h / 1e6
+    );
+    Ok(out)
+}
+
+fn read_vector<T: Scalar>(path: &str, n: usize) -> Result<Vec<T>, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut v = Vec::with_capacity(n);
+    for (lineno, line) in content.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let re: f64 = parts
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let im: f64 = parts
+            .next()
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?
+            .unwrap_or(0.0);
+        v.push(T::from_parts(re, im));
+    }
+    if v.len() != n {
+        return Err(format!("rhs has {} entries, matrix order is {n}", v.len()));
+    }
+    Ok(v)
+}
+
+fn write_vector<T: Scalar>(path: &str, v: &[T]) -> Result<(), String> {
+    let mut out = String::with_capacity(v.len() * 24);
+    for x in v {
+        if T::IS_COMPLEX {
+            let _ = writeln!(out, "{:.17e} {:.17e}", x.re(), x.im());
+        } else {
+            let _ = writeln!(out, "{:.17e}", x.re());
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagfact_sparse::gen::{convection_diffusion_3d, grid_laplacian_3d, helmholtz_3d};
+    use dagfact_sparse::mm::write_matrix_market_file;
+
+    fn write_temp(name: &str, m: &CscMatrix<f64>) -> String {
+        let path = std::env::temp_dir().join(format!("dagfact-cli-test-{name}.mtx"));
+        write_matrix_market_file(m, &path).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn analyze_reports_table1_columns() {
+        let path = write_temp("analyze", &grid_laplacian_3d(6, 6, 6));
+        let out = run(&args(&["analyze", &path])).unwrap();
+        assert!(out.contains("order       : 216"));
+        assert!(out.contains("factorization: LLt"));
+        assert!(out.contains("nnz(L)"));
+        assert!(out.contains("GFlop"));
+    }
+
+    #[test]
+    fn solve_default_rhs_reaches_machine_precision() {
+        let path = write_temp("solve", &grid_laplacian_3d(7, 7, 7));
+        let out = run(&args(&["solve", &path, "--runtime", "native", "--threads", "2"])).unwrap();
+        let err_line = out.lines().find(|l| l.starts_with("backward err")).unwrap();
+        let val: f64 = err_line.split(':').nth(1).unwrap().trim().parse().unwrap();
+        assert!(val < 1e-13, "{out}");
+    }
+
+    #[test]
+    fn solve_unsymmetric_picks_lu_and_writes_solution() {
+        let a = convection_diffusion_3d(5, 5, 4, 0.4);
+        let path = write_temp("lu", &a);
+        let sol = std::env::temp_dir().join("dagfact-cli-test-x.txt");
+        let out = run(&args(&[
+            "solve",
+            &path,
+            "--output",
+            sol.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("factorization: LU"));
+        let written = std::fs::read_to_string(&sol).unwrap();
+        assert_eq!(written.lines().count(), a.nrows());
+        // Default RHS is A·1: every entry of x is 1.
+        for line in written.lines() {
+            let v: f64 = line.trim().parse().unwrap();
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn simulate_reports_gflops() {
+        let path = write_temp("sim", &grid_laplacian_3d(8, 8, 8));
+        let out = run(&args(&[
+            "simulate", &path, "--cores", "12", "--gpus", "2", "--policy", "parsec",
+            "--streams", "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("12 cores + 2 GPUs"));
+        assert!(out.contains("GFlop/s"));
+    }
+
+    #[test]
+    fn complex_matrices_are_detected_from_the_header() {
+        let a = helmholtz_3d(4, 4, 3, 1.0, 0.4);
+        let path = std::env::temp_dir().join("dagfact-cli-test-z.mtx");
+        write_matrix_market_file(&a, &path).unwrap();
+        let out = run(&args(&["analyze", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("LDLt"), "{out}");
+    }
+
+    #[test]
+    fn bad_usage_is_reported() {
+        assert!(run(&args(&[])).is_err());
+        assert!(run(&args(&["frobnicate", "x.mtx"])).is_err());
+        assert!(run(&args(&["solve"])).is_err());
+        let path = write_temp("badflag", &grid_laplacian_3d(3, 3, 3));
+        assert!(run(&args(&["solve", &path, "--bogus"])).is_err());
+    }
+}

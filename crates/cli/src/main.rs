@@ -1,0 +1,12 @@
+//! `dagfact` — command-line sparse direct solver.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dagfact_cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

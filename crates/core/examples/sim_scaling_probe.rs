@@ -1,0 +1,50 @@
+//! Developer probe: simulated GFlop/s of the three policies while scaling
+//! cores and GPUs — a miniature of Figures 2 and 4 used for calibration.
+
+use dagfact_core::{simulate_factorization, Analysis, SimOptions, SolverOptions};
+use dagfact_gpusim::{Platform, SimPolicy};
+use dagfact_sparse::gen::grid_laplacian_3d;
+use dagfact_symbolic::FactoKind;
+
+fn main() {
+    let side: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let a = grid_laplacian_3d(side, side, side);
+    let an = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+    let st = an.stats();
+    println!(
+        "grid {side}^3: n={} nnzL={} flops={:.2} GFlop, {} panels, {} blocks",
+        st.n,
+        st.nnz_l,
+        st.flops_real / 1e9,
+        st.ncblk,
+        st.nblocks
+    );
+    let opts = SimOptions::default();
+    println!("-- CPU scaling (GFlop/s) --");
+    println!("cores  native  starpu  parsec");
+    for cores in [1usize, 3, 6, 9, 12] {
+        let p = Platform::mirage(cores, 0);
+        let g = |pol| simulate_factorization(&an, &opts, &p, pol).gflops();
+        println!(
+            "{cores:>5}  {:>6.2}  {:>6.2}  {:>6.2}",
+            g(SimPolicy::NativeStatic),
+            g(SimPolicy::StarPuLike),
+            g(SimPolicy::ParsecLike { streams: 1 }),
+        );
+    }
+    println!("-- 12 cores + GPUs (GFlop/s) --");
+    println!(" gpus  starpu  parsec1  parsec3");
+    for gpus in 0..=3usize {
+        let p = Platform::mirage(12, gpus);
+        let g = |pol| simulate_factorization(&an, &opts, &p, pol).gflops();
+        println!(
+            "{gpus:>5}  {:>6.2}  {:>7.2}  {:>7.2}",
+            g(SimPolicy::StarPuLike),
+            g(SimPolicy::ParsecLike { streams: 1 }),
+            g(SimPolicy::ParsecLike { streams: 3 }),
+        );
+    }
+}

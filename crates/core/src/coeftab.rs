@@ -1,0 +1,195 @@
+//! Coefficient storage: the dense panels of the factor.
+//!
+//! Each column block of the symbol structure owns one dense column-major
+//! panel (`stride × width`). PaStiX calls this the *coeftab*. For LU two
+//! coeftabs exist: `L` (which also holds the full, square diagonal blocks)
+//! and `U`, stored **transposed** so the U panel shares the L panel's row
+//! structure and every kernel stays column-major.
+
+use crate::analysis::Analysis;
+use dagfact_kernels::Scalar;
+use dagfact_rt::SharedSlice;
+use dagfact_sparse::CscMatrix;
+use dagfact_symbolic::structure::SymbolMatrix;
+use dagfact_symbolic::FactoKind;
+
+/// Offsets of each panel inside one flat coefficient array.
+#[derive(Debug, Clone)]
+pub struct PanelLayout {
+    /// Start offset of each panel; panel `c` occupies
+    /// `offset[c]..offset[c] + stride_c * width_c`.
+    pub offset: Vec<usize>,
+    /// Total length.
+    pub len: usize,
+}
+
+impl PanelLayout {
+    /// Compute the layout for a symbol structure.
+    pub fn new(symbol: &SymbolMatrix) -> PanelLayout {
+        let mut offset = Vec::with_capacity(symbol.ncblk());
+        let mut len = 0usize;
+        for cb in &symbol.cblks {
+            offset.push(len);
+            len += cb.stride * cb.width();
+        }
+        PanelLayout { offset, len }
+    }
+
+    /// Range of panel `c` given its symbol.
+    pub fn panel_range(&self, symbol: &SymbolMatrix, c: usize) -> core::ops::Range<usize> {
+        let cb = &symbol.cblks[c];
+        self.offset[c]..self.offset[c] + cb.stride * cb.width()
+    }
+}
+
+/// The numeric storage of a factorization in progress.
+pub struct CoefTab<T> {
+    /// Panel layout shared by both sides.
+    pub layout: PanelLayout,
+    /// L coefficients (and full diagonal blocks).
+    pub lcoef: SharedSlice<T>,
+    /// Uᵀ coefficients (LU only; empty otherwise).
+    pub ucoef: SharedSlice<T>,
+}
+
+impl<T: Scalar> CoefTab<T> {
+    /// Allocate zeroed storage and scatter the permuted matrix entries
+    /// into the panels ("coefficient initialization").
+    ///
+    /// `a` is the *original* (unpermuted) matrix; entries are routed
+    /// through the analysis permutation. Structural zeros of the factor
+    /// (fill-in) stay zero.
+    pub fn assemble(analysis: &Analysis, a: &CscMatrix<T>) -> CoefTab<T> {
+        let symbol = &analysis.symbol;
+        let layout = PanelLayout::new(symbol);
+        let lu = analysis.facto == FactoKind::Lu;
+        let lcoef: SharedSlice<T> = SharedSlice::from_vec(vec![T::zero(); layout.len]);
+        let ucoef: SharedSlice<T> =
+            SharedSlice::from_vec(vec![T::zero(); if lu { layout.len } else { 0 }]);
+        {
+            // SAFETY: exclusive access during assembly (no tasks running).
+            let l = unsafe { lcoef.slice_mut() };
+            let u = unsafe { ucoef.slice_mut() };
+            let perm = analysis.perm.perm();
+            for oldj in 0..a.ncols() {
+                for (&oldi, &v) in a.col_rows(oldj).iter().zip(a.col_values(oldj)) {
+                    let i = perm[oldi];
+                    let j = perm[oldj];
+                    if i >= j {
+                        // Lower triangle (or diagonal): L panel of cblk(j).
+                        let c = symbol.col_to_cblk[j];
+                        let cb = &symbol.cblks[c];
+                        let row = symbol.row_offset_in_panel(c, i);
+                        l[layout.offset[c] + (j - cb.fcol) * cb.stride + row] += v;
+                    } else if !lu {
+                        // Symmetric storage: the caller may have provided a
+                        // fully-stored symmetric matrix; the upper entry
+                        // mirrors an existing lower one — skip it.
+                        continue;
+                    } else {
+                        // Strict upper triangle for LU: U[i, j] with i < j.
+                        let c = symbol.col_to_cblk[i];
+                        let cb = &symbol.cblks[c];
+                        if j < cb.lcol {
+                            // Inside the diagonal block: stored in L's full
+                            // square diagonal block.
+                            let row = symbol.row_offset_in_panel(c, i);
+                            l[layout.offset[c] + (j - cb.fcol) * cb.stride + row] += v;
+                        } else {
+                            // Below-diagonal U entry, stored transposed:
+                            // Uᵀ[j, i].
+                            let row = symbol.row_offset_in_panel(c, j);
+                            u[layout.offset[c] + (i - cb.fcol) * cb.stride + row] += v;
+                        }
+                    }
+                }
+            }
+        }
+        CoefTab {
+            layout,
+            lcoef,
+            ucoef,
+        }
+    }
+
+    /// Immutable view of an L panel (unsafe contract: no concurrent
+    /// writers — guaranteed after factorization completes).
+    ///
+    /// # Safety
+    /// See [`SharedSlice::slice`].
+    pub unsafe fn l_panel(&self, symbol: &SymbolMatrix, c: usize) -> &[T] {
+        unsafe { &self.lcoef.slice()[self.layout.panel_range(symbol, c)] }
+    }
+
+    /// Immutable view of a Uᵀ panel.
+    ///
+    /// # Safety
+    /// See [`SharedSlice::slice`].
+    pub unsafe fn u_panel(&self, symbol: &SymbolMatrix, c: usize) -> &[T] {
+        unsafe { &self.ucoef.slice()[self.layout.panel_range(symbol, c)] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::SolverOptions;
+    use dagfact_sparse::gen::{convection_diffusion_3d, grid_laplacian_2d};
+    use dagfact_symbolic::FactoKind;
+
+    #[test]
+    fn assembly_places_every_symmetric_entry() {
+        let a = grid_laplacian_2d(6, 5);
+        let an = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+        let tab = CoefTab::assemble(&an, &a);
+        let symbol = &an.symbol;
+        let l = unsafe { tab.lcoef.slice() };
+        // Every (i >= j) permuted entry must be found at its slot.
+        let perm = an.perm.perm();
+        let mut placed = 0usize;
+        for oldj in 0..a.ncols() {
+            for (&oldi, &v) in a.col_rows(oldj).iter().zip(a.col_values(oldj)) {
+                let (i, j) = (perm[oldi], perm[oldj]);
+                if i < j {
+                    continue;
+                }
+                let c = symbol.col_to_cblk[j];
+                let cb = &symbol.cblks[c];
+                let row = symbol.row_offset_in_panel(c, i);
+                let got = l[tab.layout.offset[c] + (j - cb.fcol) * cb.stride + row];
+                assert_eq!(got, v, "entry ({oldi},{oldj})");
+                placed += 1;
+            }
+        }
+        // Lower triangle including diagonal of a symmetric matrix.
+        assert_eq!(placed, (a.nnz() - a.nrows()) / 2 + a.nrows());
+        // Total mass conserved (sum of placed values = sum of lower tri).
+        let total: f64 = l.iter().sum();
+        let expect: f64 = (0..a.ncols())
+            .flat_map(|j| {
+                a.col_rows(j)
+                    .iter()
+                    .zip(a.col_values(j))
+                    .filter(move |&(&i, _)| perm[i] >= perm[j])
+                    .map(|(_, &v)| v)
+            })
+            .sum();
+        assert!((total - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_assembly_splits_lower_and_upper() {
+        let a = convection_diffusion_3d(4, 4, 3, 0.3);
+        let an = Analysis::new(a.pattern(), FactoKind::Lu, &SolverOptions::default());
+        let tab = CoefTab::assemble(&an, &a);
+        assert_eq!(tab.ucoef.len(), tab.lcoef.len());
+        let l = unsafe { tab.lcoef.slice() };
+        let u = unsafe { tab.ucoef.slice() };
+        // All value mass present across the two arrays.
+        let total: f64 = l.iter().chain(u.iter()).sum();
+        let expect: f64 = a.values().iter().sum();
+        assert!((total - expect).abs() < 1e-10, "{total} vs {expect}");
+        // U side is not empty for a convective problem.
+        assert!(u.iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,158 @@
+//! Distributed-memory communication study — the paper's second
+//! future-work item (§VI): "when a supernode updates another non-local
+//! supernode, the update blocks are stored in a local extra-memory space
+//! (this is called 'fan-in' approach \[32\]). By locally accumulating the
+//! updates until the last updates to the supernode are available, we trade
+//! bandwidth for latency."
+//!
+//! Given a [`proportional_mapping`] of panels onto nodes, this module
+//! quantifies that trade: the message count and byte volume of the naive
+//! *fan-out* strategy (each cross-node update shipped immediately) versus
+//! the *fan-in* strategy (contributions to one remote panel accumulated
+//! locally and shipped once).
+
+use crate::analysis::Analysis;
+use dagfact_symbolic::mapping::NodeMapping;
+use dagfact_symbolic::proportional_mapping;
+
+/// Communication volume of one distribution strategy.
+#[derive(Debug, Clone)]
+pub struct CommStats {
+    /// Total cross-node messages.
+    pub messages: u64,
+    /// Total bytes on the wire.
+    pub bytes: f64,
+    /// Bytes sent per node.
+    pub sent_per_node: Vec<f64>,
+    /// Extra local accumulation memory per node (fan-in buffers; zero for
+    /// fan-out).
+    pub buffer_bytes_per_node: Vec<f64>,
+}
+
+/// Both strategies side by side.
+#[derive(Debug, Clone)]
+pub struct FanInStudy {
+    /// The node mapping used.
+    pub mapping: NodeMapping,
+    /// Ship-every-update strategy.
+    pub fan_out: CommStats,
+    /// Accumulate-then-ship strategy.
+    pub fan_in: CommStats,
+}
+
+/// Analyze the communication of distributing this factorization over
+/// `nnodes` nodes (proportional mapping), for real (`complex = false`) or
+/// complex scalars.
+pub fn fan_in_study(analysis: &Analysis, complex: bool, nnodes: usize) -> FanInStudy {
+    let symbol = &analysis.symbol;
+    let costs = analysis.costs(complex);
+    let mapping = proportional_mapping(symbol, &costs, nnodes);
+    let scalar_bytes = if complex { 16.0 } else { 8.0 } * analysis.facto.sides() as f64;
+
+    let mut fan_out = CommStats {
+        messages: 0,
+        bytes: 0.0,
+        sent_per_node: vec![0.0; nnodes],
+        buffer_bytes_per_node: vec![0.0; nnodes],
+    };
+    // Fan-in accumulators: (target panel, source node) → accumulated bytes.
+    let mut pair_bytes: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+    for c in 0..symbol.ncblk() {
+        let src_node = mapping.node_of[c];
+        let cb = &symbol.cblks[c];
+        for b in symbol.off_blocks(c) {
+            let tgt = b.facing;
+            let tgt_node = mapping.node_of[tgt];
+            if tgt_node == src_node {
+                continue;
+            }
+            // Contribution block: (rows at-and-below b) × (rows of b).
+            let m = cb.stride - b.local_offset;
+            let contrib = (m * b.nrows()) as f64 * scalar_bytes;
+            fan_out.messages += 1;
+            fan_out.bytes += contrib;
+            fan_out.sent_per_node[src_node] += contrib;
+            *pair_bytes.entry((tgt, src_node)).or_insert(0.0) += contrib;
+        }
+    }
+    let mut fan_in = CommStats {
+        messages: 0,
+        bytes: 0.0,
+        sent_per_node: vec![0.0; nnodes],
+        buffer_bytes_per_node: vec![0.0; nnodes],
+    };
+    for (&(tgt, src_node), &accumulated) in &pair_bytes {
+        // The accumulated contributions overlap inside the target panel;
+        // one fan-in buffer (and one message) is at most the panel itself.
+        let cb = &symbol.cblks[tgt];
+        let panel_bytes = (cb.stride * cb.width()) as f64 * scalar_bytes;
+        let shipped = accumulated.min(panel_bytes);
+        fan_in.messages += 1;
+        fan_in.bytes += shipped;
+        fan_in.sent_per_node[src_node] += shipped;
+        fan_in.buffer_bytes_per_node[src_node] += shipped;
+    }
+    FanInStudy {
+        mapping,
+        fan_out,
+        fan_in,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::SolverOptions;
+    use dagfact_sparse::gen::grid_laplacian_3d;
+    use dagfact_symbolic::FactoKind;
+
+    fn analysis() -> Analysis {
+        let a = grid_laplacian_3d(14, 14, 14);
+        Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default())
+    }
+
+    #[test]
+    fn single_node_has_no_communication() {
+        let study = fan_in_study(&analysis(), false, 1);
+        assert_eq!(study.fan_out.messages, 0);
+        assert_eq!(study.fan_in.messages, 0);
+        assert_eq!(study.fan_out.bytes, 0.0);
+    }
+
+    #[test]
+    fn fan_in_never_sends_more_than_fan_out() {
+        let an = analysis();
+        for nnodes in [2usize, 4, 8] {
+            let study = fan_in_study(&an, false, nnodes);
+            assert!(study.fan_out.messages > 0, "{nnodes} nodes: no comm at all?");
+            assert!(
+                study.fan_in.messages < study.fan_out.messages,
+                "{nnodes} nodes: fan-in must cut message count"
+            );
+            assert!(study.fan_in.bytes <= study.fan_out.bytes + 1e-9);
+            // Fan-in pays with accumulation buffers.
+            let buffers: f64 = study.fan_in.buffer_bytes_per_node.iter().sum();
+            assert!(buffers > 0.0);
+        }
+    }
+
+    #[test]
+    fn communication_grows_with_node_count() {
+        let an = analysis();
+        let s2 = fan_in_study(&an, false, 2);
+        let s8 = fan_in_study(&an, false, 8);
+        assert!(s8.fan_out.bytes > s2.fan_out.bytes);
+    }
+
+    #[test]
+    fn complex_lu_doubles_scalar_traffic() {
+        let a = dagfact_sparse::gen::convection_diffusion_3d(10, 10, 10, 0.3);
+        let an = Analysis::new(a.pattern(), FactoKind::Lu, &SolverOptions::default());
+        let d = fan_in_study(&an, false, 4);
+        let z = fan_in_study(&an, true, 4);
+        // Same message pattern, 2x the bytes (8→16 bytes per scalar).
+        assert_eq!(d.fan_out.messages, z.fan_out.messages);
+        assert!((z.fan_out.bytes / d.fan_out.bytes - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,75 @@
+//! # dagfact-core
+//!
+//! A task-based supernodal sparse direct solver — the Rust reproduction of
+//! PaStiX as studied in *"Taking advantage of hybrid systems for sparse
+//! direct solvers via task-based runtimes"* (Lacoste et al., IPDPS
+//! Workshops 2014).
+//!
+//! The solver factorizes structurally-symmetric sparse systems `A·x = b`
+//! with Cholesky (`LLᵀ`), `LDLᵀ` or static-pivoting `LU`, in real or
+//! double-complex arithmetic, through three interchangeable task runtimes
+//! (the paper's PaStiX-native / StarPU / PaRSEC comparison), and can
+//! *simulate* its own factorization on a parameterized hybrid CPU+GPU
+//! platform to reproduce the paper's performance studies.
+//!
+//! ```no_run
+//! use dagfact_core::{Analysis, SolverOptions};
+//! use dagfact_symbolic::FactoKind;
+//! use dagfact_rt::RuntimeKind;
+//! use dagfact_sparse::gen::grid_laplacian_3d;
+//!
+//! let a = grid_laplacian_3d(20, 20, 20);
+//! let analysis = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+//! let factors = analysis.factorize(&a, RuntimeKind::Ptg, 4).unwrap();
+//! let b = vec![1.0; a.nrows()];
+//! let x = factors.solve(&b);
+//! ```
+
+pub mod analysis;
+pub mod coeftab;
+pub mod distributed;
+pub mod numeric;
+pub mod psolve;
+pub mod refine;
+pub mod simulate;
+pub mod solve;
+pub mod solver;
+pub mod tasks;
+
+pub use analysis::{Analysis, AnalysisStats, SolverOptions};
+pub use distributed::{fan_in_study, CommStats, FanInStudy};
+pub use numeric::Factors;
+pub use solver::Solver;
+pub use simulate::{build_sim_dag, simulate_factorization, SimOptions};
+
+pub use dagfact_rt::RuntimeKind;
+pub use dagfact_symbolic::FactoKind;
+
+/// Solver errors.
+#[derive(Debug)]
+pub enum SolverError {
+    /// A diagonal-block factorization kernel failed (non-SPD matrix given
+    /// to Cholesky, or an exactly-zero pivot with no static-pivot
+    /// threshold).
+    Kernel(dagfact_kernels::KernelError),
+    /// The matrix handed to `factorize` does not match the analyzed
+    /// pattern.
+    PatternMismatch(String),
+}
+
+impl core::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SolverError::Kernel(e) => write!(f, "kernel failure: {e}"),
+            SolverError::PatternMismatch(msg) => write!(f, "pattern mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<dagfact_kernels::KernelError> for SolverError {
+    fn from(e: dagfact_kernels::KernelError) -> Self {
+        SolverError::Kernel(e)
+    }
+}

@@ -1,0 +1,580 @@
+//! Numeric factorization: the task bodies and their execution over the
+//! three runtimes (§V of the paper).
+//!
+//! * **panel(c)** — factorize the diagonal block (POTRF / LDLᵀ / static-
+//!   pivot GETRF) and apply it to the panel's off-diagonal blocks (TRSM);
+//! * **update(c, b)** — apply the outer product of block `b` with the
+//!   sub-panel at-and-below `b` to the facing panel (the sparse GEMM,
+//!   buffer-then-scatter on CPUs).
+//!
+//! The LDLᵀ kernels reproduce the paper's §V-A observation: the native
+//! engine materializes `D·Lᵀ` once per 1D task in a per-worker buffer so
+//! updates are plain GEMMs, while the generic runtimes "perform the full
+//! LDLᵀ operation at each update" — the reason PaStiX wins on `pmlDF` and
+//! `Serena`.
+
+use crate::analysis::Analysis;
+use crate::coeftab::CoefTab;
+use crate::tasks::{OneDGraph, TaskGraph, TaskKind};
+use crate::SolverError;
+use dagfact_kernels::gemm::{gemm, Trans};
+use dagfact_kernels::trsm::{trsm, Diag, Side, Uplo};
+use dagfact_kernels::update::{update_via_buffer, Scatter};
+use dagfact_kernels::{getrf, ldlt, ldlt_apply_diag, potrf, KernelError, Scalar};
+use dagfact_rt::dataflow::DataflowGraph;
+use dagfact_rt::native::{run_native, NativeTask};
+use dagfact_rt::ptg::{run_ptg, PtgProgram};
+use dagfact_rt::{AccessMode, RuntimeKind, SharedSlice};
+use dagfact_sparse::CscMatrix;
+use dagfact_symbolic::FactoKind;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-worker scratch memory ("constant memory overhead per working
+/// thread", §V-B).
+#[derive(Default)]
+struct Workspace<T> {
+    /// GEMM result buffer (buffer-then-scatter strategy).
+    tmp: Vec<T>,
+    /// Copy of the diagonal block for aliasing-free TRSM.
+    diag: Vec<T>,
+    /// Row scatter map (destination storage rows).
+    row_map: Vec<usize>,
+    /// Global row index of each mapped row (LU's U-side scatter needs to
+    /// know which rows fall inside the destination's diagonal block).
+    row_glob: Vec<usize>,
+}
+
+/// Everything the task bodies need, shared across workers.
+struct NumericCtx<'a, T: Scalar> {
+    analysis: &'a Analysis,
+    tab: &'a CoefTab<T>,
+    /// LDLᵀ diagonal (length n; unused otherwise).
+    d: &'a SharedSlice<T>,
+    /// Absolute static-pivot threshold.
+    threshold: f64,
+    pivots_repaired: AtomicUsize,
+    /// First kernel error; once set, remaining tasks no-op.
+    error: Mutex<Option<KernelError>>,
+    workspaces: Vec<Mutex<Workspace<T>>>,
+}
+
+impl<'a, T: Scalar> NumericCtx<'a, T> {
+    fn failed(&self) -> bool {
+        self.error.lock().is_some()
+    }
+
+    fn record_error(&self, e: KernelError) {
+        let mut guard = self.error.lock();
+        if guard.is_none() {
+            *guard = Some(e);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Panel task
+    // ------------------------------------------------------------------
+
+    /// Factorize panel `c` in place and solve its off-diagonal blocks.
+    fn panel_task(&self, c: usize, worker: usize) {
+        if self.failed() {
+            return;
+        }
+        let symbol = &self.analysis.symbol;
+        let cb = &symbol.cblks[c];
+        let (w, stride) = (cb.width(), cb.stride);
+        let below = stride - w;
+        let range = self.tab.layout.panel_range(symbol, c);
+        // SAFETY: the DAG gives panel(c) exclusive access to panel c.
+        let l = unsafe { self.tab.lcoef.range_mut(range.clone()) };
+        let mut ws = self.workspaces[worker].lock();
+        let result: Result<(), KernelError> = (|| {
+            match self.analysis.facto {
+                FactoKind::Cholesky => {
+                    potrf(w, l, stride)?;
+                    if below > 0 {
+                        copy_lower_triangle(l, stride, w, &mut ws.diag);
+                        trsm(
+                            Side::Right,
+                            Uplo::Lower,
+                            Trans::Trans,
+                            Diag::NonUnit,
+                            below,
+                            w,
+                            &ws.diag,
+                            w,
+                            &mut l[w..],
+                            stride,
+                        );
+                    }
+                }
+                FactoKind::Ldlt => {
+                    // SAFETY: panel(c) owns the d-range of its columns.
+                    let d = unsafe { self.d.range_mut(cb.fcol..cb.lcol) };
+                    let repaired = ldlt(w, l, stride, d, self.threshold)?;
+                    self.pivots_repaired.fetch_add(repaired, Ordering::Relaxed);
+                    if below > 0 {
+                        copy_lower_triangle(l, stride, w, &mut ws.diag);
+                        trsm(
+                            Side::Right,
+                            Uplo::Lower,
+                            Trans::Trans,
+                            Diag::Unit,
+                            below,
+                            w,
+                            &ws.diag,
+                            w,
+                            &mut l[w..],
+                            stride,
+                        );
+                        ldlt_apply_diag(below, w, d, &mut l[w..], stride);
+                    }
+                }
+                FactoKind::Lu => {
+                    let stats = getrf(w, l, stride, self.threshold)?;
+                    self.pivots_repaired.fetch_add(stats.repaired, Ordering::Relaxed);
+                    // SAFETY: panel(c) also owns its U panel.
+                    let u = unsafe { self.tab.ucoef.range_mut(range) };
+                    if below > 0 {
+                        copy_full_block(l, stride, w, &mut ws.diag);
+                        // L side: A_ik ← A_ik · U_kk⁻¹.
+                        trsm(
+                            Side::Right,
+                            Uplo::Upper,
+                            Trans::NoTrans,
+                            Diag::NonUnit,
+                            below,
+                            w,
+                            &ws.diag,
+                            w,
+                            &mut l[w..],
+                            stride,
+                        );
+                        // U side (stored transposed): Uᵀ ← Uᵀ · L_kk⁻ᵀ.
+                        trsm(
+                            Side::Right,
+                            Uplo::Lower,
+                            Trans::Trans,
+                            Diag::Unit,
+                            below,
+                            w,
+                            &ws.diag,
+                            w,
+                            &mut u[w..],
+                            stride,
+                        );
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            self.record_error(e);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Update task
+    // ------------------------------------------------------------------
+
+    /// Apply update task of global block `bi` from panel `c` onto its
+    /// facing panel. `dlt` optionally carries the native engine's
+    /// precomputed `D·Lᵀ` panel (k × below, column per source row).
+    fn update_task(&self, c: usize, bi: usize, worker: usize, dlt: Option<&[T]>) {
+        if self.failed() {
+            return;
+        }
+        let symbol = &self.analysis.symbol;
+        let cb = &symbol.cblks[c];
+        let block = &symbol.blocks[bi];
+        let j = block.facing;
+        let tcb = &symbol.cblks[j];
+        let k = cb.width();
+        let n = block.nrows();
+        let m = cb.stride - block.local_offset;
+        let src = self.tab.layout.panel_range(symbol, c);
+        let dst = self.tab.layout.panel_range(symbol, j);
+        let mut ws = self.workspaces[worker].lock();
+        let ws = &mut *ws;
+        build_row_map(symbol, c, bi, j, &mut ws.row_map, &mut ws.row_glob);
+        let scatter = Scatter {
+            row_map: &ws.row_map,
+            col_offset: block.frow - tcb.fcol,
+        };
+        // SAFETY: the DAG serializes updates into panel j and guarantees
+        // panel c is read-only here; the two panels are disjoint ranges.
+        let (lsrc, ldst) = unsafe { self.tab.lcoef.disjoint_pair(src.clone(), dst.clone()) };
+        let a1 = &lsrc[block.local_offset..];
+        let a2 = &lsrc[block.local_offset..];
+        match self.analysis.facto {
+            FactoKind::Cholesky => {
+                update_via_buffer(
+                    m, n, k,
+                    -T::one(),
+                    a1, cb.stride,
+                    a2, cb.stride,
+                    None,
+                    &mut ws.tmp,
+                    ldst, tcb.stride,
+                    scatter,
+                );
+            }
+            FactoKind::Ldlt => {
+                match dlt {
+                    Some(w_panel) => {
+                        // Native path: W = D·Lᵀ was built once per panel;
+                        // pick the columns of block bi and run a plain
+                        // GEMM (the PaStiX temp-buffer trick).
+                        let col0 = block.local_offset - cb.width();
+                        let w2 = &w_panel[col0 * k..(col0 + n) * k];
+                        ws.tmp.clear();
+                        ws.tmp.resize(m * n, T::zero());
+                        gemm(
+                            Trans::NoTrans,
+                            Trans::NoTrans,
+                            m, n, k,
+                            T::one(),
+                            a1, cb.stride,
+                            w2, k,
+                            T::zero(),
+                            &mut ws.tmp, m,
+                        );
+                        scatter_sub(&ws.tmp, m, n, ldst, tcb.stride, scatter);
+                    }
+                    None => {
+                        // Generic-runtime path: rescale by D inside every
+                        // update ("a less efficient kernel that performs
+                        // the full LDLᵀ operation at each update", §V-A).
+                        // SAFETY: d[cols of c] was finalized by panel(c).
+                        let d = unsafe { self.d.range(cb.fcol..cb.lcol) };
+                        update_via_buffer(
+                            m, n, k,
+                            -T::one(),
+                            a1, cb.stride,
+                            a2, cb.stride,
+                            Some(d),
+                            &mut ws.tmp,
+                            ldst, tcb.stride,
+                            scatter,
+                        );
+                    }
+                }
+            }
+            FactoKind::Lu => {
+                // SAFETY: same discipline as the L side.
+                let (usrc, udst) = unsafe { self.tab.ucoef.disjoint_pair(src, dst) };
+                let ut = &usrc[block.local_offset..];
+                // C_L -= L[R≥b, c] · (Uᵀ[R_b, c])ᵀ
+                update_via_buffer(
+                    m, n, k,
+                    -T::one(),
+                    a1, cb.stride,
+                    ut, cb.stride,
+                    None,
+                    &mut ws.tmp,
+                    ldst, tcb.stride,
+                    scatter,
+                );
+                // C_U -= Uᵀ[R>b, c] · (L[R_b, c])ᵀ for the rows strictly
+                // below block b (the diagonal part went into C_L's full
+                // square). The destination splits in two:
+                //   * rows inside the target's column range are the upper
+                //     triangle of the target's *diagonal block*, stored
+                //     transposed in the L panel (full square);
+                //   * rows beyond go into the target's U panel.
+                if m > n {
+                    let mu = m - n;
+                    let ut_below = &usrc[block.local_offset + n..];
+                    let a2l = &lsrc[block.local_offset..];
+                    ws.tmp.clear();
+                    ws.tmp.resize(mu * n, T::zero());
+                    gemm(
+                        Trans::NoTrans,
+                        Trans::Trans,
+                        mu, n, k,
+                        T::one(),
+                        ut_below, cb.stride,
+                        a2l, cb.stride,
+                        T::zero(),
+                        &mut ws.tmp, mu,
+                    );
+                    for jj in 0..n {
+                        let cglob = block.frow + jj; // column of the target panel
+                        for ii in 0..mu {
+                            let r = ws.row_glob[n + ii]; // global row (r > cglob)
+                            let v = ws.tmp[jj * mu + ii];
+                            if r < tcb.lcol {
+                                // U[cglob, r] inside the diagonal block:
+                                // column r of the L panel, storage row of
+                                // cglob.
+                                ldst[(r - tcb.fcol) * tcb.stride + (cglob - tcb.fcol)] -= v;
+                            } else {
+                                // Uᵀ[r, cglob] in the U panel.
+                                udst[(cglob - tcb.fcol) * tcb.stride + ws.row_map[n + ii]] -= v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The fused 1D task of the native engine: panel + all its updates,
+    /// with the per-panel `D·Lᵀ` buffer for LDLᵀ.
+    fn one_d_task(&self, c: usize, worker: usize) {
+        self.panel_task(c, worker);
+        if self.failed() {
+            return;
+        }
+        let symbol = &self.analysis.symbol;
+        let cb = &symbol.cblks[c];
+        let dlt_panel: Option<Vec<T>> = if self.analysis.facto == FactoKind::Ldlt {
+            let below = cb.stride - cb.width();
+            if below == 0 {
+                None
+            } else {
+                // SAFETY: panel(c) is complete and exclusively ours to read.
+                let range = self.tab.layout.panel_range(symbol, c);
+                let l = unsafe { self.tab.lcoef.range(range) };
+                let d = unsafe { self.d.range(cb.fcol..cb.lcol) };
+                let k = cb.width();
+                let mut w = vec![T::zero(); k * below];
+                dagfact_kernels::ldlt::ldlt_scale_transpose(
+                    below,
+                    k,
+                    d,
+                    &l[k..],
+                    cb.stride,
+                    &mut w,
+                );
+                Some(w)
+            }
+        } else {
+            None
+        };
+        for bi in (cb.block_begin + 1)..cb.block_end {
+            self.update_task(c, bi, worker, dlt_panel.as_deref());
+        }
+    }
+}
+
+/// Copy the lower triangle (including diagonal) of the leading `w×w` block
+/// into a compact `w×w` buffer; the upper triangle is zero-filled.
+fn copy_lower_triangle<T: Scalar>(panel: &[T], stride: usize, w: usize, out: &mut Vec<T>) {
+    out.clear();
+    out.resize(w * w, T::zero());
+    for j in 0..w {
+        for i in j..w {
+            out[j * w + i] = panel[j * stride + i];
+        }
+    }
+}
+
+/// Copy the full leading `w×w` block.
+fn copy_full_block<T: Scalar>(panel: &[T], stride: usize, w: usize, out: &mut Vec<T>) {
+    out.clear();
+    out.resize(w * w, T::zero());
+    for j in 0..w {
+        out[j * w..j * w + w].copy_from_slice(&panel[j * stride..j * stride + w]);
+    }
+}
+
+/// `C[scatter] -= tmp` for a contiguous `m×n` buffer.
+fn scatter_sub<T: Scalar>(
+    tmp: &[T],
+    m: usize,
+    n: usize,
+    c: &mut [T],
+    ldc: usize,
+    scatter: Scatter<'_>,
+) {
+    for j in 0..n {
+        let col = &mut c[(scatter.col_offset + j) * ldc..];
+        for (i, &v) in tmp[j * m..j * m + m].iter().enumerate() {
+            col[scatter.row_map[i]] -= v;
+        }
+    }
+}
+
+/// Destination storage row (`out`) and global index (`glob`) of every
+/// source-panel row at-or-below block `bi`, by a merge walk over the two
+/// sorted block lists.
+fn build_row_map(
+    symbol: &dagfact_symbolic::SymbolMatrix,
+    c: usize,
+    bi: usize,
+    j: usize,
+    out: &mut Vec<usize>,
+    glob: &mut Vec<usize>,
+) {
+    out.clear();
+    glob.clear();
+    let cb = &symbol.cblks[c];
+    let tblocks = symbol.panel_blocks(j);
+    let mut ti = 0usize;
+    for sb in &symbol.blocks[bi..cb.block_end] {
+        for row in sb.frow..sb.lrow {
+            while !(tblocks[ti].frow <= row && row < tblocks[ti].lrow) {
+                ti += 1;
+                assert!(
+                    ti < tblocks.len(),
+                    "source row {row} missing from target panel {j} (symbolic closure violated)"
+                );
+            }
+            out.push(tblocks[ti].local_offset + (row - tblocks[ti].frow));
+            glob.push(row);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public entry: factorize over a runtime
+// ---------------------------------------------------------------------
+
+/// The numeric factors produced by [`Analysis::factorize`].
+pub struct Factors<'a, T: Scalar> {
+    /// The analysis this factorization is based on.
+    pub analysis: &'a Analysis,
+    /// Coefficient storage (L, and Uᵀ for LU).
+    pub tab: CoefTab<T>,
+    /// LDLᵀ diagonal (empty for other kinds).
+    pub d: Vec<T>,
+    /// Number of pivots bumped by static pivoting.
+    pub pivots_repaired: usize,
+}
+
+impl Analysis {
+    /// Numerically factorize `a` on `nthreads` workers of the chosen
+    /// runtime. `a` must have the analyzed pattern (same matrix order; a
+    /// superset pattern is rejected).
+    pub fn factorize<'a, T: Scalar>(
+        &'a self,
+        a: &CscMatrix<T>,
+        runtime: RuntimeKind,
+        nthreads: usize,
+    ) -> Result<Factors<'a, T>, SolverError> {
+        if a.nrows() != self.symbol.n || a.ncols() != self.symbol.n {
+            return Err(SolverError::PatternMismatch(format!(
+                "analyzed order {} but matrix is {}x{}",
+                self.symbol.n,
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        let nthreads = nthreads.max(1);
+        let tab = CoefTab::assemble(self, a);
+        let d: SharedSlice<T> = SharedSlice::from_vec(vec![T::zero(); self.symbol.n]);
+        // Static pivoting threshold ε·‖A‖∞ (PaStiX-style); Cholesky has
+        // its own positivity check instead.
+        let threshold = if self.facto == FactoKind::Cholesky {
+            0.0
+        } else {
+            self.options.static_pivot_epsilon * a.norm_inf().max(1.0)
+        };
+        let ctx = NumericCtx {
+            analysis: self,
+            tab: &tab,
+            d: &d,
+            threshold,
+            pivots_repaired: AtomicUsize::new(0),
+            error: Mutex::new(None),
+            workspaces: (0..nthreads).map(|_| Mutex::new(Workspace::default())).collect(),
+        };
+        match runtime {
+            RuntimeKind::Native => self.run_native_engine(&ctx, nthreads),
+            RuntimeKind::Dataflow => self.run_dataflow_engine(&ctx, nthreads),
+            RuntimeKind::Ptg => self.run_ptg_engine(&ctx, nthreads),
+        }
+        if let Some(e) = ctx.error.lock().take() {
+            return Err(SolverError::Kernel(e));
+        }
+        let pivots = ctx.pivots_repaired.load(Ordering::Relaxed);
+        Ok(Factors {
+            analysis: self,
+            tab,
+            d: d.into_vec(),
+            pivots_repaired: pivots,
+        })
+    }
+
+    fn run_native_engine<T: Scalar>(&self, ctx: &NumericCtx<'_, T>, nthreads: usize) {
+        let graph = OneDGraph::build(&self.symbol);
+        let costs = self.costs(T::IS_COMPLEX);
+        let prio = self.priorities(&costs);
+        let owners = self.static_owners(&costs, nthreads);
+        let tasks: Vec<NativeTask> = (0..self.symbol.ncblk())
+            .map(|c| NativeTask {
+                owner: owners[c],
+                npred: graph.npred[c],
+                succs: graph.succs[c].clone(),
+                priority: prio[c],
+            })
+            .collect();
+        run_native(&tasks, nthreads, |c, worker| ctx.one_d_task(c, worker));
+    }
+
+    fn run_dataflow_engine<T: Scalar>(&self, ctx: &NumericCtx<'_, T>, nthreads: usize) {
+        // Sequential submission in the solver's program order — panel k,
+        // then the updates it generates, ascending k — exactly "the simple
+        // sequential submission loops typically used with STARPU" (§IV).
+        // The engine infers the DAG from the R/RW hazards alone.
+        let costs = self.costs(T::IS_COMPLEX);
+        let prio = self.priorities(&costs);
+        let mut g = DataflowGraph::new(self.symbol.ncblk());
+        for cblk in 0..self.symbol.ncblk() {
+            g.submit(&[(cblk, AccessMode::ReadWrite)], prio[cblk], move |w| {
+                ctx.panel_task(cblk, w)
+            });
+            let cb = &self.symbol.cblks[cblk];
+            for block in (cb.block_begin + 1)..cb.block_end {
+                let target = self.symbol.blocks[block].facing;
+                g.submit(
+                    &[(cblk, AccessMode::Read), (target, AccessMode::ReadWrite)],
+                    prio[cblk],
+                    move |w| ctx.update_task(cblk, block, w, None),
+                );
+            }
+        }
+        g.execute(nthreads);
+    }
+
+    fn run_ptg_engine<T: Scalar>(&self, ctx: &NumericCtx<'_, T>, nthreads: usize) {
+        struct Program<'c, 'a, T: Scalar> {
+            ctx: &'c NumericCtx<'a, T>,
+            graph: TaskGraph,
+            prio: Vec<f64>,
+        }
+        impl<T: Scalar> PtgProgram for Program<'_, '_, T> {
+            fn num_tasks(&self) -> usize {
+                self.graph.len()
+            }
+            fn num_predecessors(&self, t: usize) -> u32 {
+                self.graph.npred[t]
+            }
+            fn successors(&self, t: usize, out: &mut Vec<usize>) {
+                out.extend_from_slice(&self.graph.succs[t]);
+            }
+            fn priority(&self, t: usize) -> f64 {
+                match self.graph.tasks[t] {
+                    TaskKind::Panel { cblk } => self.prio[cblk],
+                    TaskKind::Update { cblk, .. } => self.prio[cblk],
+                }
+            }
+            fn execute(&self, t: usize, worker: usize) {
+                match self.graph.tasks[t] {
+                    TaskKind::Panel { cblk } => self.ctx.panel_task(cblk, worker),
+                    TaskKind::Update { cblk, block, .. } => {
+                        self.ctx.update_task(cblk, block, worker, None)
+                    }
+                }
+            }
+        }
+        let costs = self.costs(T::IS_COMPLEX);
+        let program = Program {
+            ctx,
+            graph: TaskGraph::build(&self.symbol),
+            prio: self.priorities(&costs),
+        };
+        run_ptg(&program, nthreads);
+    }
+}

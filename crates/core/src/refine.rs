@@ -1,0 +1,69 @@
+//! Iterative refinement — the standard companion of static pivoting.
+//!
+//! PaStiX trades dynamic pivoting for a fixed task DAG; the numerical
+//! accuracy lost on nearly-singular pivots is recovered by a few rounds of
+//! residual correction: `r = b − A·x`, solve `A·δ = r`, `x ← x + δ`.
+
+use crate::numeric::Factors;
+use dagfact_kernels::Scalar;
+use dagfact_sparse::CscMatrix;
+
+/// Outcome of a refined solve.
+#[derive(Debug, Clone)]
+pub struct RefinedSolve<T> {
+    /// The solution.
+    pub x: Vec<T>,
+    /// Backward-error history: ‖b − A·x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞) after each
+    /// step (entry 0 is the unrefined solve).
+    pub residuals: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+}
+
+impl<T: Scalar> Factors<'_, T> {
+    /// Solve with iterative refinement against the original matrix `a`.
+    /// Stops when the backward error drops below `tol` or after
+    /// `max_iter` corrections.
+    pub fn solve_refined(
+        &self,
+        a: &CscMatrix<T>,
+        b: &[T],
+        max_iter: usize,
+        tol: f64,
+    ) -> RefinedSolve<T> {
+        let n = b.len();
+        let norm_a = a.norm_inf();
+        let norm_b = inf_norm(b);
+        let mut x = self.solve(b);
+        let mut residuals = Vec::with_capacity(max_iter + 1);
+        let mut r = vec![T::zero(); n];
+        let mut iterations = 0;
+        for it in 0..=max_iter {
+            // r = b - A x
+            a.spmv(&x, &mut r);
+            for (ri, &bi) in r.iter_mut().zip(b.iter()) {
+                *ri = bi - *ri;
+            }
+            let berr = inf_norm(&r) / (norm_a * inf_norm(&x) + norm_b).max(f64::MIN_POSITIVE);
+            residuals.push(berr);
+            if berr <= tol || it == max_iter {
+                break;
+            }
+            let delta = self.solve(&r);
+            for (xi, di) in x.iter_mut().zip(delta) {
+                *xi += di;
+            }
+            iterations += 1;
+        }
+        RefinedSolve {
+            x,
+            residuals,
+            iterations,
+        }
+    }
+}
+
+/// ‖v‖∞ over scalar moduli.
+pub fn inf_norm<T: Scalar>(v: &[T]) -> f64 {
+    v.iter().map(|x| x.modulus()).fold(0.0, f64::max)
+}

@@ -1,0 +1,438 @@
+//! Lowering an analyzed factorization onto the platform simulator.
+//!
+//! The paper's performance studies (Figures 2 and 4) compare schedulers on
+//! hardware this reproduction does not have; `simulate_factorization`
+//! replays the *exact task DAG* of the solver on the calibrated
+//! discrete-event machine of `dagfact-gpusim` instead (see DESIGN.md §2).
+//!
+//! Faithful to the systems being modeled:
+//!
+//! * the **native** policy simulates PaStiX's coarse 1D tasks with their
+//!   analyze-time static mapping,
+//! * the **StarPU/PaRSEC** policies simulate the two-level
+//!   panel/update DAG actually handed to those runtimes (§V), with only
+//!   update tasks GPU-eligible and panel data as the unit of transfer.
+
+use crate::analysis::Analysis;
+use crate::tasks::{TaskGraph, TaskKind};
+use dagfact_gpusim::{simulate, Platform, SimDag, SimData, SimPolicy, SimReport, SimTask, TaskShape};
+
+/// Options for a simulated factorization.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Double-complex arithmetic? (Z problems transfer 16-byte scalars and
+    /// count complex flops.)
+    pub complex: bool,
+    /// Fuse whole elimination-tree subtrees below this flop threshold into
+    /// single tasks — the paper's §VI future-work granularity control
+    /// ("merging leaves or subtrees together yields bigger, more
+    /// computationally intensive tasks"). `None` disables clustering.
+    pub cluster_flops: Option<f64>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            complex: false,
+            cluster_flops: None,
+        }
+    }
+}
+
+/// Simulate this factorization on `platform` under `policy`; returns the
+/// simulated schedule metrics (GFlop/s of Figures 2 and 4).
+pub fn simulate_factorization(
+    analysis: &Analysis,
+    options: &SimOptions,
+    platform: &Platform,
+    policy: SimPolicy,
+) -> SimReport {
+    let dag = build_sim_dag(analysis, options, platform, policy);
+    simulate(&dag, platform, policy)
+}
+
+/// Lower the analysis to a [`SimDag`] (exposed for the benches and tests).
+pub fn build_sim_dag(
+    analysis: &Analysis,
+    options: &SimOptions,
+    platform: &Platform,
+    policy: SimPolicy,
+) -> SimDag {
+    let symbol = &analysis.symbol;
+    let is_ldlt = analysis.facto == dagfact_symbolic::FactoKind::Ldlt;
+    // The generic runtimes re-apply D·Lᵀ inside every LDLᵀ update instead
+    // of buffering it once per panel like the native scheduler (§V-A);
+    // calibrated ≈20% kernel-efficiency loss on those tasks.
+    let ldlt_penalty = if is_ldlt && policy != SimPolicy::NativeStatic {
+        1.2
+    } else {
+        1.0
+    };
+    let costs = analysis.costs(options.complex);
+    let prio = analysis.priorities(&costs);
+    let scalar_bytes = if options.complex { 16.0 } else { 8.0 };
+    let sides = analysis.facto.sides() as f64;
+    let data: Vec<SimData> = symbol
+        .cblks
+        .iter()
+        .map(|cb| SimData {
+            bytes: cb.stride as f64 * cb.width() as f64 * scalar_bytes * sides,
+        })
+        .collect();
+
+    let tasks = {
+        // All three policies run the two-level panel/update DAG. For the
+        // native policy this models PaStiX's fine-grain dynamic scheduler
+        // ([1], and §V: "this functionality dynamically splits update
+        // tasks, so that the critical path of the algorithm can be
+        // reduced"): the 1D cost-model list schedule still provides the
+        // static owner, inherited by a panel's update tasks.
+        let owners = match policy {
+            SimPolicy::NativeStatic => analysis.static_owners(&costs, platform.cores),
+            _ => vec![0; symbol.ncblk()],
+        };
+        {
+            // Two-level DAG, exactly what StarPU/PaRSEC receive.
+            let graph = TaskGraph::build(symbol);
+            graph
+                .tasks
+                .iter()
+                .enumerate()
+                .map(|(id, &task)| match task {
+                    TaskKind::Panel { cblk } => {
+                        let cb = &symbol.cblks[cblk];
+                        SimTask {
+                            shape: TaskShape::Panel {
+                                width: cb.width(),
+                                height: cb.stride,
+                            },
+                            flops: costs.panel[cblk],
+                            reads: vec![],
+                            writes: cblk,
+                            gpu_eligible: false,
+                            succs: graph.succs[id].clone(),
+                            npred: graph.npred[id],
+                            priority: prio[cblk],
+                            static_owner: owners[cblk],
+                            cpu_multiplier: 1.0,
+                        }
+                    }
+                    TaskKind::Update { cblk, block, target } => {
+                        let cb = &symbol.cblks[cblk];
+                        let b = &symbol.blocks[block];
+                        let m = cb.stride - b.local_offset;
+                        SimTask {
+                            shape: TaskShape::Update {
+                                m,
+                                n: b.nrows(),
+                                k: cb.width(),
+                                target_height: symbol.cblks[target].stride,
+                                ldlt: is_ldlt,
+                            },
+                            flops: costs.update[block],
+                            reads: vec![cblk],
+                            writes: target,
+                            gpu_eligible: true,
+                            succs: graph.succs[id].clone(),
+                            npred: graph.npred[id],
+                            priority: prio[cblk],
+                            // Updates into a panel are chained (serial)
+                            // anyway; running them on the destination
+                            // owner's core keeps the destination panel hot
+                            // across the chain and for its panel task —
+                            // the locality the PaStiX static mapping is
+                            // built around.
+                            static_owner: owners[target],
+                            cpu_multiplier: ldlt_penalty,
+                        }
+                    }
+                })
+                .collect()
+        }
+    };
+    let mut dag = SimDag { tasks, data };
+    if let Some(threshold) = options.cluster_flops {
+        let clustering = dagfact_symbolic::subtree_clusters(symbol, &costs, threshold);
+        // A cluster fuses a subtree's panel tasks and *internal* updates.
+        // Updates crossing the cluster boundary stay separate singleton
+        // tasks: they sit on the serialization chains into shared ancestor
+        // panels, and fusing them would make entire sibling subtrees wait
+        // on one another (and would also lose their GPU eligibility).
+        let graph = TaskGraph::build(symbol);
+        let mut next = clustering.nclusters;
+        let cluster_of_task: Vec<usize> = graph
+            .tasks
+            .iter()
+            .map(|&t| match t {
+                TaskKind::Panel { cblk } => clustering.cluster_of[cblk],
+                TaskKind::Update { cblk, target, .. } => {
+                    if clustering.cluster_of[cblk] == clustering.cluster_of[target] {
+                        clustering.cluster_of[cblk]
+                    } else {
+                        let id = next;
+                        next += 1;
+                        id
+                    }
+                }
+            })
+            .collect();
+        dag = contract_dag(&dag, &cluster_of_task, next, platform);
+    }
+    debug_assert_eq!(dag.validate(), Ok(()));
+    dag
+}
+
+/// Contract a simulation DAG along a task→cluster map: tasks of one
+/// cluster fuse into a single super-task with summed work, merged
+/// dependencies (internal edges dropped, external deduplicated) and a
+/// CPU-time-preserving effective shape.
+pub fn contract_dag(
+    dag: &SimDag,
+    cluster_of_task: &[usize],
+    nclusters: usize,
+    platform: &Platform,
+) -> SimDag {
+    assert_eq!(cluster_of_task.len(), dag.tasks.len());
+    let block_of = |shape: &TaskShape| -> usize {
+        match *shape {
+            TaskShape::Panel { width, .. } => width,
+            TaskShape::Update { n, k, .. } => n.min(k),
+        }
+    };
+    // Accumulate per-cluster totals.
+    let mut flops = vec![0.0f64; nclusters];
+    let mut cpu_time = vec![0.0f64; nclusters];
+    let mut members = vec![0usize; nclusters];
+    let mut priority = vec![f64::NEG_INFINITY; nclusters];
+    let mut static_owner = vec![0usize; nclusters];
+    let mut writes = vec![usize::MAX; nclusters];
+    let mut gpu_eligible = vec![true; nclusters];
+    let mut mult = vec![1.0f64; nclusters];
+    let mut reads: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); nclusters];
+    let mut shape = vec![
+        TaskShape::Panel {
+            width: 1,
+            height: 1
+        };
+        nclusters
+    ];
+    for (t, task) in dag.tasks.iter().enumerate() {
+        let k = cluster_of_task[t];
+        members[k] += 1;
+        flops[k] += task.flops;
+        let rate = platform.cpu.rate(block_of(&task.shape).max(1)) * 1e9;
+        cpu_time[k] += task.flops / rate * task.cpu_multiplier;
+        if task.priority > priority[k] {
+            priority[k] = task.priority;
+            static_owner[k] = task.static_owner;
+            shape[k] = task.shape;
+            writes[k] = task.writes;
+            mult[k] = task.cpu_multiplier;
+        }
+        // A fused subtree keeps its data CPU-resident; only singleton
+        // update tasks stay offloadable.
+        gpu_eligible[k] &= task.gpu_eligible;
+        reads[k].extend(task.reads.iter().copied());
+    }
+    // Effective shape: pick a block size whose CPU rate reproduces the
+    // exact summed execution time (rate = P·e·b/(b+h) inverted).
+    for k in 0..nclusters {
+        if members[k] > 1 && cpu_time[k] > 0.0 {
+            let eff_rate = flops[k] / cpu_time[k] / 1e9;
+            let cpu = &platform.cpu;
+            let ceiling = cpu.peak_gflops * cpu.max_efficiency;
+            let b = if eff_rate >= ceiling {
+                100_000.0
+            } else {
+                (cpu.half_size * eff_rate / (ceiling - eff_rate)).max(1.0)
+            };
+            shape[k] = TaskShape::Panel {
+                width: b.round() as usize,
+                height: b.round() as usize,
+            };
+            gpu_eligible[k] = false;
+        }
+    }
+    // Contract edges.
+    let mut succs: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); nclusters];
+    for (t, task) in dag.tasks.iter().enumerate() {
+        let from = cluster_of_task[t];
+        for &s in &task.succs {
+            let to = cluster_of_task[s];
+            if from != to {
+                succs[from].insert(to);
+            }
+        }
+    }
+    let mut npred = vec![0u32; nclusters];
+    for s in &succs {
+        for &to in s {
+            npred[to] += 1;
+        }
+    }
+    let tasks: Vec<SimTask> = (0..nclusters)
+        .map(|k| {
+            let r: Vec<usize> = reads[k]
+                .iter()
+                .copied()
+                .filter(|&d| d != writes[k])
+                .collect();
+            SimTask {
+                shape: shape[k],
+                flops: flops[k],
+                reads: r,
+                writes: writes[k],
+                gpu_eligible: gpu_eligible[k] && members[k] == 1,
+                succs: succs[k].iter().copied().collect(),
+                npred: npred[k],
+                priority: priority[k],
+                static_owner: static_owner[k],
+                // Singletons keep their kernel-efficiency multiplier; for
+                // fused subtrees the exact time is folded into the
+                // effective shape above.
+                cpu_multiplier: if members[k] == 1 { mult[k] } else { 1.0 },
+            }
+        })
+        .collect();
+    SimDag {
+        tasks,
+        data: dag.data.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::SolverOptions;
+    use dagfact_sparse::gen::grid_laplacian_3d;
+    use dagfact_symbolic::FactoKind;
+
+    fn analysis() -> Analysis {
+        // Big enough that per-task overheads don't dominate (tiny problems
+        // are overhead-bound — the paper's afshell10 effect).
+        let a = grid_laplacian_3d(20, 20, 20);
+        Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default())
+    }
+
+    #[test]
+    fn sim_dags_validate_and_conserve_flops() {
+        let an = analysis();
+        let opts = SimOptions::default();
+        let platform = Platform::mirage(12, 3);
+        let costs = an.costs(false);
+        for policy in [
+            SimPolicy::NativeStatic,
+            SimPolicy::StarPuLike,
+            SimPolicy::ParsecLike { streams: 3 },
+        ] {
+            let dag = build_sim_dag(&an, &opts, &platform, policy);
+            dag.validate().unwrap();
+            assert!(
+                (dag.total_flops() - costs.total).abs() < 1e-6 * costs.total,
+                "{policy:?} flops drift"
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_scaling_shape_matches_figure2() {
+        // More cores → more GFlop/s, sublinear at 12 (Figure 2's shape).
+        let an = analysis();
+        let opts = SimOptions::default();
+        for policy in [
+            SimPolicy::NativeStatic,
+            SimPolicy::StarPuLike,
+            SimPolicy::ParsecLike { streams: 1 },
+        ] {
+            let g1 = simulate_factorization(&an, &opts, &Platform::mirage(1, 0), policy).gflops();
+            let g6 = simulate_factorization(&an, &opts, &Platform::mirage(6, 0), policy).gflops();
+            let g12 = simulate_factorization(&an, &opts, &Platform::mirage(12, 0), policy).gflops();
+            assert!(g6 > 2.0 * g1, "{policy:?}: g1={g1} g6={g6}");
+            // Saturation is allowed at this modest problem size, but no
+            // regression when adding cores.
+            assert!(g12 >= 0.98 * g6, "{policy:?}: g6={g6} g12={g12}");
+            assert!(g12 < 12.5 * g1, "{policy:?}: superlinear scaling?");
+        }
+    }
+
+    #[test]
+    fn subtree_clustering_conserves_flops_and_shrinks_the_dag() {
+        let an = analysis();
+        let platform = Platform::mirage(12, 0);
+        let costs = an.costs(false);
+        let base = build_sim_dag(&an, &SimOptions::default(), &platform, SimPolicy::ParsecLike { streams: 1 });
+        let clustered = build_sim_dag(
+            &an,
+            &SimOptions {
+                cluster_flops: Some(costs.total / 100.0),
+                ..SimOptions::default()
+            },
+            &platform,
+            SimPolicy::ParsecLike { streams: 1 },
+        );
+        clustered.validate().unwrap();
+        // Boundary updates survive as singletons, so the contraction is
+        // bounded but must still remove a visible share of the tasks.
+        assert!(
+            clustered.tasks.len() < base.tasks.len() * 9 / 10,
+            "clustering merged too little: {} vs {}",
+            clustered.tasks.len(),
+            base.tasks.len()
+        );
+        assert!((clustered.total_flops() - base.total_flops()).abs() < 1e-6 * base.total_flops());
+        // The clustered DAG still simulates to a sane schedule.
+        let r = simulate(&clustered, &platform, SimPolicy::ParsecLike { streams: 1 });
+        assert_eq!(r.tasks_on_cpu + r.tasks_on_gpu, clustered.tasks.len());
+    }
+
+    #[test]
+    fn clustering_reduces_overhead_on_small_problems() {
+        // A small problem is scheduler-overhead-bound (the afshell10
+        // effect); fusing leaf subtrees must not hurt and usually helps.
+        let a = grid_laplacian_3d(12, 12, 12);
+        let an = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+        let costs = an.costs(false);
+        let platform = Platform::mirage(12, 0);
+        let policy = SimPolicy::StarPuLike; // highest per-task overhead
+        let plain = simulate_factorization(&an, &SimOptions::default(), &platform, policy);
+        let fused = simulate_factorization(
+            &an,
+            &SimOptions {
+                cluster_flops: Some(costs.total / 200.0),
+                ..SimOptions::default()
+            },
+            &platform,
+            policy,
+        );
+        assert!(
+            fused.gflops() > plain.gflops() * 0.95,
+            "clustering should not degrade: {} vs {}",
+            fused.gflops(),
+            plain.gflops()
+        );
+    }
+
+    #[test]
+    fn gpus_speed_up_the_factorization() {
+        let an = analysis();
+        let opts = SimOptions::default();
+        // StarPU gives up 3 CPU workers for the 3 GPUs, so its net gain on
+        // a modest problem is smaller (the paper's afshell10 effect).
+        for (policy, min_gain) in [
+            (SimPolicy::StarPuLike, 1.05),
+            (SimPolicy::ParsecLike { streams: 3 }, 1.15),
+        ] {
+            let cpu = simulate_factorization(&an, &opts, &Platform::mirage(12, 0), policy);
+            let gpu = simulate_factorization(&an, &opts, &Platform::mirage(12, 3), policy);
+            assert!(
+                gpu.gflops() > min_gain * cpu.gflops(),
+                "{policy:?}: {} vs {}",
+                gpu.gflops(),
+                cpu.gflops()
+            );
+            assert!(gpu.tasks_on_gpu > 0);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Triangular solve phase: forward/diagonal/backward sweeps over the
+//! block structure.
+//!
+//! The solve walks the panels in elimination order (forward) and reverse
+//! order (backward); each panel applies its diagonal triangle to the
+//! right-hand-side slice and propagates its off-diagonal blocks. Solves
+//! are a small fraction of factorization time, so they run sequentially
+//! (as the paper's experiments do — only the factorization step is
+//! timed).
+
+use crate::numeric::Factors;
+use dagfact_kernels::gemm::{gemm, Trans};
+use dagfact_kernels::trsm::{trsm, Diag, Side, Uplo};
+use dagfact_kernels::Scalar;
+use dagfact_symbolic::FactoKind;
+
+impl<T: Scalar> Factors<'_, T> {
+    /// Solve `A·x = b` using the computed factors. `b` is in the
+    /// *original* (unpermuted) numbering; so is the returned `x`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        self.solve_many(b, 1)
+    }
+
+    /// Solve `A·X = B` for `nrhs` right-hand sides stored column-major in
+    /// `b` (length `n·nrhs`). All sweeps are blocked over the RHS columns,
+    /// so many-RHS solves run at GEMM speed rather than GEMV speed.
+    pub fn solve_many(&self, b: &[T], nrhs: usize) -> Vec<T> {
+        let n = self.analysis.symbol.n;
+        assert!(nrhs >= 1);
+        assert_eq!(b.len(), n * nrhs, "b must hold nrhs columns of length n");
+        // x[perm[i], :] = b[i, :]
+        let perm = self.analysis.perm.perm();
+        let mut x = vec![T::zero(); n * nrhs];
+        for r in 0..nrhs {
+            for (old, &v) in b[r * n..(r + 1) * n].iter().enumerate() {
+                x[r * n + perm[old]] = v;
+            }
+        }
+        self.forward(&mut x, nrhs);
+        if self.analysis.facto == FactoKind::Ldlt {
+            for r in 0..nrhs {
+                for (xi, &di) in x[r * n..(r + 1) * n].iter_mut().zip(self.d.iter()) {
+                    *xi = *xi / di;
+                }
+            }
+        }
+        self.backward(&mut x, nrhs);
+        // out[i, :] = x[perm[i], :]
+        let mut out = vec![T::zero(); n * nrhs];
+        for r in 0..nrhs {
+            for old in 0..n {
+                out[r * n + old] = x[r * n + perm[old]];
+            }
+        }
+        out
+    }
+
+    /// Forward sweep `L·y = b` (unit diagonal for LDLᵀ/LU).
+    fn forward(&self, x: &mut [T], nrhs: usize) {
+        let symbol = &self.analysis.symbol;
+        let n = symbol.n;
+        let diag = match self.analysis.facto {
+            FactoKind::Cholesky => Diag::NonUnit,
+            FactoKind::Ldlt | FactoKind::Lu => Diag::Unit,
+        };
+        // Panel-solution scratch (w × nrhs), reused across panels so the
+        // propagation GEMM can read it while writing other rows of x.
+        let mut xc = Vec::new();
+        for c in 0..symbol.ncblk() {
+            let cb = &symbol.cblks[c];
+            let w = cb.width();
+            // SAFETY: factorization finished; read-only access.
+            let l = unsafe { self.tab.l_panel(symbol, c) };
+            // Diagonal solve on rows fcol..lcol of every RHS column.
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::NoTrans,
+                diag,
+                w,
+                nrhs,
+                l,
+                cb.stride,
+                &mut x[cb.fcol..],
+                n,
+            );
+            gather_rows(x, n, cb.fcol, w, nrhs, &mut xc);
+            // Propagate: x[R_b, :] -= L[R_b, c] · x_c for every off block.
+            for b in symbol.off_blocks(c) {
+                let m = b.nrows();
+                let lb = &l[b.local_offset..];
+                gemm(
+                    Trans::NoTrans,
+                    Trans::NoTrans,
+                    m,
+                    nrhs,
+                    w,
+                    -T::one(),
+                    lb,
+                    cb.stride,
+                    &xc,
+                    w,
+                    T::one(),
+                    &mut x[b.frow..],
+                    n,
+                );
+            }
+        }
+    }
+
+    /// Backward sweep: `Lᵀ·x = y` (Cholesky/LDLᵀ) or `U·x = y` (LU).
+    fn backward(&self, x: &mut [T], nrhs: usize) {
+        let symbol = &self.analysis.symbol;
+        let n = symbol.n;
+        let lu = self.analysis.facto == FactoKind::Lu;
+        let mut xc = Vec::new();
+        for c in (0..symbol.ncblk()).rev() {
+            let cb = &symbol.cblks[c];
+            let w = cb.width();
+            // SAFETY: read-only post-factorization access.
+            let l = unsafe { self.tab.l_panel(symbol, c) };
+            // Gather the panel rows, subtract below-block contributions,
+            // then solve the triangle — all in the scratch buffer so the
+            // reads of x stay immutable.
+            gather_rows(x, n, cb.fcol, w, nrhs, &mut xc);
+            // For LU the gathered contribution uses U[cols_c, R_b], which
+            // is stored transposed in the U panel; otherwise Lᵀ.
+            // SAFETY: read-only post-factorization access.
+            let u = if lu {
+                unsafe { self.tab.u_panel(symbol, c) }
+            } else {
+                l
+            };
+            for b in symbol.off_blocks(c) {
+                let m = b.nrows();
+                let coeff = &u[b.local_offset..];
+                gemm(
+                    Trans::Trans,
+                    Trans::NoTrans,
+                    w,
+                    nrhs,
+                    m,
+                    -T::one(),
+                    coeff,
+                    cb.stride,
+                    &x[b.frow..],
+                    n,
+                    T::one(),
+                    &mut xc,
+                    w,
+                );
+            }
+            // Diagonal solve.
+            if lu {
+                trsm(
+                    Side::Left,
+                    Uplo::Upper,
+                    Trans::NoTrans,
+                    Diag::NonUnit,
+                    w,
+                    nrhs,
+                    l,
+                    cb.stride,
+                    &mut xc,
+                    w,
+                );
+            } else {
+                let diag = if self.analysis.facto == FactoKind::Cholesky {
+                    Diag::NonUnit
+                } else {
+                    Diag::Unit
+                };
+                trsm(
+                    Side::Left,
+                    Uplo::Lower,
+                    Trans::Trans,
+                    diag,
+                    w,
+                    nrhs,
+                    l,
+                    cb.stride,
+                    &mut xc,
+                    w,
+                );
+            }
+            scatter_rows(&xc, x, n, cb.fcol, w, nrhs);
+        }
+    }
+}
+
+/// Copy rows `first..first+rows` of every RHS column into a compact
+/// `rows × nrhs` buffer.
+fn gather_rows<T: Scalar>(x: &[T], n: usize, first: usize, rows: usize, nrhs: usize, out: &mut Vec<T>) {
+    out.clear();
+    out.reserve(rows * nrhs);
+    for r in 0..nrhs {
+        out.extend_from_slice(&x[r * n + first..r * n + first + rows]);
+    }
+}
+
+/// Inverse of [`gather_rows`].
+fn scatter_rows<T: Scalar>(buf: &[T], x: &mut [T], n: usize, first: usize, rows: usize, nrhs: usize) {
+    for r in 0..nrhs {
+        x[r * n + first..r * n + first + rows].copy_from_slice(&buf[r * rows..(r + 1) * rows]);
+    }
+}

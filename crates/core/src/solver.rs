@@ -1,0 +1,212 @@
+//! One-stop convenience API: pick the factorization, analyze, factorize
+//! and solve in a single call chain.
+//!
+//! [`Solver`] wraps the lower-level [`Analysis`]/[`Factors`] pair for
+//! users who just want `x = solve(A, b)`:
+//!
+//! ```
+//! use dagfact_core::solver::Solver;
+//! use dagfact_sparse::gen::grid_laplacian_3d;
+//!
+//! let a = grid_laplacian_3d(8, 8, 8);
+//! let solver = Solver::auto(&a).unwrap();
+//! let b = vec![1.0; a.nrows()];
+//! let x = solver.solve(&b);
+//! # let mut ax = vec![0.0; a.nrows()];
+//! # a.spmv(&x, &mut ax);
+//! # assert!(ax.iter().zip(&b).all(|(l, r)| (l - r).abs() < 1e-9));
+//! ```
+
+use crate::analysis::{Analysis, SolverOptions};
+use crate::numeric::Factors;
+use crate::refine::RefinedSolve;
+use crate::SolverError;
+use dagfact_kernels::Scalar;
+use dagfact_rt::RuntimeKind;
+use dagfact_sparse::CscMatrix;
+use dagfact_symbolic::FactoKind;
+
+/// A factorized linear system ready to solve, owning its analysis.
+pub struct Solver<T: Scalar> {
+    analysis: Box<Analysis>,
+    // SAFETY/layout note: `factors` borrows `analysis`; the Box keeps the
+    // borrow stable while both move together. The field order guarantees
+    // `factors` drops first.
+    factors: Option<Factors<'static, T>>,
+    matrix: CscMatrix<T>,
+    facto: FactoKind,
+}
+
+impl<T: Scalar> Solver<T> {
+    /// Analyze + factorize `a`, picking the factorization automatically:
+    /// symmetric matrices try Cholesky and fall back to LDLᵀ on
+    /// indefiniteness; unsymmetric values get static-pivoting LU.
+    pub fn auto(a: &CscMatrix<T>) -> Result<Solver<T>, SolverError> {
+        let threads = std::thread::available_parallelism().map_or(1, |v| v.get());
+        Self::with_options(a, None, &SolverOptions::default(), RuntimeKind::Ptg, threads)
+    }
+
+    /// Full-control constructor. `facto = None` selects automatically.
+    pub fn with_options(
+        a: &CscMatrix<T>,
+        facto: Option<FactoKind>,
+        options: &SolverOptions,
+        runtime: RuntimeKind,
+        threads: usize,
+    ) -> Result<Solver<T>, SolverError> {
+        let symmetric = a.is_symmetric();
+        let plan: Vec<FactoKind> = match facto {
+            Some(k) => vec![k],
+            None if symmetric && !T::IS_COMPLEX => {
+                vec![FactoKind::Cholesky, FactoKind::Ldlt]
+            }
+            None if symmetric => vec![FactoKind::Ldlt],
+            None => vec![FactoKind::Lu],
+        };
+        let mut last_err = None;
+        for kind in plan {
+            match Self::build(a, kind, options, runtime, threads) {
+                Ok(s) => return Ok(s),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("plan is never empty"))
+    }
+
+    fn build(
+        a: &CscMatrix<T>,
+        facto: FactoKind,
+        options: &SolverOptions,
+        runtime: RuntimeKind,
+        threads: usize,
+    ) -> Result<Solver<T>, SolverError> {
+        let analysis = Box::new(Analysis::new(a.pattern(), facto, options));
+        // SAFETY: `factors` borrows the boxed analysis, whose heap
+        // allocation outlives it inside this struct (factors is dropped
+        // and never exposed with the fake 'static lifetime).
+        let analysis_ref: &'static Analysis =
+            unsafe { &*(analysis.as_ref() as *const Analysis) };
+        let factors = analysis_ref.factorize::<T>(a, runtime, threads)?;
+        Ok(Solver {
+            analysis,
+            factors: Some(factors),
+            matrix: a.clone(),
+            facto,
+        })
+    }
+
+    /// The factorization kind actually used.
+    pub fn facto(&self) -> FactoKind {
+        self.facto
+    }
+
+    /// The underlying analysis (statistics, symbol structure…).
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Number of pivots repaired by static pivoting.
+    pub fn pivots_repaired(&self) -> usize {
+        self.factors().pivots_repaired
+    }
+
+    fn factors(&self) -> &Factors<'static, T> {
+        self.factors.as_ref().expect("factors always present")
+    }
+
+    /// Solve `A·x = b`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        self.factors().solve(b)
+    }
+
+    /// Solve for several right-hand sides (column-major).
+    pub fn solve_many(&self, b: &[T], nrhs: usize) -> Vec<T> {
+        self.factors().solve_many(b, nrhs)
+    }
+
+    /// Solve with iterative refinement; recommended whenever static
+    /// pivoting repaired pivots.
+    pub fn solve_refined(&self, b: &[T], max_iter: usize, tol: f64) -> RefinedSolve<T> {
+        self.factors().solve_refined(&self.matrix, b, max_iter, tol)
+    }
+
+    /// Backward error `‖b − A·x‖∞ / (‖A‖∞‖x‖∞ + ‖b‖∞)` of a solution.
+    pub fn backward_error(&self, x: &[T], b: &[T]) -> f64 {
+        let n = b.len();
+        let mut r = vec![T::zero(); n];
+        self.matrix.spmv(x, &mut r);
+        for (ri, &bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        let num = crate::refine::inf_norm(&r);
+        let den = self.matrix.norm_inf() * crate::refine::inf_norm(x)
+            + crate::refine::inf_norm(b);
+        num / den.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl<T: Scalar> Drop for Solver<T> {
+    fn drop(&mut self) {
+        // Drop the borrower before the owner (declaration order already
+        // guarantees this; made explicit for the unsafe self-reference).
+        self.factors = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagfact_kernels::C64;
+    use dagfact_sparse::gen::{
+        convection_diffusion_3d, grid_laplacian_3d, helmholtz_3d, shifted_laplacian_3d,
+    };
+
+    #[test]
+    fn auto_picks_cholesky_for_spd() {
+        let a = grid_laplacian_3d(6, 6, 6);
+        let s = Solver::auto(&a).unwrap();
+        assert_eq!(s.facto(), FactoKind::Cholesky);
+        let b = vec![1.0; a.nrows()];
+        let x = s.solve(&b);
+        assert!(s.backward_error(&x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn auto_falls_back_to_ldlt_for_indefinite() {
+        let a = shifted_laplacian_3d(5, 5, 5, 1.0);
+        let s = Solver::auto(&a).unwrap();
+        assert_eq!(s.facto(), FactoKind::Ldlt);
+        let b = vec![1.0; a.nrows()];
+        let x = s.solve(&b);
+        assert!(s.backward_error(&x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn auto_picks_lu_for_unsymmetric() {
+        let a = convection_diffusion_3d(5, 5, 4, 0.4);
+        let s = Solver::auto(&a).unwrap();
+        assert_eq!(s.facto(), FactoKind::Lu);
+        let b = vec![1.0; a.nrows()];
+        let x = s.solve(&b);
+        assert!(s.backward_error(&x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn auto_picks_ldlt_for_complex_symmetric() {
+        let a = helmholtz_3d(5, 4, 4, 1.5, 0.5);
+        let s = Solver::auto(&a).unwrap();
+        assert_eq!(s.facto(), FactoKind::Ldlt);
+        let b: Vec<C64> = (0..a.nrows()).map(|i| C64::new(1.0, i as f64 * 0.1)).collect();
+        let x = s.solve(&b);
+        assert!(s.backward_error(&x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn refined_solve_through_the_wrapper() {
+        let a = convection_diffusion_3d(5, 5, 5, 0.45);
+        let s = Solver::auto(&a).unwrap();
+        let b = vec![2.0; a.nrows()];
+        let r = s.solve_refined(&b, 3, 1e-14);
+        assert!(*r.residuals.last().unwrap() < 1e-12);
+    }
+}

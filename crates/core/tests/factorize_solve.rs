@@ -1,0 +1,196 @@
+//! End-to-end correctness of the factorization and solve across every
+//! factorization kind × runtime × arithmetic combination.
+
+use dagfact_core::{Analysis, RuntimeKind, SolverOptions};
+use dagfact_kernels::{Scalar, C64};
+use dagfact_sparse::gen::{
+    convection_diffusion_3d, grid_laplacian_2d, grid_laplacian_3d, helmholtz_3d, random_spd,
+    shifted_laplacian_3d,
+};
+use dagfact_sparse::CscMatrix;
+use dagfact_symbolic::FactoKind;
+
+fn residual<T: Scalar>(a: &CscMatrix<T>, x: &[T], b: &[T]) -> f64 {
+    let mut ax = vec![T::zero(); b.len()];
+    a.spmv(x, &mut ax);
+    let num = ax
+        .iter()
+        .zip(b)
+        .map(|(&l, &r)| (l - r).modulus())
+        .fold(0.0f64, f64::max);
+    let den = b.iter().map(|v| v.modulus()).fold(0.0f64, f64::max);
+    num / den.max(1e-300)
+}
+
+fn rhs_real(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 37 + 11) % 23) as f64 / 7.0 - 1.0).collect()
+}
+
+fn rhs_complex(n: usize) -> Vec<C64> {
+    (0..n)
+        .map(|i| C64::new(((i * 13 + 3) % 17) as f64 / 5.0 - 1.0, ((i * 7) % 11) as f64 / 5.0))
+        .collect()
+}
+
+fn check_real(a: &CscMatrix<f64>, facto: FactoKind, tol: f64) {
+    let analysis = Analysis::new(a.pattern(), facto, &SolverOptions::default());
+    let b = rhs_real(a.nrows());
+    for rt in RuntimeKind::ALL {
+        for threads in [1usize, 4] {
+            let f = analysis
+                .factorize(a, rt, threads)
+                .unwrap_or_else(|e| panic!("{facto:?}/{rt:?}/{threads}: {e}"));
+            let x = f.solve(&b);
+            let r = residual(a, &x, &b);
+            assert!(
+                r < tol,
+                "{facto:?} via {rt:?} ({threads} threads): residual {r:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cholesky_on_2d_grid() {
+    check_real(&grid_laplacian_2d(15, 13), FactoKind::Cholesky, 1e-10);
+}
+
+#[test]
+fn cholesky_on_3d_grid() {
+    check_real(&grid_laplacian_3d(7, 7, 7), FactoKind::Cholesky, 1e-10);
+}
+
+#[test]
+fn cholesky_on_random_spd() {
+    for seed in [1, 2, 3] {
+        check_real(&random_spd(150, 5, seed), FactoKind::Cholesky, 1e-9);
+    }
+}
+
+#[test]
+fn ldlt_on_indefinite_matrix() {
+    check_real(&shifted_laplacian_3d(6, 6, 5, 1.0), FactoKind::Ldlt, 1e-9);
+}
+
+#[test]
+fn ldlt_matches_cholesky_on_spd() {
+    // On an SPD matrix LDLᵀ and LLᵀ must produce the same solution.
+    let a = grid_laplacian_2d(12, 12);
+    let b = rhs_real(a.nrows());
+    let chol = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+    let ldlt = Analysis::new(a.pattern(), FactoKind::Ldlt, &SolverOptions::default());
+    let xc = chol.factorize(&a, RuntimeKind::Native, 2).unwrap().solve(&b);
+    let xl = ldlt.factorize(&a, RuntimeKind::Ptg, 2).unwrap().solve(&b);
+    for (u, v) in xc.iter().zip(&xl) {
+        assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+    }
+}
+
+#[test]
+fn lu_on_unsymmetric_values() {
+    check_real(&convection_diffusion_3d(6, 5, 5, 0.45), FactoKind::Lu, 1e-9);
+}
+
+#[test]
+fn lu_handles_symmetric_matrix_too() {
+    // LU on a symmetric SPD matrix must agree with Cholesky.
+    let a = grid_laplacian_2d(10, 11);
+    let b = rhs_real(a.nrows());
+    let lua = Analysis::new(a.pattern(), FactoKind::Lu, &SolverOptions::default());
+    let x = lua.factorize(&a, RuntimeKind::Dataflow, 3).unwrap().solve(&b);
+    assert!(residual(&a, &x, &b) < 1e-10);
+}
+
+#[test]
+fn complex_symmetric_ldlt() {
+    let a = helmholtz_3d(5, 5, 4, 2.0, 0.8);
+    let analysis = Analysis::new(a.pattern(), FactoKind::Ldlt, &SolverOptions::default());
+    let b = rhs_complex(a.nrows());
+    for rt in RuntimeKind::ALL {
+        let f = analysis.factorize(&a, rt, 2).unwrap();
+        let x = f.solve(&b);
+        assert!(residual(&a, &x, &b) < 1e-9, "{rt:?}");
+    }
+}
+
+#[test]
+fn complex_lu() {
+    let a = dagfact_sparse::gen::complex_unsym_3d(5, 4, 4);
+    let analysis = Analysis::new(a.pattern(), FactoKind::Lu, &SolverOptions::default());
+    let b = rhs_complex(a.nrows());
+    let f = analysis.factorize(&a, RuntimeKind::Ptg, 4).unwrap();
+    let x = f.solve(&b);
+    assert!(residual(&a, &x, &b) < 1e-9);
+}
+
+#[test]
+fn runtimes_agree_bitwise_on_factor_values_single_thread() {
+    // With one worker each runtime executes a sequential schedule; the
+    // update chains force identical operation order per panel, so the
+    // factors must agree to high precision (not necessarily bitwise, as
+    // execution order across panels differs; compare solutions instead).
+    let a = grid_laplacian_3d(6, 6, 6);
+    let analysis = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+    let b = rhs_real(a.nrows());
+    let solutions: Vec<Vec<f64>> = RuntimeKind::ALL
+        .iter()
+        .map(|&rt| analysis.factorize(&a, rt, 1).unwrap().solve(&b))
+        .collect();
+    for sol in &solutions[1..] {
+        for (u, v) in solutions[0].iter().zip(sol) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn cholesky_rejects_indefinite() {
+    let a = shifted_laplacian_3d(4, 4, 4, 1.0);
+    let analysis = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+    let err = analysis.factorize(&a, RuntimeKind::Native, 2);
+    assert!(err.is_err(), "Cholesky must fail on an indefinite matrix");
+}
+
+#[test]
+fn refinement_improves_static_pivoting() {
+    let a = convection_diffusion_3d(5, 5, 4, 0.49);
+    let analysis = Analysis::new(a.pattern(), FactoKind::Lu, &SolverOptions::default());
+    let f = analysis.factorize(&a, RuntimeKind::Native, 2).unwrap();
+    let b = rhs_real(a.nrows());
+    let refined = f.solve_refined(&a, &b, 5, 1e-14);
+    assert!(
+        refined.residuals.last().unwrap() <= refined.residuals.first().unwrap(),
+        "refinement made things worse: {:?}",
+        refined.residuals
+    );
+    assert!(*refined.residuals.last().unwrap() < 1e-12);
+}
+
+#[test]
+fn wide_and_narrow_split_agree() {
+    // Panel splitting must not change the numerical result.
+    let a = grid_laplacian_2d(16, 16);
+    let b = rhs_real(a.nrows());
+    let narrow = Analysis::new(
+        a.pattern(),
+        FactoKind::Cholesky,
+        &SolverOptions {
+            split: dagfact_symbolic::structure::SplitOptions { max_width: 8 },
+            ..SolverOptions::default()
+        },
+    );
+    let wide = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+    let xn = narrow.factorize(&a, RuntimeKind::Ptg, 4).unwrap().solve(&b);
+    let xw = wide.factorize(&a, RuntimeKind::Ptg, 4).unwrap().solve(&b);
+    for (u, v) in xn.iter().zip(&xw) {
+        assert!((u - v).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn pattern_mismatch_is_reported() {
+    let a = grid_laplacian_2d(5, 5);
+    let analysis = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+    let wrong = grid_laplacian_2d(6, 6);
+    assert!(analysis.factorize(&wrong, RuntimeKind::Native, 1).is_err());
+}

@@ -1,0 +1,68 @@
+//! Parallel triangular-solve correctness: the task-parallel sweeps must
+//! match the sequential solve to roundoff for every factorization kind.
+
+use dagfact_core::{Analysis, RuntimeKind, SolverOptions};
+use dagfact_kernels::{Scalar, C64};
+use dagfact_sparse::gen::{
+    convection_diffusion_3d, grid_laplacian_3d, helmholtz_3d, shifted_laplacian_3d,
+};
+use dagfact_symbolic::FactoKind;
+
+#[test]
+fn parallel_matches_sequential_cholesky() {
+    let a = grid_laplacian_3d(9, 9, 9);
+    let n = a.nrows();
+    let analysis = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+    let f = analysis.factorize(&a, RuntimeKind::Native, 2).unwrap();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) % 19) as f64 - 9.0).collect();
+    let seq = f.solve(&b);
+    for threads in [1usize, 2, 4] {
+        let par = f.solve_parallel(&b, threads);
+        for (u, v) in seq.iter().zip(&par) {
+            assert!((u - v).abs() < 1e-11, "{threads} threads");
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_ldlt() {
+    let a = shifted_laplacian_3d(7, 7, 6, 1.0);
+    let analysis = Analysis::new(a.pattern(), FactoKind::Ldlt, &SolverOptions::default());
+    let f = analysis.factorize(&a, RuntimeKind::Ptg, 2).unwrap();
+    let b: Vec<f64> = (0..a.nrows()).map(|i| (i % 9) as f64 - 4.0).collect();
+    let seq = f.solve(&b);
+    let par = f.solve_parallel(&b, 4);
+    for (u, v) in seq.iter().zip(&par) {
+        assert!((u - v).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_lu() {
+    let a = convection_diffusion_3d(6, 6, 5, 0.4);
+    let analysis = Analysis::new(a.pattern(), FactoKind::Lu, &SolverOptions::default());
+    let f = analysis.factorize(&a, RuntimeKind::Dataflow, 2).unwrap();
+    let b: Vec<f64> = (0..a.nrows()).map(|i| (i % 13) as f64 - 6.0).collect();
+    let seq = f.solve(&b);
+    let par = f.solve_parallel(&b, 4);
+    for (u, v) in seq.iter().zip(&par) {
+        assert!((u - v).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn parallel_multirhs_complex() {
+    let a = helmholtz_3d(6, 5, 5, 1.2, 0.5);
+    let n = a.nrows();
+    let analysis = Analysis::new(a.pattern(), FactoKind::Ldlt, &SolverOptions::default());
+    let f = analysis.factorize(&a, RuntimeKind::Native, 2).unwrap();
+    let nrhs = 3;
+    let b: Vec<C64> = (0..n * nrhs)
+        .map(|i| C64::new((i % 5) as f64 - 2.0, (i % 3) as f64))
+        .collect();
+    let seq = f.solve_many(&b, nrhs);
+    let par = f.solve_parallel_many(&b, nrhs, 4);
+    for (u, v) in seq.iter().zip(&par) {
+        assert!((*u - *v).modulus() < 1e-10);
+    }
+}

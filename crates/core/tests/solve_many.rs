@@ -1,0 +1,73 @@
+//! Blocked multi-right-hand-side solves.
+
+use dagfact_core::{Analysis, RuntimeKind, SolverOptions};
+use dagfact_kernels::C64;
+use dagfact_sparse::gen::{convection_diffusion_3d, grid_laplacian_3d, helmholtz_3d};
+use dagfact_symbolic::FactoKind;
+
+#[test]
+fn solve_many_matches_repeated_single_solves() {
+    let a = grid_laplacian_3d(8, 8, 8);
+    let n = a.nrows();
+    let analysis = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+    let f = analysis.factorize(&a, RuntimeKind::Native, 2).unwrap();
+    let nrhs = 5;
+    let b: Vec<f64> = (0..n * nrhs)
+        .map(|i| ((i * 19 + 3) % 31) as f64 / 7.0 - 2.0)
+        .collect();
+    let blocked = f.solve_many(&b, nrhs);
+    for r in 0..nrhs {
+        let single = f.solve(&b[r * n..(r + 1) * n]);
+        for (u, v) in blocked[r * n..(r + 1) * n].iter().zip(&single) {
+            assert!((u - v).abs() < 1e-12, "column {r}");
+        }
+    }
+}
+
+#[test]
+fn solve_many_lu_residuals() {
+    let a = convection_diffusion_3d(6, 6, 5, 0.4);
+    let n = a.nrows();
+    let analysis = Analysis::new(a.pattern(), FactoKind::Lu, &SolverOptions::default());
+    let f = analysis.factorize(&a, RuntimeKind::Ptg, 2).unwrap();
+    let nrhs = 3;
+    let b: Vec<f64> = (0..n * nrhs).map(|i| ((i % 11) as f64) - 5.0).collect();
+    let x = f.solve_many(&b, nrhs);
+    for r in 0..nrhs {
+        let mut ax = vec![0.0; n];
+        a.spmv(&x[r * n..(r + 1) * n], &mut ax);
+        for (l, rr) in ax.iter().zip(&b[r * n..(r + 1) * n]) {
+            assert!((l - rr).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn solve_many_complex_ldlt() {
+    let a = helmholtz_3d(6, 5, 4, 1.5, 0.7);
+    let n = a.nrows();
+    let analysis = Analysis::new(a.pattern(), FactoKind::Ldlt, &SolverOptions::default());
+    let f = analysis.factorize(&a, RuntimeKind::Dataflow, 2).unwrap();
+    let nrhs = 4;
+    let b: Vec<C64> = (0..n * nrhs)
+        .map(|i| C64::new((i % 7) as f64 - 3.0, (i % 5) as f64))
+        .collect();
+    let x = f.solve_many(&b, nrhs);
+    for r in 0..nrhs {
+        let mut ax = vec![C64::new(0.0, 0.0); n];
+        a.spmv(&x[r * n..(r + 1) * n], &mut ax);
+        for (l, rr) in ax.iter().zip(&b[r * n..(r + 1) * n]) {
+            assert!((*l - *rr).norm_sqr().sqrt() < 1e-9);
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "nrhs columns")]
+fn solve_many_rejects_wrong_length() {
+    let a = grid_laplacian_3d(4, 4, 4);
+    let analysis = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+    let f = analysis.factorize(&a, RuntimeKind::Native, 1).unwrap();
+    let b = vec![1.0; a.nrows() * 2 - 1];
+    let _ = f.solve_many(&b, 2);
+}

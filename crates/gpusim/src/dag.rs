@@ -1,0 +1,197 @@
+//! Task-DAG description consumed by the simulator.
+//!
+//! `dagfact-core` lowers an analyzed factorization into this form; the
+//! simulator itself is solver-agnostic (any DAG with flop counts, data
+//! footprints and GEMM-like shapes works, which the unit tests exploit).
+
+/// Identifier of a task in a [`SimDag`].
+pub type TaskId = usize;
+
+/// Identifier of a datum (panel) in a [`SimDag`].
+pub type DataId = usize;
+
+/// Shape information used by the kernel performance models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskShape {
+    /// Panel factorization + triangular solve: `width` columns over a
+    /// total panel height `height`. Never GPU-offloaded (paper §V-B: "we
+    /// decide not to offload the tasks that factorize and update the panel
+    /// […] due to the limited computational load").
+    Panel {
+        /// Panel width (columns).
+        width: usize,
+        /// Stored rows of the panel.
+        height: usize,
+    },
+    /// A sparse GEMM update: `C[m×n] -= A₁[m×k]·A₂[n×k]ᵀ` scattered into a
+    /// destination panel whose stored height is `target_height` (the
+    /// taller the destination relative to `m`, the worse the scatter
+    /// kernel performs — Figure 3).
+    Update {
+        /// Rows of the contribution.
+        m: usize,
+        /// Columns of the contribution.
+        n: usize,
+        /// Panel width (inner dimension).
+        k: usize,
+        /// Stored height of the destination panel.
+        target_height: usize,
+        /// LDLᵀ update (`C -= L·D·Lᵀ`): the GPU kernel variant costs ≈5%
+        /// (§V-B).
+        ldlt: bool,
+    },
+}
+
+/// One task of the simulated DAG.
+#[derive(Debug, Clone)]
+pub struct SimTask {
+    /// Kernel shape (drives the performance models).
+    pub shape: TaskShape,
+    /// Flop count (numerator of every GFlop/s figure).
+    pub flops: f64,
+    /// Data read by the task.
+    pub reads: Vec<DataId>,
+    /// Datum written (read-modify-write) by the task.
+    pub writes: DataId,
+    /// May this task run on a GPU? (update tasks only, set by the solver).
+    pub gpu_eligible: bool,
+    /// Successor tasks.
+    pub succs: Vec<TaskId>,
+    /// Number of predecessors.
+    pub npred: u32,
+    /// Critical-path priority (higher = more urgent).
+    pub priority: f64,
+    /// Static owner (CPU worker) for the native policy; ignored by the
+    /// dynamic policies.
+    pub static_owner: usize,
+    /// CPU kernel-efficiency multiplier (≥ 1): execution takes
+    /// `flops/rate × multiplier`. Models per-runtime kernel differences —
+    /// e.g. the generic runtimes' per-update `D·Lᵀ` recomputation on LDLᵀ
+    /// problems (§V-A) — without distorting the useful-flop accounting.
+    pub cpu_multiplier: f64,
+}
+
+/// A datum (panel) with its memory footprint.
+#[derive(Debug, Clone, Copy)]
+pub struct SimData {
+    /// Size in bytes (drives PCIe transfer times and the CPU cache-reuse
+    /// penalty).
+    pub bytes: f64,
+}
+
+/// A complete simulation input.
+#[derive(Debug, Clone, Default)]
+pub struct SimDag {
+    /// Tasks, topologically consistent (`succs` may only point forward or
+    /// backward, but the `npred` counts must match).
+    pub tasks: Vec<SimTask>,
+    /// Data registry.
+    pub data: Vec<SimData>,
+}
+
+impl SimDag {
+    /// Total flops of the DAG.
+    pub fn total_flops(&self) -> f64 {
+        self.tasks.iter().map(|t| t.flops).sum()
+    }
+
+    /// Validate structural invariants (predecessor counts consistent with
+    /// successor lists, data ids in range). Used by tests and debug
+    /// builds.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.tasks.len();
+        let mut npred = vec![0u32; n];
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.writes >= self.data.len() {
+                return Err(format!("task {i} writes unknown datum {}", t.writes));
+            }
+            for &d in &t.reads {
+                if d >= self.data.len() {
+                    return Err(format!("task {i} reads unknown datum {d}"));
+                }
+            }
+            for &s in &t.succs {
+                if s >= n {
+                    return Err(format!("task {i} has out-of-range successor {s}"));
+                }
+                npred[s] += 1;
+            }
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if npred[i] != t.npred {
+                return Err(format!(
+                    "task {i}: npred {} but {} incoming edges",
+                    t.npred, npred[i]
+                ));
+            }
+        }
+        // Roots must exist unless the DAG is empty (cycles would deadlock
+        // the event loop).
+        if n > 0 && !self.tasks.iter().any(|t| t.npred == 0) {
+            return Err("no root task (cycle?)".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_task(succs: Vec<TaskId>, npred: u32) -> SimTask {
+        SimTask {
+            shape: TaskShape::Panel {
+                width: 8,
+                height: 8,
+            },
+            flops: 1e6,
+            reads: vec![],
+            writes: 0,
+            gpu_eligible: false,
+            succs,
+            npred,
+            priority: 0.0,
+            static_owner: 0,
+            cpu_multiplier: 1.0,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_simple_chain() {
+        let dag = SimDag {
+            tasks: vec![tiny_task(vec![1], 0), tiny_task(vec![], 1)],
+            data: vec![SimData { bytes: 100.0 }],
+        };
+        dag.validate().unwrap();
+        assert_eq!(dag.total_flops(), 2e6);
+    }
+
+    #[test]
+    fn validate_rejects_bad_npred() {
+        let dag = SimDag {
+            tasks: vec![tiny_task(vec![1], 0), tiny_task(vec![], 2)],
+            data: vec![SimData { bytes: 100.0 }],
+        };
+        assert!(dag.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_data() {
+        let mut t = tiny_task(vec![], 0);
+        t.writes = 5;
+        let dag = SimDag {
+            tasks: vec![t],
+            data: vec![SimData { bytes: 1.0 }],
+        };
+        assert!(dag.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_rootless_cycle() {
+        let dag = SimDag {
+            tasks: vec![tiny_task(vec![1], 1), tiny_task(vec![0], 1)],
+            data: vec![SimData { bytes: 1.0 }],
+        };
+        assert!(dag.validate().is_err());
+    }
+}

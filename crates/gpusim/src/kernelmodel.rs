@@ -1,0 +1,266 @@
+//! GPU kernel performance models — the three families of Figure 3.
+//!
+//! The paper benchmarks `C = C − A·Bᵀ` with `N = K = 128` and `M` swept to
+//! 10000, for: the cuBLAS DGEMM, the auto-tuned ASTRA kernel (~15% below
+//! cuBLAS, tuned on square matrices), and the paper's *sparse* adaptation
+//! of ASTRA (textures disabled: −5%; scatter into a gappy destination
+//! panel: throughput degrades as the destination grows taller than the
+//! contribution). The LDLᵀ variant (`C −= L·D·Lᵀ`) costs another 5%.
+//!
+//! The model is a saturating-throughput curve in the row count `M` (small
+//! kernels cannot fill the device — the reason "one stream always gives
+//! the worst performance" and extra streams pay off, §V-B), scaled by the
+//! per-family factors above.
+
+use crate::platform::GpuModel;
+
+/// Which GPU GEMM implementation a kernel call uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuKernelKind {
+    /// Vendor cuBLAS (dense, closed source — the paper's reference).
+    CublasLike,
+    /// ASTRA auto-tuned dense kernel (−15% vs. cuBLAS off-square).
+    AstraLike,
+    /// ASTRA with textures disabled for multi-stream compatibility (−5%).
+    AstraNoTex,
+    /// The paper's sparse scatter kernel (no-tex ASTRA + gap penalty).
+    Sparse {
+        /// Stored height of the destination panel (≥ m).
+        target_height: usize,
+        /// LDLᵀ variant (extra D scaling): −5%.
+        ldlt: bool,
+    },
+}
+
+/// Single-kernel sustained throughput (GFlop/s) of a `M×N×K` GEMM-like
+/// call when alone on the device. Multi-kernel sharing is handled by the
+/// engine's fluid model on top of this.
+pub fn kernel_rate(gpu: &GpuModel, kind: GpuKernelKind, m: usize, n: usize, k: usize) -> f64 {
+    // Occupancy: a kernel with few rows cannot fill the SMs. N and K also
+    // matter but the paper's sweep fixes N=K=128; we fold their effect
+    // into an effective size so other shapes stay sane.
+    let eff_rows = m as f64 * ((n.min(k) as f64 / 128.0).min(1.0)).max(0.25);
+    let occupancy = eff_rows / (eff_rows + gpu.m_half);
+    kernel_ceiling(gpu, kind, m) * occupancy
+}
+
+/// Device-saturated throughput ceiling of a kernel family on this
+/// workload. No combination of concurrent kernels exceeds it — "this peak
+/// is never reached with the particular configuration case studied here"
+/// (§V-B): the non-square N=K=128 sweep tops out ≈5% below the
+/// square-matrix cuBLAS peak.
+pub fn kernel_ceiling(gpu: &GpuModel, kind: GpuKernelKind, m: usize) -> f64 {
+    let base = gpu.peak_gflops * 0.95;
+    match kind {
+        GpuKernelKind::CublasLike => base,
+        GpuKernelKind::AstraLike => base * 0.85,
+        GpuKernelKind::AstraNoTex => base * 0.85 * 0.95,
+        GpuKernelKind::Sparse {
+            target_height,
+            ldlt,
+        } => {
+            let ratio = (target_height.max(m) as f64) / (m.max(1) as f64);
+            let scatter = 1.0 / (1.0 + gpu.scatter_beta * (ratio - 1.0));
+            let ldlt_factor = if ldlt { 0.95 } else { 1.0 };
+            base * 0.85 * 0.95 * scatter * ldlt_factor
+        }
+    }
+}
+
+/// Wall-clock duration of a single kernel call alone on the device.
+pub fn kernel_time(gpu: &GpuModel, kind: GpuKernelKind, m: usize, n: usize, k: usize, flops: f64) -> f64 {
+    gpu.launch_overhead + flops / (kernel_rate(gpu, kind, m, n, k) * 1e9)
+}
+
+/// Aggregate GFlop/s of `ncalls` identical kernels issued round-robin over
+/// `streams` CUDA streams — the exact experiment of the paper's Figure 3
+/// ("the 100 calls made in the experiments are distributed in a
+/// round-robin manner over the available streams").
+///
+/// Concurrent kernels share the device under the fluid model: each runs at
+/// `alone_rate · min(1, peak/Σ alone_rates)`.
+pub fn stream_bench_gflops(
+    gpu: &GpuModel,
+    kind: GpuKernelKind,
+    m: usize,
+    n: usize,
+    k: usize,
+    ncalls: usize,
+    streams: usize,
+) -> f64 {
+    assert!(streams >= 1 && ncalls >= 1);
+    let flops = 2.0 * (m * n * k) as f64;
+    let alone = kernel_rate(gpu, kind, m, n, k);
+    let cap = kernel_ceiling(gpu, kind, m);
+    // Each stream serializes its own calls; across streams the device is
+    // shared. With identical kernels the fluid solution is exact:
+    // whenever `c` kernels are active each progresses at alone·share(c).
+    let per_call_work = flops + gpu.launch_overhead * alone * 1e9;
+    let mut remaining: Vec<usize> = (0..streams)
+        .map(|s| ncalls / streams + usize::from(s < ncalls % streams))
+        .collect();
+    let mut inflight: Vec<f64> = remaining
+        .iter()
+        .map(|&r| if r > 0 { per_call_work } else { 0.0 })
+        .collect();
+    for r in &mut remaining {
+        if *r > 0 {
+            *r -= 1;
+        }
+    }
+    let mut t = 0.0;
+    loop {
+        let active: Vec<usize> = (0..streams).filter(|&s| inflight[s] > 0.0).collect();
+        if active.is_empty() {
+            break;
+        }
+        let share = (cap / (alone * active.len() as f64)).min(1.0);
+        let rate = alone * share * 1e9;
+        // Advance until the smallest in-flight kernel finishes.
+        let dt = active
+            .iter()
+            .map(|&s| inflight[s] / rate)
+            .fold(f64::INFINITY, f64::min);
+        t += dt;
+        for &s in &active {
+            inflight[s] -= rate * dt;
+            if inflight[s] <= 1e-6 {
+                inflight[s] = if remaining[s] > 0 {
+                    remaining[s] -= 1;
+                    per_call_work
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+    ncalls as f64 * flops / t / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::GpuModel;
+
+    fn gpu() -> GpuModel {
+        GpuModel::m2070()
+    }
+
+    fn gflops(kind: GpuKernelKind, m: usize) -> f64 {
+        // The paper's Figure 3 workload: C -= A·Bᵀ, N = K = 128.
+        let flops = 2.0 * m as f64 * 128.0 * 128.0;
+        let t = kernel_time(&gpu(), kind, m, 128, 128, flops) - gpu().launch_overhead;
+        flops / t / 1e9
+    }
+
+    #[test]
+    fn cublas_curve_matches_figure3_shape() {
+        // Small M: well under 100 GFlop/s; large M: approaches but never
+        // exceeds the 300 GFlop/s peak line.
+        assert!(gflops(GpuKernelKind::CublasLike, 128) < 100.0);
+        let big = gflops(GpuKernelKind::CublasLike, 10_000);
+        assert!(big > 250.0 && big < 300.0, "got {big}");
+        // Monotone in M.
+        let mut prev = 0.0;
+        for m in [64, 128, 256, 512, 1024, 2048, 4096, 8192] {
+            let g = gflops(GpuKernelKind::CublasLike, m);
+            assert!(g > prev);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn astra_loses_about_15_percent() {
+        for m in [256, 1024, 8192] {
+            let c = gflops(GpuKernelKind::CublasLike, m);
+            let a = gflops(GpuKernelKind::AstraLike, m);
+            assert!((a / c - 0.85).abs() < 1e-9);
+            let nt = gflops(GpuKernelKind::AstraNoTex, m);
+            assert!((nt / a - 0.95).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_kernel_degrades_with_taller_destination() {
+        // "the taller the panel, the lower the performance" (§V-B). The
+        // paper's experiment uses C twice as tall as A.
+        let m = 2048;
+        let flat = gflops(
+            GpuKernelKind::Sparse {
+                target_height: m,
+                ldlt: false,
+            },
+            m,
+        );
+        let double = gflops(
+            GpuKernelKind::Sparse {
+                target_height: 2 * m,
+                ldlt: false,
+            },
+            m,
+        );
+        let quad = gflops(
+            GpuKernelKind::Sparse {
+                target_height: 4 * m,
+                ldlt: false,
+            },
+            m,
+        );
+        assert!(flat > double && double > quad);
+        // With no gaps the sparse kernel equals no-tex ASTRA.
+        assert!((flat - gflops(GpuKernelKind::AstraNoTex, m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ldlt_variant_costs_5_percent() {
+        let m = 1024;
+        let llt = gflops(
+            GpuKernelKind::Sparse {
+                target_height: 2 * m,
+                ldlt: false,
+            },
+            m,
+        );
+        let ldlt = gflops(
+            GpuKernelKind::Sparse {
+                target_height: 2 * m,
+                ldlt: true,
+            },
+            m,
+        );
+        assert!((ldlt / llt - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_bench_reproduces_figure3_stream_effects() {
+        // "One stream always gives the worst performance. Adding a second
+        // stream increases the performance of all implementations and
+        // especially for small cases" (§V-B).
+        for m in [128usize, 512, 1000] {
+            let s1 = stream_bench_gflops(&gpu(), GpuKernelKind::CublasLike, m, 128, 128, 100, 1);
+            let s2 = stream_bench_gflops(&gpu(), GpuKernelKind::CublasLike, m, 128, 128, 100, 2);
+            let s3 = stream_bench_gflops(&gpu(), GpuKernelKind::CublasLike, m, 128, 128, 100, 3);
+            assert!(s2 > s1 * 1.3, "m={m}: 2 streams {s2} vs 1 stream {s1}");
+            // "The third one is an improvement for matrices with M smaller
+            // than 1000, and is similar to two streams over 1000": two
+            // streams may already saturate the device for mid-size M.
+            assert!(s3 >= s2 * 0.98, "m={m}: s1={s1} s2={s2} s3={s3}"); // ragged 34/33/33 tail
+            if m < 256 {
+                assert!(s3 > s2 * 1.2, "m={m}: third stream should help small kernels (s2={s2} s3={s3})");
+            }
+        }
+        // Over M ≈ 1000·m_half the streams converge: the device is full.
+        let big1 = stream_bench_gflops(&gpu(), GpuKernelKind::CublasLike, 10_000, 128, 128, 100, 1);
+        let big3 = stream_bench_gflops(&gpu(), GpuKernelKind::CublasLike, 10_000, 128, 128, 100, 3);
+        assert!(big3 < big1 * 1.15, "streams should converge for large M");
+        // Never exceeding peak.
+        assert!(big3 <= gpu().peak_gflops + 1e-9);
+    }
+
+    #[test]
+    fn narrow_inner_dimensions_reduce_throughput() {
+        let wide = kernel_rate(&gpu(), GpuKernelKind::CublasLike, 2048, 128, 128);
+        let narrow = kernel_rate(&gpu(), GpuKernelKind::CublasLike, 2048, 16, 16);
+        assert!(narrow < wide);
+    }
+}

@@ -1,0 +1,182 @@
+//! Machine description: CPU cores, GPUs, PCIe links, scheduler costs.
+//!
+//! [`Platform::mirage`] reproduces the paper's evaluation node: "two
+//! hexa-core Westmere Xeon X5650 (2.67 GHz), 32 GB of memory and 3 Tesla
+//! M2070 GPUs" (§V), with performance constants calibrated against the
+//! paper's Figure 3 (kernel curves) and the per-core DGEMM throughput of
+//! the Westmere generation.
+
+/// CPU core performance model.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModel {
+    /// Peak double-precision GFlop/s of one core (Westmere: 2.67 GHz × 4
+    /// flops/cycle ≈ 10.7).
+    pub peak_gflops: f64,
+    /// Half-saturation block size of the roofline-flavoured efficiency
+    /// curve `eff(b) = b / (b + half_size)`: small panels run far below
+    /// peak.
+    pub half_size: f64,
+    /// Ceiling of the efficiency curve (vendor BLAS on Westmere sustains
+    /// ~85-90% of peak on large tiles).
+    pub max_efficiency: f64,
+    /// Effective bandwidth (GB/s) at which a core re-reads data written by
+    /// another core (the cache-reuse penalty; local data is free).
+    pub cold_read_gbps: f64,
+}
+
+/// GPU device performance model (see [`crate::kernelmodel`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GpuModel {
+    /// Dense cuBLAS DGEMM ceiling (M2070 ≈ 300 GFlop/s, the "cuBLAS peak"
+    /// line of Figure 3).
+    pub peak_gflops: f64,
+    /// Half-saturation value of M (at N=K=128) for the single-kernel
+    /// throughput curve.
+    pub m_half: f64,
+    /// Fixed per-kernel launch overhead (seconds).
+    pub launch_overhead: f64,
+    /// Scatter penalty coefficient of the sparse kernel (Figure 3's
+    /// "Sparse" curves): rate ÷= 1 + β·(target_height/m − 1).
+    pub scatter_beta: f64,
+}
+
+/// PCIe link model (one h2d + one d2h lane per GPU).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkModel {
+    /// Sustained bandwidth in GB/s (PCIe 2.0 x16 ≈ 6 effective).
+    pub bandwidth_gbps: f64,
+    /// Per-transfer latency in seconds.
+    pub latency: f64,
+}
+
+/// Per-policy scheduling overheads (seconds per task) — the runtime costs
+/// the paper attributes to each system on multicore runs (§V-A).
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerCosts {
+    /// Native static scheduler: queue pop of a precomputed list.
+    pub native_per_task: f64,
+    /// StarPU-like centralized queue: base cost per pop…
+    pub dataflow_per_task: f64,
+    /// …plus contention that grows with the worker count.
+    pub dataflow_contention: f64,
+    /// PaRSEC-like local release: successor evaluation per task.
+    pub ptg_per_task: f64,
+}
+
+impl Default for SchedulerCosts {
+    fn default() -> Self {
+        SchedulerCosts {
+            native_per_task: 0.3e-6,
+            dataflow_per_task: 1.8e-6,
+            dataflow_contention: 0.25e-6,
+            ptg_per_task: 0.8e-6,
+        }
+    }
+}
+
+/// A complete simulated machine.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Number of CPU cores.
+    pub cores: usize,
+    /// Core model.
+    pub cpu: CpuModel,
+    /// GPUs (empty for CPU-only studies).
+    pub gpus: Vec<GpuModel>,
+    /// PCIe link per GPU.
+    pub link: LinkModel,
+    /// Scheduler overhead constants.
+    pub sched: SchedulerCosts,
+}
+
+impl Platform {
+    /// The paper's Mirage node with `cores` CPU cores and `ngpus` Tesla
+    /// M2070s (cores ∈ 1..=12, ngpus ∈ 0..=3 in the paper's experiments).
+    pub fn mirage(cores: usize, ngpus: usize) -> Platform {
+        assert!(cores >= 1);
+        Platform {
+            cores,
+            cpu: CpuModel {
+                peak_gflops: 10.7,
+                half_size: 24.0,
+                max_efficiency: 0.88,
+                cold_read_gbps: 5.0,
+            },
+            gpus: vec![GpuModel::m2070(); ngpus],
+            link: LinkModel {
+                bandwidth_gbps: 6.0,
+                latency: 15e-6,
+            },
+            sched: SchedulerCosts::default(),
+        }
+    }
+}
+
+impl GpuModel {
+    /// Tesla M2070 (Fermi) constants calibrated on Figure 3.
+    pub fn m2070() -> GpuModel {
+        GpuModel {
+            peak_gflops: 300.0,
+            m_half: 450.0,
+            launch_overhead: 8e-6,
+            scatter_beta: 0.35,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Sustained GFlop/s of one core on a kernel whose smallest blocking
+    /// dimension is `b`.
+    pub fn rate(&self, b: usize) -> f64 {
+        let b = b as f64;
+        self.peak_gflops * self.max_efficiency * (b / (b + self.half_size))
+    }
+}
+
+impl LinkModel {
+    /// Transfer time for `bytes`.
+    pub fn time(&self, bytes: f64) -> f64 {
+        self.latency + bytes / (self.bandwidth_gbps * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirage_matches_paper_inventory() {
+        let p = Platform::mirage(12, 3);
+        assert_eq!(p.cores, 12);
+        assert_eq!(p.gpus.len(), 3);
+        // 12 Westmere cores peak just above 100 GFlop/s DP.
+        assert!((p.cpu.peak_gflops * 12.0 - 128.4).abs() < 1.0);
+        // A GPU is worth several cores on large GEMMs.
+        assert!(p.gpus[0].peak_gflops > 20.0 * p.cpu.rate(64));
+    }
+
+    #[test]
+    fn cpu_rate_curve_is_monotone_and_bounded() {
+        let c = Platform::mirage(1, 0).cpu;
+        let mut prev = 0.0;
+        for b in [1usize, 8, 16, 32, 64, 128, 256, 1024] {
+            let r = c.rate(b);
+            assert!(r > prev);
+            assert!(r <= c.peak_gflops * c.max_efficiency);
+            prev = r;
+        }
+        // Large blocks approach the sustained ceiling.
+        assert!(c.rate(2048) > 0.95 * c.peak_gflops * c.max_efficiency);
+    }
+
+    #[test]
+    fn link_time_includes_latency() {
+        let l = LinkModel {
+            bandwidth_gbps: 6.0,
+            latency: 15e-6,
+        };
+        assert!((l.time(0.0) - 15e-6).abs() < 1e-12);
+        // 6 GB at 6 GB/s = 1 s (+latency).
+        assert!((l.time(6e9) - 1.0 - 15e-6).abs() < 1e-9);
+    }
+}

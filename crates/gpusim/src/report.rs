@@ -1,0 +1,42 @@
+//! Simulation results.
+
+/// Outcome of one simulated factorization run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// End-to-end simulated time (seconds), including the final
+    /// write-back of GPU-resident panels.
+    pub makespan: f64,
+    /// Total flops of the DAG.
+    pub total_flops: f64,
+    /// Busy seconds per CPU worker.
+    pub cpu_busy: Vec<f64>,
+    /// Busy seconds (compute) per GPU.
+    pub gpu_busy: Vec<f64>,
+    /// Bytes moved host→device.
+    pub bytes_h2d: f64,
+    /// Bytes moved device→host.
+    pub bytes_d2h: f64,
+    /// Number of tasks executed on GPUs.
+    pub tasks_on_gpu: usize,
+    /// Number of tasks executed on CPU cores.
+    pub tasks_on_cpu: usize,
+}
+
+impl SimReport {
+    /// Aggregate performance in GFlop/s — the Y axis of Figures 2 and 4.
+    pub fn gflops(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            self.total_flops / self.makespan / 1e9
+        }
+    }
+
+    /// Fraction of CPU capacity actually used.
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.cpu_busy.is_empty() || self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.cpu_busy.iter().sum::<f64>() / (self.makespan * self.cpu_busy.len() as f64)
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests of the discrete-event engine on random layered DAGs:
+//! for any valid input, any policy and any platform, the simulator must
+//! terminate, execute every task exactly once, stay deterministic, and
+//! respect basic physical bounds.
+
+use dagfact_gpusim::{simulate, Platform, SimDag, SimData, SimPolicy, SimTask, TaskShape};
+use proptest::prelude::*;
+
+/// Random layered DAG: tasks in layer ℓ may depend only on layer ℓ−1.
+fn arb_dag() -> impl Strategy<Value = SimDag> {
+    (2usize..6, 1usize..12, any::<u64>()).prop_map(|(layers, width, seed)| {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let ntasks = layers * width;
+        let mut tasks: Vec<SimTask> = Vec::with_capacity(ntasks);
+        for l in 0..layers {
+            for w in 0..width {
+                let id = l * width + w;
+                let m = 32 + (next() % 512) as usize;
+                let update = next() % 2 == 0;
+                let shape = if update {
+                    TaskShape::Update {
+                        m,
+                        n: 64,
+                        k: 64,
+                        target_height: m + (next() % 256) as usize,
+                        ldlt: next() % 4 == 0,
+                    }
+                } else {
+                    TaskShape::Panel {
+                        width: 16 + (next() % 64) as usize,
+                        height: m,
+                    }
+                };
+                tasks.push(SimTask {
+                    shape,
+                    flops: 1e4 + (next() % 100_000) as f64 * 100.0,
+                    reads: vec![(next() as usize) % (ntasks + 1)],
+                    writes: id % (ntasks + 1),
+                    gpu_eligible: update,
+                    succs: vec![],
+                    npred: 0,
+                    priority: (next() % 100) as f64,
+                    static_owner: (next() as usize) % 8,
+                    cpu_multiplier: 1.0 + (next() % 3) as f64 * 0.1,
+                });
+                // Edges from the previous layer.
+                if l > 0 {
+                    let nedges = next() % 3;
+                    for _ in 0..nedges {
+                        let pred = (l - 1) * width + (next() as usize) % width;
+                        if !tasks[pred].succs.contains(&id) {
+                            tasks[pred].succs.push(id);
+                            tasks[id].npred += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let data = (0..ntasks + 1)
+            .map(|_| SimData {
+                bytes: 1e3 + (next() % 1_000_000) as f64,
+            })
+            .collect();
+        SimDag { tasks, data }
+    })
+}
+
+fn policies() -> Vec<SimPolicy> {
+    vec![
+        SimPolicy::NativeStatic,
+        SimPolicy::StarPuLike,
+        SimPolicy::ParsecLike { streams: 1 },
+        SimPolicy::ParsecLike { streams: 3 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_policy_terminates_and_accounts_all_tasks(
+        dag in arb_dag(),
+        cores in 1usize..13,
+        gpus in 0usize..4,
+    ) {
+        prop_assume!(dag.validate().is_ok());
+        let platform = Platform::mirage(cores, gpus);
+        for policy in policies() {
+            let r = simulate(&dag, &platform, policy);
+            prop_assert_eq!(
+                r.tasks_on_cpu + r.tasks_on_gpu,
+                dag.tasks.len(),
+                "{:?} lost tasks", policy
+            );
+            prop_assert!(r.makespan.is_finite() && r.makespan > 0.0);
+            // Native never offloads.
+            if policy == SimPolicy::NativeStatic {
+                prop_assert_eq!(r.tasks_on_gpu, 0);
+            }
+            // No GPUs → no transfers.
+            if gpus == 0 {
+                prop_assert_eq!(r.bytes_h2d, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_a_pure_function(dag in arb_dag(), gpus in 0usize..3) {
+        prop_assume!(dag.validate().is_ok());
+        let platform = Platform::mirage(6, gpus);
+        for policy in policies() {
+            let a = simulate(&dag, &platform, policy);
+            let b = simulate(&dag, &platform, policy);
+            prop_assert_eq!(a.makespan, b.makespan);
+            prop_assert_eq!(a.tasks_on_gpu, b.tasks_on_gpu);
+            prop_assert_eq!(a.bytes_h2d, b.bytes_h2d);
+            prop_assert_eq!(a.bytes_d2h, b.bytes_d2h);
+        }
+    }
+
+    #[test]
+    fn makespan_lower_bounded_by_ideal_compute(
+        dag in arb_dag(),
+        cores in 1usize..13,
+    ) {
+        prop_assume!(dag.validate().is_ok());
+        let platform = Platform::mirage(cores, 0);
+        // Nothing can beat all cores running flat-out at the efficiency
+        // ceiling with zero dependencies/overheads.
+        let ceiling = platform.cpu.peak_gflops * platform.cpu.max_efficiency * 1e9;
+        let ideal = dag.total_flops() / (ceiling * cores as f64);
+        for policy in policies() {
+            let r = simulate(&dag, &platform, policy);
+            prop_assert!(
+                r.makespan >= ideal * 0.999,
+                "{:?}: makespan {} below physical bound {}", policy, r.makespan, ideal
+            );
+        }
+    }
+}

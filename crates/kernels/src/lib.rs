@@ -1,0 +1,63 @@
+//! # dagfact-kernels
+//!
+//! Dense linear-algebra kernels used by the `dagfact` supernodal sparse
+//! direct solver. This crate is the Rust stand-in for the vendor BLAS/LAPACK
+//! (Intel MKL in the paper) plus the paper's custom *sparse* update kernels:
+//!
+//! * a [`Scalar`] abstraction covering IEEE `f64` ("D" problems) and
+//!   double-precision complex [`C64`] ("Z" problems), with the conventional
+//!   flop accounting used by the paper's GFlop/s figures,
+//! * column-major [`gemm()`](gemm::gemm), [`trsm()`](trsm::trsm) and the three diagonal-block
+//!   factorizations [`potrf()`](potrf::potrf) (Cholesky), [`ldlt()`](ldlt::ldlt) (LDLᵀ without pivoting)
+//!   and [`getrf()`](getrf::getrf) (LU with static pivoting),
+//! * the two *sparse GEMM* update variants described in §V-B of the paper:
+//!   [`update::update_via_buffer`] (compute into a contiguous scratch buffer
+//!   then scatter — the CPU/PaStiX strategy) and
+//!   [`update::update_scatter_direct`] (write straight into the gappy
+//!   destination panel — the strategy of the GPU kernel derived from ASTRA).
+//!
+//! All matrices are **column-major** with an explicit leading dimension,
+//! matching LAPACK conventions, so the kernels operate directly on the
+//! solver's compressed panel storage.
+
+pub mod gemm;
+pub mod getrf;
+pub mod ldlt;
+pub mod potrf;
+pub mod scalar;
+pub mod smallblas;
+pub mod trsm;
+pub mod update;
+
+pub use gemm::{gemm, Trans};
+pub use getrf::{getrf, StaticPivotStats};
+pub use ldlt::{ldlt, ldlt_apply_diag};
+pub use potrf::potrf;
+pub use scalar::{Scalar, C64};
+pub use trsm::{trsm, Diag, Side, Uplo};
+
+/// Error raised by the diagonal-block factorization kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// Cholesky hit a non-positive pivot: the (index, value) of the pivot.
+    NotPositiveDefinite { column: usize, pivot: f64 },
+    /// LDLᵀ or LU hit an exactly-zero pivot that static pivoting could not
+    /// repair (only possible when the static-pivot threshold is zero).
+    ZeroPivot { column: usize },
+}
+
+impl core::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KernelError::NotPositiveDefinite { column, pivot } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot:e} at column {column}"
+            ),
+            KernelError::ZeroPivot { column } => {
+                write!(f, "exactly zero pivot at column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}

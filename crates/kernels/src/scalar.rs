@@ -1,0 +1,393 @@
+//! Scalar abstraction over the arithmetic kinds of the paper's test set.
+//!
+//! The paper's nine matrices mix "D" (real double) and "Z" (double complex)
+//! problems (Table I). Every numeric kernel and the solver itself is generic
+//! over [`Scalar`], which is implemented for [`f64`] and the in-crate
+//! complex type [`C64`] (implemented here rather than pulling an external
+//! complex crate, per the project dependency policy).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A field scalar usable by the factorization kernels.
+///
+/// The trait deliberately exposes only what a static-pivoting supernodal
+/// factorization needs: ring/field operations, conjugation, a modulus for
+/// pivot magnitude checks, and flop-accounting constants matching the
+/// conventional "1 complex multiply = 6 flops, 1 complex add = 2 flops"
+/// counting used when papers report GFlop/s for Z problems.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialEq
+    + fmt::Debug
+    + fmt::Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Default
+    + 'static
+{
+    /// `true` for complex arithmetic ("Z"), `false` for real ("D").
+    const IS_COMPLEX: bool;
+    /// One-letter LAPACK-style precision tag: `"d"` or `"z"`.
+    const PREC: &'static str;
+    /// Flops charged per multiply (1 real, 6 complex).
+    const FLOPS_MUL: f64;
+    /// Flops charged per add (1 real, 2 complex).
+    const FLOPS_ADD: f64;
+
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Embed a real number.
+    fn from_f64(x: f64) -> Self;
+    /// Build a scalar from a `(re, im)` pair; the imaginary part is ignored
+    /// for real scalars.
+    fn from_parts(re: f64, im: f64) -> Self;
+    /// Real part.
+    fn re(self) -> f64;
+    /// Imaginary part (0 for real scalars).
+    fn im(self) -> f64;
+    /// Complex conjugate (identity for real scalars).
+    fn conj(self) -> Self;
+    /// Modulus |x| (absolute value for real scalars).
+    fn modulus(self) -> f64;
+    /// Multiplicative inverse.
+    fn inv(self) -> Self;
+    /// Scale by a real factor.
+    fn scale(self, s: f64) -> Self;
+    /// Square root (principal branch for complex).
+    fn sqrt(self) -> Self;
+    /// True when all components are finite.
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    const IS_COMPLEX: bool = false;
+    const PREC: &'static str = "d";
+    const FLOPS_MUL: f64 = 1.0;
+    const FLOPS_ADD: f64 = 1.0;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn from_parts(re: f64, _im: f64) -> Self {
+        re
+    }
+    #[inline(always)]
+    fn re(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn im(self) -> f64 {
+        0.0
+    }
+    #[inline(always)]
+    fn conj(self) -> Self {
+        self
+    }
+    #[inline(always)]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    #[inline(always)]
+    fn inv(self) -> Self {
+        1.0 / self
+    }
+    #[inline(always)]
+    fn scale(self, s: f64) -> Self {
+        self * s
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+/// Double-precision complex number (the "Z" arithmetic of Table I).
+///
+/// Layout-compatible with the conventional `[re, im]` pair of C99 `double
+/// complex` / Fortran `COMPLEX*16`.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Create a complex number from its parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The imaginary unit `i`.
+    pub const I: C64 = C64::new(0.0, 1.0);
+
+    /// Squared modulus |z|².
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+impl Sub for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+impl Mul for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+impl Div for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn div(self, o: C64) -> C64 {
+        // Smith's algorithm avoids overflow for well-scaled operands and is
+        // plenty for factorization pivots.
+        if o.re.abs() >= o.im.abs() {
+            let r = o.im / o.re;
+            let d = o.re + o.im * r;
+            C64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = o.re / o.im;
+            let d = o.re * r + o.im;
+            C64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+impl Neg for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+impl AddAssign for C64 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+impl SubAssign for C64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: C64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+impl MulAssign for C64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, o: C64) {
+        *self = *self * o;
+    }
+}
+impl DivAssign for C64 {
+    #[inline(always)]
+    fn div_assign(&mut self, o: C64) {
+        *self = *self / o;
+    }
+}
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::default(), |a, b| a + b)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Scalar for C64 {
+    const IS_COMPLEX: bool = true;
+    const PREC: &'static str = "z";
+    const FLOPS_MUL: f64 = 6.0;
+    const FLOPS_ADD: f64 = 2.0;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        C64::new(0.0, 0.0)
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        C64::new(1.0, 0.0)
+    }
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        C64::new(x, 0.0)
+    }
+    #[inline(always)]
+    fn from_parts(re: f64, im: f64) -> Self {
+        C64::new(re, im)
+    }
+    #[inline(always)]
+    fn re(self) -> f64 {
+        self.re
+    }
+    #[inline(always)]
+    fn im(self) -> f64 {
+        self.im
+    }
+    #[inline(always)]
+    fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+    #[inline(always)]
+    fn modulus(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+    #[inline(always)]
+    fn inv(self) -> Self {
+        C64::new(1.0, 0.0) / self
+    }
+    #[inline(always)]
+    fn scale(self, s: f64) -> Self {
+        C64::new(self.re * s, self.im * s)
+    }
+    fn sqrt(self) -> Self {
+        // Principal square root via the half-angle identities; numerically
+        // stable variant used by num-complex and libm.
+        if self.re == 0.0 && self.im == 0.0 {
+            return C64::new(0.0, 0.0);
+        }
+        let m = self.modulus();
+        let re = ((m + self.re) * 0.5).sqrt();
+        let im = ((m - self.re) * 0.5).sqrt();
+        if self.im >= 0.0 {
+            C64::new(re, im)
+        } else {
+            C64::new(re, -im)
+        }
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+/// Flop count of an `m x n x k` GEMM (`2mnk` real-equivalent operations for
+/// real scalars; complex counts each multiply as 6 and add as 2).
+pub fn gemm_flops<T: Scalar>(m: usize, n: usize, k: usize) -> f64 {
+    let muls = (m * n * k) as f64;
+    let adds = (m * n * k) as f64;
+    muls * T::FLOPS_MUL + adds * T::FLOPS_ADD
+}
+
+/// Flop count of a TRSM with an `n x n` triangle applied to `m` vectors.
+pub fn trsm_flops<T: Scalar>(n: usize, m: usize) -> f64 {
+    let ops = (n * n) as f64 * m as f64 / 2.0;
+    ops * (T::FLOPS_MUL + T::FLOPS_ADD)
+}
+
+/// Flop count of an `n x n` Cholesky / LDLᵀ / LU diagonal-block
+/// factorization (`n³/3` multiply-adds for Cholesky-like kernels, `2n³/3`
+/// for LU).
+pub fn facto_flops<T: Scalar>(n: usize, lu: bool) -> f64 {
+    let n3 = (n as f64).powi(3);
+    let muladds = if lu { 2.0 * n3 / 3.0 } else { n3 / 3.0 };
+    muladds * (T::FLOPS_MUL + T::FLOPS_ADD) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c64_field_ops() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-3.0, 0.5);
+        assert_eq!(a + b, C64::new(-2.0, 2.5));
+        assert_eq!(a - b, C64::new(4.0, 1.5));
+        assert_eq!(a * b, C64::new(-3.0 - 1.0, 0.5 - 6.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).modulus() < 1e-14);
+    }
+
+    #[test]
+    fn c64_inv_and_conj() {
+        let a = C64::new(3.0, -4.0);
+        assert!((a * a.inv() - C64::new(1.0, 0.0)).modulus() < 1e-15);
+        assert_eq!(a.conj(), C64::new(3.0, 4.0));
+        assert_eq!(a.modulus(), 5.0);
+    }
+
+    #[test]
+    fn c64_sqrt_roundtrip() {
+        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0), (-5.0, 12.0)] {
+            let z = C64::new(re, im);
+            let s = z.sqrt();
+            assert!((s * s - z).modulus() < 1e-12, "sqrt({z}) = {s}");
+            assert!(s.re >= 0.0, "principal branch");
+        }
+    }
+
+    #[test]
+    fn f64_scalar_impl() {
+        assert_eq!(<f64 as Scalar>::PREC, "d");
+        assert_eq!(2.0f64.conj(), 2.0);
+        assert_eq!((-2.0f64).modulus(), 2.0);
+        assert_eq!(4.0f64.inv(), 0.25);
+        assert!(Scalar::is_finite(1.0f64));
+        assert!(!Scalar::is_finite(f64::NAN));
+    }
+
+    #[test]
+    fn flop_accounting() {
+        // Real GEMM is the textbook 2mnk.
+        assert_eq!(gemm_flops::<f64>(10, 20, 30), 2.0 * 6000.0);
+        // Complex GEMM charges 8 flops per multiply-add pair.
+        assert_eq!(gemm_flops::<C64>(10, 20, 30), 8.0 * 6000.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Property-based tests for the dense kernels: every optimized kernel must
+//! agree with its naive reference (or reconstruct its input) on random
+//! shapes, strides and values.
+
+use dagfact_kernels::gemm::{gemm, Trans};
+use dagfact_kernels::scalar::{Scalar, C64};
+use dagfact_kernels::smallblas::{naive_gemm, reconstruct_ldlt, reconstruct_llt, reconstruct_lu};
+use dagfact_kernels::trsm::{trsm, Diag, Side, Uplo};
+use dagfact_kernels::update::{update_scatter_direct, update_via_buffer, Scatter};
+use dagfact_kernels::{getrf, ldlt, potrf};
+use proptest::prelude::*;
+
+fn small_val() -> impl Strategy<Value = f64> {
+    (-100i32..=100).prop_map(|v| v as f64 / 50.0)
+}
+
+fn trans_strategy() -> impl Strategy<Value = Trans> {
+    prop_oneof![
+        Just(Trans::NoTrans),
+        Just(Trans::Trans),
+        Just(Trans::ConjTrans)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_matches_naive(
+        m in 1usize..12,
+        n in 1usize..12,
+        k in 0usize..12,
+        ta in trans_strategy(),
+        tb in trans_strategy(),
+        alpha in small_val(),
+        beta in small_val(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 200) as f64 / 100.0 - 1.0
+        };
+        let (ar, ac) = if ta == Trans::NoTrans { (m, k) } else { (k, m) };
+        let (br, bc) = if tb == Trans::NoTrans { (k, n) } else { (n, k) };
+        let lda = ar.max(1) + 2;
+        let ldb = br.max(1) + 1;
+        let ldc = m + 3;
+        let a: Vec<f64> = (0..lda * ac.max(1)).map(|_| next()).collect();
+        let b: Vec<f64> = (0..ldb * bc.max(1)).map(|_| next()).collect();
+        let c0: Vec<f64> = (0..ldc * n).map(|_| next()).collect();
+        let mut c = c0.clone();
+        let mut cref = c0;
+        gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c, ldc);
+        naive_gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut cref, ldc);
+        for (x, y) in c.iter().zip(cref.iter()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gemm_complex_matches_naive(
+        m in 1usize..8,
+        n in 1usize..8,
+        k in 0usize..8,
+        ta in trans_strategy(),
+        tb in trans_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            C64::new((s % 200) as f64 / 100.0 - 1.0, ((s >> 9) % 200) as f64 / 100.0 - 1.0)
+        };
+        let (ar, ac) = if ta == Trans::NoTrans { (m, k) } else { (k, m) };
+        let (br, bc) = if tb == Trans::NoTrans { (k, n) } else { (n, k) };
+        let lda = ar.max(1);
+        let ldb = br.max(1);
+        let a: Vec<C64> = (0..lda * ac.max(1)).map(|_| next()).collect();
+        let b: Vec<C64> = (0..ldb * bc.max(1)).map(|_| next()).collect();
+        let c0: Vec<C64> = (0..m * n).map(|_| next()).collect();
+        let alpha = C64::new(0.5, -0.25);
+        let beta = C64::new(-1.0, 0.75);
+        let mut c = c0.clone();
+        let mut cref = c0;
+        gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c, m);
+        naive_gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut cref, m);
+        for (x, y) in c.iter().zip(cref.iter()) {
+            prop_assert!((*x - *y).modulus() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn trsm_inverts_triangular_multiply(
+        m in 1usize..10,
+        n in 1usize..10,
+        lower in any::<bool>(),
+        left in any::<bool>(),
+        transposed in any::<bool>(),
+        unit in any::<bool>(),
+        seed in 0u64..1_000_000,
+    ) {
+        let side = if left { Side::Left } else { Side::Right };
+        let uplo = if lower { Uplo::Lower } else { Uplo::Upper };
+        let trans = if transposed { Trans::Trans } else { Trans::NoTrans };
+        let diag = if unit { Diag::Unit } else { Diag::NonUnit };
+        let k = if left { m } else { n };
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 200) as f64 / 100.0 - 1.0
+        };
+        // Well-conditioned triangle.
+        let mut t = vec![0.0f64; k * k];
+        for j in 0..k {
+            for i in 0..k {
+                let inside = if lower { i >= j } else { i <= j };
+                if inside {
+                    t[j * k + i] = if i == j { 3.0 + next().abs() } else { 0.25 * next() };
+                }
+            }
+        }
+        let x0: Vec<f64> = (0..m * n).map(|_| next()).collect();
+        // B = op(T)·X or X·op(T) computed densely, then solve back.
+        let mut full = vec![0.0f64; k * k];
+        for j in 0..k {
+            for i in 0..k {
+                let inside = if lower { i >= j } else { i <= j };
+                if inside {
+                    full[j * k + i] = if i == j && unit { 1.0 } else { t[j * k + i] };
+                }
+            }
+        }
+        let opt = if transposed {
+            let mut tr = vec![0.0; k * k];
+            for j in 0..k {
+                for i in 0..k {
+                    tr[j * k + i] = full[i * k + j];
+                }
+            }
+            tr
+        } else {
+            full
+        };
+        let mut b = vec![0.0f64; m * n];
+        match side {
+            Side::Left => naive_gemm(Trans::NoTrans, Trans::NoTrans, m, n, m, 1.0, &opt, m, &x0, m, 0.0, &mut b, m),
+            Side::Right => naive_gemm(Trans::NoTrans, Trans::NoTrans, m, n, n, 1.0, &x0, m, &opt, n, 0.0, &mut b, m),
+        }
+        trsm(side, uplo, trans, diag, m, n, &t, k, &mut b, m);
+        for (x, y) in b.iter().zip(x0.iter()) {
+            prop_assert!((x - y).abs() < 1e-8, "{side:?} {uplo:?} {trans:?} {diag:?}");
+        }
+    }
+
+    #[test]
+    fn potrf_roundtrip_random_spd(n in 1usize..24, seed in 0u64..1_000_000) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 200) as f64 / 100.0 - 1.0
+        };
+        let b: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let mut a = vec![0.0f64; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += b[k * n + i] * b[k * n + j];
+                }
+                a[j * n + i] = acc + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        let mut l = a.clone();
+        potrf(n, &mut l, n).unwrap();
+        let r = reconstruct_llt(n, &l, n);
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!((r[j * n + i] - a[j * n + i]).abs() < 1e-8 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn ldlt_roundtrip_random_indefinite(n in 1usize..20, seed in 0u64..1_000_000) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 200) as f64 / 100.0 - 1.0
+        };
+        let mut a = vec![0.0f64; n * n];
+        for j in 0..n {
+            for i in 0..=j {
+                let v = next() * 0.5;
+                a[j * n + i] = v;
+                a[i * n + j] = v;
+            }
+            a[j * n + j] = if j % 3 == 0 { -(n as f64) - 2.0 } else { n as f64 + 2.0 };
+        }
+        let a0 = a.clone();
+        let mut d = vec![0.0f64; n];
+        let repaired = ldlt(n, &mut a, n, &mut d, 0.0).unwrap();
+        prop_assert_eq!(repaired, 0);
+        let r = reconstruct_ldlt(n, &a, n, &d);
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!((r[j * n + i] - a0[j * n + i]).abs() < 1e-7 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn getrf_roundtrip_random_dominant(n in 1usize..20, seed in 0u64..1_000_000) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 200) as f64 / 100.0 - 1.0
+        };
+        let mut a: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        for j in 0..n {
+            a[j * n + j] = n as f64 + 1.5;
+        }
+        let a0 = a.clone();
+        getrf(n, &mut a, n, 0.0).unwrap();
+        let r = reconstruct_lu(n, &a, n);
+        for (x, y) in r.iter().zip(a0.iter()) {
+            prop_assert!((x - y).abs() < 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn update_variants_always_agree(
+        m in 1usize..10,
+        n in 1usize..8,
+        k in 1usize..8,
+        with_d in any::<bool>(),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 200) as f64 / 100.0 - 1.0
+        };
+        let a1: Vec<f64> = (0..k * m).map(|_| next()).collect();
+        let a2: Vec<f64> = (0..k * n).map(|_| next()).collect();
+        let d: Vec<f64> = (0..k).map(|_| next() + 2.0).collect();
+        let dref = with_d.then_some(d.as_slice());
+        // Random strictly-increasing row map into a taller panel.
+        let ldc = m + 5;
+        let mut row_map: Vec<usize> = (0..ldc).collect();
+        // Simple deterministic shuffle-select of m rows.
+        for i in 0..ldc {
+            let j = (seed as usize + i * 7) % ldc;
+            row_map.swap(i, j);
+        }
+        row_map.truncate(m);
+        row_map.sort_unstable();
+        let c0: Vec<f64> = (0..ldc * n).map(|_| next()).collect();
+        let scatter = Scatter { row_map: &row_map, col_offset: 0 };
+        let mut c1 = c0.clone();
+        let mut work = Vec::new();
+        update_via_buffer(m, n, k, -1.0, &a1, m, &a2, n, dref, &mut work, &mut c1, ldc, scatter);
+        let mut c2 = c0;
+        update_scatter_direct(m, n, k, -1.0, &a1, m, &a2, n, dref, &mut c2, ldc, scatter);
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+}

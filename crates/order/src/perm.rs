@@ -1,0 +1,166 @@
+//! Validated permutations.
+//!
+//! Convention throughout `dagfact`: `perm[old] = new` (scatter form) and
+//! `iperm[new] = old` (gather form), matching
+//! [`SparsityPattern::permute_symmetric`](dagfact_sparse::SparsityPattern::permute_symmetric).
+
+/// A permutation of `0..n` kept simultaneously in scatter (`perm[old] =
+/// new`) and gather (`iperm[new] = old`) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    perm: Vec<usize>,
+    iperm: Vec<usize>,
+}
+
+impl Permutation {
+    /// Identity permutation of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let perm: Vec<usize> = (0..n).collect();
+        Permutation {
+            iperm: perm.clone(),
+            perm,
+        }
+    }
+
+    /// Build from scatter form `perm[old] = new`. Panics if `perm` is not a
+    /// permutation of `0..n`.
+    pub fn from_perm(perm: Vec<usize>) -> Self {
+        let n = perm.len();
+        let mut iperm = vec![usize::MAX; n];
+        for (old, &new) in perm.iter().enumerate() {
+            assert!(new < n, "perm value {new} out of range");
+            assert!(iperm[new] == usize::MAX, "perm maps two indices to {new}");
+            iperm[new] = old;
+        }
+        Permutation { perm, iperm }
+    }
+
+    /// Build from gather form `iperm[new] = old` (i.e. the elimination
+    /// order: `iperm[k]` is eliminated `k`-th).
+    pub fn from_iperm(iperm: Vec<usize>) -> Self {
+        let n = iperm.len();
+        let mut perm = vec![usize::MAX; n];
+        for (new, &old) in iperm.iter().enumerate() {
+            assert!(old < n, "iperm value {old} out of range");
+            assert!(perm[old] == usize::MAX, "iperm lists {old} twice");
+            perm[old] = new;
+        }
+        Permutation { perm, iperm }
+    }
+
+    /// Size of the permuted index set.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// `true` for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Scatter form: `perm()[old] = new`.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Gather form: `iperm()[new] = old`.
+    pub fn iperm(&self) -> &[usize] {
+        &self.iperm
+    }
+
+    /// New position of `old`.
+    pub fn new_of(&self, old: usize) -> usize {
+        self.perm[old]
+    }
+
+    /// Old position of `new`.
+    pub fn old_of(&self, new: usize) -> usize {
+        self.iperm[new]
+    }
+
+    /// Compose with another permutation applied *after* this one:
+    /// `(self.then(next))[old] = next[self[old]]`.
+    pub fn then(&self, next: &Permutation) -> Permutation {
+        assert_eq!(self.len(), next.len());
+        let perm: Vec<usize> = self.perm.iter().map(|&mid| next.perm[mid]).collect();
+        Permutation::from_perm(perm)
+    }
+
+    /// Permute a dense vector from old to new numbering:
+    /// `out[perm[i]] = v[i]`.
+    pub fn apply_vec<T: Copy>(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(v.len(), self.len());
+        let mut out: Vec<T> = v.to_vec();
+        for (old, &x) in v.iter().enumerate() {
+            out[self.perm[old]] = x;
+        }
+        out
+    }
+
+    /// Inverse-permute a dense vector (new → old numbering):
+    /// `out[i] = v[perm[i]]`.
+    pub fn apply_inverse_vec<T: Copy>(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(v.len(), self.len());
+        let mut out: Vec<T> = v.to_vec();
+        for (old, o) in out.iter_mut().enumerate() {
+            *o = v[self.perm[old]];
+        }
+        out
+    }
+
+    /// The inverse permutation as its own object.
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            perm: self.iperm.clone(),
+            iperm: self.perm.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_gather_consistency() {
+        let p = Permutation::from_perm(vec![2, 0, 3, 1]);
+        assert_eq!(p.iperm(), &[1, 3, 0, 2]);
+        assert_eq!(p.new_of(0), 2);
+        assert_eq!(p.old_of(2), 0);
+        assert_eq!(Permutation::from_iperm(vec![1, 3, 0, 2]), p);
+    }
+
+    #[test]
+    fn apply_and_inverse_roundtrip() {
+        let p = Permutation::from_perm(vec![2, 0, 3, 1]);
+        let v = vec![10, 20, 30, 40];
+        let w = p.apply_vec(&v);
+        assert_eq!(w, vec![20, 40, 10, 30]);
+        assert_eq!(p.apply_inverse_vec(&w), v);
+        assert_eq!(p.inverse().apply_vec(&w), v);
+    }
+
+    #[test]
+    fn composition_order() {
+        let p = Permutation::from_perm(vec![1, 2, 0]);
+        let q = Permutation::from_perm(vec![0, 2, 1]);
+        let pq = p.then(&q);
+        for old in 0..3 {
+            assert_eq!(pq.new_of(old), q.new_of(p.new_of(old)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "maps two indices")]
+    fn rejects_non_bijection() {
+        Permutation::from_perm(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Permutation::identity(5);
+        let v = vec![1, 2, 3, 4, 5];
+        assert_eq!(p.apply_vec(&v), v);
+        assert_eq!(p.then(&p), p);
+    }
+}

@@ -1,0 +1,91 @@
+//! # dagfact-rt
+//!
+//! Three task-based runtime engines, the Rust stand-ins for the paper's
+//! three schedulers (§IV):
+//!
+//! * [`native`] — the PaStiX-style engine: tasks carry an analyze-time
+//!   *static* worker assignment from the cost-model list schedule, each
+//!   worker drains its own priority queue, and idle workers steal — the
+//!   "dynamic scheduler based on a work-stealing strategy [that reduces]
+//!   idle times while preserving a good locality" of \[1\].
+//! * [`dataflow`] — the StarPU-like engine: tasks are *submitted
+//!   sequentially* with data access modes (R/W/RW); the engine infers
+//!   dependencies from data hazards (RAW/WAR/WAW) at submission and
+//!   schedules ready tasks from one **centralized** priority queue.
+//!   Centralization mirrors StarPU's single scheduling domain and is the
+//!   modeled reason for its small multicore overhead ("lack of cache reuse
+//!   policy", §V-A).
+//! * [`ptg`] — the PaRSEC-like engine: the task graph is given
+//!   *algebraically* as a [`ptg::PtgProgram`] (successor/predecessor-count
+//!   functions, the analogue of PaRSEC's parameterized task graph). Tasks
+//!   are never materialized before they are ready; each completion
+//!   *locally* releases its successors onto the finishing worker's LIFO
+//!   deque (data reuse), with Chase-Lev stealing for balance.
+//!
+//! The engines run real OS threads and synchronize with atomics +
+//! `crossbeam` deques; they are exercised by the solver's factorization
+//! (correctness) while the *performance* study of the paper is reproduced
+//! on the deterministic simulator in `dagfact-gpusim` (see DESIGN.md §2).
+
+pub mod dataflow;
+pub mod native;
+pub mod ptg;
+pub mod shared;
+
+pub use shared::SharedSlice;
+
+/// Identifier of a task within one engine run.
+pub type TaskId = usize;
+
+/// Identifier of a datum (panel, block, …) used for hazard tracking.
+pub type DataId = usize;
+
+/// How a task touches a datum (StarPU-style access modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Read-only.
+    Read,
+    /// Write-only (no previous value observed).
+    Write,
+    /// Read-modify-write.
+    ReadWrite,
+}
+
+impl AccessMode {
+    /// Does the access observe previous writes?
+    pub fn reads(self) -> bool {
+        matches!(self, AccessMode::Read | AccessMode::ReadWrite)
+    }
+
+    /// Does the access produce a new value?
+    pub fn writes(self) -> bool {
+        matches!(self, AccessMode::Write | AccessMode::ReadWrite)
+    }
+}
+
+/// Which runtime engine executes the factorization — the axis of the
+/// paper's comparison (PaStiX vs. StarPU vs. PaRSEC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeKind {
+    /// Native static-schedule + work-stealing engine.
+    Native,
+    /// StarPU-like sequential-submission dataflow engine.
+    Dataflow,
+    /// PaRSEC-like parameterized-task-graph engine.
+    Ptg,
+}
+
+impl RuntimeKind {
+    /// Paper-style display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeKind::Native => "PaStiX-native",
+            RuntimeKind::Dataflow => "StarPU-like",
+            RuntimeKind::Ptg => "PaRSEC-like",
+        }
+    }
+
+    /// All engines, in paper order.
+    pub const ALL: [RuntimeKind; 3] =
+        [RuntimeKind::Native, RuntimeKind::Dataflow, RuntimeKind::Ptg];
+}

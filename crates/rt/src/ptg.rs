@@ -1,0 +1,280 @@
+//! The PaRSEC-like engine: parameterized task graphs with local dependency
+//! release and data-reuse scheduling.
+//!
+//! PaRSEC's defining trait (§IV) is that the DAG is never stored: a
+//! compact, algebraic description lets "each computational unit immediately
+//! release the dependencies of the completed task solely using the local
+//! knowledge of the DAG". [`PtgProgram`] is that description — successor
+//! and predecessor-count *functions* over a dense task index space. The
+//! engine materializes nothing but one atomic counter per task ("tasks do
+//! not exist until they are ready to be executed").
+//!
+//! Scheduling follows PaRSEC's data-reuse policy: released successors go to
+//! the front of the releasing worker's LIFO deque (the freshly-written
+//! panel is still hot in its cache), and idle workers steal from the back
+//! of a victim — the classic Chase-Lev discipline provided by
+//! `crossbeam-deque`.
+
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Algebraic task-graph description (the PTG). Task ids form the dense
+/// range `0..num_tasks()`; the shape functions must be pure.
+pub trait PtgProgram: Sync {
+    /// Total number of tasks.
+    fn num_tasks(&self) -> usize;
+    /// Number of predecessors of `task` (computed locally, the analogue of
+    /// PaRSEC's compile-time dependency counts).
+    fn num_predecessors(&self, task: usize) -> u32;
+    /// Append the successors of `task` to `out` (cleared by the caller).
+    fn successors(&self, task: usize, out: &mut Vec<usize>);
+    /// Execute the task body on `worker`.
+    fn execute(&self, task: usize, worker: usize);
+    /// Scheduling priority (higher first); only consulted for steal-order
+    /// tie-breaking and the seed distribution.
+    fn priority(&self, _task: usize) -> f64 {
+        0.0
+    }
+}
+
+/// Run a [`PtgProgram`] to completion on `nworkers` threads.
+pub fn run_ptg<P: PtgProgram>(program: &P, nworkers: usize) {
+    assert!(nworkers >= 1);
+    let ntasks = program.num_tasks();
+    if ntasks == 0 {
+        return;
+    }
+    // The only per-task state: remaining-predecessor counters.
+    let pending: Vec<AtomicU32> = (0..ntasks)
+        .map(|t| AtomicU32::new(program.num_predecessors(t)))
+        .collect();
+    let remaining = AtomicUsize::new(ntasks);
+    let poisoned = std::sync::atomic::AtomicBool::new(false);
+    // Per-worker LIFO deques + global injector for the seeds.
+    let deques: Vec<Deque<usize>> = (0..nworkers).map(|_| Deque::new_lifo()).collect();
+    let stealers: Vec<Stealer<usize>> = deques.iter().map(|d| d.stealer()).collect();
+    let injector = Injector::new();
+    // Seed roots in priority order so early steals grab urgent work.
+    let mut roots: Vec<usize> = (0..ntasks)
+        .filter(|&t| program.num_predecessors(t) == 0)
+        .collect();
+    roots.sort_by(|&a, &b| program.priority(b).partial_cmp(&program.priority(a)).unwrap());
+    for t in roots {
+        injector.push(t);
+    }
+
+    let deque_slots: Vec<parking_lot::Mutex<Option<Deque<usize>>>> =
+        deques.into_iter().map(|d| parking_lot::Mutex::new(Some(d))).collect();
+
+    let body = |w: usize| {
+        let local: Deque<usize> = deque_slots[w].lock().take().expect("worker deque claimed twice");
+        let mut succ_buf: Vec<usize> = Vec::new();
+        loop {
+            if remaining.load(Ordering::Acquire) == 0
+                || poisoned.load(Ordering::Acquire)
+            {
+                break;
+            }
+            // Local LIFO first (data reuse), then the injector, then steal.
+            let task = local.pop().or_else(|| {
+                std::iter::repeat_with(|| {
+                    injector
+                        .steal_batch_and_pop(&local)
+                        .or_else(|| stealers.iter().map(|s| s.steal()).collect())
+                })
+                .find(|s| !s.is_retry())
+                .and_then(|s| s.success())
+            });
+            let Some(t) = task else {
+                std::thread::yield_now();
+                continue;
+            };
+            // Poison-and-propagate on panic so the other workers drain
+            // instead of spinning forever.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                program.execute(t, w)
+            }));
+            if let Err(payload) = result {
+                poisoned.store(true, Ordering::Release);
+                std::panic::resume_unwind(payload);
+            }
+            succ_buf.clear();
+            program.successors(t, &mut succ_buf);
+            // Local release: highest-priority successor pushed last so the
+            // LIFO pop picks it up next (hot data path).
+            succ_buf.sort_by(|&a, &b| {
+                program
+                    .priority(a)
+                    .partial_cmp(&program.priority(b))
+                    .unwrap()
+            });
+            for &s in &succ_buf {
+                if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    local.push(s);
+                }
+            }
+            remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+    };
+
+    if nworkers == 1 {
+        body(0);
+    } else {
+        std::thread::scope(|scope| {
+            for w in 1..nworkers {
+                scope.spawn(move || body(w));
+            }
+            body(0);
+        });
+    }
+    debug_assert_eq!(remaining.load(Ordering::Acquire), 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    /// A 2D "wavefront" program: task (i, j) depends on (i-1, j) and
+    /// (i, j-1) — the classic PTG example from the DPLASMA papers.
+    struct Wavefront {
+        n: usize,
+        log: Mutex<Vec<usize>>,
+    }
+    impl Wavefront {
+        fn idx(&self, i: usize, j: usize) -> usize {
+            i * self.n + j
+        }
+    }
+    impl PtgProgram for Wavefront {
+        fn num_tasks(&self) -> usize {
+            self.n * self.n
+        }
+        fn num_predecessors(&self, t: usize) -> u32 {
+            let (i, j) = (t / self.n, t % self.n);
+            u32::from(i > 0) + u32::from(j > 0)
+        }
+        fn successors(&self, t: usize, out: &mut Vec<usize>) {
+            let (i, j) = (t / self.n, t % self.n);
+            if i + 1 < self.n {
+                out.push(self.idx(i + 1, j));
+            }
+            if j + 1 < self.n {
+                out.push(self.idx(i, j + 1));
+            }
+        }
+        fn execute(&self, t: usize, _w: usize) {
+            self.log.lock().unwrap().push(t);
+        }
+        fn priority(&self, t: usize) -> f64 {
+            // Anti-diagonal depth: earlier waves are more urgent.
+            let (i, j) = (t / self.n, t % self.n);
+            -((i + j) as f64)
+        }
+    }
+
+    #[test]
+    fn wavefront_respects_dependencies() {
+        for nworkers in [1, 2, 4] {
+            let p = Wavefront {
+                n: 12,
+                log: Mutex::new(Vec::new()),
+            };
+            run_ptg(&p, nworkers);
+            let log = p.log.into_inner().unwrap();
+            assert_eq!(log.len(), 144);
+            let mut pos = vec![0usize; 144];
+            for (k, &t) in log.iter().enumerate() {
+                pos[t] = k;
+            }
+            for i in 0..12 {
+                for j in 0..12 {
+                    let t = i * 12 + j;
+                    if i > 0 {
+                        assert!(pos[(i - 1) * 12 + j] < pos[t]);
+                    }
+                    if j > 0 {
+                        assert!(pos[i * 12 + j - 1] < pos[t]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once_under_contention() {
+        struct Counter {
+            n: usize,
+            counts: Vec<AtomicUsize>,
+        }
+        impl PtgProgram for Counter {
+            fn num_tasks(&self) -> usize {
+                self.n
+            }
+            fn num_predecessors(&self, _t: usize) -> u32 {
+                0
+            }
+            fn successors(&self, _t: usize, _out: &mut Vec<usize>) {}
+            fn execute(&self, t: usize, _w: usize) {
+                self.counts[t].fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let p = Counter {
+            n: 10_000,
+            counts: (0..10_000).map(|_| AtomicUsize::new(0)).collect(),
+        };
+        run_ptg(&p, 4);
+        assert!(p.counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn single_chain_single_worker() {
+        struct Chain {
+            n: usize,
+            log: Mutex<Vec<usize>>,
+        }
+        impl PtgProgram for Chain {
+            fn num_tasks(&self) -> usize {
+                self.n
+            }
+            fn num_predecessors(&self, t: usize) -> u32 {
+                u32::from(t > 0)
+            }
+            fn successors(&self, t: usize, out: &mut Vec<usize>) {
+                if t + 1 < self.n {
+                    out.push(t + 1);
+                }
+            }
+            fn execute(&self, t: usize, _w: usize) {
+                self.log.lock().unwrap().push(t);
+            }
+        }
+        let p = Chain {
+            n: 500,
+            log: Mutex::new(Vec::new()),
+        };
+        run_ptg(&p, 1);
+        assert_eq!(p.log.into_inner().unwrap(), (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_program_is_noop() {
+        struct Empty;
+        impl PtgProgram for Empty {
+            fn num_tasks(&self) -> usize {
+                0
+            }
+            fn num_predecessors(&self, _: usize) -> u32 {
+                unreachable!()
+            }
+            fn successors(&self, _: usize, _: &mut Vec<usize>) {
+                unreachable!()
+            }
+            fn execute(&self, _: usize, _: usize) {
+                unreachable!()
+            }
+        }
+        run_ptg(&Empty, 2);
+    }
+}

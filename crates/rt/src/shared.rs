@@ -1,0 +1,185 @@
+//! Runtime-managed shared mutable storage.
+//!
+//! A task runtime guarantees, through the dependency graph, that two tasks
+//! never touch the same datum concurrently unless both accesses are reads.
+//! The kernels therefore need *aliasable* mutable access to the coefficient
+//! arrays — the same contract StarPU/PaRSEC codelets get from C pointers.
+//! [`SharedSlice`] packages that contract: an `UnsafeCell`-backed slice
+//! whose unsafe accessors document exactly what the scheduler must enforce.
+
+use core::cell::UnsafeCell;
+
+/// A heap slice with interior mutability, shareable across the worker
+/// threads of an engine run.
+///
+/// # Safety contract
+///
+/// Callers of [`SharedSlice::slice_mut`] must guarantee — normally via the
+/// runtime's dependency tracking — that no other thread accesses an
+/// overlapping range for the duration of the borrow. Disjoint mutable
+/// ranges are always fine.
+pub struct SharedSlice<T> {
+    data: UnsafeCell<Box<[T]>>,
+}
+
+// SAFETY: all mutation goes through the documented unsafe accessors whose
+// callers promise externally-synchronized, non-overlapping access.
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T: Clone + Default> SharedSlice<T> {
+    /// Allocate `len` default-initialized elements.
+    pub fn new_default(len: usize) -> Self {
+        SharedSlice {
+            data: UnsafeCell::new(vec![T::default(); len].into_boxed_slice()),
+        }
+    }
+}
+
+impl<T> SharedSlice<T> {
+    /// Wrap an existing vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        SharedSlice {
+            data: UnsafeCell::new(v.into_boxed_slice()),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        // SAFETY: reading the length of the box never races with element
+        // mutation (the box itself is never reallocated).
+        unsafe { (&*self.data.get()).len() }
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Immutable view of the whole slice.
+    ///
+    /// # Safety
+    /// No thread may be mutating any element for the duration of the
+    /// borrow.
+    pub unsafe fn slice(&self) -> &[T] {
+        unsafe { &*self.data.get() }
+    }
+
+    /// Mutable view of the whole slice.
+    ///
+    /// # Safety
+    /// The caller must hold exclusive access (via runtime dependencies) to
+    /// every element it actually touches, and concurrent callers must
+    /// touch disjoint elements.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self) -> &mut [T] {
+        unsafe { &mut *self.data.get() }
+    }
+
+    /// Simultaneous read view of `read` and write view of `write`, which
+    /// must be disjoint ranges (checked).
+    ///
+    /// # Safety
+    /// The caller must guarantee (via runtime dependencies) that no other
+    /// thread writes `read` or touches `write` during the borrows.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn disjoint_pair(
+        &self,
+        read: core::ops::Range<usize>,
+        write: core::ops::Range<usize>,
+    ) -> (&[T], &mut [T]) {
+        assert!(
+            read.end <= write.start || write.end <= read.start,
+            "overlapping ranges {read:?} and {write:?}"
+        );
+        let len = self.len();
+        assert!(read.end <= len && write.end <= len);
+        // SAFETY: ranges are in-bounds and disjoint; exclusivity across
+        // threads is the caller's documented obligation.
+        unsafe {
+            let base = (*self.data.get()).as_mut_ptr();
+            (
+                core::slice::from_raw_parts(base.add(read.start), read.len()),
+                core::slice::from_raw_parts_mut(base.add(write.start), write.len()),
+            )
+        }
+    }
+
+    /// Mutable view of one range, without touching the rest of the slice
+    /// (other ranges may be concurrently borrowed by other tasks).
+    ///
+    /// # Safety
+    /// The caller must hold exclusive access to `range` for the duration
+    /// of the borrow.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range_mut(&self, range: core::ops::Range<usize>) -> &mut [T] {
+        assert!(range.end <= self.len());
+        // SAFETY: in-bounds; exclusivity is the caller's obligation.
+        unsafe {
+            let base = (*self.data.get()).as_mut_ptr();
+            core::slice::from_raw_parts_mut(base.add(range.start), range.len())
+        }
+    }
+
+    /// Immutable view of one range.
+    ///
+    /// # Safety
+    /// No thread may be mutating elements of `range` during the borrow.
+    pub unsafe fn range(&self, range: core::ops::Range<usize>) -> &[T] {
+        assert!(range.end <= self.len());
+        // SAFETY: in-bounds; absence of writers is the caller's obligation.
+        unsafe {
+            let base = (*self.data.get()).as_mut_ptr();
+            core::slice::from_raw_parts(base.add(range.start), range.len())
+        }
+    }
+
+    /// Consume the wrapper and return the underlying storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data.into_inner().into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn disjoint_parallel_writes_are_visible() {
+        let n = 1000;
+        let shared = Arc::new(SharedSlice::<u64>::new_default(n));
+        let nthreads = 4;
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..nthreads {
+                let shared = Arc::clone(&shared);
+                let counter = &counter;
+                scope.spawn(move || {
+                    // Each thread owns a disjoint stripe.
+                    // SAFETY: stripes are disjoint by construction.
+                    let s = unsafe { shared.slice_mut() };
+                    for i in (t..n).step_by(nthreads) {
+                        s[i] = i as u64 + 1;
+                    }
+                    counter.fetch_add(1, Ordering::Release);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Acquire), nthreads);
+        // SAFETY: all writers joined.
+        let s = unsafe { shared.slice() };
+        for (i, &v) in s.iter().enumerate() {
+            assert_eq!(v, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn roundtrip_vec() {
+        let s = SharedSlice::from_vec(vec![1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.into_vec(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,4 @@
+fn main() {
+    let a = dagfact_sparse::gen::grid_laplacian_3d(10, 10, 10);
+    dagfact_sparse::mm::write_matrix_market_file(&a, "/tmp/demo.mtx").unwrap();
+}

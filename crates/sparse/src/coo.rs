@@ -1,0 +1,147 @@
+//! Coordinate-format (triplet) assembly.
+//!
+//! Finite-element style assembly pushes `(row, col, value)` contributions in
+//! arbitrary order with duplicates; [`TripletBuilder::build`] sorts, sums
+//! duplicates and produces a canonical [`CscMatrix`].
+
+use crate::csc::CscMatrix;
+use crate::pattern::SparsityPattern;
+use dagfact_kernels::Scalar;
+
+/// Accumulates `(row, col, value)` triplets and assembles a [`CscMatrix`].
+#[derive(Debug, Clone)]
+pub struct TripletBuilder<T> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> TripletBuilder<T> {
+    /// New empty builder for an `nrows×ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletBuilder {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// New builder with pre-reserved capacity.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        TripletBuilder {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Add a contribution; duplicates are summed at build time. Panics on
+    /// out-of-bounds indices.
+    pub fn push(&mut self, row: usize, col: usize, value: T) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet ({row},{col}) outside {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of raw (pre-merge) triplets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no triplet has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Assemble into CSC form, summing duplicate coordinates. Entries whose
+    /// sum is exactly zero are *kept* (explicit zeros preserve the
+    /// structural information the analysis relies on).
+    pub fn build(mut self) -> CscMatrix<T> {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| (c, r));
+        let mut colptr = Vec::with_capacity(self.ncols + 1);
+        colptr.push(0usize);
+        let mut rowind: Vec<usize> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<T> = Vec::with_capacity(self.entries.len());
+        let mut cur_col = 0usize;
+        for (r, c, v) in self.entries {
+            while cur_col < c {
+                colptr.push(rowind.len());
+                cur_col += 1;
+            }
+            // Merge with the previous entry when it has the same
+            // coordinates (sorting made duplicates adjacent); the bound
+            // check keeps merges within the current column.
+            if rowind.len() > *colptr.last().unwrap() && *rowind.last().unwrap() == r {
+                *values.last_mut().unwrap() += v;
+            } else {
+                rowind.push(r);
+                values.push(v);
+            }
+        }
+        while cur_col < self.ncols {
+            colptr.push(rowind.len());
+            cur_col += 1;
+        }
+        let pattern = SparsityPattern::from_csc(self.nrows, self.ncols, colptr, rowind);
+        CscMatrix::new(pattern, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = TripletBuilder::new(3, 3);
+        b.push(0, 0, 1.0);
+        b.push(2, 1, 5.0);
+        b.push(0, 0, 2.5);
+        b.push(2, 1, -5.0);
+        let a = b.build();
+        assert_eq!(a.get(0, 0), 3.5);
+        // Cancelling duplicates keep an explicit zero entry.
+        assert_eq!(a.get(2, 1), 0.0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn arbitrary_order_assembly() {
+        let mut b = TripletBuilder::new(4, 4);
+        let entries = [(3usize, 0usize, 1.0), (0, 3, 2.0), (1, 1, 3.0), (0, 0, 4.0), (2, 3, 5.0)];
+        for &(r, c, v) in entries.iter().rev() {
+            b.push(r, c, v);
+        }
+        let a = b.build();
+        for &(r, c, v) in &entries {
+            assert_eq!(a.get(r, c), v, "({r},{c})");
+        }
+        assert_eq!(a.nnz(), entries.len());
+        // Canonical ordering inside columns.
+        assert_eq!(a.col_rows(3), &[0, 2]);
+    }
+
+    #[test]
+    fn empty_columns_are_handled() {
+        let mut b = TripletBuilder::new(3, 5);
+        b.push(1, 4, 9.0);
+        let a = b.build();
+        assert_eq!(a.ncols(), 5);
+        for j in 0..4 {
+            assert!(a.col_rows(j).is_empty());
+        }
+        assert_eq!(a.get(1, 4), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_panics() {
+        let mut b = TripletBuilder::<f64>::new(2, 2);
+        b.push(0, 2, 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Subtree clustering — the paper's first future-work item (§VI):
+//! "in order to minimize the scheduler overhead, we plan to increase the
+//! granularity of the tasks at the bottom of the elimination tree. Merging
+//! leaves or subtrees together yields bigger, more computationally
+//! intensive tasks."
+//!
+//! A cluster is a maximal subtree of the panel tree whose total 1D work
+//! stays below a flop threshold; all tasks originating in the subtree fuse
+//! into one super-task. The panels at the bottom of a nested-dissection
+//! tree are numerous and tiny, so modest thresholds fold thousands of
+//! sub-microsecond tasks into a few substantial ones.
+
+use crate::cost::TaskCosts;
+use crate::structure::SymbolMatrix;
+
+/// Result of subtree clustering.
+#[derive(Debug, Clone)]
+pub struct SubtreeClustering {
+    /// Cluster root of each panel (panels outside any small subtree are
+    /// their own singleton root).
+    pub root_of: Vec<usize>,
+    /// Number of distinct clusters.
+    pub nclusters: usize,
+    /// Dense cluster index of each panel (0..nclusters).
+    pub cluster_of: Vec<usize>,
+}
+
+/// Cluster panels whose whole subtree costs at most `threshold_flops`.
+///
+/// The panel tree is the elimination tree contracted to panels: the parent
+/// of panel `c` is the facing panel of its first off-diagonal block.
+pub fn subtree_clusters(
+    symbol: &SymbolMatrix,
+    costs: &TaskCosts,
+    threshold_flops: f64,
+) -> SubtreeClustering {
+    let ncblk = symbol.ncblk();
+    let parent: Vec<Option<usize>> = (0..ncblk)
+        .map(|c| symbol.off_blocks(c).first().map(|b| b.facing))
+        .collect();
+    // Subtree work, ascending sweep (children have smaller indices).
+    let mut subtree = vec![0.0f64; ncblk];
+    for c in 0..ncblk {
+        subtree[c] += costs.task_1d(symbol, c);
+        if let Some(p) = parent[c] {
+            let w = subtree[c];
+            subtree[p] += w;
+        }
+    }
+    // Roots, descending sweep (parents first).
+    let mut root_of = vec![usize::MAX; ncblk];
+    for c in (0..ncblk).rev() {
+        if subtree[c] > threshold_flops {
+            root_of[c] = c; // too big: singleton
+        } else {
+            match parent[c] {
+                Some(p) if subtree[p] <= threshold_flops => {
+                    // Parent is itself inside a cluster: inherit its root.
+                    root_of[c] = root_of[p];
+                }
+                _ => {
+                    root_of[c] = c; // top of a small subtree: cluster root
+                }
+            }
+        }
+    }
+    // Dense renumbering.
+    let mut cluster_of = vec![usize::MAX; ncblk];
+    let mut next = 0usize;
+    let mut index_of_root = vec![usize::MAX; ncblk];
+    for c in 0..ncblk {
+        let r = root_of[c];
+        if index_of_root[r] == usize::MAX {
+            index_of_root[r] = next;
+            next += 1;
+        }
+        cluster_of[c] = index_of_root[r];
+    }
+    SubtreeClustering {
+        root_of,
+        nclusters: next,
+        cluster_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::counts::column_counts;
+    use crate::etree::{elimination_tree, postorder, relabel_parent};
+    use crate::structure::{SplitOptions, SymbolMatrix};
+    use crate::supernode::{amalgamate, build_partition, detect_supernodes, AmalgamationOptions};
+    use crate::FactoKind;
+    use dagfact_sparse::gen::grid_laplacian_2d;
+
+    fn symbol() -> SymbolMatrix {
+        let a = grid_laplacian_2d(20, 20);
+        let nd = dagfact_order::compute_ordering(
+            a.pattern(),
+            dagfact_order::OrderingKind::NestedDissection,
+        );
+        let sym = a.pattern().symmetrize().permute_symmetric(nd.perm());
+        let parent = elimination_tree(&sym);
+        let post = postorder(&parent);
+        let mut perm = vec![0usize; post.len()];
+        for (new, &old) in post.iter().enumerate() {
+            perm[old] = new;
+        }
+        let permuted = sym.permute_symmetric(perm.as_slice());
+        let parent = relabel_parent(&parent, &post);
+        let (cc, _) = column_counts(&permuted, &parent);
+        let first = detect_supernodes(&parent, &cc);
+        let part = build_partition(&permuted, &parent, first);
+        let part = amalgamate(part, &AmalgamationOptions::default());
+        SymbolMatrix::from_partition(&part, &SplitOptions { max_width: 16 })
+    }
+
+    #[test]
+    fn zero_threshold_gives_singletons() {
+        let s = symbol();
+        let costs = TaskCosts::compute(&s, &CostModel::real(FactoKind::Cholesky));
+        let cl = subtree_clusters(&s, &costs, 0.0);
+        assert_eq!(cl.nclusters, s.ncblk());
+        for c in 0..s.ncblk() {
+            assert_eq!(cl.root_of[c], c);
+        }
+    }
+
+    #[test]
+    fn huge_threshold_gives_one_cluster_per_root() {
+        let s = symbol();
+        let costs = TaskCosts::compute(&s, &CostModel::real(FactoKind::Cholesky));
+        let cl = subtree_clusters(&s, &costs, f64::INFINITY);
+        // Everything collapses into one cluster per tree root; a connected
+        // grid has a single root.
+        assert_eq!(cl.nclusters, 1);
+    }
+
+    #[test]
+    fn clusters_are_connected_subtrees() {
+        let s = symbol();
+        let costs = TaskCosts::compute(&s, &CostModel::real(FactoKind::Cholesky));
+        let total = costs.total;
+        let cl = subtree_clusters(&s, &costs, total / 20.0);
+        assert!(cl.nclusters < s.ncblk(), "threshold merged nothing");
+        // Every non-root member's parent belongs to the same cluster.
+        for c in 0..s.ncblk() {
+            let r = cl.root_of[c];
+            if r != c {
+                let p = s.off_blocks(c).first().map(|b| b.facing).unwrap();
+                assert_eq!(cl.root_of[p], r, "cluster of {c} is not a subtree");
+            }
+        }
+        // Roots are numbered consistently.
+        for c in 0..s.ncblk() {
+            assert_eq!(cl.cluster_of[c], cl.cluster_of[cl.root_of[c]]);
+        }
+    }
+
+    #[test]
+    fn cluster_work_respects_threshold() {
+        let s = symbol();
+        let costs = TaskCosts::compute(&s, &CostModel::real(FactoKind::Cholesky));
+        let threshold = costs.total / 10.0;
+        let cl = subtree_clusters(&s, &costs, threshold);
+        let mut work = vec![0.0f64; cl.nclusters];
+        for c in 0..s.ncblk() {
+            work[cl.cluster_of[c]] += costs.task_1d(&s, c);
+        }
+        for (k, &w) in work.iter().enumerate() {
+            // Multi-member clusters must respect the threshold; singletons
+            // may exceed it (a single huge panel cannot be split here).
+            let members = (0..s.ncblk()).filter(|&c| cl.cluster_of[c] == k).count();
+            if members > 1 {
+                assert!(w <= threshold * 1.0001, "cluster {k} too heavy: {w}");
+            }
+        }
+    }
+}

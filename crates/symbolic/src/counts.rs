@@ -1,0 +1,133 @@
+//! Factor column counts via row-subtree traversal.
+//!
+//! `cc[j] = |{ i ≥ j : L[i, j] ≠ 0 }|` (diagonal included). The classic
+//! characterization says `L[i, j] ≠ 0` iff `j` belongs to the *row subtree*
+//! of `i`: the union of etree paths from each `k` with `A[i, k] ≠ 0, k < i`
+//! up toward `i`. Walking those paths with a per-row visit mark touches
+//! every nonzero of `L` exactly once — O(nnz(L)) time, O(n) extra space,
+//! and no structure is ever materialized.
+
+use crate::etree::NO_PARENT;
+use dagfact_sparse::SparsityPattern;
+
+/// Column counts of the Cholesky factor of a symmetric pattern, given its
+/// elimination tree. Also returns `nnz(L) = Σ cc[j]`.
+pub fn column_counts(pattern: &SparsityPattern, parent: &[usize]) -> (Vec<usize>, usize) {
+    let n = pattern.ncols();
+    assert_eq!(parent.len(), n);
+    let mut cc = vec![1usize; n]; // diagonal
+    let mut mark = vec![usize::MAX; n];
+    for i in 0..n {
+        mark[i] = i;
+        // Entries k < i of row i == entries k < i of column i (symmetry).
+        for &k in pattern.col(i) {
+            if k >= i {
+                break;
+            }
+            let mut j = k;
+            while mark[j] != i {
+                cc[j] += 1; // L[i, j] is a nonzero
+                mark[j] = i;
+                match parent[j] {
+                    NO_PARENT => break,
+                    p => j = p,
+                }
+            }
+        }
+    }
+    let nnz = cc.iter().sum();
+    (cc, nnz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::elimination_tree;
+    use dagfact_sparse::gen::{grid_laplacian_2d, grid_laplacian_3d, random_spd};
+
+    /// Reference counts via dense symbolic factorization.
+    fn naive_counts(pattern: &SparsityPattern) -> Vec<usize> {
+        let n = pattern.ncols();
+        let mut cols: Vec<Vec<bool>> = vec![vec![false; n]; n];
+        for j in 0..n {
+            cols[j][j] = true;
+            for &i in pattern.col(j) {
+                if i >= j {
+                    cols[j][i] = true;
+                }
+            }
+            for k in 0..j {
+                if cols[k][j] {
+                    for i in j..n {
+                        if cols[k][i] {
+                            cols[j][i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        cols.iter().map(|c| c.iter().filter(|&&b| b).count()).collect()
+    }
+
+    #[test]
+    fn matches_naive_on_grid() {
+        let a = grid_laplacian_2d(5, 4);
+        let p = a.pattern().symmetrize();
+        let parent = elimination_tree(&p);
+        let (cc, nnz) = column_counts(&p, &parent);
+        let reference = naive_counts(&p);
+        assert_eq!(cc, reference);
+        assert_eq!(nnz, reference.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn matches_naive_on_random_patterns() {
+        for seed in 0..6 {
+            let a = random_spd(35, 3, 100 + seed);
+            let p = a.pattern().symmetrize();
+            let parent = elimination_tree(&p);
+            let (cc, _) = column_counts(&p, &parent);
+            assert_eq!(cc, naive_counts(&p), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dense_matrix_counts_are_triangular() {
+        // Fully dense 6x6: cc[j] = n - j.
+        let n = 6;
+        let mut entries = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                entries.push((i, j));
+            }
+        }
+        let p = SparsityPattern::from_entries(n, n, entries);
+        let parent = elimination_tree(&p);
+        let (cc, nnz) = column_counts(&p, &parent);
+        assert_eq!(cc, vec![6, 5, 4, 3, 2, 1]);
+        assert_eq!(nnz, 21);
+    }
+
+    #[test]
+    fn diagonal_matrix_counts_are_ones() {
+        let p = SparsityPattern::from_entries(5, 5, (0..5).map(|i| (i, i)));
+        let parent = elimination_tree(&p);
+        let (cc, nnz) = column_counts(&p, &parent);
+        assert_eq!(cc, vec![1; 5]);
+        assert_eq!(nnz, 5);
+    }
+
+    #[test]
+    fn counts_monotone_along_chain_for_band() {
+        // 3D grids exercise nontrivial fill; nnz(L) must be at least
+        // nnz(lower(A)).
+        let a = grid_laplacian_3d(5, 5, 5);
+        let p = a.pattern().symmetrize();
+        let parent = elimination_tree(&p);
+        let (_, nnz) = column_counts(&p, &parent);
+        let lower_a = (p.nnz() - 125) / 2 + 125;
+        assert!(nnz >= lower_a, "nnzL {nnz} < nnz(lower A) {lower_a}");
+    }
+
+    use dagfact_sparse::SparsityPattern;
+}

@@ -1,0 +1,488 @@
+//! Supernode detection, supernodal row structures, and amalgamation.
+//!
+//! A supernode is a maximal range of consecutive columns sharing the same
+//! below-diagonal structure; each becomes a *panel* (tall skinny dense
+//! block) of the factor. The amalgamation step (He´non-Ramet-Roman \[25\] in
+//! the paper) merges small supernodes into their parent, accepting bounded
+//! extra fill-in: "the default parameter for amalgamation has been slightly
+//! increased to allow up to 12% more fill-in to build larger blocks" (§V).
+
+use crate::etree::NO_PARENT;
+use dagfact_sparse::SparsityPattern;
+
+/// Options controlling supernode amalgamation.
+#[derive(Debug, Clone)]
+pub struct AmalgamationOptions {
+    /// Global extra-fill budget, as a fraction of the un-amalgamated
+    /// factor nnz. The paper raises the default "to allow up to 12% more
+    /// fill-in to build larger blocks" for the GPUs (§V).
+    pub fill_ratio: f64,
+    /// Merges producing a panel at most this wide are free (don't draw
+    /// from the budget): panels below this width make tasks too small for
+    /// any scheduler, so they are coalesced unconditionally.
+    pub min_width: usize,
+}
+
+impl Default for AmalgamationOptions {
+    fn default() -> Self {
+        AmalgamationOptions {
+            fill_ratio: 0.12,
+            min_width: 8,
+        }
+    }
+}
+
+/// A supernode partition of the columns `0..n`, with per-supernode row
+/// structures: `rows[s]` lists the factor rows *below* the supernode's own
+/// columns (sorted, global indices).
+#[derive(Debug, Clone)]
+pub struct SupernodePartition {
+    /// First column of each supernode, ascending; an extra terminal entry
+    /// equals `n` so `cols(s) = first[s]..first[s+1]`.
+    pub first: Vec<usize>,
+    /// `snode_of[j]`: supernode containing column `j`.
+    pub snode_of: Vec<usize>,
+    /// Below-diagonal row structure of each supernode.
+    pub rows: Vec<Vec<usize>>,
+    /// Supernode-tree parent (the supernode of the parent of the last
+    /// column), `NO_PARENT` for roots.
+    pub parent: Vec<usize>,
+}
+
+impl SupernodePartition {
+    /// Number of supernodes.
+    pub fn len(&self) -> usize {
+        self.first.len() - 1
+    }
+
+    /// `true` when the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column range of supernode `s`.
+    pub fn cols(&self, s: usize) -> core::ops::Range<usize> {
+        self.first[s]..self.first[s + 1]
+    }
+
+    /// Width (number of columns) of supernode `s`.
+    pub fn width(&self, s: usize) -> usize {
+        self.first[s + 1] - self.first[s]
+    }
+
+    /// nnz(L) under this partition (panels are dense: width·(width+1)/2
+    /// diagonal entries plus width·|rows| below).
+    pub fn nnz_factor(&self) -> usize {
+        (0..self.len())
+            .map(|s| {
+                let w = self.width(s);
+                w * (w + 1) / 2 + w * self.rows[s].len()
+            })
+            .sum()
+    }
+}
+
+/// Detect *fundamental-style* supernodes from the elimination tree and
+/// column counts: columns `j` and `j+1` share a supernode iff
+/// `parent[j] == j+1` and `cc[j+1] == cc[j] - 1` (then
+/// `struct(j+1) = struct(j) ∖ {j}`). Requires a topologically-labeled
+/// (postordered) tree.
+pub fn detect_supernodes(parent: &[usize], cc: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    let mut first = vec![0usize];
+    for j in 1..n {
+        let fused = parent[j - 1] == j && cc[j] + 1 == cc[j - 1];
+        if !fused {
+            first.push(j);
+        }
+    }
+    first.push(n);
+    first
+}
+
+/// Build the full partition: row structures via bottom-up merging (children
+/// structures minus own columns, union the original pattern columns), and
+/// the supernode tree.
+pub fn build_partition(
+    pattern: &SparsityPattern,
+    parent: &[usize],
+    first: Vec<usize>,
+) -> SupernodePartition {
+    let n = pattern.ncols();
+    let nsup = first.len() - 1;
+    let mut snode_of = vec![0usize; n];
+    for s in 0..nsup {
+        for j in first[s]..first[s + 1] {
+            snode_of[j] = s;
+        }
+    }
+    // Supernode-tree parent: parent of the last column.
+    let mut sparent = vec![NO_PARENT; nsup];
+    for s in 0..nsup {
+        let last = first[s + 1] - 1;
+        if parent[last] != NO_PARENT {
+            sparent[s] = snode_of[parent[last]];
+        }
+    }
+    // Row structures bottom-up. The tree is topologically labeled, so a
+    // simple ascending sweep visits children before parents.
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); nsup];
+    let mut merge_buf: Vec<usize> = Vec::new();
+    for s in 0..nsup {
+        let (fc, lc) = (first[s], first[s + 1]);
+        merge_buf.clear();
+        // Original pattern entries below the supernode.
+        for j in fc..lc {
+            for &i in pattern.col(j) {
+                if i >= lc {
+                    merge_buf.push(i);
+                }
+            }
+        }
+        // Children contributions were stashed into rows[s] as the children
+        // were finalized (ascending sweep visits children first).
+        merge_buf.extend(rows[s].iter().copied());
+        merge_buf.sort_unstable();
+        merge_buf.dedup();
+        // Everything below lc stays (contributions to ancestors).
+        rows[s] = merge_buf.iter().copied().filter(|&i| i >= lc).collect();
+        // Push this supernode's rows up to the parent (rows beyond the
+        // parent's own columns). The parent's buffer accumulates them
+        // before its own pass.
+        if sparent[s] != NO_PARENT {
+            let p = sparent[s];
+            let plc = first[p + 1];
+            // Rows of s that lie beyond the parent's columns flow into the
+            // parent's structure; rows inside the parent's columns are
+            // absorbed by the parent's diagonal block.
+            let inherited: Vec<usize> = rows[s].iter().copied().filter(|&i| i >= plc).collect();
+            rows[p].extend(inherited);
+        }
+    }
+    SupernodePartition {
+        first,
+        snode_of,
+        rows,
+        parent: sparent,
+    }
+}
+
+/// Amalgamation following Hénon-Ramet-Roman \[25\]: repeatedly apply the
+/// *cheapest* child→parent merge (smallest extra fill) while the total
+/// extra fill stays within `fill_ratio` of the original factor nnz. A
+/// merge requires the parent's columns to start right after the child's so
+/// the merged panel stays contiguous.
+///
+/// Cheapest-first with a global budget concentrates the allowance on the
+/// tiny supernodes at the bottom of the tree (the ones whose tasks would
+/// otherwise be too small for any runtime — and far too small for a GPU,
+/// §V), which is exactly how PaStiX uses it.
+pub fn amalgamate(
+    partition: SupernodePartition,
+    options: &AmalgamationOptions,
+) -> SupernodePartition {
+    let nsup = partition.len();
+    let n = partition.snode_of.len();
+    // Group state, indexed by the group's *root* supernode id.
+    let mut live_first: Vec<usize> = (0..nsup).map(|s| partition.first[s]).collect();
+    let live_last: Vec<usize> = (0..nsup).map(|s| partition.first[s + 1]).collect();
+    let mut rows: Vec<Vec<usize>> = partition.rows.clone();
+    let parent: Vec<usize> = partition.parent.clone();
+    let mut alive: Vec<bool> = vec![true; nsup];
+    let mut merged_into: Vec<usize> = (0..nsup).collect();
+    let group_nnz = |w: usize, r: usize| w * (w + 1) / 2 + w * r;
+    let mut cur_nnz: Vec<usize> = (0..nsup)
+        .map(|s| group_nnz(partition.width(s), partition.rows[s].len()))
+        .collect();
+    let total_orig: usize = cur_nnz.iter().sum();
+    let mut budget = (options.fill_ratio * total_orig as f64) as i64;
+    // A generation stamp per group invalidates stale heap entries after a
+    // group takes part in a merge.
+    let mut generation: Vec<u32> = vec![0; nsup];
+
+    fn find(merged_into: &[usize], mut s: usize) -> usize {
+        while merged_into[s] != s {
+            s = merged_into[s];
+        }
+        s
+    }
+
+    // Candidate merge of child-group `c` into parent-group `p`: extra fill
+    // and the merged row structure.
+    let evaluate = |c: usize,
+                    p: usize,
+                    live_first: &[usize],
+                    rows: &[Vec<usize>],
+                    cur_nnz: &[usize]|
+     -> (i64, Vec<usize>) {
+        let wc = live_last[c] - live_first[c];
+        let wp = live_last[p] - live_first[p];
+        let mut merged: Vec<usize> = rows[c]
+            .iter()
+            .copied()
+            .filter(|&i| i >= live_last[p])
+            .chain(rows[p].iter().copied())
+            .collect();
+        merged.sort_unstable();
+        merged.dedup();
+        let new_nnz = group_nnz(wc + wp, merged.len());
+        let fill = new_nnz as i64 - (cur_nnz[c] + cur_nnz[p]) as i64;
+        (fill, merged)
+    };
+
+    // Min-heap of candidate merges keyed by extra fill; entries carry the
+    // generation stamps they were computed under.
+    use std::cmp::Reverse;
+    let mut heap: std::collections::BinaryHeap<Reverse<(i64, usize, u32, u32)>> =
+        std::collections::BinaryHeap::new();
+    let push_candidate = |heap: &mut std::collections::BinaryHeap<Reverse<(i64, usize, u32, u32)>>,
+                              s: usize,
+                              live_first: &[usize],
+                              rows: &[Vec<usize>],
+                              cur_nnz: &[usize],
+                              merged_into: &[usize],
+                              generation: &[u32]| {
+        let p0 = parent[s];
+        if p0 == NO_PARENT {
+            return;
+        }
+        let p = find(merged_into, p0);
+        if p == s || live_first[p] != live_last[s] {
+            return;
+        }
+        let (fill, _) = evaluate(s, p, live_first, rows, cur_nnz);
+        heap.push(Reverse((fill, s, generation[s], generation[p])));
+    };
+    for s in 0..nsup {
+        push_candidate(&mut heap, s, &live_first, &rows, &cur_nnz, &merged_into, &generation);
+    }
+    // Live group ending at a given column (live_last never changes for a
+    // live group): used to discover children whose contiguity with a
+    // grown parent group only becomes true after a merge.
+    let mut end_map: std::collections::HashMap<usize, usize> =
+        (0..nsup).map(|s| (live_last[s], s)).collect();
+
+    while let Some(Reverse((fill, s, gen_s, _gen_p))) = heap.pop() {
+        if !alive[s] || generation[s] != gen_s {
+            continue;
+        }
+        let p = find(&merged_into, parent[s]);
+        if p == s || !alive[p] || live_first[p] != live_last[s] {
+            continue;
+        }
+        // Re-evaluate: the parent group may have changed since this entry
+        // was pushed (its generation moved on).
+        let (fill_now, merged_rows) = evaluate(s, p, &live_first, &rows, &cur_nnz);
+        if fill_now > fill {
+            // Stale optimistic entry: reinsert with the fresh cost.
+            heap.push(Reverse((fill_now, s, generation[s], generation[p])));
+            continue;
+        }
+        // Tiny groups may always merge (their absolute fill is small and
+        // the resulting task would otherwise be un-schedulable); larger
+        // merges draw from the global budget.
+        let w = live_last[p] - live_first[s];
+        let tiny = w <= options.min_width;
+        if !tiny && fill_now > budget {
+            continue; // too expensive now; cheaper candidates also popped
+        }
+        if !tiny {
+            budget -= fill_now.max(0);
+        }
+        // Commit the merge: p absorbs s.
+        live_first[p] = live_first[s];
+        cur_nnz[p] = group_nnz(w, merged_rows.len());
+        rows[p] = merged_rows;
+        alive[s] = false;
+        merged_into[s] = p;
+        generation[p] += 1;
+        end_map.remove(&live_last[s]);
+        // New candidates: the merged group into *its* parent, and the
+        // group that now abuts p from below (if its tree parent resolves
+        // to p, push_candidate accepts it).
+        push_candidate(&mut heap, p, &live_first, &rows, &cur_nnz, &merged_into, &generation);
+        if let Some(&g) = end_map.get(&live_first[p]) {
+            if alive[g] {
+                push_candidate(&mut heap, g, &live_first, &rows, &cur_nnz, &merged_into, &generation);
+            }
+        }
+    }
+
+    // Rebuild a compact partition.
+    let mut order: Vec<usize> = (0..nsup).filter(|&s| alive[s]).collect();
+    order.sort_by_key(|&s| live_first[s]);
+    let mut first = Vec::with_capacity(order.len() + 1);
+    let mut new_rows = Vec::with_capacity(order.len());
+    for &s in &order {
+        first.push(live_first[s]);
+        new_rows.push(std::mem::take(&mut rows[s]));
+    }
+    first.push(n);
+    let mut snode_of = vec![0usize; n];
+    for (new_s, w) in first.windows(2).enumerate() {
+        for j in w[0]..w[1] {
+            snode_of[j] = new_s;
+        }
+    }
+    // Recompute the supernode tree from the merged structures: parent =
+    // supernode of the smallest row (first ancestor receiving an update),
+    // falling back to NO_PARENT for top supernodes.
+    let nlive = order.len();
+    let mut sparent = vec![NO_PARENT; nlive];
+    for s in 0..nlive {
+        if let Some(&r) = new_rows[s].first() {
+            sparent[s] = snode_of[r];
+        }
+    }
+    SupernodePartition {
+        first,
+        snode_of,
+        rows: new_rows,
+        parent: sparent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::column_counts;
+    use crate::etree::{elimination_tree, is_topological, postorder, relabel_parent};
+    use dagfact_sparse::gen::{grid_laplacian_2d, random_spd};
+
+    fn prepared(pattern: &SparsityPattern) -> (SparsityPattern, Vec<usize>, Vec<usize>) {
+        let sym = pattern.symmetrize();
+        let parent = elimination_tree(&sym);
+        let post = postorder(&parent);
+        let mut perm = vec![0usize; post.len()];
+        for (new, &old) in post.iter().enumerate() {
+            perm[old] = new;
+        }
+        let permuted = sym.permute_symmetric(&perm);
+        let parent2 = relabel_parent(&parent, &post);
+        assert!(is_topological(&parent2));
+        let (cc, _) = column_counts(&permuted, &parent2);
+        (permuted, parent2, cc)
+    }
+
+    /// struct(L[:, j]) from dense symbolic factorization (diag excluded).
+    fn naive_struct_below(pattern: &SparsityPattern) -> Vec<Vec<usize>> {
+        let n = pattern.ncols();
+        let mut cols: Vec<Vec<bool>> = vec![vec![false; n]; n];
+        for j in 0..n {
+            for &i in pattern.col(j) {
+                if i > j {
+                    cols[j][i] = true;
+                }
+            }
+            for k in 0..j {
+                if cols[k][j] {
+                    for i in (j + 1)..n {
+                        if cols[k][i] {
+                            cols[j][i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        cols.into_iter()
+            .map(|c| c.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect())
+            .collect()
+    }
+
+    #[test]
+    fn partition_covers_columns_contiguously() {
+        let a = grid_laplacian_2d(7, 7);
+        let (p, parent, cc) = prepared(a.pattern());
+        let first = detect_supernodes(&parent, &cc);
+        let part = build_partition(&p, &parent, first);
+        assert_eq!(*part.first.first().unwrap(), 0);
+        assert_eq!(*part.first.last().unwrap(), 49);
+        for s in 0..part.len() {
+            assert!(part.width(s) >= 1);
+            for j in part.cols(s) {
+                assert_eq!(part.snode_of[j], s);
+            }
+        }
+    }
+
+    #[test]
+    fn supernode_structures_match_naive_symbolic() {
+        for seed in [1u64, 9, 23] {
+            let a = random_spd(30, 3, seed);
+            let (p, parent, cc) = prepared(a.pattern());
+            let first = detect_supernodes(&parent, &cc);
+            let part = build_partition(&p, &parent, first);
+            let naive = naive_struct_below(&p);
+            for s in 0..part.len() {
+                let fc = part.cols(s).start;
+                let lc = part.cols(s).end;
+                // struct of the FIRST column below the supernode's columns
+                // must equal the supernode's row list.
+                let expect: Vec<usize> =
+                    naive[fc].iter().copied().filter(|&i| i >= lc).collect();
+                assert_eq!(part.rows[s], expect, "seed {seed} snode {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_factor_matches_column_counts() {
+        let a = grid_laplacian_2d(8, 6);
+        let (p, parent, cc) = prepared(a.pattern());
+        let nnz_cc: usize = cc.iter().sum();
+        let first = detect_supernodes(&parent, &cc);
+        let part = build_partition(&p, &parent, first);
+        assert_eq!(part.nnz_factor(), nnz_cc);
+    }
+
+    #[test]
+    fn amalgamation_reduces_supernode_count_with_bounded_fill() {
+        let a = grid_laplacian_2d(12, 12);
+        let (p, parent, cc) = prepared(a.pattern());
+        let first = detect_supernodes(&parent, &cc);
+        let part = build_partition(&p, &parent, first);
+        let nnz0 = part.nnz_factor();
+        let count0 = part.len();
+        let opts = AmalgamationOptions {
+            fill_ratio: 0.12,
+            min_width: 4,
+        };
+        let merged = amalgamate(part, &opts);
+        assert!(merged.len() < count0, "no merge happened");
+        // Every column still covered, tree still topological on snodes.
+        assert_eq!(*merged.first.last().unwrap(), 144);
+        for s in 0..merged.len() {
+            if merged.parent[s] != NO_PARENT {
+                assert!(merged.parent[s] > s, "snode tree not topological");
+            }
+        }
+        // Fill growth respects a loose global bound (per-merge bound is
+        // 12%, but min-width merges may add a bit more).
+        let nnz1 = merged.nnz_factor();
+        assert!(nnz1 >= nnz0);
+        assert!(
+            (nnz1 as f64) < 2.0 * nnz0 as f64,
+            "unreasonable fill growth: {nnz0} -> {nnz1}"
+        );
+    }
+
+    #[test]
+    fn zero_ratio_amalgamation_only_merges_tiny_snodes() {
+        let a = random_spd(40, 3, 5);
+        let (p, parent, cc) = prepared(a.pattern());
+        let first = detect_supernodes(&parent, &cc);
+        let part = build_partition(&p, &parent, first);
+        let nnz0 = part.nnz_factor();
+        let merged = amalgamate(
+            part,
+            &AmalgamationOptions {
+                fill_ratio: 0.0,
+                min_width: 1,
+            },
+        );
+        // ratio 0 + min_width 1 accepts only zero-fill merges.
+        assert_eq!(merged.nnz_factor(), nnz0);
+    }
+
+    use dagfact_sparse::SparsityPattern;
+}

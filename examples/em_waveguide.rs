@@ -1,0 +1,70 @@
+//! Time-harmonic electromagnetic wave propagation with absorbing (PML)
+//! boundaries: a **complex symmetric** system solved with LDLᵀ — the same
+//! problem family as the paper's `pmlDF` and `FilterV2` matrices.
+//!
+//! The Helmholtz operator `−Δ − (k² + iσ)` is not Hermitian and not
+//! positive definite: Cholesky is unusable and iterative methods struggle,
+//! which is precisely where a static-pivoting LDLᵀ with iterative
+//! refinement shines.
+//!
+//! ```text
+//! cargo run --release --example em_waveguide
+//! ```
+
+use dagfact_suite::core::{Analysis, RuntimeKind, SolverOptions};
+use dagfact_suite::kernels::{Scalar, C64};
+use dagfact_suite::sparse::gen::helmholtz_3d;
+use dagfact_suite::symbolic::FactoKind;
+
+fn main() {
+    // Waveguide-shaped domain, k² = 2, absorption σ = 0.8.
+    let (nx, ny, nz) = (30usize, 12usize, 12usize);
+    let a = helmholtz_3d(nx, ny, nz, 2.0, 0.8);
+    let n = a.nrows();
+    println!("Helmholtz waveguide: {n} unknowns, complex symmetric (Z LDLt)");
+    assert!(a.is_symmetric());
+
+    let analysis = Analysis::new(a.pattern(), FactoKind::Ldlt, &SolverOptions::default());
+    let st = analysis.stats();
+    println!(
+        "analysis: nnz(L) = {}, {:.2} GFlop in Z arithmetic",
+        st.nnz_l,
+        st.flops_complex / 1e9
+    );
+
+    let threads = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let factors = analysis
+        .factorize(&a, RuntimeKind::Dataflow, threads)
+        .expect("static pivoting handles the indefinite diagonal");
+    println!("pivots repaired by static pivoting: {}", factors.pivots_repaired);
+
+    // Excitation: a dipole source at the waveguide entrance.
+    let mut b = vec![C64::new(0.0, 0.0); n];
+    let src = (nz / 2 * ny + ny / 2) * nx + 1;
+    b[src] = C64::new(1.0, 0.0);
+
+    // Solve with iterative refinement and report the backward error.
+    let refined = factors.solve_refined(&a, &b, 4, 1e-14);
+    println!(
+        "refinement: {} correction(s), backward error {:.3e} -> {:.3e}",
+        refined.iterations,
+        refined.residuals.first().unwrap(),
+        refined.residuals.last().unwrap()
+    );
+
+    // Field amplitude decays along the guide thanks to the iσ absorber.
+    let amp = |x: usize| -> f64 {
+        let i = (nz / 2 * ny + ny / 2) * nx + x;
+        refined.x[i].modulus()
+    };
+    println!("\n|E| along the guide axis:");
+    for x in (1..nx).step_by(4) {
+        let bar = "#".repeat((amp(x) / amp(1) * 40.0).round() as usize);
+        println!("  x={x:>3}  {:10.3e}  {bar}", amp(x));
+    }
+    assert!(
+        amp(nx - 2) < amp(1),
+        "absorbing layers must damp the outgoing wave"
+    );
+    println!("\nwave damped by the absorbing boundary ✓");
+}

@@ -1,0 +1,90 @@
+//! Steady-state heat conduction on a 3D block — the "many right-hand
+//! sides against one factorization" workflow that makes direct solvers
+//! attractive over iterative ones.
+//!
+//! A brick of material is held at 0° on its boundary; interior heat
+//! sources are switched on one after the other, and each configuration
+//! reuses the same Cholesky factors. The example also contrasts the
+//! nested-dissection ordering against reverse Cuthill-McKee to show why
+//! the analysis phase matters.
+//!
+//! ```text
+//! cargo run --release --example heat_conduction
+//! ```
+
+use dagfact_suite::core::{Analysis, RuntimeKind, SolverOptions};
+use dagfact_suite::order::OrderingKind;
+use dagfact_suite::sparse::gen::grid_laplacian_3d;
+use dagfact_suite::symbolic::FactoKind;
+
+const NX: usize = 24;
+
+fn idx(x: usize, y: usize, z: usize) -> usize {
+    (z * NX + y) * NX + x
+}
+
+fn main() {
+    let a = grid_laplacian_3d(NX, NX, NX);
+    let n = a.nrows();
+    println!("heat conduction on a {NX}^3 brick ({n} unknowns)");
+
+    // Ordering comparison: the elimination-tree shape decides both fill
+    // and task parallelism (§III of the paper).
+    for (label, ordering) in [
+        ("nested dissection", OrderingKind::NestedDissection),
+        ("reverse Cuthill-McKee", OrderingKind::ReverseCuthillMcKee),
+    ] {
+        let an = Analysis::new(
+            a.pattern(),
+            FactoKind::Cholesky,
+            &SolverOptions {
+                ordering,
+                ..SolverOptions::default()
+            },
+        );
+        let st = an.stats();
+        println!(
+            "  {label:<22} nnz(L) = {:>9}   flops = {:>7.2} GFlop",
+            st.nnz_l,
+            st.flops_real / 1e9
+        );
+    }
+
+    // Factor once with the default (ND) analysis…
+    let analysis = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+    let threads = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let factors = analysis.factorize(&a, RuntimeKind::Native, threads).unwrap();
+
+    // …then sweep heat-source placements, one solve each.
+    let sources = [
+        ("center", idx(NX / 2, NX / 2, NX / 2)),
+        ("corner region", idx(2, 2, 2)),
+        ("face center", idx(NX / 2, NX / 2, 1)),
+    ];
+    println!("\nper-configuration solves (factorization reused):");
+    for (label, s) in sources {
+        let mut b = vec![0.0f64; n];
+        b[s] = 100.0; // point source
+        let t0 = std::time::Instant::now();
+        let x = factors.solve(&b);
+        let dt = t0.elapsed().as_secs_f64();
+        let peak = x.iter().cloned().fold(0.0f64, f64::max);
+        let hot = x.iter().filter(|&&t| t > peak * 0.5).count();
+        println!(
+            "  source at {label:<14} solve {dt:>8.4} s   peak T = {peak:>7.3}   hot cells (>50% peak): {hot}"
+        );
+    }
+
+    // Physical sanity: temperature decays monotonically away from a
+    // central source along an axis.
+    let mut b = vec![0.0f64; n];
+    b[idx(NX / 2, NX / 2, NX / 2)] = 100.0;
+    let x = factors.solve(&b);
+    let mut prev = f64::INFINITY;
+    for d in 0..NX / 2 {
+        let t = x[idx(NX / 2 + d, NX / 2, NX / 2)];
+        assert!(t <= prev + 1e-9, "temperature must decay away from the source");
+        prev = t;
+    }
+    println!("\ntemperature decays monotonically from the source ✓");
+}

@@ -1,0 +1,73 @@
+//! Miniature of the paper's hybrid study: take one problem, analyze it
+//! once, and *simulate* its factorization across schedulers, core counts
+//! and GPU counts on the calibrated Mirage-node model — the same machinery
+//! behind the `fig2`/`fig4` benchmark binaries, in example form.
+//!
+//! ```text
+//! cargo run --release --example hybrid_study [grid_side]
+//! ```
+
+use dagfact_suite::core::{simulate_factorization, Analysis, SimOptions, SolverOptions};
+use dagfact_suite::gpusim::{Platform, SimPolicy};
+use dagfact_suite::sparse::gen::grid_laplacian_3d;
+use dagfact_suite::symbolic::FactoKind;
+
+fn main() {
+    let side: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(36);
+    let a = grid_laplacian_3d(side, side, side);
+    let analysis = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+    let st = analysis.stats();
+    println!(
+        "problem: {side}^3 Poisson, {} unknowns, {:.2} GFlop to factorize",
+        st.n,
+        st.flops_real / 1e9
+    );
+    let opts = SimOptions::default();
+
+    println!("\nCPU scaling (simulated GFlop/s):");
+    println!("{:>6} {:>10} {:>10} {:>10}", "cores", "PaStiX", "StarPU", "PaRSEC");
+    for cores in [1usize, 3, 6, 9, 12] {
+        let p = Platform::mirage(cores, 0);
+        let g = |pol| simulate_factorization(&analysis, &opts, &p, pol).gflops();
+        println!(
+            "{:>6} {:>10.2} {:>10.2} {:>10.2}",
+            cores,
+            g(SimPolicy::NativeStatic),
+            g(SimPolicy::StarPuLike),
+            g(SimPolicy::ParsecLike { streams: 1 })
+        );
+    }
+
+    println!("\nadding GPUs (12 cores, simulated GFlop/s):");
+    println!("{:>6} {:>10} {:>12} {:>12}", "gpus", "StarPU", "PaRSEC(1s)", "PaRSEC(3s)");
+    let mut best_cpu = 0.0f64;
+    let mut best_hybrid = 0.0f64;
+    for gpus in 0..=3usize {
+        let p = Platform::mirage(12, gpus);
+        let r1 = simulate_factorization(&analysis, &opts, &p, SimPolicy::StarPuLike);
+        let r2 = simulate_factorization(&analysis, &opts, &p, SimPolicy::ParsecLike { streams: 1 });
+        let r3 = simulate_factorization(&analysis, &opts, &p, SimPolicy::ParsecLike { streams: 3 });
+        println!(
+            "{:>6} {:>10.2} {:>12.2} {:>12.2}   ({} tasks offloaded, {:.0} MB moved)",
+            gpus,
+            r1.gflops(),
+            r2.gflops(),
+            r3.gflops(),
+            r3.tasks_on_gpu,
+            (r3.bytes_h2d + r3.bytes_d2h) / 1e6
+        );
+        let best = r1.gflops().max(r2.gflops()).max(r3.gflops());
+        if gpus == 0 {
+            best_cpu = best;
+        }
+        best_hybrid = best_hybrid.max(best);
+    }
+    println!(
+        "\nbest hybrid speedup over 12 CPU cores: x{:.2}",
+        best_hybrid / best_cpu
+    );
+    println!("(the paper's Figure 4 shows the same study on the real Mirage node)");
+}

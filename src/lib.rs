@@ -1,0 +1,28 @@
+//! # dagfact-suite
+//!
+//! Umbrella crate for the `dagfact` project: a Rust reproduction of
+//! *"Taking advantage of hybrid systems for sparse direct solvers via
+//! task-based runtimes"* (Lacoste, Faverge, Ramet, Thibault, Bosilca —
+//! IPDPS Workshops 2014, arXiv:1405.2636).
+//!
+//! This crate simply re-exports the member crates so examples, integration
+//! tests and downstream users can depend on a single package:
+//!
+//! * [`sparse`] — sparse matrices, generators and Matrix Market I/O,
+//! * [`order`] — fill-reducing orderings (nested dissection, RCM, …),
+//! * [`symbolic`] — elimination tree, supernodes, block symbol structure,
+//! * [`kernels`] — dense BLAS-like kernels and the sparse update kernels,
+//! * [`rt`] — the three task-based runtimes (native, StarPU-like dataflow,
+//!   PaRSEC-like parameterized task graph),
+//! * [`gpusim`] — discrete-event simulator of hybrid CPU+GPU platforms,
+//! * [`core`] — the supernodal solver tying everything together.
+//!
+//! See `examples/quickstart.rs` for a five-line tour.
+
+pub use dagfact_core as core;
+pub use dagfact_gpusim as gpusim;
+pub use dagfact_kernels as kernels;
+pub use dagfact_order as order;
+pub use dagfact_rt as rt;
+pub use dagfact_sparse as sparse;
+pub use dagfact_symbolic as symbolic;

@@ -1,0 +1,106 @@
+//! Workspace-level property tests: random problems through the whole
+//! stack, plus structural invariants that must hold for *any* input.
+
+use dagfact_suite::core::{Analysis, RuntimeKind, SolverOptions};
+use dagfact_suite::order::{compute_ordering, OrderingKind};
+use dagfact_suite::sparse::gen::random_spd;
+use dagfact_suite::sparse::SparsityPattern;
+use dagfact_suite::symbolic::counts::column_counts;
+use dagfact_suite::symbolic::etree::{elimination_tree, is_topological, postorder, relabel_parent};
+use dagfact_suite::symbolic::FactoKind;
+use proptest::prelude::*;
+
+/// Random sparse symmetric pattern with a full diagonal.
+fn arb_sym_pattern(max_n: usize) -> impl Strategy<Value = SparsityPattern> {
+    (2usize..max_n, 1usize..5, any::<u64>()).prop_map(|(n, per_col, seed)| {
+        let mut s = seed | 1;
+        let mut entries = Vec::new();
+        for j in 0..n {
+            entries.push((j, j));
+            for _ in 0..per_col {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let i = (s as usize) % n;
+                entries.push((i, j));
+                entries.push((j, i));
+            }
+        }
+        SparsityPattern::from_entries(n, n, entries)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_spd_factorizes_and_solves(
+        n in 20usize..160,
+        per_col in 2usize..6,
+        seed in 0u64..10_000,
+        rt_pick in 0usize..3,
+    ) {
+        let a = random_spd(n, per_col, seed);
+        let rt = RuntimeKind::ALL[rt_pick];
+        let analysis = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
+        let f = analysis.factorize(&a, rt, 2).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 13) as f64 - 6.0).collect();
+        let x = f.solve(&b);
+        let mut ax = vec![0.0; n];
+        a.spmv(&x, &mut ax);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8, "{rt:?}");
+        }
+    }
+
+    #[test]
+    fn analysis_invariants_on_random_patterns(p in arb_sym_pattern(120)) {
+        let analysis = Analysis::new(&p, FactoKind::Cholesky, &SolverOptions::default());
+        // Panels tile the columns exactly.
+        analysis.symbol.validate().unwrap();
+        // nnz(L) is at least nnz(lower triangle of the symmetrized A).
+        let sym = p.symmetrize();
+        let lower = (sym.nnz() - sym.ncols()) / 2 + sym.ncols();
+        prop_assert!(analysis.symbol.nnz_factor() >= lower);
+        // Factor flops positive for any nonempty pattern.
+        prop_assert!(analysis.stats().flops_real > 0.0);
+    }
+
+    #[test]
+    fn etree_pipeline_invariants(p in arb_sym_pattern(140)) {
+        let sym = p.symmetrize();
+        let perm = compute_ordering(&sym, OrderingKind::NestedDissection);
+        let permuted = sym.permute_symmetric(perm.perm());
+        let parent = elimination_tree(&permuted);
+        let post = postorder(&parent);
+        let relabeled = relabel_parent(&parent, &post);
+        prop_assert!(is_topological(&relabeled));
+        // Column counts are at least 1 and sum to at least n.
+        let mut scatter = vec![0usize; post.len()];
+        for (new, &old) in post.iter().enumerate() {
+            scatter[old] = new;
+        }
+        let reperm = permuted.permute_symmetric(&scatter);
+        let (cc, nnzl) = column_counts(&reperm, &relabeled);
+        prop_assert!(cc.iter().all(|&c| c >= 1));
+        prop_assert_eq!(nnzl, cc.iter().sum::<usize>());
+        prop_assert!(nnzl >= reperm.ncols());
+    }
+
+    #[test]
+    fn orderings_are_bijections(p in arb_sym_pattern(100), kind_pick in 0usize..3) {
+        let kind = [
+            OrderingKind::NestedDissection,
+            OrderingKind::MinimumDegree,
+            OrderingKind::ReverseCuthillMcKee,
+        ][kind_pick];
+        let sym = p.symmetrize();
+        let perm = compute_ordering(&sym, kind);
+        // Permutation::from_* validates bijectivity internally; round-trip
+        // a vector as a behavioural check.
+        let v: Vec<usize> = (0..perm.len()).collect();
+        let w = perm.apply_vec(&v);
+        let back = perm.apply_inverse_vec(&w);
+        prop_assert_eq!(back, v);
+    }
+}

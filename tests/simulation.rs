@@ -1,0 +1,135 @@
+//! Integration tests of the platform simulator against solver-generated
+//! DAGs: determinism, conservation laws and performance-model sanity that
+//! the paper's figures depend on.
+
+use dagfact_suite::core::{build_sim_dag, simulate_factorization, Analysis, SimOptions, SolverOptions};
+use dagfact_suite::gpusim::{simulate, Platform, SimPolicy};
+use dagfact_suite::sparse::gen::grid_laplacian_3d;
+use dagfact_suite::symbolic::FactoKind;
+
+fn analysis(side: usize) -> Analysis {
+    let a = grid_laplacian_3d(side, side, side);
+    Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default())
+}
+
+fn all_policies() -> Vec<SimPolicy> {
+    vec![
+        SimPolicy::NativeStatic,
+        SimPolicy::StarPuLike,
+        SimPolicy::ParsecLike { streams: 1 },
+        SimPolicy::ParsecLike { streams: 3 },
+    ]
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let an = analysis(14);
+    let opts = SimOptions::default();
+    for policy in all_policies() {
+        let p = Platform::mirage(8, 2);
+        let a = simulate_factorization(&an, &opts, &p, policy);
+        let b = simulate_factorization(&an, &opts, &p, policy);
+        assert_eq!(a.makespan, b.makespan, "{policy:?}");
+        assert_eq!(a.tasks_on_gpu, b.tasks_on_gpu);
+        assert_eq!(a.bytes_h2d, b.bytes_h2d);
+    }
+}
+
+#[test]
+fn every_task_is_executed_exactly_once() {
+    let an = analysis(12);
+    let opts = SimOptions::default();
+    for policy in all_policies() {
+        let p = Platform::mirage(6, 1);
+        let dag = build_sim_dag(&an, &opts, &p, policy);
+        let r = simulate(&dag, &p, policy);
+        assert_eq!(
+            r.tasks_on_cpu + r.tasks_on_gpu,
+            dag.tasks.len(),
+            "{policy:?} lost tasks"
+        );
+    }
+}
+
+#[test]
+fn makespan_bounded_by_serial_time_and_critical_path() {
+    let an = analysis(14);
+    let opts = SimOptions::default();
+    let p1 = Platform::mirage(1, 0);
+    let p12 = Platform::mirage(12, 0);
+    for policy in all_policies() {
+        let serial = simulate_factorization(&an, &opts, &p1, policy);
+        let parallel = simulate_factorization(&an, &opts, &p12, policy);
+        // Parallel never slower than serial (same policy), never more than
+        // 12x faster.
+        assert!(parallel.makespan <= serial.makespan * 1.001, "{policy:?}");
+        assert!(
+            parallel.makespan * 12.5 >= serial.makespan,
+            "{policy:?} superlinear"
+        );
+    }
+}
+
+#[test]
+fn busy_time_is_conserved_cpu_only() {
+    // On a CPU-only platform, total busy time ≥ pure compute time (the
+    // difference is scheduler overhead + cold reads) and the utilization
+    // never exceeds 1.
+    let an = analysis(14);
+    let opts = SimOptions::default();
+    let p = Platform::mirage(8, 0);
+    for policy in all_policies() {
+        let r = simulate_factorization(&an, &opts, &p, policy);
+        assert!(r.cpu_utilization() <= 1.0 + 1e-9, "{policy:?}");
+        let busy: f64 = r.cpu_busy.iter().sum();
+        // Pure compute at the fastest possible rate bounds busy from below.
+        let fastest = p.cpu.peak_gflops * p.cpu.max_efficiency * 1e9;
+        assert!(
+            busy >= r.total_flops / fastest * 0.99,
+            "{policy:?}: busy {busy} too small"
+        );
+        // And busy time can never exceed workers × makespan.
+        assert!(busy <= r.makespan * r.cpu_busy.len() as f64 * (1.0 + 1e-9));
+    }
+}
+
+#[test]
+fn gpu_transfers_only_happen_with_gpus() {
+    let an = analysis(12);
+    let opts = SimOptions::default();
+    for policy in all_policies() {
+        let r = simulate_factorization(&an, &opts, &Platform::mirage(8, 0), policy);
+        assert_eq!(r.bytes_h2d, 0.0);
+        assert_eq!(r.bytes_d2h, 0.0);
+        assert_eq!(r.tasks_on_gpu, 0);
+    }
+}
+
+#[test]
+fn offloaded_work_transfers_data_both_ways() {
+    let an = analysis(16);
+    let opts = SimOptions::default();
+    let r = simulate_factorization(
+        &an,
+        &opts,
+        &Platform::mirage(12, 2),
+        SimPolicy::ParsecLike { streams: 3 },
+    );
+    assert!(r.tasks_on_gpu > 0);
+    assert!(r.bytes_h2d > 0.0);
+    // Written panels must come home for the solve phase.
+    assert!(r.bytes_d2h > 0.0);
+}
+
+#[test]
+fn complex_arithmetic_quadruples_flops_but_not_speed() {
+    let a = grid_laplacian_3d(14, 14, 14);
+    let an = Analysis::new(a.pattern(), FactoKind::Lu, &SolverOptions::default());
+    let p = Platform::mirage(12, 0);
+    let d = simulate_factorization(&an, &SimOptions { complex: false, ..SimOptions::default() }, &p, SimPolicy::NativeStatic);
+    let z = simulate_factorization(&an, &SimOptions { complex: true, ..SimOptions::default() }, &p, SimPolicy::NativeStatic);
+    // Z flops = 4x D flops on the same structure.
+    assert!((z.total_flops / d.total_flops - 4.0).abs() < 0.01);
+    // Takes correspondingly longer in wall-clock.
+    assert!(z.makespan > 2.0 * d.makespan);
+}
