@@ -1,0 +1,20 @@
+# Convenience targets. The canonical gate is `make check-robust`.
+
+.PHONY: build test check-robust clippy
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q --workspace
+
+# Full robustness gate: the whole test suite plus the fault-injection and
+# recovery suites with backtraces on, then a warning-free clippy pass.
+check-robust:
+	RUST_BACKTRACE=1 cargo test -q --workspace
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-rt --test fault_injection
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-core --test fault_recovery
+	cargo clippy --workspace --all-targets -- -D warnings
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings

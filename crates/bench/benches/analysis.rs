@@ -2,7 +2,7 @@
 //! factorization and the static schedule — the cost PaStiX pays once per
 //! structure (§III notes the 1D coarsening exists to keep this cheap).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagfact_bench::Bench;
 use dagfact_core::{Analysis, SolverOptions};
 use dagfact_order::{compute_ordering, OrderingKind};
 use dagfact_sparse::gen::grid_laplacian_3d;
@@ -10,72 +10,55 @@ use dagfact_symbolic::cost::{static_schedule, CostModel, TaskCosts};
 use dagfact_symbolic::counts::column_counts;
 use dagfact_symbolic::etree::elimination_tree;
 use dagfact_symbolic::FactoKind;
+use std::hint::black_box;
 
-fn bench_ordering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ordering");
-    group.sample_size(10);
+fn bench_ordering(bench: &Bench) {
+    let mut group = bench.group("ordering");
     for side in [16usize, 24] {
         let a = grid_laplacian_3d(side, side, side);
         let sym = a.pattern().symmetrize();
-        group.bench_with_input(
-            BenchmarkId::new("nested_dissection", side * side * side),
-            &sym,
-            |bench, sym| {
-                bench.iter(|| compute_ordering(sym, OrderingKind::NestedDissection));
-            },
-        );
+        group.bench(&format!("nested_dissection/{}", side * side * side), || {
+            black_box(compute_ordering(&sym, OrderingKind::NestedDissection));
+        });
     }
-    group.finish();
 }
 
-fn bench_symbolic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("symbolic");
-    group.sample_size(10);
+fn bench_symbolic(bench: &Bench) {
+    let mut group = bench.group("symbolic");
     for side in [16usize, 24] {
         let a = grid_laplacian_3d(side, side, side);
         let sym = a.pattern().symmetrize();
         let perm = compute_ordering(&sym, OrderingKind::NestedDissection);
         let permuted = sym.permute_symmetric(perm.perm());
-        group.bench_with_input(
-            BenchmarkId::new("etree_and_counts", side * side * side),
-            &permuted,
-            |bench, p| {
-                bench.iter(|| {
-                    let parent = elimination_tree(p);
-                    column_counts(p, &parent)
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("full_analysis", side * side * side),
-            &a,
-            |bench, a| {
-                bench.iter(|| {
-                    Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default())
-                });
-            },
-        );
+        group.bench(&format!("etree_and_counts/{}", side * side * side), || {
+            let parent = elimination_tree(&permuted);
+            black_box(column_counts(&permuted, &parent));
+        });
+        group.bench(&format!("full_analysis/{}", side * side * side), || {
+            black_box(Analysis::new(
+                a.pattern(),
+                FactoKind::Cholesky,
+                &SolverOptions::default(),
+            ));
+        });
     }
-    group.finish();
 }
 
-fn bench_static_schedule(c: &mut Criterion) {
-    let mut group = c.benchmark_group("static_schedule");
-    group.sample_size(10);
+fn bench_static_schedule(bench: &Bench) {
+    let mut group = bench.group("static_schedule");
     let a = grid_laplacian_3d(24, 24, 24);
     let an = Analysis::new(a.pattern(), FactoKind::Cholesky, &SolverOptions::default());
     let costs = TaskCosts::compute(&an.symbol, &CostModel::real(FactoKind::Cholesky));
     for workers in [4usize, 12] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |bench, &w| {
-                bench.iter(|| static_schedule(&an.symbol, &costs, w));
-            },
-        );
+        group.bench(&format!("{workers}"), || {
+            black_box(static_schedule(&an.symbol, &costs, workers));
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_ordering, bench_symbolic, bench_static_schedule);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::from_args();
+    bench_ordering(&bench);
+    bench_symbolic(&bench);
+    bench_static_schedule(&bench);
+}

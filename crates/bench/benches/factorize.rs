@@ -4,68 +4,55 @@
 //! study lives in the `fig2`/`fig4` simulator harness); on a multi-core
 //! host it doubles as a genuine scheduler comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dagfact_bench::Bench;
 use dagfact_core::{Analysis, RuntimeKind, SolverOptions};
 use dagfact_sparse::gen::{convection_diffusion_3d, grid_laplacian_3d, shifted_laplacian_3d};
 use dagfact_symbolic::FactoKind;
 
-fn bench_factorize(c: &mut Criterion) {
+fn bench_factorize(bench: &Bench) {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut group = c.benchmark_group("factorize_real");
-    group.sample_size(10);
+    let mut group = bench.group("factorize_real");
 
     let spd = grid_laplacian_3d(14, 14, 14);
     let chol = Analysis::new(spd.pattern(), FactoKind::Cholesky, &SolverOptions::default());
     let flops = chol.stats().flops_real;
-    group.throughput(Throughput::Elements(flops as u64));
+    group.throughput(flops as u64);
     for rt in RuntimeKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("cholesky_14cube", rt.label()),
-            &rt,
-            |bench, &rt| {
-                bench.iter(|| chol.factorize(&spd, rt, threads).unwrap());
-            },
-        );
+        group.bench(&format!("cholesky_14cube/{}", rt.label()), || {
+            chol.factorize(&spd, rt, threads).unwrap();
+        });
     }
 
     let indef = shifted_laplacian_3d(12, 12, 12, 1.0);
     let ldlt = Analysis::new(indef.pattern(), FactoKind::Ldlt, &SolverOptions::default());
     for rt in [RuntimeKind::Native, RuntimeKind::Ptg] {
-        group.bench_with_input(
-            BenchmarkId::new("ldlt_12cube", rt.label()),
-            &rt,
-            |bench, &rt| {
-                bench.iter(|| ldlt.factorize(&indef, rt, threads).unwrap());
-            },
-        );
+        group.bench(&format!("ldlt_12cube/{}", rt.label()), || {
+            ldlt.factorize(&indef, rt, threads).unwrap();
+        });
     }
 
     let unsym = convection_diffusion_3d(11, 11, 11, 0.4);
     let lu = Analysis::new(unsym.pattern(), FactoKind::Lu, &SolverOptions::default());
     for rt in [RuntimeKind::Native, RuntimeKind::Dataflow] {
-        group.bench_with_input(
-            BenchmarkId::new("lu_11cube", rt.label()),
-            &rt,
-            |bench, &rt| {
-                bench.iter(|| lu.factorize(&unsym, rt, threads).unwrap());
-            },
-        );
+        group.bench(&format!("lu_11cube/{}", rt.label()), || {
+            lu.factorize(&unsym, rt, threads).unwrap();
+        });
     }
-    group.finish();
 }
 
-fn bench_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve_real");
-    group.sample_size(20);
+fn bench_solve(bench: &Bench) {
+    let mut group = bench.group("solve_real");
     let spd = grid_laplacian_3d(14, 14, 14);
     let chol = Analysis::new(spd.pattern(), FactoKind::Cholesky, &SolverOptions::default());
     let f = chol.factorize(&spd, RuntimeKind::Native, 1).unwrap();
     let b = vec![1.0f64; spd.nrows()];
-    group.bench_function("triangular_solve_14cube", |bench| {
-        bench.iter(|| f.solve(&b));
+    group.bench("triangular_solve_14cube", || {
+        f.solve(&b);
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_factorize, bench_solve);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::from_args();
+    bench_factorize(&bench);
+    bench_solve(&bench);
+}

@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks of the dense kernels (the real-execution
-//! counterpart of the paper's kernel study): GEMM across the block sizes a
-//! supernodal factorization produces, the three diagonal-block
-//! factorizations, and the two sparse-update strategies of §V-B.
+//! Micro-benchmarks of the dense kernels (the real-execution counterpart
+//! of the paper's kernel study): GEMM across the block sizes a supernodal
+//! factorization produces, the three diagonal-block factorizations, and
+//! the two sparse-update strategies of §V-B.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dagfact_bench::Bench;
 use dagfact_kernels::gemm::{gemm, Trans};
 use dagfact_kernels::trsm::{trsm, Diag, Side, Uplo};
 use dagfact_kernels::update::{update_scatter_direct, update_via_buffer, Scatter};
@@ -34,8 +34,8 @@ fn spd(n: usize) -> Vec<f64> {
     a
 }
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm_nt_t");
+fn bench_gemm(bench: &Bench) {
+    let mut group = bench.group("gemm_nt_t");
     for &(m, n, k) in &[
         (64usize, 64usize, 64usize),
         (256, 64, 64),
@@ -45,98 +45,74 @@ fn bench_gemm(c: &mut Criterion) {
         let a = filled(m * k, 1);
         let b = filled(n * k, 2);
         let mut out = vec![0.0f64; m * n];
-        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{m}x{n}x{k}")),
-            &(m, n, k),
-            |bench, &(m, n, k)| {
-                bench.iter(|| {
-                    gemm(
-                        Trans::NoTrans,
-                        Trans::Trans,
-                        m,
-                        n,
-                        k,
-                        -1.0,
-                        black_box(&a),
-                        m,
-                        black_box(&b),
-                        n,
-                        1.0,
-                        &mut out,
-                        m,
-                    )
-                });
-            },
-        );
+        group.throughput((2 * m * n * k) as u64).bench(&format!("{m}x{n}x{k}"), || {
+            gemm(
+                Trans::NoTrans,
+                Trans::Trans,
+                m,
+                n,
+                k,
+                -1.0,
+                black_box(&a),
+                m,
+                black_box(&b),
+                n,
+                1.0,
+                &mut out,
+                m,
+            )
+        });
     }
-    group.finish();
 }
 
-fn bench_diag_factorizations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("diag_block");
-    group.sample_size(20);
+fn bench_diag_factorizations(bench: &Bench) {
+    let mut group = bench.group("diag_block");
     for &n in &[64usize, 128, 256] {
         let a = spd(n);
-        group.bench_with_input(BenchmarkId::new("potrf", n), &n, |bench, &n| {
-            bench.iter_batched(
-                || a.clone(),
-                |mut m| potrf(n, &mut m, n).unwrap(),
-                criterion::BatchSize::SmallInput,
-            );
-        });
-        group.bench_with_input(BenchmarkId::new("ldlt", n), &n, |bench, &n| {
-            bench.iter_batched(
-                || (a.clone(), vec![0.0; n]),
-                |(mut m, mut d)| ldlt(n, &mut m, n, &mut d, 0.0).unwrap(),
-                criterion::BatchSize::SmallInput,
-            );
-        });
-        group.bench_with_input(BenchmarkId::new("getrf", n), &n, |bench, &n| {
-            bench.iter_batched(
-                || a.clone(),
-                |mut m| getrf(n, &mut m, n, 0.0).unwrap(),
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        group.bench_batched(
+            &format!("potrf/{n}"),
+            || a.clone(),
+            |mut m| potrf(n, &mut m, n).unwrap(),
+        );
+        group.bench_batched(
+            &format!("ldlt/{n}"),
+            || (a.clone(), vec![0.0; n]),
+            |(mut m, mut d)| ldlt(n, &mut m, n, &mut d, 0.0).unwrap(),
+        );
+        group.bench_batched(
+            &format!("getrf/{n}"),
+            || a.clone(),
+            |mut m| getrf(n, &mut m, n, 0.0).unwrap(),
+        );
     }
-    group.finish();
 }
 
-fn bench_trsm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("panel_trsm");
+fn bench_trsm(bench: &Bench) {
+    let mut group = bench.group("panel_trsm");
     for &(h, w) in &[(512usize, 64usize), (2048, 128)] {
         let t = spd(w);
         let mut b = filled(h * w, 7);
-        group.throughput(Throughput::Elements((h * w * w) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{h}x{w}")),
-            &(h, w),
-            |bench, &(h, w)| {
-                bench.iter(|| {
-                    trsm(
-                        Side::Right,
-                        Uplo::Lower,
-                        Trans::Trans,
-                        Diag::NonUnit,
-                        h,
-                        w,
-                        black_box(&t),
-                        w,
-                        &mut b,
-                        h,
-                    )
-                });
-            },
-        );
+        group.throughput((h * w * w) as u64).bench(&format!("{h}x{w}"), || {
+            trsm(
+                Side::Right,
+                Uplo::Lower,
+                Trans::Trans,
+                Diag::NonUnit,
+                h,
+                w,
+                black_box(&t),
+                w,
+                &mut b,
+                h,
+            )
+        });
     }
-    group.finish();
 }
 
 /// The §V-B comparison on CPU: buffer-then-scatter vs. direct scatter, on
 /// a gappy destination twice as tall as the contribution.
-fn bench_update_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sparse_update");
+fn bench_update_variants(bench: &Bench) {
+    let mut group = bench.group("sparse_update");
     for &(m, n, k) in &[(256usize, 64usize, 64usize), (1024, 128, 128)] {
         let a1 = filled(m * k, 3);
         let a2 = filled(n * k, 4);
@@ -148,39 +124,25 @@ fn bench_update_variants(c: &mut Criterion) {
             row_map: &row_map,
             col_offset: 2,
         };
-        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("via_buffer", format!("{m}x{n}x{k}")),
-            &(),
-            |bench, ()| {
-                let mut work = Vec::new();
-                bench.iter(|| {
-                    update_via_buffer(
-                        m, n, k, -1.0, &a1, m, &a2, n, None, &mut work, &mut cdst, ldc, scatter,
-                    )
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("scatter_direct", format!("{m}x{n}x{k}")),
-            &(),
-            |bench, ()| {
-                bench.iter(|| {
-                    update_scatter_direct(
-                        m, n, k, -1.0, &a1, m, &a2, n, None, &mut cdst, ldc, scatter,
-                    )
-                });
-            },
-        );
+        group.throughput((2 * m * n * k) as u64);
+        {
+            let mut work = Vec::new();
+            group.bench(&format!("via_buffer/{m}x{n}x{k}"), || {
+                update_via_buffer(
+                    m, n, k, -1.0, &a1, m, &a2, n, None, &mut work, &mut cdst, ldc, scatter,
+                )
+            });
+        }
+        group.bench(&format!("scatter_direct/{m}x{n}x{k}"), || {
+            update_scatter_direct(m, n, k, -1.0, &a1, m, &a2, n, None, &mut cdst, ldc, scatter)
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_gemm,
-    bench_diag_factorizations,
-    bench_trsm,
-    bench_update_variants
-);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::from_args();
+    bench_gemm(&bench);
+    bench_diag_factorizations(&bench);
+    bench_trsm(&bench);
+    bench_update_variants(&bench);
+}

@@ -3,7 +3,7 @@
 //! simulator charges (PaRSEC targets tasks "order of magnitude under ten
 //! microseconds", §IV; this measures how close the Rust engines get).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dagfact_bench::Bench;
 use dagfact_rt::dataflow::DataflowGraph;
 use dagfact_rt::native::{run_native, NativeTask};
 use dagfact_rt::ptg::{run_ptg, PtgProgram};
@@ -12,11 +12,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 const NTASKS: usize = 10_000;
 
-fn bench_native(c: &mut Criterion) {
+fn bench_engines(bench: &Bench) {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut group = c.benchmark_group("engine_overhead");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(NTASKS as u64));
+    let mut group = bench.group("engine_overhead");
+    group.throughput(NTASKS as u64);
 
     // Independent no-op tasks.
     let tasks: Vec<NativeTask> = (0..NTASKS)
@@ -27,30 +26,26 @@ fn bench_native(c: &mut Criterion) {
             priority: (i % 97) as f64,
         })
         .collect();
-    group.bench_function(BenchmarkId::new("native", NTASKS), |bench| {
-        bench.iter(|| {
-            let count = AtomicUsize::new(0);
-            run_native(&tasks, threads, |_, _| {
-                count.fetch_add(1, Ordering::Relaxed);
-            });
-            assert_eq!(count.load(Ordering::Relaxed), NTASKS);
+    group.bench(&format!("native/{NTASKS}"), || {
+        let count = AtomicUsize::new(0);
+        run_native(&tasks, threads, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
         });
+        assert_eq!(count.load(Ordering::Relaxed), NTASKS);
     });
 
-    group.bench_function(BenchmarkId::new("dataflow", NTASKS), |bench| {
-        bench.iter(|| {
-            let count = AtomicUsize::new(0);
-            let mut g = DataflowGraph::new(64);
-            for i in 0..NTASKS {
-                let count = &count;
-                // Rotating data accesses: chains of length NTASKS/64.
-                g.submit(&[(i % 64, AccessMode::ReadWrite)], 0.0, move |_| {
-                    count.fetch_add(1, Ordering::Relaxed);
-                });
-            }
-            g.execute(threads);
-            assert_eq!(count.load(Ordering::Relaxed), NTASKS);
-        });
+    group.bench(&format!("dataflow/{NTASKS}"), || {
+        let count = AtomicUsize::new(0);
+        let mut g = DataflowGraph::new(64);
+        for i in 0..NTASKS {
+            let count = &count;
+            // Rotating data accesses: chains of length NTASKS/64.
+            g.submit(&[(i % 64, AccessMode::ReadWrite)], 0.0, move |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        g.execute(threads);
+        assert_eq!(count.load(Ordering::Relaxed), NTASKS);
     });
 
     struct Flat<'a> {
@@ -68,15 +63,14 @@ fn bench_native(c: &mut Criterion) {
             self.count.fetch_add(1, Ordering::Relaxed);
         }
     }
-    group.bench_function(BenchmarkId::new("ptg", NTASKS), |bench| {
-        bench.iter(|| {
-            let count = AtomicUsize::new(0);
-            run_ptg(&Flat { count: &count }, threads);
-            assert_eq!(count.load(Ordering::Relaxed), NTASKS);
-        });
+    group.bench(&format!("ptg/{NTASKS}"), || {
+        let count = AtomicUsize::new(0);
+        run_ptg(&Flat { count: &count }, threads);
+        assert_eq!(count.load(Ordering::Relaxed), NTASKS);
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_native);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::from_args();
+    bench_engines(&bench);
+}

@@ -19,5 +19,7 @@
 //! University of Florida set (DESIGN.md §2).
 
 pub mod matrices;
+pub mod microbench;
 
 pub use matrices::{proxies, MatrixProxy};
+pub use microbench::Bench;

@@ -1,0 +1,201 @@
+//! Minimal, dependency-free micro-benchmark harness.
+//!
+//! The container this repository builds in has no network access, so the
+//! bench targets cannot pull an external benchmarking framework; this
+//! module supplies the small subset actually needed: named groups,
+//! warmup + adaptive iteration counts, median-of-samples timing, and
+//! optional element throughput. Bench binaries keep `harness = false`
+//! and drive it from `main`.
+//!
+//! Timing model: each benchmark is warmed up, then run in batches sized
+//! so one sample lasts ≳ 5 ms; the reported figure is the median over
+//! [`SAMPLES`] batches — robust to scheduler noise without rigorous
+//! statistics.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 11;
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+const WARMUP: Duration = Duration::from_millis(30);
+
+/// Top-level harness: parses the CLI filter and prints a header.
+pub struct Bench {
+    filter: Option<String>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+impl Bench {
+    /// Build from `std::env::args`: the first non-flag argument is a
+    /// substring filter on `group/name` ids (flags like `--bench` that
+    /// cargo passes are ignored).
+    pub fn from_args() -> Bench {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Bench { filter }
+    }
+
+    /// Start a named benchmark group.
+    pub fn group(&self, name: &str) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct Group<'a> {
+    bench: &'a Bench,
+    name: String,
+    throughput: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Set the per-iteration element count; subsequent benches report
+    /// elements/second alongside time.
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.throughput = Some(elements);
+        self
+    }
+
+    /// Benchmark `f`, timed over whole batches.
+    pub fn bench<F: FnMut()>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if !self.bench.matches(&full) {
+            return self;
+        }
+        // Warmup + per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            f();
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        report(&full, median, self.throughput);
+        self
+    }
+
+    /// Benchmark `run` on a fresh `setup()` value each iteration; only
+    /// `run` is timed (per-iteration stopwatch, for workloads that
+    /// consume their input).
+    pub fn bench_batched<S, I, F, R>(&mut self, id: &str, mut setup: S, mut run: F) -> &mut Self
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let full = format!("{}/{}", self.name, id);
+        if !self.bench.matches(&full) {
+            return self;
+        }
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_spent = Duration::ZERO;
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(run(input));
+            warm_spent += t0.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = (warm_spent.as_secs_f64() / warm_iters as f64).max(1e-9);
+        let batch = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let mut spent = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(run(input));
+                spent += t0.elapsed();
+            }
+            samples.push(spent.as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        report(&full, median, self.throughput);
+        self
+    }
+}
+
+fn report(id: &str, secs: f64, throughput: Option<u64>) {
+    let time = if secs >= 1.0 {
+        format!("{secs:9.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:9.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:9.3} µs", secs * 1e6)
+    } else {
+        format!("{:9.1} ns", secs * 1e9)
+    };
+    match throughput {
+        Some(elems) => {
+            let rate = elems as f64 / secs;
+            println!("{id:<48} {time}   {:10.3} Melem/s", rate / 1e6);
+        }
+        None => println!("{id:<48} {time}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let b = Bench { filter: None };
+        let mut calls = 0u64;
+        b.group("smoke").throughput(100).bench("noop", || {
+            calls += 1;
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let b = Bench {
+            filter: Some("other".to_string()),
+        };
+        let mut calls = 0u64;
+        b.group("smoke").bench("noop", || calls += 1);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn batched_setup_not_timed() {
+        let b = Bench { filter: None };
+        let mut runs = 0u64;
+        b.group("smoke").bench_batched(
+            "clone",
+            || vec![1u8; 16],
+            |v| {
+                runs += 1;
+                v.len()
+            },
+        );
+        assert!(runs > 0);
+    }
+}

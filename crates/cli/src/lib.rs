@@ -6,6 +6,7 @@
 //! dagfact analyze  <matrix.mtx> [--facto auto|chol|ldlt|lu]
 //! dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]
 //!                  [--threads N] [--rhs <file>] [--refine N] [--output <file>]
+//!                  [--fault-plan <spec>] [--max-refactor-attempts N]
 //! dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]
 //!                  [--policy pastix|starpu|parsec] [--streams N]
 //! ```
@@ -18,8 +19,10 @@
 //! whole CLI is unit-testable without spawning processes.
 
 use dagfact_core::{
-    simulate_factorization, Analysis, RuntimeKind, SimOptions, Solver, SolverOptions,
+    simulate_factorization, Analysis, ExecOptions, RuntimeKind, SimOptions, Solver,
+    SolverOptions,
 };
+use dagfact_rt::{FaultPlan, RunConfig};
 use dagfact_gpusim::{Platform, SimPolicy};
 use dagfact_kernels::{Scalar, C64};
 use dagfact_sparse::mm::read_matrix_market_file;
@@ -38,6 +41,8 @@ struct Opts {
     rhs: Option<String>,
     refine: usize,
     output: Option<String>,
+    fault_plan: Option<String>,
+    max_refactor_attempts: Option<u32>,
     cores: usize,
     gpus: usize,
     policy: SimPolicy,
@@ -57,7 +62,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage:\n  dagfact analyze  <matrix.mtx> [--facto auto|chol|ldlt|lu]\n  dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]\n                   [--threads N] [--rhs file] [--refine N] [--output file]\n  dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]\n                   [--policy pastix|starpu|parsec] [--streams N]"
+    "usage:\n  dagfact analyze  <matrix.mtx> [--facto auto|chol|ldlt|lu]\n  dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]\n                   [--threads N] [--rhs file] [--refine N] [--output file]\n                   [--fault-plan spec] [--max-refactor-attempts N]\n  dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]\n                   [--policy pastix|starpu|parsec] [--streams N]"
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
@@ -79,6 +84,8 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         rhs: None,
         refine: 2,
         output: None,
+        fault_plan: None,
+        max_refactor_attempts: None,
         cores: 12,
         gpus: 0,
         policy: SimPolicy::ParsecLike { streams: 3 },
@@ -113,6 +120,16 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--rhs" => opts.rhs = Some(value()?),
             "--refine" => opts.refine = parse_num(&value()?)?,
             "--output" | "-o" => opts.output = Some(value()?),
+            "--fault-plan" => {
+                let spec = value()?;
+                // Validate eagerly so bad specs fail before the solve.
+                FaultPlan::parse(&spec).map_err(|e| format!("--fault-plan: {e}"))?;
+                opts.fault_plan = Some(spec);
+            }
+            "--max-refactor-attempts" => {
+                opts.max_refactor_attempts =
+                    Some(parse_num(&value()?)?.min(u32::MAX as usize) as u32)
+            }
             "--cores" => opts.cores = parse_num(&value()?)?,
             "--gpus" => opts.gpus = parse_num(&value()?)?,
             "--streams" => streams = parse_num(&value()?)?,
@@ -188,15 +205,24 @@ fn analyze<T: Scalar>(opts: &Opts, a: &CscMatrix<T>, complex: bool) -> Result<St
 }
 
 fn solve<T: Scalar>(opts: &Opts, a: &CscMatrix<T>) -> Result<String, String> {
+    let mut options = SolverOptions::default();
+    if let Some(n) = opts.max_refactor_attempts {
+        options.max_refactor_attempts = n.max(1);
+    }
+    // Production solves run under the fault-tolerant layer: retries,
+    // stall watchdog, and (for chaos testing) an injection plan.
+    let mut run = RunConfig::resilient();
+    if let Some(spec) = &opts.fault_plan {
+        let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+        run.fault_plan = Some(std::sync::Arc::new(plan));
+    }
+    let exec = ExecOptions {
+        run,
+        epsilon_override: None,
+    };
     let t0 = std::time::Instant::now();
-    let solver = Solver::with_options(
-        a,
-        opts.facto,
-        &SolverOptions::default(),
-        opts.runtime,
-        opts.threads,
-    )
-    .map_err(|e| format!("factorization failed: {e}"))?;
+    let mut solver = Solver::with_exec(a, opts.facto, &options, opts.runtime, opts.threads, &exec)
+        .map_err(|e| format!("factorization failed: {e}"))?;
     let t_facto = t0.elapsed().as_secs_f64();
     let n = a.nrows();
     let b: Vec<T> = match &opts.rhs {
@@ -210,7 +236,9 @@ fn solve<T: Scalar>(opts: &Opts, a: &CscMatrix<T>) -> Result<String, String> {
         }
     };
     let t1 = std::time::Instant::now();
-    let refined = solver.solve_refined(&b, opts.refine, 1e-14);
+    let refined = solver
+        .solve_adaptive(&b, opts.refine, 1e-14)
+        .map_err(|e| format!("solve failed: {e}"))?;
     let t_solve = t1.elapsed().as_secs_f64();
     let mut out = String::new();
     let _ = writeln!(out, "factorization: {}", solver.facto().label());
@@ -221,6 +249,23 @@ fn solve<T: Scalar>(opts: &Opts, a: &CscMatrix<T>) -> Result<String, String> {
         opts.runtime.label()
     );
     let _ = writeln!(out, "pivots fixed : {}", solver.pivots_repaired());
+    let stats = solver.stats();
+    if stats.attempts > 1 {
+        let _ = writeln!(
+            out,
+            "recovery     : {} attempt(s), pivot threshold history {:?}",
+            stats.attempts, stats.epsilon_history
+        );
+    }
+    if stats.run.retries > 0 || stats.run.faults_injected > 0 {
+        let _ = writeln!(
+            out,
+            "engine       : {} task retr{}, {} fault(s) injected",
+            stats.run.retries,
+            if stats.run.retries == 1 { "y" } else { "ies" },
+            stats.run.faults_injected
+        );
+    }
     let _ = writeln!(
         out,
         "solve        : {t_solve:.3} s ({} refinement step(s))",
@@ -387,6 +432,51 @@ mod tests {
         write_matrix_market_file(&a, &path).unwrap();
         let out = run(&args(&["analyze", path.to_str().unwrap()])).unwrap();
         assert!(out.contains("LDLt"), "{out}");
+    }
+
+    #[test]
+    fn fault_plan_transient_faults_are_absorbed() {
+        let path = write_temp("faultplan", &grid_laplacian_3d(6, 6, 6));
+        // Task 1 fails twice then succeeds: the solve must still reach
+        // machine precision and report the retries.
+        let out = run(&args(&[
+            "solve", &path, "--runtime", "parsec", "--threads", "2", "--fault-plan",
+            "transient=1x2",
+        ]))
+        .unwrap();
+        assert!(out.contains("2 task retries"), "{out}");
+        assert!(out.contains("2 fault(s) injected"), "{out}");
+        let err_line = out.lines().find(|l| l.starts_with("backward err")).unwrap();
+        let val: f64 = err_line.split(':').nth(1).unwrap().trim().parse().unwrap();
+        assert!(val < 1e-12, "{out}");
+    }
+
+    #[test]
+    fn fault_plan_panic_fails_the_solve_cleanly() {
+        let path = write_temp("faultpanic", &grid_laplacian_3d(5, 5, 5));
+        let err = run(&args(&[
+            "solve", &path, "--runtime", "native", "--fault-plan", "panic=0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("panicked"), "{err}");
+    }
+
+    #[test]
+    fn bad_fault_plan_spec_is_rejected() {
+        let path = write_temp("badplan", &grid_laplacian_3d(3, 3, 3));
+        let err =
+            run(&args(&["solve", &path, "--fault-plan", "frobnicate=yes"])).unwrap_err();
+        assert!(err.contains("--fault-plan"), "{err}");
+    }
+
+    #[test]
+    fn max_refactor_attempts_flag_is_accepted() {
+        let path = write_temp("refactor", &grid_laplacian_3d(4, 4, 4));
+        let out = run(&args(&[
+            "solve", &path, "--max-refactor-attempts", "2", "--threads", "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("backward err"), "{out}");
     }
 
     #[test]

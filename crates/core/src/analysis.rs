@@ -31,6 +31,12 @@ pub struct SolverOptions {
     /// Static-pivoting threshold, as a multiple of `‖A‖∞·ε`; 0 disables
     /// pivot repair.
     pub static_pivot_epsilon: f64,
+    /// Upper bound on total factorization attempts in the adaptive
+    /// recovery loop ([`crate::Solver`]): on numeric breakdown (zero or
+    /// non-finite pivots, corrupted coefficients, stalled refinement) the
+    /// solver re-factorizes with the static-pivot threshold escalated
+    /// ×100 per attempt, up to this many attempts. 1 disables recovery.
+    pub max_refactor_attempts: u32,
 }
 
 impl Default for SolverOptions {
@@ -40,6 +46,7 @@ impl Default for SolverOptions {
             amalgamation: AmalgamationOptions::default(),
             split: SplitOptions::default(),
             static_pivot_epsilon: 1e-8,
+            max_refactor_attempts: 4,
         }
     }
 }
@@ -216,9 +223,9 @@ mod tests {
         let mut seen = vec![false; 200];
         for c in 0..an.symbol.ncblk() {
             let cb = &an.symbol.cblks[c];
-            for j in cb.fcol..cb.lcol {
-                assert!(!seen[j]);
-                seen[j] = true;
+            for sj in &mut seen[cb.fcol..cb.lcol] {
+                assert!(!*sj);
+                *sj = true;
             }
         }
         assert!(seen.into_iter().all(|b| b));

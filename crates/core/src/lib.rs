@@ -38,7 +38,8 @@ pub mod tasks;
 
 pub use analysis::{Analysis, AnalysisStats, SolverOptions};
 pub use distributed::{fan_in_study, CommStats, FanInStudy};
-pub use numeric::Factors;
+pub use numeric::{ExecOptions, FactorStats, Factors};
+pub use refine::RefinedSolve;
 pub use solver::Solver;
 pub use simulate::{build_sim_dag, simulate_factorization, SimOptions};
 
@@ -55,6 +56,18 @@ pub enum SolverError {
     /// The matrix handed to `factorize` does not match the analyzed
     /// pattern.
     PatternMismatch(String),
+    /// The runtime engine failed: a task panicked, a transient fault
+    /// exhausted its retry budget, or the scheduler stalled.
+    Engine(dagfact_rt::EngineError),
+    /// The post-factorization sweep found NaN/Inf coefficients — numeric
+    /// breakdown (or injected corruption) that escaped the pivot checks.
+    /// `task` names the storage array (`"L"`, `"U"` or `"D"`), `block` the
+    /// panel it sits in.
+    NonFinite { task: &'static str, block: usize },
+    /// Iterative refinement diverged: the backward error grew over two
+    /// consecutive corrections — the factorization is too inaccurate for
+    /// refinement to recover (typically after heavy static pivoting).
+    RefinementStalled { iterations: usize, last_berr: f64 },
 }
 
 impl core::fmt::Display for SolverError {
@@ -62,6 +75,16 @@ impl core::fmt::Display for SolverError {
         match self {
             SolverError::Kernel(e) => write!(f, "kernel failure: {e}"),
             SolverError::PatternMismatch(msg) => write!(f, "pattern mismatch: {msg}"),
+            SolverError::Engine(e) => write!(f, "engine failure: {e}"),
+            SolverError::NonFinite { task, block } => write!(
+                f,
+                "non-finite coefficients in {task} panel {block} after factorization"
+            ),
+            SolverError::RefinementStalled { iterations, last_berr } => write!(
+                f,
+                "iterative refinement diverging after {iterations} step(s) \
+                 (backward error {last_berr:.3e})"
+            ),
         }
     }
 }
@@ -71,5 +94,29 @@ impl std::error::Error for SolverError {}
 impl From<dagfact_kernels::KernelError> for SolverError {
     fn from(e: dagfact_kernels::KernelError) -> Self {
         SolverError::Kernel(e)
+    }
+}
+
+impl From<dagfact_rt::EngineError> for SolverError {
+    fn from(e: dagfact_rt::EngineError) -> Self {
+        SolverError::Engine(e)
+    }
+}
+
+impl SolverError {
+    /// `true` when escalating the static-pivot threshold and
+    /// re-factorizing has a chance of succeeding: numeric breakdowns
+    /// (zero / non-finite pivots, corrupted coefficients, stalled
+    /// refinement) are recoverable, structural and engine failures are
+    /// not.
+    pub fn is_recoverable_by_pivoting(&self) -> bool {
+        matches!(
+            self,
+            SolverError::Kernel(
+                dagfact_kernels::KernelError::ZeroPivot { .. }
+                    | dagfact_kernels::KernelError::NonFinitePivot { .. }
+            ) | SolverError::NonFinite { .. }
+                | SolverError::RefinementStalled { .. }
+        )
     }
 }

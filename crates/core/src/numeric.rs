@@ -22,13 +22,16 @@ use dagfact_kernels::trsm::{trsm, Diag, Side, Uplo};
 use dagfact_kernels::update::{update_via_buffer, Scatter};
 use dagfact_kernels::{getrf, ldlt, ldlt_apply_diag, potrf, KernelError, Scalar};
 use dagfact_rt::dataflow::DataflowGraph;
-use dagfact_rt::native::{run_native, NativeTask};
-use dagfact_rt::ptg::{run_ptg, PtgProgram};
-use dagfact_rt::{AccessMode, RuntimeKind, SharedSlice};
+use dagfact_rt::native::{run_native_checked, NativeTask};
+use dagfact_rt::ptg::{run_ptg_checked, PtgProgram};
+use dagfact_rt::sync::Mutex;
+use dagfact_rt::{
+    AccessMode, EngineError, FaultPlan, RunConfig, RunReport, RuntimeKind, SharedSlice,
+};
 use dagfact_sparse::CscMatrix;
 use dagfact_symbolic::FactoKind;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Per-worker scratch memory ("constant memory overhead per working
 /// thread", §V-B).
@@ -53,6 +56,8 @@ struct NumericCtx<'a, T: Scalar> {
     d: &'a SharedSlice<T>,
     /// Absolute static-pivot threshold.
     threshold: f64,
+    /// Fault-injection plan for NaN output corruption (testing).
+    fault: Option<Arc<FaultPlan>>,
     pivots_repaired: AtomicUsize,
     /// First kernel error; once set, remaining tasks no-op.
     error: Mutex<Option<KernelError>>,
@@ -168,8 +173,18 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
             }
             Ok(())
         })();
-        if let Err(e) = result {
-            self.record_error(e);
+        match result {
+            Err(e) => self.record_error(e),
+            Ok(()) => {
+                // Fault injection: corrupt this panel's output with a NaN
+                // so the post-factorization sweep (and downstream pivot
+                // checks) can be exercised deterministically.
+                if let Some(plan) = &self.fault {
+                    if plan.take_corruption(c) {
+                        l[0] = T::from_f64(f64::NAN);
+                    }
+                }
+            }
         }
     }
 
@@ -431,6 +446,37 @@ fn build_row_map(
 // Public entry: factorize over a runtime
 // ---------------------------------------------------------------------
 
+/// Execution-time options for one factorization run (as opposed to the
+/// analysis-time [`crate::SolverOptions`]): the fault-tolerance
+/// configuration handed to the runtime engine, plus the static-pivot
+/// override used by the adaptive retry loop.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Runtime fault layer: injection plan, retry policy, stall watchdog.
+    pub run: RunConfig,
+    /// Overrides [`crate::SolverOptions::static_pivot_epsilon`] when set.
+    /// The symbolic structure does not depend on the threshold, so the
+    /// recovery loop can escalate it without re-running the analysis.
+    pub epsilon_override: Option<f64>,
+}
+
+/// How a factorization went: the data behind the paper-style run logs and
+/// the recovery loop's decisions.
+#[derive(Debug, Clone, Default)]
+pub struct FactorStats {
+    /// Static-pivot epsilon actually used (threshold = ε·‖A‖∞).
+    pub epsilon: f64,
+    /// Every epsilon tried by the adaptive recovery loop, in order; the
+    /// last entry produced these factors. A single-attempt factorization
+    /// has exactly one entry.
+    pub epsilon_history: Vec<f64>,
+    /// Factorization attempts performed by the recovery loop (≥ 1).
+    pub attempts: u32,
+    /// The runtime engine's execution report (task counts, retries,
+    /// injected faults, elapsed time).
+    pub run: RunReport,
+}
+
 /// The numeric factors produced by [`Analysis::factorize`].
 pub struct Factors<'a, T: Scalar> {
     /// The analysis this factorization is based on.
@@ -441,6 +487,8 @@ pub struct Factors<'a, T: Scalar> {
     pub d: Vec<T>,
     /// Number of pivots bumped by static pivoting.
     pub pivots_repaired: usize,
+    /// Execution statistics (engine report, pivot-escalation history).
+    pub stats: FactorStats,
 }
 
 impl Analysis {
@@ -452,6 +500,22 @@ impl Analysis {
         a: &CscMatrix<T>,
         runtime: RuntimeKind,
         nthreads: usize,
+    ) -> Result<Factors<'a, T>, SolverError> {
+        self.factorize_with(a, runtime, nthreads, &ExecOptions::default())
+    }
+
+    /// [`Analysis::factorize`] with explicit execution options: a fault
+    /// plan and retry/watchdog configuration for the engine, and an
+    /// optional static-pivot override. Engine failures (task panics,
+    /// exhausted retry budgets, scheduler stalls) surface as
+    /// [`SolverError::Engine`]; a post-factorization sweep rejects
+    /// non-finite coefficients with [`SolverError::NonFinite`].
+    pub fn factorize_with<'a, T: Scalar>(
+        &'a self,
+        a: &CscMatrix<T>,
+        runtime: RuntimeKind,
+        nthreads: usize,
+        exec: &ExecOptions,
     ) -> Result<Factors<'a, T>, SolverError> {
         if a.nrows() != self.symbol.n || a.ncols() != self.symbol.n {
             return Err(SolverError::PatternMismatch(format!(
@@ -466,38 +530,92 @@ impl Analysis {
         let d: SharedSlice<T> = SharedSlice::from_vec(vec![T::zero(); self.symbol.n]);
         // Static pivoting threshold ε·‖A‖∞ (PaStiX-style); Cholesky has
         // its own positivity check instead.
+        let epsilon = exec
+            .epsilon_override
+            .unwrap_or(self.options.static_pivot_epsilon);
         let threshold = if self.facto == FactoKind::Cholesky {
             0.0
         } else {
-            self.options.static_pivot_epsilon * a.norm_inf().max(1.0)
+            epsilon * a.norm_inf().max(1.0)
         };
         let ctx = NumericCtx {
             analysis: self,
             tab: &tab,
             d: &d,
             threshold,
+            fault: exec.run.fault_plan.clone(),
             pivots_repaired: AtomicUsize::new(0),
             error: Mutex::new(None),
             workspaces: (0..nthreads).map(|_| Mutex::new(Workspace::default())).collect(),
         };
-        match runtime {
-            RuntimeKind::Native => self.run_native_engine(&ctx, nthreads),
-            RuntimeKind::Dataflow => self.run_dataflow_engine(&ctx, nthreads),
-            RuntimeKind::Ptg => self.run_ptg_engine(&ctx, nthreads),
-        }
+        let report = match runtime {
+            RuntimeKind::Native => self.run_native_engine(&ctx, nthreads, exec.run.clone()),
+            RuntimeKind::Dataflow => self.run_dataflow_engine(&ctx, nthreads, exec.run.clone()),
+            RuntimeKind::Ptg => self.run_ptg_engine(&ctx, nthreads, exec.run.clone()),
+        };
+        // A kernel error is the root cause when present (the engine drains
+        // cleanly around it); otherwise an engine error is fatal on its
+        // own.
         if let Some(e) = ctx.error.lock().take() {
             return Err(SolverError::Kernel(e));
         }
+        let report = report?;
+        self.sweep_non_finite(&tab, &d)?;
         let pivots = ctx.pivots_repaired.load(Ordering::Relaxed);
         Ok(Factors {
             analysis: self,
             tab,
             d: d.into_vec(),
             pivots_repaired: pivots,
+            stats: FactorStats {
+                epsilon,
+                epsilon_history: vec![epsilon],
+                attempts: 1,
+                run: report,
+            },
         })
     }
 
-    fn run_native_engine<T: Scalar>(&self, ctx: &NumericCtx<'_, T>, nthreads: usize) {
+    /// Post-factorization scan for NaN/Inf coefficients: numeric breakdown
+    /// the pivot checks cannot see (corruption in off-diagonal blocks
+    /// never touched by a later pivot) must not reach the solve phase.
+    fn sweep_non_finite<T: Scalar>(
+        &self,
+        tab: &CoefTab<T>,
+        d: &SharedSlice<T>,
+    ) -> Result<(), SolverError> {
+        let finite = |v: &[T]| v.iter().all(|x| x.modulus().is_finite());
+        let symbol = &self.symbol;
+        for c in 0..symbol.ncblk() {
+            let range = tab.layout.panel_range(symbol, c);
+            // SAFETY: the engine has quiesced; no worker holds a borrow.
+            let l = unsafe { tab.lcoef.range(range.clone()) };
+            if !finite(l) {
+                return Err(SolverError::NonFinite { task: "L", block: c });
+            }
+            if !tab.ucoef.is_empty() {
+                let u = unsafe { tab.ucoef.range(range) };
+                if !finite(u) {
+                    return Err(SolverError::NonFinite { task: "U", block: c });
+                }
+            }
+            if self.facto == FactoKind::Ldlt {
+                let cb = &symbol.cblks[c];
+                let dr = unsafe { d.range(cb.fcol..cb.lcol) };
+                if !finite(dr) {
+                    return Err(SolverError::NonFinite { task: "D", block: c });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_native_engine<T: Scalar>(
+        &self,
+        ctx: &NumericCtx<'_, T>,
+        nthreads: usize,
+        config: RunConfig,
+    ) -> Result<RunReport, EngineError> {
         let graph = OneDGraph::build(&self.symbol);
         let costs = self.costs(T::IS_COMPLEX);
         let prio = self.priorities(&costs);
@@ -510,10 +628,15 @@ impl Analysis {
                 priority: prio[c],
             })
             .collect();
-        run_native(&tasks, nthreads, |c, worker| ctx.one_d_task(c, worker));
+        run_native_checked(&tasks, nthreads, config, |c, worker| ctx.one_d_task(c, worker))
     }
 
-    fn run_dataflow_engine<T: Scalar>(&self, ctx: &NumericCtx<'_, T>, nthreads: usize) {
+    fn run_dataflow_engine<T: Scalar>(
+        &self,
+        ctx: &NumericCtx<'_, T>,
+        nthreads: usize,
+        config: RunConfig,
+    ) -> Result<RunReport, EngineError> {
         // Sequential submission in the solver's program order — panel k,
         // then the updates it generates, ascending k — exactly "the simple
         // sequential submission loops typically used with STARPU" (§IV).
@@ -521,8 +644,8 @@ impl Analysis {
         let costs = self.costs(T::IS_COMPLEX);
         let prio = self.priorities(&costs);
         let mut g = DataflowGraph::new(self.symbol.ncblk());
-        for cblk in 0..self.symbol.ncblk() {
-            g.submit(&[(cblk, AccessMode::ReadWrite)], prio[cblk], move |w| {
+        for (cblk, &pr) in prio.iter().enumerate().take(self.symbol.ncblk()) {
+            g.submit(&[(cblk, AccessMode::ReadWrite)], pr, move |w| {
                 ctx.panel_task(cblk, w)
             });
             let cb = &self.symbol.cblks[cblk];
@@ -530,15 +653,20 @@ impl Analysis {
                 let target = self.symbol.blocks[block].facing;
                 g.submit(
                     &[(cblk, AccessMode::Read), (target, AccessMode::ReadWrite)],
-                    prio[cblk],
+                    pr,
                     move |w| ctx.update_task(cblk, block, w, None),
                 );
             }
         }
-        g.execute(nthreads);
+        g.execute_checked(nthreads, config)
     }
 
-    fn run_ptg_engine<T: Scalar>(&self, ctx: &NumericCtx<'_, T>, nthreads: usize) {
+    fn run_ptg_engine<T: Scalar>(
+        &self,
+        ctx: &NumericCtx<'_, T>,
+        nthreads: usize,
+        config: RunConfig,
+    ) -> Result<RunReport, EngineError> {
         struct Program<'c, 'a, T: Scalar> {
             ctx: &'c NumericCtx<'a, T>,
             graph: TaskGraph,
@@ -575,6 +703,6 @@ impl Analysis {
             graph: TaskGraph::build(&self.symbol),
             prio: self.priorities(&costs),
         };
-        run_ptg(&program, nthreads);
+        run_ptg_checked(&program, nthreads, config)
     }
 }

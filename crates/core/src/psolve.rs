@@ -20,7 +20,7 @@ use dagfact_kernels::Scalar;
 use dagfact_rt::ptg::{run_ptg, PtgProgram};
 use dagfact_rt::SharedSlice;
 use dagfact_symbolic::FactoKind;
-use parking_lot::Mutex;
+use dagfact_rt::sync::Mutex;
 
 impl<T: Scalar> Factors<'_, T> {
     /// Solve `A·x = b` with both sweeps parallelized on `nthreads` workers
@@ -92,7 +92,7 @@ impl<T: Scalar> Factors<'_, T> {
             let xs = unsafe { x.slice_mut() };
             for r in 0..nrhs {
                 for (xi, &di) in xs[r * n..(r + 1) * n].iter_mut().zip(self.d.iter()) {
-                    *xi = *xi / di;
+                    *xi /= di;
                 }
             }
         }

@@ -5,25 +5,34 @@
 //! residual correction: `r = b − A·x`, solve `A·δ = r`, `x ← x + δ`.
 
 use crate::numeric::Factors;
+use crate::SolverError;
 use dagfact_kernels::Scalar;
 use dagfact_sparse::CscMatrix;
 
 /// Outcome of a refined solve.
 #[derive(Debug, Clone)]
 pub struct RefinedSolve<T> {
-    /// The solution.
+    /// The solution (the best iterate seen, if refinement stalled).
     pub x: Vec<T>,
     /// Backward-error history: ‖b − A·x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞) after each
     /// step (entry 0 is the unrefined solve).
     pub residuals: Vec<f64>,
     /// Iterations actually performed.
     pub iterations: usize,
+    /// `true` when refinement diverged (the backward error grew over two
+    /// consecutive corrections) and was cut short: the factorization is
+    /// too inaccurate and a re-factorization with a larger static-pivot
+    /// threshold is the appropriate remedy.
+    pub stalled: bool,
 }
 
 impl<T: Scalar> Factors<'_, T> {
     /// Solve with iterative refinement against the original matrix `a`.
-    /// Stops when the backward error drops below `tol` or after
-    /// `max_iter` corrections.
+    /// Stops when the backward error drops below `tol`, after `max_iter`
+    /// corrections, or as soon as divergence is detected (backward error
+    /// growing across two consecutive iterations — see
+    /// [`RefinedSolve::stalled`]); on divergence the best iterate seen is
+    /// restored.
     pub fn solve_refined(
         &self,
         a: &CscMatrix<T>,
@@ -38,6 +47,10 @@ impl<T: Scalar> Factors<'_, T> {
         let mut residuals = Vec::with_capacity(max_iter + 1);
         let mut r = vec![T::zero(); n];
         let mut iterations = 0;
+        let mut best_x: Option<Vec<T>> = None;
+        let mut best_berr = f64::INFINITY;
+        let mut growths = 0usize;
+        let mut stalled = false;
         for it in 0..=max_iter {
             // r = b - A x
             a.spmv(&x, &mut r);
@@ -45,7 +58,27 @@ impl<T: Scalar> Factors<'_, T> {
                 *ri = bi - *ri;
             }
             let berr = inf_norm(&r) / (norm_a * inf_norm(&x) + norm_b).max(f64::MIN_POSITIVE);
+            // Divergence / stagnation detection (the LAPACK `gerfs`
+            // criterion): a healthy correction shrinks the backward error
+            // by orders of magnitude, so failing to even halve it twice in
+            // a row — or growing it, or going non-finite — means the
+            // factorization is too inaccurate for refinement to help.
+            if let Some(&prev) = residuals.last() {
+                growths = if !berr.is_finite() || berr > 0.5 * prev {
+                    growths + 1
+                } else {
+                    0
+                };
+            }
             residuals.push(berr);
+            if berr < best_berr {
+                best_berr = berr;
+                best_x = Some(x.clone());
+            }
+            if growths >= 2 || !berr.is_finite() {
+                stalled = true;
+                break;
+            }
             if berr <= tol || it == max_iter {
                 break;
             }
@@ -55,11 +88,44 @@ impl<T: Scalar> Factors<'_, T> {
             }
             iterations += 1;
         }
+        if stalled {
+            if let Some(bx) = best_x {
+                x = bx;
+            }
+        }
         RefinedSolve {
             x,
             residuals,
             iterations,
+            stalled,
         }
+    }
+
+    /// [`Factors::solve_refined`] with divergence reported as an error:
+    /// a stalled refinement that never reached `tol` becomes
+    /// [`SolverError::RefinementStalled`] so callers (the adaptive solver
+    /// loop, the CLI) can trigger a re-factorization.
+    pub fn solve_refined_checked(
+        &self,
+        a: &CscMatrix<T>,
+        b: &[T],
+        max_iter: usize,
+        tol: f64,
+    ) -> Result<RefinedSolve<T>, SolverError> {
+        let refined = self.solve_refined(a, b, max_iter, tol);
+        // `x` is the best iterate, so judge by the best error reached.
+        let best = refined
+            .residuals
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        if refined.stalled && best > tol {
+            return Err(SolverError::RefinementStalled {
+                iterations: refined.iterations,
+                last_berr: best,
+            });
+        }
+        Ok(refined)
     }
 }
 

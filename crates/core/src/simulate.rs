@@ -18,7 +18,7 @@ use crate::tasks::{TaskGraph, TaskKind};
 use dagfact_gpusim::{simulate, Platform, SimDag, SimData, SimPolicy, SimReport, SimTask, TaskShape};
 
 /// Options for a simulated factorization.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SimOptions {
     /// Double-complex arithmetic? (Z problems transfer 16-byte scalars and
     /// count complex flops.)
@@ -28,15 +28,6 @@ pub struct SimOptions {
     /// ("merging leaves or subtrees together yields bigger, more
     /// computationally intensive tasks"). `None` disables clustering.
     pub cluster_flops: Option<f64>,
-}
-
-impl Default for SimOptions {
-    fn default() -> Self {
-        SimOptions {
-            complex: false,
-            cluster_flops: None,
-        }
-    }
 }
 
 /// Simulate this factorization on `platform` under `policy`; returns the

@@ -40,7 +40,7 @@ impl<T: Scalar> Factors<'_, T> {
         if self.analysis.facto == FactoKind::Ldlt {
             for r in 0..nrhs {
                 for (xi, &di) in x[r * n..(r + 1) * n].iter_mut().zip(self.d.iter()) {
-                    *xi = *xi / di;
+                    *xi /= di;
                 }
             }
         }

@@ -18,13 +18,37 @@
 //! ```
 
 use crate::analysis::{Analysis, SolverOptions};
-use crate::numeric::Factors;
+use crate::numeric::{ExecOptions, FactorStats, Factors};
 use crate::refine::RefinedSolve;
 use crate::SolverError;
 use dagfact_kernels::Scalar;
 use dagfact_rt::RuntimeKind;
 use dagfact_sparse::CscMatrix;
 use dagfact_symbolic::FactoKind;
+
+/// Escalation schedule of the adaptive recovery loop: a disabled
+/// threshold restarts at the default, an active one grows geometrically
+/// (capped — past 1e-2·‖A‖∞ the "factorization" is no longer meaningful).
+fn escalate_epsilon(eps: f64) -> f64 {
+    if eps <= 0.0 {
+        1e-8
+    } else {
+        (eps * 100.0).min(1e-2)
+    }
+}
+
+/// Does this failure indicate the *factorization kind* does not fit the
+/// matrix (as opposed to an engine fault or data corruption)? Drives the
+/// auto-selection fallback chain in [`Solver::with_exec`].
+fn kind_mismatch(e: &SolverError) -> bool {
+    matches!(
+        e,
+        SolverError::Kernel(
+            dagfact_kernels::KernelError::NotPositiveDefinite { .. }
+                | dagfact_kernels::KernelError::ZeroPivot { .. }
+        )
+    )
+}
 
 /// A factorized linear system ready to solve, owning its analysis.
 pub struct Solver<T: Scalar> {
@@ -35,6 +59,10 @@ pub struct Solver<T: Scalar> {
     factors: Option<Factors<'static, T>>,
     matrix: CscMatrix<T>,
     facto: FactoKind,
+    options: SolverOptions,
+    exec: ExecOptions,
+    runtime: RuntimeKind,
+    threads: usize,
 }
 
 impl<T: Scalar> Solver<T> {
@@ -54,6 +82,19 @@ impl<T: Scalar> Solver<T> {
         runtime: RuntimeKind,
         threads: usize,
     ) -> Result<Solver<T>, SolverError> {
+        Self::with_exec(a, facto, options, runtime, threads, &ExecOptions::default())
+    }
+
+    /// [`Solver::with_options`] plus execution options: fault-injection
+    /// plan, retry policy and stall watchdog for the runtime engine.
+    pub fn with_exec(
+        a: &CscMatrix<T>,
+        facto: Option<FactoKind>,
+        options: &SolverOptions,
+        runtime: RuntimeKind,
+        threads: usize,
+        exec: &ExecOptions,
+    ) -> Result<Solver<T>, SolverError> {
         let symmetric = a.is_symmetric();
         let plan: Vec<FactoKind> = match facto {
             Some(k) => vec![k],
@@ -63,11 +104,19 @@ impl<T: Scalar> Solver<T> {
             None if symmetric => vec![FactoKind::Ldlt],
             None => vec![FactoKind::Lu],
         };
+        let nkinds = plan.len();
         let mut last_err = None;
-        for kind in plan {
-            match Self::build(a, kind, options, runtime, threads) {
+        for (i, kind) in plan.into_iter().enumerate() {
+            match Self::build(a, kind, options, runtime, threads, exec) {
                 Ok(s) => return Ok(s),
-                Err(e) => last_err = Some(e),
+                // Only an unsuitable-factorization failure justifies
+                // trying the next kind: a non-positive or dead pivot says
+                // "not SPD / needs pivoting", but engine faults and
+                // corrupted coefficients say nothing about the matrix —
+                // falling back there would mask the real failure (and
+                // mislabel, e.g., an injected fault as indefiniteness).
+                Err(e) if i + 1 < nkinds && kind_mismatch(&e) => last_err = Some(e),
+                Err(e) => return Err(e),
             }
         }
         Err(last_err.expect("plan is never empty"))
@@ -79,6 +128,7 @@ impl<T: Scalar> Solver<T> {
         options: &SolverOptions,
         runtime: RuntimeKind,
         threads: usize,
+        exec: &ExecOptions,
     ) -> Result<Solver<T>, SolverError> {
         let analysis = Box::new(Analysis::new(a.pattern(), facto, options));
         // SAFETY: `factors` borrows the boxed analysis, whose heap
@@ -86,13 +136,107 @@ impl<T: Scalar> Solver<T> {
         // and never exposed with the fake 'static lifetime).
         let analysis_ref: &'static Analysis =
             unsafe { &*(analysis.as_ref() as *const Analysis) };
-        let factors = analysis_ref.factorize::<T>(a, runtime, threads)?;
+        // Adaptive recovery: numeric breakdown (zero / non-finite pivots,
+        // corrupted coefficients) retries with an escalated static-pivot
+        // threshold — the symbolic structure is threshold-independent, so
+        // only the numeric phase re-runs.
+        let mut epsilon = exec
+            .epsilon_override
+            .unwrap_or(options.static_pivot_epsilon);
+        let mut history: Vec<f64> = Vec::new();
+        let mut attempt = 0u32;
+        let factors = loop {
+            attempt += 1;
+            history.push(epsilon);
+            let exec_try = ExecOptions {
+                run: exec.run.clone(),
+                epsilon_override: Some(epsilon),
+            };
+            match analysis_ref.factorize_with::<T>(a, runtime, threads, &exec_try) {
+                Ok(mut f) => {
+                    f.stats.attempts = attempt;
+                    f.stats.epsilon_history = history;
+                    break f;
+                }
+                Err(e)
+                    if attempt < options.max_refactor_attempts
+                        && e.is_recoverable_by_pivoting() =>
+                {
+                    // For Cholesky the threshold is unused — the retry
+                    // still matters for transient corruption.
+                    epsilon = escalate_epsilon(epsilon);
+                }
+                Err(e) => return Err(e),
+            }
+        };
         Ok(Solver {
             analysis,
             factors: Some(factors),
             matrix: a.clone(),
             facto,
+            options: options.clone(),
+            exec: exec.clone(),
+            runtime,
+            threads,
         })
+    }
+
+    /// Re-factorize with the static-pivot threshold escalated one step
+    /// past the current factors' epsilon, extending the recorded
+    /// escalation history. Fails if the attempt budget is spent.
+    fn refactorize_escalated(&mut self, cause: SolverError) -> Result<(), SolverError> {
+        let stats: FactorStats = self.factors().stats.clone();
+        if stats.attempts >= self.options.max_refactor_attempts {
+            return Err(cause);
+        }
+        let epsilon = escalate_epsilon(stats.epsilon);
+        // SAFETY: same fake-'static discipline as `build` — the new
+        // factors borrow the boxed analysis owned by `self`.
+        let analysis_ref: &'static Analysis =
+            unsafe { &*(self.analysis.as_ref() as *const Analysis) };
+        let exec = ExecOptions {
+            run: self.exec.run.clone(),
+            epsilon_override: Some(epsilon),
+        };
+        self.factors = None; // drop the borrower before replacing it
+        let mut f = analysis_ref.factorize_with::<T>(&self.matrix, self.runtime, self.threads, &exec)?;
+        f.stats.attempts = stats.attempts + 1;
+        f.stats.epsilon_history = stats.epsilon_history;
+        f.stats.epsilon_history.push(epsilon);
+        self.factors = Some(f);
+        Ok(())
+    }
+
+    /// Solve with iterative refinement and adaptive recovery: when
+    /// refinement stalls (the factorization is too inaccurate — heavy
+    /// static pivoting on an ill-conditioned matrix), re-factorize with a
+    /// geometrically escalated pivot threshold and try again, up to
+    /// [`SolverOptions::max_refactor_attempts`] total factorizations.
+    /// The escalation history ends up in [`Solver::stats`].
+    pub fn solve_adaptive(
+        &mut self,
+        b: &[T],
+        max_iter: usize,
+        tol: f64,
+    ) -> Result<RefinedSolve<T>, SolverError> {
+        loop {
+            match self
+                .factors()
+                .solve_refined_checked(&self.matrix, b, max_iter, tol)
+            {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_recoverable_by_pivoting() => {
+                    self.refactorize_escalated(e)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Execution statistics of the current factorization: engine run
+    /// report, pivot-threshold escalation history, attempt count.
+    pub fn stats(&self) -> &FactorStats {
+        &self.factors().stats
     }
 
     /// The factorization kind actually used.

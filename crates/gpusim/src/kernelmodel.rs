@@ -39,7 +39,7 @@ pub fn kernel_rate(gpu: &GpuModel, kind: GpuKernelKind, m: usize, n: usize, k: u
     // Occupancy: a kernel with few rows cannot fill the SMs. N and K also
     // matter but the paper's sweep fixes N=K=128; we fold their effect
     // into an effective size so other shapes stay sane.
-    let eff_rows = m as f64 * ((n.min(k) as f64 / 128.0).min(1.0)).max(0.25);
+    let eff_rows = m as f64 * (n.min(k) as f64 / 128.0).clamp(0.25, 1.0);
     let occupancy = eff_rows / (eff_rows + gpu.m_half);
     kernel_ceiling(gpu, kind, m) * occupancy
 }

@@ -1,74 +1,100 @@
-//! Property tests of the discrete-event engine on random layered DAGs:
-//! for any valid input, any policy and any platform, the simulator must
-//! terminate, execute every task exactly once, stay deterministic, and
-//! respect basic physical bounds.
+//! Property-style tests of the discrete-event engine on random layered
+//! DAGs: for any valid input, any policy and any platform, the simulator
+//! must terminate, execute every task exactly once, stay deterministic,
+//! and respect basic physical bounds. Cases come from a deterministic
+//! seeded sweep so failures reproduce exactly.
 
 use dagfact_gpusim::{simulate, Platform, SimDag, SimData, SimPolicy, SimTask, TaskShape};
-use proptest::prelude::*;
+
+/// Deterministic parameter source (SplitMix64).
+struct Params {
+    state: u64,
+}
+
+impl Params {
+    fn new(case: u64) -> Params {
+        Params {
+            state: 0x51A1_0000 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
 
 /// Random layered DAG: tasks in layer ℓ may depend only on layer ℓ−1.
-fn arb_dag() -> impl Strategy<Value = SimDag> {
-    (2usize..6, 1usize..12, any::<u64>()).prop_map(|(layers, width, seed)| {
-        let mut s = seed | 1;
-        let mut next = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            s
-        };
-        let ntasks = layers * width;
-        let mut tasks: Vec<SimTask> = Vec::with_capacity(ntasks);
-        for l in 0..layers {
-            for w in 0..width {
-                let id = l * width + w;
-                let m = 32 + (next() % 512) as usize;
-                let update = next() % 2 == 0;
-                let shape = if update {
-                    TaskShape::Update {
-                        m,
-                        n: 64,
-                        k: 64,
-                        target_height: m + (next() % 256) as usize,
-                        ldlt: next() % 4 == 0,
-                    }
-                } else {
-                    TaskShape::Panel {
-                        width: 16 + (next() % 64) as usize,
-                        height: m,
-                    }
-                };
-                tasks.push(SimTask {
-                    shape,
-                    flops: 1e4 + (next() % 100_000) as f64 * 100.0,
-                    reads: vec![(next() as usize) % (ntasks + 1)],
-                    writes: id % (ntasks + 1),
-                    gpu_eligible: update,
-                    succs: vec![],
-                    npred: 0,
-                    priority: (next() % 100) as f64,
-                    static_owner: (next() as usize) % 8,
-                    cpu_multiplier: 1.0 + (next() % 3) as f64 * 0.1,
-                });
-                // Edges from the previous layer.
-                if l > 0 {
-                    let nedges = next() % 3;
-                    for _ in 0..nedges {
-                        let pred = (l - 1) * width + (next() as usize) % width;
-                        if !tasks[pred].succs.contains(&id) {
-                            tasks[pred].succs.push(id);
-                            tasks[id].npred += 1;
-                        }
+fn random_dag(p: &mut Params) -> SimDag {
+    let layers = p.range(2, 6);
+    let width = p.range(1, 12);
+    let seed = p.next_u64();
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let ntasks = layers * width;
+    let mut tasks: Vec<SimTask> = Vec::with_capacity(ntasks);
+    for l in 0..layers {
+        for w in 0..width {
+            let id = l * width + w;
+            let m = 32 + (next() % 512) as usize;
+            let update = next() % 2 == 0;
+            let shape = if update {
+                TaskShape::Update {
+                    m,
+                    n: 64,
+                    k: 64,
+                    target_height: m + (next() % 256) as usize,
+                    ldlt: next() % 4 == 0,
+                }
+            } else {
+                TaskShape::Panel {
+                    width: 16 + (next() % 64) as usize,
+                    height: m,
+                }
+            };
+            tasks.push(SimTask {
+                shape,
+                flops: 1e4 + (next() % 100_000) as f64 * 100.0,
+                reads: vec![(next() as usize) % (ntasks + 1)],
+                writes: id % (ntasks + 1),
+                gpu_eligible: update,
+                succs: vec![],
+                npred: 0,
+                priority: (next() % 100) as f64,
+                static_owner: (next() as usize) % 8,
+                cpu_multiplier: 1.0 + (next() % 3) as f64 * 0.1,
+            });
+            // Edges from the previous layer.
+            if l > 0 {
+                let nedges = next() % 3;
+                for _ in 0..nedges {
+                    let pred = (l - 1) * width + (next() as usize) % width;
+                    if !tasks[pred].succs.contains(&id) {
+                        tasks[pred].succs.push(id);
+                        tasks[id].npred += 1;
                     }
                 }
             }
         }
-        let data = (0..ntasks + 1)
-            .map(|_| SimData {
-                bytes: 1e3 + (next() % 1_000_000) as f64,
-            })
-            .collect();
-        SimDag { tasks, data }
-    })
+    }
+    let data = (0..ntasks + 1)
+        .map(|_| SimData {
+            bytes: 1e3 + (next() % 1_000_000) as f64,
+        })
+        .collect();
+    SimDag { tasks, data }
 }
 
 fn policies() -> Vec<SimPolicy> {
@@ -80,56 +106,69 @@ fn policies() -> Vec<SimPolicy> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn every_policy_terminates_and_accounts_all_tasks(
-        dag in arb_dag(),
-        cores in 1usize..13,
-        gpus in 0usize..4,
-    ) {
-        prop_assume!(dag.validate().is_ok());
+#[test]
+fn every_policy_terminates_and_accounts_all_tasks() {
+    for case in 0..CASES {
+        let mut p = Params::new(case);
+        let dag = random_dag(&mut p);
+        let cores = p.range(1, 13);
+        let gpus = p.range(0, 4);
+        if dag.validate().is_err() {
+            continue;
+        }
         let platform = Platform::mirage(cores, gpus);
         for policy in policies() {
             let r = simulate(&dag, &platform, policy);
-            prop_assert_eq!(
+            assert_eq!(
                 r.tasks_on_cpu + r.tasks_on_gpu,
                 dag.tasks.len(),
-                "{:?} lost tasks", policy
+                "case {case}: {policy:?} lost tasks"
             );
-            prop_assert!(r.makespan.is_finite() && r.makespan > 0.0);
+            assert!(r.makespan.is_finite() && r.makespan > 0.0, "case {case}");
             // Native never offloads.
             if policy == SimPolicy::NativeStatic {
-                prop_assert_eq!(r.tasks_on_gpu, 0);
+                assert_eq!(r.tasks_on_gpu, 0, "case {case}");
             }
             // No GPUs → no transfers.
             if gpus == 0 {
-                prop_assert_eq!(r.bytes_h2d, 0.0);
+                assert_eq!(r.bytes_h2d, 0.0, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn simulation_is_a_pure_function(dag in arb_dag(), gpus in 0usize..3) {
-        prop_assume!(dag.validate().is_ok());
+#[test]
+fn simulation_is_a_pure_function() {
+    for case in 0..CASES {
+        let mut p = Params::new(1000 + case);
+        let dag = random_dag(&mut p);
+        let gpus = p.range(0, 3);
+        if dag.validate().is_err() {
+            continue;
+        }
         let platform = Platform::mirage(6, gpus);
         for policy in policies() {
             let a = simulate(&dag, &platform, policy);
             let b = simulate(&dag, &platform, policy);
-            prop_assert_eq!(a.makespan, b.makespan);
-            prop_assert_eq!(a.tasks_on_gpu, b.tasks_on_gpu);
-            prop_assert_eq!(a.bytes_h2d, b.bytes_h2d);
-            prop_assert_eq!(a.bytes_d2h, b.bytes_d2h);
+            assert_eq!(a.makespan, b.makespan, "case {case}");
+            assert_eq!(a.tasks_on_gpu, b.tasks_on_gpu, "case {case}");
+            assert_eq!(a.bytes_h2d, b.bytes_h2d, "case {case}");
+            assert_eq!(a.bytes_d2h, b.bytes_d2h, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn makespan_lower_bounded_by_ideal_compute(
-        dag in arb_dag(),
-        cores in 1usize..13,
-    ) {
-        prop_assume!(dag.validate().is_ok());
+#[test]
+fn makespan_lower_bounded_by_ideal_compute() {
+    for case in 0..CASES {
+        let mut p = Params::new(2000 + case);
+        let dag = random_dag(&mut p);
+        let cores = p.range(1, 13);
+        if dag.validate().is_err() {
+            continue;
+        }
         let platform = Platform::mirage(cores, 0);
         // Nothing can beat all cores running flat-out at the efficiency
         // ceiling with zero dependencies/overheads.
@@ -137,9 +176,11 @@ proptest! {
         let ideal = dag.total_flops() / (ceiling * cores as f64);
         for policy in policies() {
             let r = simulate(&dag, &platform, policy);
-            prop_assert!(
+            assert!(
                 r.makespan >= ideal * 0.999,
-                "{:?}: makespan {} below physical bound {}", policy, r.makespan, ideal
+                "case {case}: {policy:?}: makespan {} below physical bound {}",
+                r.makespan,
+                ideal
             );
         }
     }

@@ -121,6 +121,9 @@ fn getrf_unblocked<T: Scalar>(
     let mut stats = StaticPivotStats::default();
     for k in 0..n {
         let mut piv = a[k * lda + k];
+        if !piv.modulus().is_finite() {
+            return Err(KernelError::NonFinitePivot { column: col0 + k });
+        }
         if piv.modulus() < small_pivot_threshold {
             stats.repaired += 1;
             let sign = if piv.re() < 0.0 { -1.0 } else { 1.0 };

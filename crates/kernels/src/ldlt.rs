@@ -131,6 +131,9 @@ fn ldlt_unblocked<T: Scalar>(
         for k in 0..j {
             dj -= a[k * lda + j] * w[k];
         }
+        if !dj.modulus().is_finite() {
+            return Err(KernelError::NonFinitePivot { column: col0 + j });
+        }
         if dj.modulus() < small_pivot_threshold {
             repaired += 1;
             let sign = if dj.re() < 0.0 { -1.0 } else { 1.0 };

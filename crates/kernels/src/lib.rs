@@ -44,6 +44,10 @@ pub enum KernelError {
     /// LDLᵀ or LU hit an exactly-zero pivot that static pivoting could not
     /// repair (only possible when the static-pivot threshold is zero).
     ZeroPivot { column: usize },
+    /// A pivot came out NaN or infinite — upstream data corruption (bad
+    /// input, a faulty update, injected NaN) that would otherwise spread
+    /// silently through the trailing matrix.
+    NonFinitePivot { column: usize },
 }
 
 impl core::fmt::Display for KernelError {
@@ -55,6 +59,9 @@ impl core::fmt::Display for KernelError {
             ),
             KernelError::ZeroPivot { column } => {
                 write!(f, "exactly zero pivot at column {column}")
+            }
+            KernelError::NonFinitePivot { column } => {
+                write!(f, "non-finite pivot at column {column} (corrupted data)")
             }
         }
     }

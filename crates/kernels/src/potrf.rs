@@ -101,6 +101,9 @@ fn potrf_unblocked<T: Scalar>(
             let l = a[k * lda + j];
             d -= l * l;
         }
+        if !d.modulus().is_finite() {
+            return Err(KernelError::NonFinitePivot { column: col0 + j });
+        }
         // Positivity check on the real part; complex symmetric blocks may
         // legitimately have complex "pivots", so only reject when the
         // modulus vanishes or a real pivot is non-positive.

@@ -71,7 +71,7 @@ pub fn naive_lower_solve<T: Scalar>(n: usize, l: &[T], ldl: usize, b: &mut [T]) 
         b[j] = xj;
         for i in (j + 1)..n {
             let lij = l[j * ldl + i];
-            b[i] = b[i] - lij * xj;
+            b[i] -= lij * xj;
         }
     }
 }
@@ -106,8 +106,8 @@ pub fn reconstruct_ldlt<T: Scalar>(n: usize, l: &[T], ldl: usize, d: &[T]) -> Ve
     for j in 0..n {
         for i in 0..n {
             let mut acc = T::zero();
-            for k in 0..n {
-                acc += lv(i, k) * d[k] * lv(j, k);
+            for (k, &dk) in d.iter().enumerate().take(n) {
+                acc += lv(i, k) * dk * lv(j, k);
             }
             out[j * n + i] = acc;
         }

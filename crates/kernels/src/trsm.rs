@@ -110,13 +110,13 @@ fn trsm_left<T: Scalar>(
             for k in 0..m {
                 let mut xk = col[k];
                 if diag == Diag::NonUnit {
-                    xk = xk / tval(t, ldt, trans, k, k);
+                    xk /= tval(t, ldt, trans, k, k);
                 }
                 col[k] = xk;
                 if xk != T::zero() {
-                    for i in (k + 1)..m {
+                    for (i, ci) in col.iter_mut().enumerate().skip(k + 1) {
                         let lik = tval(t, ldt, trans, i, k);
-                        col[i] -= lik * xk;
+                        *ci -= lik * xk;
                     }
                 }
             }
@@ -125,13 +125,13 @@ fn trsm_left<T: Scalar>(
             for k in (0..m).rev() {
                 let mut xk = col[k];
                 if diag == Diag::NonUnit {
-                    xk = xk / tval(t, ldt, trans, k, k);
+                    xk /= tval(t, ldt, trans, k, k);
                 }
                 col[k] = xk;
                 if xk != T::zero() {
-                    for i in 0..k {
+                    for (i, ci) in col.iter_mut().enumerate().take(k) {
                         let uik = tval(t, ldt, trans, i, k);
-                        col[i] -= uik * xk;
+                        *ci -= uik * xk;
                     }
                 }
             }

@@ -168,6 +168,8 @@ mod tests {
     use crate::scalar::C64;
 
     /// Dense reference: C_full[dest_row, dest_col] accumulation.
+    /// Mirrors the BLAS-style argument list of `scatter_update`.
+    #[allow(clippy::too_many_arguments)]
     fn reference<T: Scalar>(
         m: usize,
         n: usize,

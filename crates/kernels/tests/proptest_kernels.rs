@@ -1,6 +1,8 @@
-//! Property-based tests for the dense kernels: every optimized kernel must
+//! Property-style tests for the dense kernels: every optimized kernel must
 //! agree with its naive reference (or reconstruct its input) on random
-//! shapes, strides and values.
+//! shapes, strides and values. Cases are driven by a deterministic
+//! seeded parameter sweep (no external test-case framework), so failures
+//! reproduce exactly.
 
 use dagfact_kernels::gemm::{gemm, Trans};
 use dagfact_kernels::scalar::{Scalar, C64};
@@ -8,37 +10,70 @@ use dagfact_kernels::smallblas::{naive_gemm, reconstruct_ldlt, reconstruct_llt, 
 use dagfact_kernels::trsm::{trsm, Diag, Side, Uplo};
 use dagfact_kernels::update::{update_scatter_direct, update_via_buffer, Scatter};
 use dagfact_kernels::{getrf, ldlt, potrf};
-use proptest::prelude::*;
 
-fn small_val() -> impl Strategy<Value = f64> {
-    (-100i32..=100).prop_map(|v| v as f64 / 50.0)
+/// Deterministic parameter source (SplitMix64).
+struct Params {
+    state: u64,
 }
 
-fn trans_strategy() -> impl Strategy<Value = Trans> {
-    prop_oneof![
-        Just(Trans::NoTrans),
-        Just(Trans::Trans),
-        Just(Trans::ConjTrans)
-    ]
+impl Params {
+    fn new(case: u64) -> Params {
+        Params {
+            state: 0xD1F7_0000 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `lo..hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// The `small_val` strategy of the original suite: multiples of 0.02
+    /// in [-2, 2].
+    fn small_val(&mut self) -> f64 {
+        (self.range(0, 201) as i64 - 100) as f64 / 50.0
+    }
+
+    fn trans(&mut self) -> Trans {
+        match self.next_u64() % 3 {
+            0 => Trans::NoTrans,
+            1 => Trans::Trans,
+            _ => Trans::ConjTrans,
+        }
+    }
+
+    fn seed(&mut self) -> u64 {
+        self.next_u64() % 1_000_000
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn gemm_matches_naive(
-        m in 1usize..12,
-        n in 1usize..12,
-        k in 0usize..12,
-        ta in trans_strategy(),
-        tb in trans_strategy(),
-        alpha in small_val(),
-        beta in small_val(),
-        seed in 0u64..1_000_000,
-    ) {
+#[test]
+fn gemm_matches_naive() {
+    for case in 0..CASES {
+        let mut p = Params::new(case);
+        let (m, n, k) = (p.range(1, 12), p.range(1, 12), p.range(0, 12));
+        let (ta, tb) = (p.trans(), p.trans());
+        let (alpha, beta) = (p.small_val(), p.small_val());
+        let seed = p.seed();
         let mut s = seed | 1;
         let mut next = move || {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
             (s % 200) as f64 / 100.0 - 1.0
         };
         let (ar, ac) = if ta == Trans::NoTrans { (m, k) } else { (k, m) };
@@ -54,23 +89,27 @@ proptest! {
         gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c, ldc);
         naive_gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut cref, ldc);
         for (x, y) in c.iter().zip(cref.iter()) {
-            prop_assert!((x - y).abs() < 1e-10);
+            assert!((x - y).abs() < 1e-10, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn gemm_complex_matches_naive(
-        m in 1usize..8,
-        n in 1usize..8,
-        k in 0usize..8,
-        ta in trans_strategy(),
-        tb in trans_strategy(),
-        seed in 0u64..1_000_000,
-    ) {
+#[test]
+fn gemm_complex_matches_naive() {
+    for case in 0..CASES {
+        let mut p = Params::new(1000 + case);
+        let (m, n, k) = (p.range(1, 8), p.range(1, 8), p.range(0, 8));
+        let (ta, tb) = (p.trans(), p.trans());
+        let seed = p.seed();
         let mut s = seed | 1;
         let mut next = move || {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-            C64::new((s % 200) as f64 / 100.0 - 1.0, ((s >> 9) % 200) as f64 / 100.0 - 1.0)
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            C64::new(
+                (s % 200) as f64 / 100.0 - 1.0,
+                ((s >> 9) % 200) as f64 / 100.0 - 1.0,
+            )
         };
         let (ar, ac) = if ta == Trans::NoTrans { (m, k) } else { (k, m) };
         let (br, bc) = if tb == Trans::NoTrans { (k, n) } else { (n, k) };
@@ -86,20 +125,18 @@ proptest! {
         gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c, m);
         naive_gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut cref, m);
         for (x, y) in c.iter().zip(cref.iter()) {
-            prop_assert!((*x - *y).modulus() < 1e-10);
+            assert!((*x - *y).modulus() < 1e-10, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn trsm_inverts_triangular_multiply(
-        m in 1usize..10,
-        n in 1usize..10,
-        lower in any::<bool>(),
-        left in any::<bool>(),
-        transposed in any::<bool>(),
-        unit in any::<bool>(),
-        seed in 0u64..1_000_000,
-    ) {
+#[test]
+fn trsm_inverts_triangular_multiply() {
+    for case in 0..CASES {
+        let mut p = Params::new(2000 + case);
+        let (m, n) = (p.range(1, 10), p.range(1, 10));
+        let (lower, left, transposed, unit) = (p.bool(), p.bool(), p.bool(), p.bool());
+        let seed = p.seed();
         let side = if left { Side::Left } else { Side::Right };
         let uplo = if lower { Uplo::Lower } else { Uplo::Upper };
         let trans = if transposed { Trans::Trans } else { Trans::NoTrans };
@@ -107,7 +144,9 @@ proptest! {
         let k = if left { m } else { n };
         let mut s = seed | 1;
         let mut next = move || {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
             (s % 200) as f64 / 100.0 - 1.0
         };
         // Well-conditioned triangle.
@@ -144,20 +183,34 @@ proptest! {
         };
         let mut b = vec![0.0f64; m * n];
         match side {
-            Side::Left => naive_gemm(Trans::NoTrans, Trans::NoTrans, m, n, m, 1.0, &opt, m, &x0, m, 0.0, &mut b, m),
-            Side::Right => naive_gemm(Trans::NoTrans, Trans::NoTrans, m, n, n, 1.0, &x0, m, &opt, n, 0.0, &mut b, m),
+            Side::Left => naive_gemm(
+                Trans::NoTrans, Trans::NoTrans, m, n, m, 1.0, &opt, m, &x0, m, 0.0, &mut b, m,
+            ),
+            Side::Right => naive_gemm(
+                Trans::NoTrans, Trans::NoTrans, m, n, n, 1.0, &x0, m, &opt, n, 0.0, &mut b, m,
+            ),
         }
         trsm(side, uplo, trans, diag, m, n, &t, k, &mut b, m);
         for (x, y) in b.iter().zip(x0.iter()) {
-            prop_assert!((x - y).abs() < 1e-8, "{side:?} {uplo:?} {trans:?} {diag:?}");
+            assert!(
+                (x - y).abs() < 1e-8,
+                "case {case}: {side:?} {uplo:?} {trans:?} {diag:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn potrf_roundtrip_random_spd(n in 1usize..24, seed in 0u64..1_000_000) {
+#[test]
+fn potrf_roundtrip_random_spd() {
+    for case in 0..CASES {
+        let mut p = Params::new(3000 + case);
+        let n = p.range(1, 24);
+        let seed = p.seed();
         let mut s = seed | 1;
         let mut next = move || {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
             (s % 200) as f64 / 100.0 - 1.0
         };
         let b: Vec<f64> = (0..n * n).map(|_| next()).collect();
@@ -176,16 +229,23 @@ proptest! {
         let r = reconstruct_llt(n, &l, n);
         for j in 0..n {
             for i in j..n {
-                prop_assert!((r[j * n + i] - a[j * n + i]).abs() < 1e-8 * n as f64);
+                assert!((r[j * n + i] - a[j * n + i]).abs() < 1e-8 * n as f64, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn ldlt_roundtrip_random_indefinite(n in 1usize..20, seed in 0u64..1_000_000) {
+#[test]
+fn ldlt_roundtrip_random_indefinite() {
+    for case in 0..CASES {
+        let mut p = Params::new(4000 + case);
+        let n = p.range(1, 20);
+        let seed = p.seed();
         let mut s = seed | 1;
         let mut next = move || {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
             (s % 200) as f64 / 100.0 - 1.0
         };
         let mut a = vec![0.0f64; n * n];
@@ -200,20 +260,27 @@ proptest! {
         let a0 = a.clone();
         let mut d = vec![0.0f64; n];
         let repaired = ldlt(n, &mut a, n, &mut d, 0.0).unwrap();
-        prop_assert_eq!(repaired, 0);
+        assert_eq!(repaired, 0, "case {case}");
         let r = reconstruct_ldlt(n, &a, n, &d);
         for j in 0..n {
             for i in j..n {
-                prop_assert!((r[j * n + i] - a0[j * n + i]).abs() < 1e-7 * n as f64);
+                assert!((r[j * n + i] - a0[j * n + i]).abs() < 1e-7 * n as f64, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn getrf_roundtrip_random_dominant(n in 1usize..20, seed in 0u64..1_000_000) {
+#[test]
+fn getrf_roundtrip_random_dominant() {
+    for case in 0..CASES {
+        let mut p = Params::new(5000 + case);
+        let n = p.range(1, 20);
+        let seed = p.seed();
         let mut s = seed | 1;
         let mut next = move || {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
             (s % 200) as f64 / 100.0 - 1.0
         };
         let mut a: Vec<f64> = (0..n * n).map(|_| next()).collect();
@@ -224,21 +291,23 @@ proptest! {
         getrf(n, &mut a, n, 0.0).unwrap();
         let r = reconstruct_lu(n, &a, n);
         for (x, y) in r.iter().zip(a0.iter()) {
-            prop_assert!((x - y).abs() < 1e-8 * n as f64);
+            assert!((x - y).abs() < 1e-8 * n as f64, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn update_variants_always_agree(
-        m in 1usize..10,
-        n in 1usize..8,
-        k in 1usize..8,
-        with_d in any::<bool>(),
-        seed in 0u64..1_000_000,
-    ) {
+#[test]
+fn update_variants_always_agree() {
+    for case in 0..CASES {
+        let mut p = Params::new(6000 + case);
+        let (m, n, k) = (p.range(1, 10), p.range(1, 8), p.range(1, 8));
+        let with_d = p.bool();
+        let seed = p.seed();
         let mut s = seed | 1;
         let mut next = move || {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
             (s % 200) as f64 / 100.0 - 1.0
         };
         let a1: Vec<f64> = (0..k * m).map(|_| next()).collect();
@@ -263,7 +332,7 @@ proptest! {
         let mut c2 = c0;
         update_scatter_direct(m, n, k, -1.0, &a1, m, &a2, n, dref, &mut c2, ldc, scatter);
         for (x, y) in c1.iter().zip(c2.iter()) {
-            prop_assert!((x - y).abs() < 1e-10);
+            assert!((x - y).abs() < 1e-10, "case {case}");
         }
     }
 }

@@ -108,7 +108,7 @@ mod tests {
         let a = random_spd(80, 4, 3);
         let g = Graph::from_pattern(a.pattern());
         let p = minimum_degree(&g);
-        let mut seen = vec![false; 80];
+        let mut seen = [false; 80];
         for new in 0..80 {
             let old = p.old_of(new);
             assert!(!seen[old]);

@@ -16,11 +16,19 @@
 //! per-worker locality structure, reflecting the paper's observation that
 //! StarPU "does not have a data-reuse policy on CPU-shared memory systems"
 //! (§IV/§V-A).
+//!
+//! Two execution paths share the scheduler:
+//! [`DataflowGraph::execute_checked`] runs under the fault-tolerant layer
+//! of [`crate::fault`] (panic capture, transient retry, watchdog) and
+//! returns `Result<RunReport, EngineError>`; the legacy
+//! [`DataflowGraph::execute`] wraps it and panics on the *calling* thread
+//! if the run fails.
 
+use crate::fault::{EngineError, RunConfig, RunReport, Supervisor, TaskOutcome};
+use crate::sync::{Condvar, Mutex};
 use crate::{AccessMode, DataId, TaskId};
-use parking_lot::{Condvar, Mutex};
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Which central scheduling strategy the engine uses — the CPU-side
 /// members of StarPU's scheduler family (§IV: "it allows scheduling
@@ -36,9 +44,10 @@ pub enum SchedulerPolicy {
     Priority,
 }
 
-/// A submitted task: body + metadata.
+/// A submitted task: body + metadata. Bodies are `FnMut` so a transiently
+/// failed attempt can be retried by the checked execution path.
 struct Task<'a> {
-    body: Box<dyn FnOnce(usize) + Send + 'a>,
+    body: Box<dyn FnMut(usize) + Send + 'a>,
     priority: f64,
     npred: u32,
     succs: Vec<TaskId>,
@@ -53,7 +62,8 @@ struct DataState {
 
 /// Sequential-submission dataflow graph under construction.
 ///
-/// Usage: `submit` tasks in program order, then [`DataflowGraph::execute`].
+/// Usage: `submit` tasks in program order, then [`DataflowGraph::execute`]
+/// or [`DataflowGraph::execute_checked`].
 pub struct DataflowGraph<'a> {
     tasks: Vec<Task<'a>>,
     data: Vec<DataState>,
@@ -91,7 +101,7 @@ impl<'a> DataflowGraph<'a> {
         &mut self,
         accesses: &[(DataId, AccessMode)],
         priority: f64,
-        body: impl FnOnce(usize) + Send + 'a,
+        body: impl FnMut(usize) + Send + 'a,
     ) -> TaskId {
         let id = self.tasks.len();
         let mut preds: Vec<TaskId> = Vec::new();
@@ -130,21 +140,66 @@ impl<'a> DataflowGraph<'a> {
         id
     }
 
+    /// Add an explicit `pred → succ` edge on top of the inferred hazards
+    /// (e.g. a control dependency with no shared datum). Both tasks must
+    /// already be submitted; duplicate edges are deduplicated.
+    pub fn add_dependency(&mut self, pred: TaskId, succ: TaskId) {
+        assert!(pred < self.tasks.len(), "unknown predecessor {pred}");
+        assert!(succ < self.tasks.len(), "unknown successor {succ}");
+        assert_ne!(pred, succ, "task {pred} cannot depend on itself");
+        if self.tasks[pred].succs.contains(&succ) {
+            return;
+        }
+        self.tasks[pred].succs.push(succ);
+        self.tasks[succ].npred += 1;
+    }
+
     /// Execute the whole graph on `nworkers` threads and consume it,
     /// using the default [`SchedulerPolicy::Priority`] strategy.
+    ///
+    /// Panics on the calling thread if a task panics; prefer
+    /// [`DataflowGraph::execute_checked`] for structured errors.
     pub fn execute(self, nworkers: usize) {
         self.execute_with(nworkers, SchedulerPolicy::Priority)
     }
 
-    /// Execute with an explicit central scheduling policy.
+    /// Execute with an explicit central scheduling policy (panicking
+    /// error path, see [`DataflowGraph::execute`]).
     pub fn execute_with(self, nworkers: usize, policy: SchedulerPolicy) {
+        if let Err(e) = self.execute_checked_with(nworkers, policy, RunConfig::default()) {
+            panic!("dataflow engine failed: {e}");
+        }
+    }
+
+    /// Execute under the fault-tolerant layer with the default priority
+    /// policy: task panics are caught and surfaced as [`EngineError`],
+    /// transient failures are retried per `config.retry`, and the
+    /// watchdog converts a stalled scheduler into
+    /// [`EngineError::Stalled`].
+    pub fn execute_checked(
+        self,
+        nworkers: usize,
+        config: RunConfig,
+    ) -> Result<RunReport, EngineError> {
+        self.execute_checked_with(nworkers, SchedulerPolicy::Priority, config)
+    }
+
+    /// [`DataflowGraph::execute_checked`] with an explicit policy.
+    pub fn execute_checked_with(
+        self,
+        nworkers: usize,
+        policy: SchedulerPolicy,
+        config: RunConfig,
+    ) -> Result<RunReport, EngineError> {
         assert!(nworkers >= 1);
         let ntasks = self.tasks.len();
+        let sup = Supervisor::new(ntasks, config);
         if ntasks == 0 {
-            return;
+            return sup.finish();
         }
-        // Split bodies (FnOnce, consumed) from metadata (shared).
-        let mut bodies: Vec<Option<Box<dyn FnOnce(usize) + Send + 'a>>> = Vec::with_capacity(ntasks);
+        // Split bodies (taken per attempt, restored on retry) from the
+        // shared metadata.
+        let mut bodies: Vec<Mutex<BodySlot<'a>>> = Vec::with_capacity(ntasks);
         let mut meta: Vec<(f64, Vec<TaskId>)> = Vec::with_capacity(ntasks);
         let mut pending: Vec<AtomicU32> = Vec::with_capacity(ntasks);
         let mut initial: Vec<TaskId> = Vec::new();
@@ -154,36 +209,47 @@ impl<'a> DataflowGraph<'a> {
             }
             pending.push(AtomicU32::new(t.npred));
             meta.push((t.priority, t.succs));
-            bodies.push(Some(t.body));
+            bodies.push(Mutex::new(Some(t.body)));
         }
-        let bodies = BodyStore {
-            slots: bodies.into_iter().map(Mutex::new).collect(),
-        };
+        let bodies = BodyStore { slots: bodies };
         let central = CentralQueue {
             queue: Mutex::new(ReadyQueue::new(policy)),
             cv: Condvar::new(),
-            remaining: AtomicUsize::new(ntasks),
-            poisoned: std::sync::atomic::AtomicBool::new(false),
         };
         for t in initial {
             central.push(meta[t].0, t);
         }
-        let worker = |w: usize| loop {
-            let Some(t) = central.pop() else { break };
-            let body = bodies.slots[t].lock().take().expect("task ran twice");
-            // Poison-and-propagate on panic so blocked workers wake and
-            // drain instead of waiting on the condvar forever.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(w)));
-            if let Err(payload) = result {
-                central.poison();
-                std::panic::resume_unwind(payload);
-            }
-            for &s in &meta[t].1 {
-                if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                    central.push(meta[s].0, s);
+        let supref = &sup;
+        let worker = |w: usize| while let Some(t) = central.pop(supref) {
+            // An empty slot means the scheduler dispatched `t` twice —
+            // surface the engine bug as a structured error, not a panic.
+            let Some(mut body) = bodies.slots[t].lock().take() else {
+                sup.duplicate_execution(t);
+                central.wake_all();
+                break;
+            };
+            match sup.run_task(t, || body(w)) {
+                TaskOutcome::Completed => {
+                    drop(body);
+                    for &s in &meta[t].1 {
+                        if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            central.push(meta[s].0, s);
+                        }
+                    }
+                    sup.task_done(t);
+                    if sup.remaining() == 0 {
+                        central.wake_all();
+                    }
+                }
+                TaskOutcome::Retry => {
+                    *bodies.slots[t].lock() = Some(body);
+                    central.push(meta[t].0, t);
+                }
+                TaskOutcome::Aborted => {
+                    central.wake_all();
+                    break;
                 }
             }
-            central.finish_one();
         };
         if nworkers == 1 {
             worker(0);
@@ -196,13 +262,17 @@ impl<'a> DataflowGraph<'a> {
                 worker(0);
             });
         }
+        sup.finish()
     }
 }
 
+type BodySlot<'a> = Option<Box<dyn FnMut(usize) + Send + 'a>>;
+
 struct BodyStore<'a> {
-    slots: Vec<Mutex<Option<Box<dyn FnOnce(usize) + Send + 'a>>>>,
+    slots: Vec<Mutex<BodySlot<'a>>>,
 }
-// SAFETY: bodies are Send; each is taken and run by exactly one worker.
+// SAFETY: bodies are Send; each is held and run by exactly one worker at
+// a time (the slot is emptied while an attempt runs).
 unsafe impl Sync for BodyStore<'_> {}
 
 /// Policy-selected ready-task container.
@@ -235,8 +305,6 @@ impl ReadyQueue {
 struct CentralQueue {
     queue: Mutex<ReadyQueue>,
     cv: Condvar,
-    remaining: AtomicUsize,
-    poisoned: std::sync::atomic::AtomicBool,
 }
 
 #[derive(PartialEq)]
@@ -266,35 +334,31 @@ impl CentralQueue {
     }
 
     /// Pop the highest-priority ready task, blocking while work remains;
-    /// returns `None` once the run is complete or poisoned.
-    fn pop(&self) -> Option<TaskId> {
+    /// returns `None` once the run is complete, failed, or stalled. The
+    /// wait is timed so blocked workers periodically service the
+    /// supervisor's watchdog.
+    fn pop(&self, sup: &Supervisor) -> Option<TaskId> {
         let mut queue = self.queue.lock();
         loop {
-            if self.poisoned.load(Ordering::Acquire) {
+            if sup.halted() {
                 return None;
             }
             if let Some(t) = queue.pop() {
                 return Some(t);
             }
-            if self.remaining.load(Ordering::Acquire) == 0 {
+            if sup.remaining() == 0 {
                 self.cv.notify_all();
                 return None;
             }
-            self.cv.wait(&mut queue);
+            queue = self.cv.wait_timeout(queue, sup.idle_tick());
+            sup.idle_check();
         }
     }
 
-    /// Mark the run as failed and wake every blocked worker.
-    fn poison(&self) {
-        self.poisoned.store(true, Ordering::Release);
+    /// Wake every blocked worker (completion, abort, or stall).
+    fn wake_all(&self) {
         let _guard = self.queue.lock();
         self.cv.notify_all();
-    }
-
-    fn finish_one(&self) {
-        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.cv.notify_all();
-        }
     }
 }
 
@@ -385,6 +449,37 @@ mod tests {
     #[test]
     fn empty_graph_executes() {
         DataflowGraph::new(0).execute(3);
+    }
+
+    #[test]
+    fn explicit_dependency_orders_unrelated_tasks() {
+        let log = StdMutex::new(Vec::new());
+        let mut g = DataflowGraph::new(2);
+        // Two tasks on disjoint data — no inferred edge; the explicit
+        // control dependency must still order them.
+        let a = g.submit(&[(0, AccessMode::Write)], 0.0, |_| log.lock().unwrap().push("a"));
+        let b = g.submit(&[(1, AccessMode::Write)], 100.0, |_| log.lock().unwrap().push("b"));
+        g.add_dependency(b, a); // run b first despite submission order
+        g.add_dependency(b, a); // duplicate edge is a no-op
+        g.execute(4);
+        assert_eq!(log.into_inner().unwrap(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn checked_run_reports_success() {
+        let counter = AtomicUsize::new(0);
+        let mut g = DataflowGraph::new(1);
+        for _ in 0..10 {
+            let counter = &counter;
+            g.submit(&[(0, AccessMode::ReadWrite)], 0.0, move |_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let report = g.execute_checked(4, RunConfig::default()).unwrap();
+        assert_eq!(report.ntasks, 10);
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.retries, 0);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
     }
 }
 

@@ -1,0 +1,157 @@
+//! Work-stealing deques for the PTG engine.
+//!
+//! The PaRSEC-like engine wants the classic owner-LIFO / thief-FIFO
+//! discipline: the releasing worker pushes freshly-unlocked successors on
+//! the *front* of its own deque (the written panel is still hot in cache)
+//! while idle workers steal the *oldest* — coldest — entry from a victim.
+//! This implementation trades the lock-free Chase-Lev protocol for a short
+//! critical section around a `VecDeque`; the tasks it schedules are dense
+//! linear-algebra kernels, so the per-task locking cost is noise, and the
+//! semantics (LIFO owner, FIFO thieves) are identical.
+
+use crate::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The owner's end of a work-stealing deque.
+pub struct WorkerDeque<T> {
+    shared: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// A thief's handle onto some worker's deque.
+pub struct Stealer<T> {
+    shared: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Default for WorkerDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> WorkerDeque<T> {
+    /// New empty deque.
+    pub fn new() -> WorkerDeque<T> {
+        WorkerDeque {
+            shared: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// A stealer handle for other workers.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Owner push (LIFO end).
+    pub fn push(&self, value: T) {
+        self.shared.lock().push_back(value);
+    }
+
+    /// Owner pop (LIFO end): the most recently released task.
+    pub fn pop(&self) -> Option<T> {
+        self.shared.lock().pop_back()
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal from the FIFO end: the oldest (coldest) task.
+    pub fn steal(&self) -> Option<T> {
+        self.shared.lock().pop_front()
+    }
+
+    /// Number of queued tasks (racy snapshot, for victim selection).
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// `true` when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A global MPMC queue seeding the initially-ready tasks.
+#[derive(Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueue at the back.
+    pub fn push(&self, value: T) {
+        self.queue.lock().push_back(value);
+    }
+
+    /// Dequeue from the front.
+    pub fn steal(&self) -> Option<T> {
+        self.queue.lock().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = WorkerDeque::new();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Some(1)); // oldest
+        assert_eq!(w.pop(), Some(3)); // newest
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_steals_take_each_item_once() {
+        let w = WorkerDeque::new();
+        for i in 0..10_000usize {
+            w.push(i);
+        }
+        let taken = Mutex::new(vec![false; 10_000]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let taken = &taken;
+                scope.spawn(move || {
+                    while let Some(i) = s.steal() {
+                        let mut t = taken.lock();
+                        assert!(!t[i], "item {i} stolen twice");
+                        t[i] = true;
+                    }
+                });
+            }
+        });
+        assert!(taken.into_inner().into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn injector_roundtrip() {
+        let inj = Injector::new();
+        inj.push(5);
+        inj.push(6);
+        assert_eq!(inj.steal(), Some(5));
+        assert_eq!(inj.steal(), Some(6));
+        assert_eq!(inj.steal(), None);
+    }
+}

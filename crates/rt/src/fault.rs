@@ -1,0 +1,809 @@
+//! The fault-tolerant execution layer shared by the three engines.
+//!
+//! The paper's premise is that a factorization DAG handed to a generic
+//! runtime still completes correctly under asymmetric, unreliable
+//! execution (slow or failed offloads, §V-B). This module makes that
+//! testable and survivable:
+//!
+//! * [`FaultPlan`] — deterministic, seedable injection of task panics,
+//!   transient failures (fail the first *k* attempts), artificial delays
+//!   and output corruption, wired into every engine behind a hook that
+//!   costs one branch when no plan is installed;
+//! * [`Supervisor`] — the per-run bookkeeping every `*_checked` entry
+//!   point shares: panic capture, bounded retry with exponential backoff,
+//!   poison-and-drain cancellation, duplicate-execution detection, and a
+//!   stall watchdog that turns a would-be deadlock into a diagnostic
+//!   [`EngineError::Stalled`];
+//! * [`RunReport`] — per-run statistics (attempt counts, retries, injected
+//!   faults) surfaced to the solver's `FactorStats`.
+//!
+//! A task body signals a *transient* failure by panicking with a
+//! [`TransientFault`] payload (the injection hook does exactly that); any
+//! other panic payload is treated as fatal and aborts the run with
+//! [`EngineError::TaskPanicked`].
+
+use crate::sync::Mutex;
+use crate::TaskId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------
+
+/// Panic payload marking a failure as retryable. Task bodies (or the
+/// injection hook) `panic_any(TransientFault { .. })` to request a retry;
+/// the supervisor retries within [`RetryPolicy`] bounds instead of
+/// aborting the run.
+#[derive(Debug, Clone)]
+pub struct TransientFault {
+    /// Task that failed.
+    pub task: TaskId,
+    /// 1-based attempt number that failed.
+    pub attempt: u32,
+}
+
+/// One injected fault at a specific task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    /// Fatal panic on every attempt.
+    Panic,
+    /// Fail the first `failures` attempts with a [`TransientFault`], then
+    /// let the task run.
+    Transient { failures: u32 },
+    /// Sleep before running the task (models a slow offload).
+    Delay { micros: u64 },
+}
+
+/// Deterministic, seedable fault-injection plan.
+///
+/// Faults are either *pinned* to explicit task ids (`panic_on`,
+/// `transient_on`, `delay_on`) or *sampled* per task from the seed
+/// (`random_transient`, …): task `t` draws `splitmix64(seed ⊕ t)`, so a
+/// given `(seed, task)` pair always produces the same decision regardless
+/// of scheduling order, worker count or engine.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    pinned: HashMap<TaskId, FaultKind>,
+    /// Probability ∈ [0, 1] of a sampled transient fault, with its
+    /// fail-count.
+    random_transient: Option<(f64, u32)>,
+    /// Probability of a sampled fatal panic.
+    random_panic: Option<f64>,
+    /// Probability of a sampled delay, with its duration in µs.
+    random_delay: Option<(f64, u64)>,
+    /// Panels whose freshly-computed output should be overwritten with
+    /// NaN, with a remaining-injection budget each (so a re-factorization
+    /// attempt can succeed). Consumed via [`FaultPlan::take_corruption`].
+    corrupt: Mutex<HashMap<usize, u32>>,
+    /// Total faults injected so far (all kinds).
+    injected: AtomicUsize,
+}
+
+impl FaultPlan {
+    /// Empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Empty plan with a seed for the sampled modes.
+    pub fn with_seed(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Pin a fatal panic to `task`.
+    pub fn panic_on(mut self, task: TaskId) -> Self {
+        self.pinned.insert(task, FaultKind::Panic);
+        self
+    }
+
+    /// Pin a transient fault to `task`: its first `failures` attempts fail
+    /// retryably, subsequent attempts run normally.
+    pub fn transient_on(mut self, task: TaskId, failures: u32) -> Self {
+        self.pinned.insert(task, FaultKind::Transient { failures });
+        self
+    }
+
+    /// Pin an artificial pre-execution delay to `task`.
+    pub fn delay_on(mut self, task: TaskId, delay: Duration) -> Self {
+        self.pinned.insert(
+            task,
+            FaultKind::Delay {
+                micros: delay.as_micros() as u64,
+            },
+        );
+        self
+    }
+
+    /// Sample transient faults on roughly `prob · ntasks` tasks.
+    pub fn random_transient(mut self, prob: f64, failures: u32) -> Self {
+        self.random_transient = Some((prob, failures));
+        self
+    }
+
+    /// Sample fatal panics on roughly `prob · ntasks` tasks.
+    pub fn random_panic(mut self, prob: f64) -> Self {
+        self.random_panic = Some(prob);
+        self
+    }
+
+    /// Sample pre-execution delays on roughly `prob · ntasks` tasks.
+    pub fn random_delay(mut self, prob: f64, delay: Duration) -> Self {
+        self.random_delay = Some((prob, delay.as_micros() as u64));
+        self
+    }
+
+    /// Corrupt the output of panel `panel` with NaN, once.
+    pub fn corrupt_panel(self, panel: usize) -> Self {
+        self.corrupt_panel_times(panel, 1)
+    }
+
+    /// Corrupt the output of panel `panel` on its first `times` runs.
+    pub fn corrupt_panel_times(self, panel: usize, times: u32) -> Self {
+        self.corrupt.lock().insert(panel, times);
+        self
+    }
+
+    /// Number of faults injected so far.
+    pub fn faults_injected(&self) -> usize {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Does the plan corrupt the output of `panel` this time? Decrements
+    /// the panel's budget; the caller (the solver's panel task) overwrites
+    /// its output with NaN on `true`.
+    pub fn take_corruption(&self, panel: usize) -> bool {
+        let mut map = self.corrupt.lock();
+        match map.get_mut(&panel) {
+            Some(budget) if *budget > 0 => {
+                *budget -= 1;
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The engine-side hook, called *inside* the supervisor's panic net
+    /// just before the task body. May sleep (delay faults) or panic
+    /// (fatal or transient faults). `attempt` is 1-based.
+    pub fn inject(&self, task: TaskId, attempt: u32) {
+        let kind = self.pinned.get(&task).copied().or_else(|| self.sample(task));
+        match kind {
+            Some(FaultKind::Delay { micros }) if attempt == 1 => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(micros));
+            }
+            Some(FaultKind::Panic) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                std::panic::panic_any(format!("injected fault: task {task} panicked"));
+            }
+            Some(FaultKind::Transient { failures }) if attempt <= failures => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                std::panic::panic_any(TransientFault { task, attempt });
+            }
+            _ => {}
+        }
+    }
+
+    /// Deterministic per-task draw for the sampled modes.
+    fn sample(&self, task: TaskId) -> Option<FaultKind> {
+        let any = self.random_transient.is_some()
+            || self.random_panic.is_some()
+            || self.random_delay.is_some();
+        if !any {
+            return None;
+        }
+        let draw = splitmix64(self.seed ^ (task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        let mut floor = 0.0;
+        if let Some((p, failures)) = self.random_transient {
+            if unit < floor + p {
+                return Some(FaultKind::Transient { failures });
+            }
+            floor += p;
+        }
+        if let Some(p) = self.random_panic {
+            if unit < floor + p {
+                return Some(FaultKind::Panic);
+            }
+            floor += p;
+        }
+        if let Some((p, micros)) = self.random_delay {
+            if unit < floor + p {
+                return Some(FaultKind::Delay { micros });
+            }
+        }
+        None
+    }
+
+    /// Parse a CLI-style plan: comma-separated directives
+    /// `seed=N`, `panic=T`, `transient=TxK`, `delay=T:MICROS`, `nan=P`,
+    /// `tprob=P.PxK` (sampled transients), `pprob=P.P` (sampled panics).
+    /// Example: `seed=42,transient=3x2,nan=0,tprob=0.05x1`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for item in spec.split(',').filter(|s| !s.is_empty()) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| format!("fault directive {item:?} is not key=value"))?;
+            let num = |s: &str| -> Result<u64, String> {
+                s.parse().map_err(|e| format!("{item:?}: {e}"))
+            };
+            match key {
+                "seed" => plan.seed = num(value)?,
+                "panic" => plan = plan.panic_on(num(value)? as usize),
+                "transient" => {
+                    let (t, k) = value
+                        .split_once('x')
+                        .ok_or_else(|| format!("{item:?}: expected transient=TASKxCOUNT"))?;
+                    plan = plan.transient_on(num(t)? as usize, num(k)? as u32);
+                }
+                "delay" => {
+                    let (t, us) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("{item:?}: expected delay=TASK:MICROS"))?;
+                    plan = plan.delay_on(num(t)? as usize, Duration::from_micros(num(us)?));
+                }
+                "nan" => plan = plan.corrupt_panel(num(value)? as usize),
+                "tprob" => {
+                    let (p, k) = value
+                        .split_once('x')
+                        .ok_or_else(|| format!("{item:?}: expected tprob=PROBxCOUNT"))?;
+                    let p: f64 = p.parse().map_err(|e| format!("{item:?}: {e}"))?;
+                    plan = plan.random_transient(p, num(k)? as u32);
+                }
+                "pprob" => {
+                    let p: f64 = value.parse().map_err(|e| format!("{item:?}: {e}"))?;
+                    plan = plan.random_panic(p);
+                }
+                other => return Err(format!("unknown fault directive {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// SplitMix64 — the standard seedable 64-bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+// ---------------------------------------------------------------------
+// Run configuration
+// ---------------------------------------------------------------------
+
+/// Bounded-retry policy for transient task failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per task (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub backoff: Duration,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::from_millis(1),
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A sensible retrying policy: 4 attempts, 1 ms → 8 ms backoff.
+    pub fn retrying() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        }
+    }
+
+    fn backoff_for(&self, failed_attempt: u32) -> Duration {
+        let factor = self.backoff_factor.powi(failed_attempt.saturating_sub(1) as i32);
+        self.backoff.mul_f64(factor.clamp(1.0, 1e6))
+    }
+}
+
+/// Configuration of one checked engine run.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Optional fault-injection plan (testing / chaos runs).
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Stall watchdog: if no task starts or completes within this window
+    /// while tasks remain and no worker is executing, the run fails with
+    /// [`EngineError::Stalled`] instead of deadlocking. `None` disables.
+    pub watchdog: Option<Duration>,
+}
+
+impl RunConfig {
+    /// Config with retries on and a watchdog, for production solves.
+    pub fn resilient() -> RunConfig {
+        RunConfig {
+            fault_plan: None,
+            retry: RetryPolicy::retrying(),
+            watchdog: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors and reports
+// ---------------------------------------------------------------------
+
+/// Why a checked engine run failed.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    /// A task body panicked with a non-transient payload.
+    TaskPanicked {
+        /// The task.
+        task: TaskId,
+        /// Stringified panic payload.
+        message: String,
+        /// Attempts made (≥ 1; > 1 when transient retries preceded the
+        /// fatal panic).
+        attempts: u32,
+    },
+    /// A task kept failing transiently past the retry budget.
+    RetryBudgetExhausted {
+        /// The task.
+        task: TaskId,
+        /// Attempts made (= `RetryPolicy::max_attempts`).
+        attempts: u32,
+    },
+    /// The scheduler made no progress for the watchdog window while tasks
+    /// remained — a dependency-graph bug (cycle, bad predecessor count)
+    /// that would otherwise deadlock.
+    Stalled {
+        /// Tasks not yet completed.
+        remaining: usize,
+        /// A sample of the stuck task ids (first eight).
+        stuck: Vec<TaskId>,
+        /// The quiescence window that expired.
+        window: Duration,
+    },
+    /// The scheduler tried to run a task twice — an engine bug surfaced
+    /// as a structured error instead of a worker-thread panic.
+    DuplicateExecution {
+        /// The task.
+        task: TaskId,
+    },
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::TaskPanicked {
+                task,
+                message,
+                attempts,
+            } => write!(
+                f,
+                "task {task} panicked after {attempts} attempt(s): {message}"
+            ),
+            EngineError::RetryBudgetExhausted { task, attempts } => write!(
+                f,
+                "task {task} still failing transiently after {attempts} attempts"
+            ),
+            EngineError::Stalled {
+                remaining,
+                stuck,
+                window,
+            } => write!(
+                f,
+                "scheduler stalled: {remaining} task(s) pending with no progress for \
+                 {window:?}; stuck tasks include {stuck:?}"
+            ),
+            EngineError::DuplicateExecution { task } => {
+                write!(f, "scheduler bug: task {task} was dispatched twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Statistics of a completed checked run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Tasks in the DAG.
+    pub ntasks: usize,
+    /// Tasks completed (== `ntasks` on success).
+    pub completed: usize,
+    /// Total retries performed across all tasks.
+    pub retries: usize,
+    /// Faults the plan injected (panics + transients + delays + NaN).
+    pub faults_injected: usize,
+    /// `(task, attempts)` for every task needing more than one attempt.
+    pub task_attempts: Vec<(TaskId, u32)>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+// ---------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------
+
+/// Outcome of one supervised task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// Body ran to completion; release successors, then call
+    /// [`Supervisor::task_done`].
+    Completed,
+    /// Transient failure within budget (backoff already applied);
+    /// re-enqueue the task.
+    Retry,
+    /// Fatal: the error is recorded and the run poisoned; drain.
+    Aborted,
+}
+
+/// Shared bookkeeping of one checked engine run: panic capture, retries,
+/// watchdog, duplicate detection, and the final report.
+pub struct Supervisor {
+    config: RunConfig,
+    attempts: Vec<AtomicU32>,
+    done: Vec<AtomicBool>,
+    remaining: AtomicUsize,
+    running: AtomicUsize,
+    retries: AtomicUsize,
+    poisoned: AtomicBool,
+    error: Mutex<Option<EngineError>>,
+    start: Instant,
+    /// Nanoseconds (since `start`) of the last observed progress.
+    last_progress: AtomicU64,
+}
+
+/// Silence the default panic hook for panics *injected* by a
+/// [`FaultPlan`] — an absorbed transient would otherwise print a full
+/// "thread panicked" backtrace for a run that ends up succeeding. The
+/// hook is installed once, process-wide, and delegates every genuine
+/// panic to whatever hook was active before.
+fn install_quiet_injection_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let injected = p.downcast_ref::<TransientFault>().is_some()
+                || p.downcast_ref::<String>()
+                    .is_some_and(|s| s.starts_with("injected fault:"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Supervisor {
+    /// Supervisor for a DAG of `ntasks` tasks.
+    pub fn new(ntasks: usize, config: RunConfig) -> Supervisor {
+        if config.fault_plan.is_some() {
+            install_quiet_injection_hook();
+        }
+        Supervisor {
+            config,
+            attempts: (0..ntasks).map(|_| AtomicU32::new(0)).collect(),
+            done: (0..ntasks).map(|_| AtomicBool::new(false)).collect(),
+            remaining: AtomicUsize::new(ntasks),
+            running: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            error: Mutex::new(None),
+            start: Instant::now(),
+            last_progress: AtomicU64::new(0),
+        }
+    }
+
+    /// Has the run been cancelled (error recorded)? Workers drain when
+    /// this turns true.
+    pub fn halted(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Tasks not yet completed.
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// A sensible condvar/poll tick for blocked workers: short enough to
+    /// service the watchdog, long enough to stay cheap.
+    pub fn idle_tick(&self) -> Duration {
+        match self.config.watchdog {
+            Some(w) => (w / 4).clamp(Duration::from_millis(1), Duration::from_millis(50)),
+            None => Duration::from_millis(50),
+        }
+    }
+
+    fn note_progress(&self) {
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        self.last_progress.store(nanos, Ordering::Release);
+    }
+
+    fn poison_with(&self, error: EngineError) {
+        let mut guard = self.error.lock();
+        if guard.is_none() {
+            *guard = Some(error);
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Run one attempt of `task` under the panic net, with fault injection
+    /// and retry/backoff handling. The engine re-enqueues on
+    /// [`TaskOutcome::Retry`], releases successors and calls
+    /// [`Supervisor::task_done`] on [`TaskOutcome::Completed`], and drains
+    /// on [`TaskOutcome::Aborted`].
+    pub fn run_task<F: FnOnce()>(&self, task: TaskId, body: F) -> TaskOutcome {
+        if self.done[task].load(Ordering::Acquire) {
+            self.poison_with(EngineError::DuplicateExecution { task });
+            return TaskOutcome::Aborted;
+        }
+        let attempt = self.attempts[task].fetch_add(1, Ordering::AcqRel) + 1;
+        self.running.fetch_add(1, Ordering::AcqRel);
+        self.note_progress();
+        let plan = self.config.fault_plan.as_deref();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(plan) = plan {
+                plan.inject(task, attempt);
+            }
+            body();
+        }));
+        self.running.fetch_sub(1, Ordering::AcqRel);
+        self.note_progress();
+        match result {
+            Ok(()) => TaskOutcome::Completed,
+            Err(payload) => {
+                if payload.is::<TransientFault>() {
+                    if attempt < self.config.retry.max_attempts {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.config.retry.backoff_for(attempt));
+                        self.note_progress();
+                        TaskOutcome::Retry
+                    } else {
+                        self.poison_with(EngineError::RetryBudgetExhausted {
+                            task,
+                            attempts: attempt,
+                        });
+                        TaskOutcome::Aborted
+                    }
+                } else {
+                    self.poison_with(EngineError::TaskPanicked {
+                        task,
+                        message: panic_message(&*payload),
+                        attempts: attempt,
+                    });
+                    TaskOutcome::Aborted
+                }
+            }
+        }
+    }
+
+    /// Mark `task` completed (call after releasing its successors).
+    pub fn task_done(&self, task: TaskId) {
+        self.done[task].store(true, Ordering::Release);
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+        self.note_progress();
+    }
+
+    /// Watchdog check for idle workers. Returns `true` when the run is
+    /// over for this worker (finished, failed, or a stall was just
+    /// detected and recorded).
+    pub fn idle_check(&self) -> bool {
+        if self.halted() || self.remaining() == 0 {
+            return true;
+        }
+        let Some(window) = self.config.watchdog else {
+            return false;
+        };
+        // Progress means either a completion or a body actively running;
+        // a long-running legitimate task must not trip the watchdog.
+        if self.running.load(Ordering::Acquire) > 0 {
+            return false;
+        }
+        let last = Duration::from_nanos(self.last_progress.load(Ordering::Acquire));
+        if self.start.elapsed().saturating_sub(last) < window {
+            return false;
+        }
+        let stuck: Vec<TaskId> = self
+            .done
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.load(Ordering::Acquire))
+            .map(|(t, _)| t)
+            .take(8)
+            .collect();
+        self.poison_with(EngineError::Stalled {
+            remaining: self.remaining(),
+            stuck,
+            window,
+        });
+        true
+    }
+
+    /// Record a duplicate-execution engine bug (used by engines with their
+    /// own dispatch bookkeeping, e.g. the dataflow body slots).
+    pub fn duplicate_execution(&self, task: TaskId) {
+        self.poison_with(EngineError::DuplicateExecution { task });
+    }
+
+    /// Finish the run: the recorded error, or the success report.
+    pub fn finish(self) -> Result<RunReport, EngineError> {
+        if let Some(e) = self.error.lock().take() {
+            return Err(e);
+        }
+        let ntasks = self.attempts.len();
+        let completed = ntasks - self.remaining();
+        let task_attempts: Vec<(TaskId, u32)> = self
+            .attempts
+            .iter()
+            .enumerate()
+            .filter_map(|(t, a)| {
+                let a = a.load(Ordering::Acquire);
+                (a > 1).then_some((t, a))
+            })
+            .collect();
+        Ok(RunReport {
+            ntasks,
+            completed,
+            retries: self.retries.load(Ordering::Acquire),
+            faults_injected: self
+                .config
+                .fault_plan
+                .as_deref()
+                .map_or(0, FaultPlan::faults_injected),
+            task_attempts,
+            elapsed: self.start.elapsed(),
+        })
+    }
+}
+
+/// Best-effort stringification of a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_transient_fails_then_passes() {
+        let plan = FaultPlan::new().transient_on(3, 2);
+        // Attempts 1 and 2 panic with a TransientFault payload.
+        for attempt in 1..=2 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                plan.inject(3, attempt)
+            }));
+            let payload = r.expect_err("injection should fail");
+            assert!(payload.is::<TransientFault>());
+        }
+        // Attempt 3 passes.
+        plan.inject(3, 3);
+        // Other tasks never fail.
+        plan.inject(4, 1);
+        assert_eq!(plan.faults_injected(), 2);
+    }
+
+    #[test]
+    fn sampled_faults_are_deterministic() {
+        let a = FaultPlan::with_seed(7).random_transient(0.3, 1);
+        let b = FaultPlan::with_seed(7).random_transient(0.3, 1);
+        for t in 0..256 {
+            assert_eq!(a.sample(t).is_some(), b.sample(t).is_some(), "task {t}");
+        }
+        let hits = (0..1024).filter(|&t| a.sample(t).is_some()).count();
+        assert!((150..500).contains(&hits), "sampled rate off: {hits}/1024");
+    }
+
+    #[test]
+    fn corruption_budget_is_consumed() {
+        let plan = FaultPlan::new().corrupt_panel_times(5, 2);
+        assert!(plan.take_corruption(5));
+        assert!(plan.take_corruption(5));
+        assert!(!plan.take_corruption(5));
+        assert!(!plan.take_corruption(6));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let plan = FaultPlan::parse("seed=9,transient=3x2,panic=7,delay=1:250,nan=0").unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.pinned.get(&3), Some(&FaultKind::Transient { failures: 2 }));
+        assert_eq!(plan.pinned.get(&7), Some(&FaultKind::Panic));
+        assert_eq!(plan.pinned.get(&1), Some(&FaultKind::Delay { micros: 250 }));
+        assert!(plan.take_corruption(0));
+        assert!(FaultPlan::parse("bogus").is_err());
+        assert!(FaultPlan::parse("frob=1").is_err());
+        assert!(FaultPlan::parse("transient=3").is_err());
+    }
+
+    #[test]
+    fn supervisor_retries_then_completes() {
+        let plan = Arc::new(FaultPlan::new().transient_on(0, 2));
+        let sup = Supervisor::new(1, RunConfig {
+            fault_plan: Some(plan),
+            retry: RetryPolicy::retrying(),
+            watchdog: None,
+        });
+        let mut runs = 0;
+        assert_eq!(sup.run_task(0, || runs += 1), TaskOutcome::Retry);
+        assert_eq!(sup.run_task(0, || runs += 1), TaskOutcome::Retry);
+        assert_eq!(sup.run_task(0, || runs += 1), TaskOutcome::Completed);
+        sup.task_done(0);
+        assert_eq!(runs, 1, "body must not run on injected-failure attempts");
+        let report = sup.finish().unwrap();
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.task_attempts, vec![(0, 3)]);
+        assert_eq!(report.faults_injected, 2);
+    }
+
+    #[test]
+    fn supervisor_exhausts_retry_budget() {
+        let plan = Arc::new(FaultPlan::new().transient_on(0, 99));
+        let sup = Supervisor::new(1, RunConfig {
+            fault_plan: Some(plan),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff: Duration::from_micros(10),
+                backoff_factor: 2.0,
+            },
+            watchdog: None,
+        });
+        assert_eq!(sup.run_task(0, || {}), TaskOutcome::Retry);
+        assert_eq!(sup.run_task(0, || {}), TaskOutcome::Retry);
+        assert_eq!(sup.run_task(0, || {}), TaskOutcome::Aborted);
+        match sup.finish() {
+            Err(EngineError::RetryBudgetExhausted { task: 0, attempts: 3 }) => {}
+            other => panic!("expected RetryBudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervisor_reports_duplicate_execution() {
+        let sup = Supervisor::new(2, RunConfig::default());
+        assert_eq!(sup.run_task(0, || {}), TaskOutcome::Completed);
+        sup.task_done(0);
+        assert_eq!(sup.run_task(0, || {}), TaskOutcome::Aborted);
+        match sup.finish() {
+            Err(EngineError::DuplicateExecution { task: 0 }) => {}
+            other => panic!("expected DuplicateExecution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_detects_quiescence() {
+        let sup = Supervisor::new(3, RunConfig {
+            watchdog: Some(Duration::from_millis(20)),
+            ..RunConfig::default()
+        });
+        assert!(!sup.idle_check(), "fresh run is not stalled yet");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(sup.idle_check());
+        match sup.finish() {
+            Err(EngineError::Stalled { remaining: 3, stuck, .. }) => {
+                assert_eq!(stuck, vec![0, 1, 2]);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+}

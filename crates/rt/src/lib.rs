@@ -22,16 +22,30 @@
 //!   *locally* releases its successors onto the finishing worker's LIFO
 //!   deque (data reuse), with Chase-Lev stealing for balance.
 //!
-//! The engines run real OS threads and synchronize with atomics +
-//! `crossbeam` deques; they are exercised by the solver's factorization
-//! (correctness) while the *performance* study of the paper is reproduced
-//! on the deterministic simulator in `dagfact-gpusim` (see DESIGN.md §2).
+//! The engines run real OS threads and synchronize with atomics + the
+//! internal [`sync`]/[`deque`] primitives; they are exercised by the
+//! solver's factorization (correctness) while the *performance* study of
+//! the paper is reproduced on the deterministic simulator in
+//! `dagfact-gpusim` (see DESIGN.md §2).
+//!
+//! All three engines share the fault-tolerant execution layer of
+//! [`fault`]: a `*_checked` entry point per engine catches task panics,
+//! retries transient failures with bounded backoff, detects stalled
+//! schedulers with a watchdog, and reports per-task attempt counts —
+//! with deterministic fault *injection* ([`fault::FaultPlan`]) for
+//! testing all of it.
 
 pub mod dataflow;
+pub mod deque;
+pub mod fault;
 pub mod native;
 pub mod ptg;
 pub mod shared;
+pub mod sync;
 
+pub use fault::{
+    EngineError, FaultPlan, RetryPolicy, RunConfig, RunReport, TransientFault,
+};
 pub use shared::SharedSlice;
 
 /// Identifier of a task within one engine run.

@@ -8,11 +8,16 @@
 //! queue; a worker that runs dry steals the lowest-priority ready task of
 //! the most loaded victim (stealing cold work preserves the owner's
 //! locality).
+//!
+//! [`run_native_checked`] executes under the fault-tolerant layer of
+//! [`crate::fault`]; [`run_native`] is the legacy path that panics on the
+//! calling thread if the run fails.
 
+use crate::fault::{EngineError, RunConfig, RunReport, Supervisor, TaskOutcome};
+use crate::sync::Mutex;
 use crate::TaskId;
-use parking_lot::Mutex;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A task in the native engine's statically-scheduled DAG.
 #[derive(Debug, Clone)]
@@ -49,28 +54,46 @@ impl Ord for Entry {
 
 struct Queues {
     ready: Vec<Mutex<BinaryHeap<Entry>>>,
-    remaining: AtomicUsize,
-    poisoned: std::sync::atomic::AtomicBool,
 }
 
 /// Execute a statically-scheduled DAG on `nworkers` threads.
 ///
 /// `execute(task, worker)` runs the task body; it is called exactly once
-/// per task, only after all its predecessors completed.
+/// per task, only after all its predecessors completed. Panics on the
+/// calling thread if a task panics; prefer [`run_native_checked`] for
+/// structured errors.
 pub fn run_native<F>(tasks: &[NativeTask], nworkers: usize, execute: F)
+where
+    F: Fn(TaskId, usize) + Sync,
+{
+    if let Err(e) = run_native_checked(tasks, nworkers, RunConfig::default(), execute) {
+        panic!("native engine failed: {e}");
+    }
+}
+
+/// Execute a statically-scheduled DAG under the fault-tolerant layer:
+/// task panics become [`EngineError::TaskPanicked`], transient failures
+/// are retried per `config.retry` (the task is re-queued on its owner),
+/// and the watchdog converts a stalled scheduler into
+/// [`EngineError::Stalled`].
+pub fn run_native_checked<F>(
+    tasks: &[NativeTask],
+    nworkers: usize,
+    config: RunConfig,
+    execute: F,
+) -> Result<RunReport, EngineError>
 where
     F: Fn(TaskId, usize) + Sync,
 {
     assert!(nworkers >= 1);
     let ntasks = tasks.len();
+    let sup = Supervisor::new(ntasks, config);
     if ntasks == 0 {
-        return;
+        return sup.finish();
     }
     let pending: Vec<AtomicU32> = tasks.iter().map(|t| AtomicU32::new(t.npred)).collect();
     let queues = Queues {
         ready: (0..nworkers).map(|_| Mutex::new(BinaryHeap::new())).collect(),
-        remaining: AtomicUsize::new(ntasks),
-        poisoned: std::sync::atomic::AtomicBool::new(false),
     };
     // Seed initially-ready tasks onto their owners' queues.
     for (t, task) in tasks.iter().enumerate() {
@@ -82,11 +105,10 @@ where
         }
     }
 
+    let supref = &sup;
     let body = |worker: usize| {
         loop {
-            if queues.remaining.load(Ordering::Acquire) == 0
-                || queues.poisoned.load(Ordering::Acquire)
-            {
+            if supref.remaining() == 0 || supref.halted() {
                 break;
             }
             // 1) Own queue first (locality of the static mapping).
@@ -96,28 +118,35 @@ where
                 None => steal(&queues, worker, nworkers),
             };
             let Some(t) = picked else {
+                // Idle: service the watchdog, then yield to the OS.
+                if supref.idle_check() {
+                    break;
+                }
                 std::thread::yield_now();
                 continue;
             };
-            // A panicking task body must not deadlock the pool: poison the
-            // run so every worker drains, then propagate the panic.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                execute(t, worker)
-            }));
-            if let Err(payload) = result {
-                queues.poisoned.store(true, Ordering::Release);
-                std::panic::resume_unwind(payload);
-            }
-            // Release successors onto their owners' queues.
-            for &s in &tasks[t].succs {
-                if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                    queues.ready[tasks[s].owner % nworkers].lock().push(Entry {
-                        priority: tasks[s].priority,
-                        task: s,
+            match supref.run_task(t, || execute(t, worker)) {
+                TaskOutcome::Completed => {
+                    // Release successors onto their owners' queues.
+                    for &s in &tasks[t].succs {
+                        if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            queues.ready[tasks[s].owner % nworkers].lock().push(Entry {
+                                priority: tasks[s].priority,
+                                task: s,
+                            });
+                        }
+                    }
+                    supref.task_done(t);
+                }
+                TaskOutcome::Retry => {
+                    // Backoff already applied; retry on the static owner.
+                    queues.ready[tasks[t].owner % nworkers].lock().push(Entry {
+                        priority: tasks[t].priority,
+                        task: t,
                     });
                 }
+                TaskOutcome::Aborted => break,
             }
-            queues.remaining.fetch_sub(1, Ordering::AcqRel);
         }
     };
 
@@ -131,7 +160,7 @@ where
             body(0);
         });
     }
-    debug_assert_eq!(queues.remaining.load(Ordering::Acquire), 0);
+    sup.finish()
 }
 
 /// Steal one ready task from the most loaded victim. PaStiX steals "cold"
@@ -263,5 +292,19 @@ mod tests {
     #[test]
     fn empty_dag_returns_immediately() {
         run_native(&[], 4, |_, _| panic!("no task to run"));
+    }
+
+    #[test]
+    fn checked_run_reports_success() {
+        let tasks = diamond(8);
+        let n = tasks.len();
+        let count = AtomicUsize::new(0);
+        let report = run_native_checked(&tasks, 4, RunConfig::default(), |_, _| {
+            count.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(report.ntasks, n);
+        assert_eq!(report.completed, n);
+        assert_eq!(count.load(Ordering::SeqCst), n);
     }
 }

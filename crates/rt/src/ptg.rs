@@ -12,11 +12,16 @@
 //! Scheduling follows PaRSEC's data-reuse policy: released successors go to
 //! the front of the releasing worker's LIFO deque (the freshly-written
 //! panel is still hot in its cache), and idle workers steal from the back
-//! of a victim — the classic Chase-Lev discipline provided by
-//! `crossbeam-deque`.
+//! of a victim — the owner-LIFO / thief-FIFO discipline of
+//! [`crate::deque`].
+//!
+//! [`run_ptg_checked`] executes under the fault-tolerant layer of
+//! [`crate::fault`]; [`run_ptg`] is the legacy path that panics on the
+//! calling thread if the run fails.
 
-use crossbeam::deque::{Injector, Stealer, Worker as Deque};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use crate::deque::{Injector, Stealer, WorkerDeque};
+use crate::fault::{EngineError, RunConfig, RunReport, Supervisor, TaskOutcome};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Algebraic task-graph description (the PTG). Task ids form the dense
 /// range `0..num_tasks()`; the shape functions must be pure.
@@ -38,20 +43,37 @@ pub trait PtgProgram: Sync {
 }
 
 /// Run a [`PtgProgram`] to completion on `nworkers` threads.
+///
+/// Panics on the calling thread if a task panics; prefer
+/// [`run_ptg_checked`] for structured errors.
 pub fn run_ptg<P: PtgProgram>(program: &P, nworkers: usize) {
+    if let Err(e) = run_ptg_checked(program, nworkers, RunConfig::default()) {
+        panic!("ptg engine failed: {e}");
+    }
+}
+
+/// Run a [`PtgProgram`] under the fault-tolerant layer: task panics
+/// become [`EngineError::TaskPanicked`], transient failures are retried
+/// per `config.retry` (the task is re-pushed on the failing worker's
+/// deque), and the watchdog converts a stalled scheduler into
+/// [`EngineError::Stalled`].
+pub fn run_ptg_checked<P: PtgProgram>(
+    program: &P,
+    nworkers: usize,
+    config: RunConfig,
+) -> Result<RunReport, EngineError> {
     assert!(nworkers >= 1);
     let ntasks = program.num_tasks();
+    let sup = Supervisor::new(ntasks, config);
     if ntasks == 0 {
-        return;
+        return sup.finish();
     }
     // The only per-task state: remaining-predecessor counters.
     let pending: Vec<AtomicU32> = (0..ntasks)
         .map(|t| AtomicU32::new(program.num_predecessors(t)))
         .collect();
-    let remaining = AtomicUsize::new(ntasks);
-    let poisoned = std::sync::atomic::AtomicBool::new(false);
     // Per-worker LIFO deques + global injector for the seeds.
-    let deques: Vec<Deque<usize>> = (0..nworkers).map(|_| Deque::new_lifo()).collect();
+    let deques: Vec<WorkerDeque<usize>> = (0..nworkers).map(|_| WorkerDeque::new()).collect();
     let stealers: Vec<Stealer<usize>> = deques.iter().map(|d| d.stealer()).collect();
     let injector = Injector::new();
     // Seed roots in priority order so early steals grab urgent work.
@@ -63,57 +85,59 @@ pub fn run_ptg<P: PtgProgram>(program: &P, nworkers: usize) {
         injector.push(t);
     }
 
-    let deque_slots: Vec<parking_lot::Mutex<Option<Deque<usize>>>> =
-        deques.into_iter().map(|d| parking_lot::Mutex::new(Some(d))).collect();
-
+    let supref = &sup;
+    let deques = &deques;
     let body = |w: usize| {
-        let local: Deque<usize> = deque_slots[w].lock().take().expect("worker deque claimed twice");
+        let local = &deques[w];
         let mut succ_buf: Vec<usize> = Vec::new();
         loop {
-            if remaining.load(Ordering::Acquire) == 0
-                || poisoned.load(Ordering::Acquire)
-            {
+            if supref.remaining() == 0 || supref.halted() {
                 break;
             }
             // Local LIFO first (data reuse), then the injector, then steal.
-            let task = local.pop().or_else(|| {
-                std::iter::repeat_with(|| {
-                    injector
-                        .steal_batch_and_pop(&local)
-                        .or_else(|| stealers.iter().map(|s| s.steal()).collect())
-                })
-                .find(|s| !s.is_retry())
-                .and_then(|s| s.success())
-            });
+            let task = local
+                .pop()
+                .or_else(|| injector.steal())
+                .or_else(|| stealers.iter().enumerate().find_map(|(v, s)| {
+                    if v == w {
+                        None
+                    } else {
+                        s.steal()
+                    }
+                }));
             let Some(t) = task else {
+                // Idle: service the watchdog, then yield to the OS.
+                if supref.idle_check() {
+                    break;
+                }
                 std::thread::yield_now();
                 continue;
             };
-            // Poison-and-propagate on panic so the other workers drain
-            // instead of spinning forever.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                program.execute(t, w)
-            }));
-            if let Err(payload) = result {
-                poisoned.store(true, Ordering::Release);
-                std::panic::resume_unwind(payload);
-            }
-            succ_buf.clear();
-            program.successors(t, &mut succ_buf);
-            // Local release: highest-priority successor pushed last so the
-            // LIFO pop picks it up next (hot data path).
-            succ_buf.sort_by(|&a, &b| {
-                program
-                    .priority(a)
-                    .partial_cmp(&program.priority(b))
-                    .unwrap()
-            });
-            for &s in &succ_buf {
-                if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                    local.push(s);
+            match supref.run_task(t, || program.execute(t, w)) {
+                TaskOutcome::Completed => {
+                    succ_buf.clear();
+                    program.successors(t, &mut succ_buf);
+                    // Local release: highest-priority successor pushed last
+                    // so the LIFO pop picks it up next (hot data path).
+                    succ_buf.sort_by(|&a, &b| {
+                        program
+                            .priority(a)
+                            .partial_cmp(&program.priority(b))
+                            .unwrap()
+                    });
+                    for &s in &succ_buf {
+                        if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            local.push(s);
+                        }
+                    }
+                    supref.task_done(t);
                 }
+                TaskOutcome::Retry => {
+                    // Backoff already applied; keep the task local.
+                    local.push(t);
+                }
+                TaskOutcome::Aborted => break,
             }
-            remaining.fetch_sub(1, Ordering::AcqRel);
         }
     };
 
@@ -127,7 +151,7 @@ pub fn run_ptg<P: PtgProgram>(program: &P, nworkers: usize) {
             body(0);
         });
     }
-    debug_assert_eq!(remaining.load(Ordering::Acquire), 0);
+    sup.finish()
 }
 
 #[cfg(test)]
@@ -276,5 +300,17 @@ mod tests {
             }
         }
         run_ptg(&Empty, 2);
+    }
+
+    #[test]
+    fn checked_run_reports_success() {
+        let p = Wavefront {
+            n: 6,
+            log: Mutex::new(Vec::new()),
+        };
+        let report = run_ptg_checked(&p, 4, RunConfig::default()).unwrap();
+        assert_eq!(report.ntasks, 36);
+        assert_eq!(report.completed, 36);
+        assert_eq!(p.log.into_inner().unwrap().len(), 36);
     }
 }

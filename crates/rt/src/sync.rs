@@ -1,0 +1,114 @@
+//! Minimal synchronization primitives over `std::sync`.
+//!
+//! The engines only need a mutex whose `lock()` never returns a poison
+//! error (a panicking task must not wedge every later lock — the checked
+//! execution layer in [`crate::fault`] owns panic propagation) and a
+//! condvar with a timed wait (the stall watchdog must wake blocked workers
+//! periodically). Wrapping `std::sync` keeps the whole runtime free of
+//! external dependencies.
+
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// Re-exported guard type; identical to `std::sync::MutexGuard`.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutex that shrugs off poisoning: if a holder panicked, the next
+/// `lock()` simply recovers the inner state. Error handling for panicking
+/// tasks is centralized in the engines' checked execution paths.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, recovering from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the mutex and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Condition variable companion of [`Mutex`], also poison-transparent.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// New condvar.
+    pub fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until notified or `timeout` elapses; returns the reacquired
+    /// guard (the caller re-checks its predicate either way).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> MutexGuard<'a, T> {
+        self.inner
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn wait_timeout_returns() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let guard = m.lock();
+        let _guard = cv.wait_timeout(guard, Duration::from_millis(5));
+    }
+}

@@ -90,8 +90,7 @@ impl<T: Scalar> CscMatrix<T> {
         for v in y.iter_mut() {
             *v = T::zero();
         }
-        for j in 0..self.ncols() {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate().take(self.ncols()) {
             if xj == T::zero() {
                 continue;
             }
@@ -146,8 +145,7 @@ impl<T: Scalar> CscMatrix<T> {
         let mut rowind = Vec::with_capacity(self.nnz());
         let mut values = Vec::with_capacity(self.nnz());
         let mut scratch: Vec<(usize, T)> = Vec::new();
-        for newj in 0..n {
-            let oldj = iperm[newj];
+        for &oldj in iperm.iter().take(n) {
             scratch.clear();
             scratch.extend(
                 self.col_rows(oldj)

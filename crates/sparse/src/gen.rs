@@ -14,8 +14,37 @@
 use crate::coo::TripletBuilder;
 use crate::csc::CscMatrix;
 use dagfact_kernels::{Scalar, C64};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+
+/// Small deterministic PRNG (SplitMix64) for the random generators —
+/// seedable, dependency-free, and identical across platforms.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n`.
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform draw in `[-1, 1)`.
+    fn symmetric_unit(&mut self) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        2.0 * unit - 1.0
+    }
+}
 
 /// Stencil connectivity for grid generators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,16 +229,16 @@ pub fn complex_unsym_3d(nx: usize, ny: usize, nz: usize) -> CscMatrix<C64> {
 /// off-diagonal entries per column mirrored across the diagonal, with a
 /// dominant diagonal. Used heavily by property tests.
 pub fn random_spd(n: usize, target_nnz_per_col: usize, seed: u64) -> CscMatrix<f64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = TripletBuilder::with_capacity(n, n, n * (2 * target_nnz_per_col + 1));
     let mut rowsum = vec![0.0f64; n];
     for j in 0..n {
         for _ in 0..target_nnz_per_col {
-            let i = rng.gen_range(0..n);
+            let i = rng.index(n);
             if i == j {
                 continue;
             }
-            let v = rng.gen_range(-1.0..1.0f64);
+            let v = rng.symmetric_unit();
             b.push(i, j, v);
             b.push(j, i, v);
             rowsum[i] += v.abs();

@@ -33,7 +33,6 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CscMatrix<T>,
         .next()
         .ok_or_else(|| SparseError::Parse("empty file".into()))??;
     let head_tokens: Vec<String> = header
-        .trim()
         .split_whitespace()
         .map(|t| t.to_ascii_lowercase())
         .collect();

@@ -212,8 +212,7 @@ impl SparsityPattern {
         colptr.push(0usize);
         let mut rowind = Vec::with_capacity(self.nnz());
         let mut scratch = Vec::new();
-        for newj in 0..n {
-            let oldj = iperm[newj];
+        for &oldj in iperm.iter().take(n) {
             scratch.clear();
             scratch.extend(self.col(oldj).iter().map(|&r| perm[r]));
             scratch.sort_unstable();

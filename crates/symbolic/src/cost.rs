@@ -93,7 +93,7 @@ impl TaskCosts {
         let mut panel = vec![0.0; ncblk];
         let mut update = vec![0.0; symbol.blocks.len()];
         let mut total = 0.0;
-        for c in 0..ncblk {
+        for (c, pc) in panel.iter_mut().enumerate() {
             let cb = &symbol.cblks[c];
             let w = cb.width();
             let cost = model.facto_flops(w) + model.trsm_flops(w, cb.height_below());
@@ -108,7 +108,7 @@ impl TaskCosts {
                 total += u;
                 below -= n;
             }
-            panel[c] = cost;
+            *pc = cost;
             total += cost;
         }
         TaskCosts {

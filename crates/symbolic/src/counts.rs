@@ -58,9 +58,10 @@ mod tests {
             }
             for k in 0..j {
                 if cols[k][j] {
-                    for i in j..n {
-                        if cols[k][i] {
-                            cols[j][i] = true;
+                    let (head, tail) = cols.split_at_mut(j);
+                    for (s, d) in head[k].iter().zip(tail[0].iter_mut()).skip(j) {
+                        if *s {
+                            *d = true;
                         }
                     }
                 }

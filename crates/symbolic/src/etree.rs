@@ -63,8 +63,8 @@ pub fn postorder(parent: &[usize]) -> Vec<usize> {
     let mut post = Vec::with_capacity(n);
     // Iterative DFS to survive deep trees (band matrices give chains).
     let mut stack: Vec<(usize, usize)> = Vec::new(); // (vertex, child cursor)
-    for root in 0..n {
-        if parent[root] != NO_PARENT {
+    for (root, &par) in parent.iter().enumerate() {
+        if par != NO_PARENT {
             continue;
         }
         stack.push((root, 0));
@@ -131,9 +131,10 @@ mod tests {
             }
             for k in 0..j {
                 if cols[k][j] {
-                    for i in (j + 1)..n {
-                        if cols[k][i] {
-                            cols[j][i] = true;
+                    let (head, tail) = cols.split_at_mut(j);
+                    for (s, d) in head[k].iter().zip(tail[0].iter_mut()).skip(j + 1) {
+                        if *s {
+                            *d = true;
                         }
                     }
                 }
@@ -168,8 +169,8 @@ mod tests {
     fn tridiagonal_gives_chain() {
         let a = grid_laplacian_2d(6, 1);
         let parent = elimination_tree(&a.pattern().symmetrize());
-        for j in 0..5 {
-            assert_eq!(parent[j], j + 1);
+        for (j, &pj) in parent.iter().enumerate().take(5) {
+            assert_eq!(pj, j + 1);
         }
         assert_eq!(parent[5], NO_PARENT);
     }
@@ -181,7 +182,7 @@ mod tests {
         let parent = elimination_tree(&p);
         let post = postorder(&parent);
         // post is a permutation.
-        let mut seen = vec![false; 60];
+        let mut seen = [false; 60];
         for &v in &post {
             assert!(!seen[v]);
             seen[v] = true;

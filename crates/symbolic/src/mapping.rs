@@ -41,8 +41,8 @@ pub fn proportional_mapping(
         .collect();
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); ncblk];
     let mut roots: Vec<usize> = Vec::new();
-    for c in 0..ncblk {
-        match parent[c] {
+    for (c, &par) in parent.iter().enumerate() {
+        match par {
             Some(p) => children[p].push(c),
             None => roots.push(c),
         }

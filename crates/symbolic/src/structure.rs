@@ -120,9 +120,7 @@ impl SymbolMatrix {
         let ncblk = chunks.len();
         let mut col_to_cblk = vec![0usize; n];
         for (ci, &(fc, lc, _)) in chunks.iter().enumerate() {
-            for j in fc..lc {
-                col_to_cblk[j] = ci;
-            }
+            col_to_cblk[fc..lc].fill(ci);
         }
         // 2) Per-chunk row set: the columns of later chunks of the same
         //    supernode, then the supernode's below rows. Group consecutive

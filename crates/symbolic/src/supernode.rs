@@ -112,9 +112,7 @@ pub fn build_partition(
     let nsup = first.len() - 1;
     let mut snode_of = vec![0usize; n];
     for s in 0..nsup {
-        for j in first[s]..first[s + 1] {
-            snode_of[j] = s;
-        }
+        snode_of[first[s]..first[s + 1]].fill(s);
     }
     // Supernode-tree parent: parent of the last column.
     let mut sparent = vec![NO_PARENT; nsup];
@@ -320,9 +318,7 @@ pub fn amalgamate(
     first.push(n);
     let mut snode_of = vec![0usize; n];
     for (new_s, w) in first.windows(2).enumerate() {
-        for j in w[0]..w[1] {
-            snode_of[j] = new_s;
-        }
+        snode_of[w[0]..w[1]].fill(new_s);
     }
     // Recompute the supernode tree from the merged structures: parent =
     // supernode of the smallest row (first ancestor receiving an update),
@@ -376,9 +372,10 @@ mod tests {
             }
             for k in 0..j {
                 if cols[k][j] {
-                    for i in (j + 1)..n {
-                        if cols[k][i] {
-                            cols[j][i] = true;
+                    let (head, tail) = cols.split_at_mut(j);
+                    for (s, d) in head[k].iter().zip(tail[0].iter_mut()).skip(j + 1) {
+                        if *s {
+                            *d = true;
                         }
                     }
                 }
