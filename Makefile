@@ -1,12 +1,15 @@
-# Convenience targets. The canonical gate is `make check-robust`.
+# Convenience targets. The canonical gate is `make check`.
 
-.PHONY: build test check-robust clippy
+.PHONY: build test check check-robust check-analysis lint-strict clippy
 
 build:
 	cargo build --release
 
 test:
 	cargo test -q --workspace
+
+# The full gate: robustness suite + static-analysis suite.
+check: check-robust check-analysis
 
 # Full robustness gate: the whole test suite plus the fault-injection and
 # recovery suites with backtraces on, then a warning-free clippy pass.
@@ -15,6 +18,19 @@ check-robust:
 	RUST_BACKTRACE=1 cargo test -q -p dagfact-rt --test fault_injection
 	RUST_BACKTRACE=1 cargo test -q -p dagfact-core --test fault_recovery
 	cargo clippy --workspace --all-targets -- -D warnings
+
+# Static-analysis gate: the unwrap lint, the graph-verifier suites, the
+# 9-proxies x 3-factos x 3-engines sweep (release: the graphs are large),
+# and a warning-free clippy pass.
+check-analysis: lint-strict
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-rt verify
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-core --test verify_graph
+	cargo run -q --release -p dagfact-bench --bin verify_sweep
+	cargo clippy --workspace --all-targets -- -D warnings
+
+# Grep-gate: no .unwrap() in rt/core library code (tests exempt).
+lint-strict:
+	tools/lint-unwrap.sh
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings

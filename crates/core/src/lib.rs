@@ -35,8 +35,10 @@ pub mod simulate;
 pub mod solve;
 pub mod solver;
 pub mod tasks;
+pub mod verify;
 
 pub use analysis::{Analysis, AnalysisStats, SolverOptions};
+pub use verify::{EngineReport, VerifyOptions, VerifyOutcome};
 pub use distributed::{fan_in_study, CommStats, FanInStudy};
 pub use numeric::{ExecOptions, FactorStats, Factors};
 pub use refine::RefinedSolve;

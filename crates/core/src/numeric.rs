@@ -62,6 +62,14 @@ struct NumericCtx<'a, T: Scalar> {
     /// First kernel error; once set, remaining tasks no-op.
     error: Mutex<Option<KernelError>>,
     workspaces: Vec<Mutex<Workspace<T>>>,
+    /// Per-panel accumulation locks for the native engine: the coarse 1D
+    /// DAG orders every updater *before* its target's 1D task but not the
+    /// updaters of a common target against each other (fan-in from
+    /// disjoint subtrees), so their scatter-adds are serialized here —
+    /// PaStiX's per-cblk mutex. The verifier models these accesses as
+    /// `Mode::Accum`: commutative, mutually excluded. The fine-grained
+    /// engines order updates by dependency edges and skip the lock.
+    panel_locks: Vec<Mutex<()>>,
 }
 
 impl<'a, T: Scalar> NumericCtx<'a, T> {
@@ -195,7 +203,10 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
     /// Apply update task of global block `bi` from panel `c` onto its
     /// facing panel. `dlt` optionally carries the native engine's
     /// precomputed `D·Lᵀ` panel (k × below, column per source row).
-    fn update_task(&self, c: usize, bi: usize, worker: usize, dlt: Option<&[T]>) {
+    /// `lock_target` must be true when the caller's DAG does not order
+    /// updates into a common target against each other (the native 1D
+    /// graph): the write then becomes a lock-protected accumulation.
+    fn update_task(&self, c: usize, bi: usize, worker: usize, dlt: Option<&[T]>, lock_target: bool) {
         if self.failed() {
             return;
         }
@@ -216,8 +227,14 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
             row_map: &ws.row_map,
             col_offset: block.frow - tcb.fcol,
         };
-        // SAFETY: the DAG serializes updates into panel j and guarantees
-        // panel c is read-only here; the two panels are disjoint ranges.
+        // Serialize concurrent accumulations into panel j (native engine
+        // only; see `panel_locks`). Taken before the destination borrow so
+        // two updaters never hold overlapping `&mut` views.
+        let _accum_guard = lock_target.then(|| self.panel_locks[j].lock());
+        // SAFETY: the DAG guarantees panel c is read-only here, and either
+        // serializes updates into panel j (fine-grained engines) or the
+        // accumulation lock above excludes concurrent updaters (native);
+        // the two panels are disjoint ranges.
         let (lsrc, ldst) = unsafe { self.tab.lcoef.disjoint_pair(src.clone(), dst.clone()) };
         let a1 = &lsrc[block.local_offset..];
         let a2 = &lsrc[block.local_offset..];
@@ -368,7 +385,7 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
             None
         };
         for bi in (cb.block_begin + 1)..cb.block_end {
-            self.update_task(c, bi, worker, dlt_panel.as_deref());
+            self.update_task(c, bi, worker, dlt_panel.as_deref(), true);
         }
     }
 }
@@ -547,6 +564,7 @@ impl Analysis {
             pivots_repaired: AtomicUsize::new(0),
             error: Mutex::new(None),
             workspaces: (0..nthreads).map(|_| Mutex::new(Workspace::default())).collect(),
+            panel_locks: (0..self.symbol.ncblk()).map(|_| Mutex::new(())).collect(),
         };
         let report = match runtime {
             RuntimeKind::Native => self.run_native_engine(&ctx, nthreads, exec.run.clone()),
@@ -654,7 +672,7 @@ impl Analysis {
                 g.submit(
                     &[(cblk, AccessMode::Read), (target, AccessMode::ReadWrite)],
                     pr,
-                    move |w| ctx.update_task(cblk, block, w, None),
+                    move |w| ctx.update_task(cblk, block, w, None, false),
                 );
             }
         }
@@ -692,7 +710,7 @@ impl Analysis {
                 match self.graph.tasks[t] {
                     TaskKind::Panel { cblk } => self.ctx.panel_task(cblk, worker),
                     TaskKind::Update { cblk, block, .. } => {
-                        self.ctx.update_task(cblk, block, worker, None)
+                        self.ctx.update_task(cblk, block, worker, None, false)
                     }
                 }
             }

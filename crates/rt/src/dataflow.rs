@@ -45,13 +45,49 @@ pub enum SchedulerPolicy {
 }
 
 /// A submitted task: body + metadata. Bodies are `FnMut` so a transiently
-/// failed attempt can be retried by the checked execution path.
+/// failed attempt can be retried by the checked execution path. The
+/// declared accesses are retained so the verifier
+/// ([`DataflowGraph::to_spec`]) can re-derive the hazard contract.
 struct Task<'a> {
     body: Box<dyn FnMut(usize) + Send + 'a>,
     priority: f64,
     npred: u32,
     succs: Vec<TaskId>,
+    accesses: Vec<(DataId, AccessMode)>,
 }
+
+/// A malformed explicit dependency passed to
+/// [`DataflowGraph::add_dependency`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint is not a submitted task id.
+    UnknownTask {
+        /// The offending id.
+        task: TaskId,
+        /// Tasks submitted so far.
+        ntasks: usize,
+    },
+    /// `pred == succ`: the edge would deadlock the task against itself.
+    SelfDependency {
+        /// The offending id.
+        task: TaskId,
+    },
+}
+
+impl core::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GraphError::UnknownTask { task, ntasks } => {
+                write!(f, "task {task} does not exist ({ntasks} submitted)")
+            }
+            GraphError::SelfDependency { task } => {
+                write!(f, "task {task} cannot depend on itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
 
 /// Per-datum hazard-tracking state during submission.
 #[derive(Default, Clone)]
@@ -136,22 +172,48 @@ impl<'a> DataflowGraph<'a> {
             priority,
             npred,
             succs: Vec::new(),
+            accesses: accesses.to_vec(),
         });
         id
     }
 
     /// Add an explicit `pred → succ` edge on top of the inferred hazards
     /// (e.g. a control dependency with no shared datum). Both tasks must
-    /// already be submitted; duplicate edges are deduplicated.
-    pub fn add_dependency(&mut self, pred: TaskId, succ: TaskId) {
-        assert!(pred < self.tasks.len(), "unknown predecessor {pred}");
-        assert!(succ < self.tasks.len(), "unknown successor {succ}");
-        assert_ne!(pred, succ, "task {pred} cannot depend on itself");
+    /// already be submitted ([`GraphError::UnknownTask`] otherwise) and
+    /// distinct ([`GraphError::SelfDependency`] — a self-edge could never
+    /// become ready and would hang the run). Duplicate edges are
+    /// deduplicated and succeed as no-ops.
+    pub fn add_dependency(&mut self, pred: TaskId, succ: TaskId) -> Result<(), GraphError> {
+        let ntasks = self.tasks.len();
+        for t in [pred, succ] {
+            if t >= ntasks {
+                return Err(GraphError::UnknownTask { task: t, ntasks });
+            }
+        }
+        if pred == succ {
+            return Err(GraphError::SelfDependency { task: pred });
+        }
         if self.tasks[pred].succs.contains(&succ) {
-            return;
+            return Ok(());
         }
         self.tasks[pred].succs.push(succ);
         self.tasks[succ].npred += 1;
+        Ok(())
+    }
+
+    /// Export the submitted graph (inferred hazard edges + explicit
+    /// dependencies + declared accesses) for the static verifier.
+    pub fn to_spec(&self) -> crate::verify::GraphSpec {
+        let mut spec = crate::verify::GraphSpec::new(self.tasks.len());
+        for (t, task) in self.tasks.iter().enumerate() {
+            for &(d, mode) in &task.accesses {
+                spec.access(t, d, mode.into());
+            }
+            for &s in &task.succs {
+                spec.edge(t, s);
+            }
+        }
+        spec
     }
 
     /// Execute the whole graph on `nworkers` threads and consume it,
@@ -320,9 +382,10 @@ impl PartialOrd for QEntry {
 }
 impl Ord for QEntry {
     fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // total_cmp: NaN priorities order deterministically instead of
+        // panicking inside the scheduler.
         self.priority
-            .partial_cmp(&other.priority)
-            .unwrap()
+            .total_cmp(&other.priority)
             .then_with(|| other.task.cmp(&self.task))
     }
 }
@@ -373,11 +436,11 @@ mod tests {
         for nworkers in [1, 4] {
             let log = StdMutex::new(Vec::new());
             let mut g = DataflowGraph::new(1);
-            g.submit(&[(0, AccessMode::Write)], 0.0, |_| log.lock().unwrap().push("w"));
-            g.submit(&[(0, AccessMode::Read)], 10.0, |_| log.lock().unwrap().push("r1"));
-            g.submit(&[(0, AccessMode::Read)], 10.0, |_| log.lock().unwrap().push("r2"));
+            g.submit(&[(0, AccessMode::Write)], 0.0, |_| log.lock().expect("log lock").push("w"));
+            g.submit(&[(0, AccessMode::Read)], 10.0, |_| log.lock().expect("log lock").push("r1"));
+            g.submit(&[(0, AccessMode::Read)], 10.0, |_| log.lock().expect("log lock").push("r2"));
             g.execute(nworkers);
-            let log = log.into_inner().unwrap();
+            let log = log.into_inner().expect("log lock");
             assert_eq!(log[0], "w");
             assert_eq!(log.len(), 3);
         }
@@ -387,14 +450,14 @@ mod tests {
     fn war_dependency_orders_readers_before_writer() {
         let log = StdMutex::new(Vec::new());
         let mut g = DataflowGraph::new(1);
-        g.submit(&[(0, AccessMode::Write)], 0.0, |_| log.lock().unwrap().push(0));
-        g.submit(&[(0, AccessMode::Read)], 0.0, |_| log.lock().unwrap().push(1));
-        g.submit(&[(0, AccessMode::Read)], 0.0, |_| log.lock().unwrap().push(2));
+        g.submit(&[(0, AccessMode::Write)], 0.0, |_| log.lock().expect("log lock").push(0));
+        g.submit(&[(0, AccessMode::Read)], 0.0, |_| log.lock().expect("log lock").push(1));
+        g.submit(&[(0, AccessMode::Read)], 0.0, |_| log.lock().expect("log lock").push(2));
         // Overwriter must wait for both readers (WAR) and the writer (WAW).
-        g.submit(&[(0, AccessMode::ReadWrite)], 100.0, |_| log.lock().unwrap().push(3));
+        g.submit(&[(0, AccessMode::ReadWrite)], 100.0, |_| log.lock().expect("log lock").push(3));
         g.execute(4);
-        let log = log.into_inner().unwrap();
-        assert_eq!(*log.last().unwrap(), 3);
+        let log = log.into_inner().expect("log lock");
+        assert_eq!(*log.last().expect("log is non-empty"), 3);
     }
 
     #[test]
@@ -427,11 +490,11 @@ mod tests {
         for i in 0..50u64 {
             let acc = &acc;
             g.submit(&[(0, AccessMode::ReadWrite)], i as f64, move |_| {
-                *acc.lock().unwrap() += i;
+                *acc.lock().expect("accumulator lock") += i;
             });
         }
         g.execute(4);
-        assert_eq!(*acc.lock().unwrap(), (0..50).sum());
+        assert_eq!(*acc.lock().expect("accumulator lock"), (0..50).sum());
     }
 
     #[test]
@@ -439,11 +502,11 @@ mod tests {
         let log = StdMutex::new(Vec::new());
         let mut g = DataflowGraph::new(3);
         // Three independent tasks; single worker must run by priority.
-        g.submit(&[(0, AccessMode::Write)], 1.0, |_| log.lock().unwrap().push(1));
-        g.submit(&[(1, AccessMode::Write)], 3.0, |_| log.lock().unwrap().push(3));
-        g.submit(&[(2, AccessMode::Write)], 2.0, |_| log.lock().unwrap().push(2));
+        g.submit(&[(0, AccessMode::Write)], 1.0, |_| log.lock().expect("log lock").push(1));
+        g.submit(&[(1, AccessMode::Write)], 3.0, |_| log.lock().expect("log lock").push(3));
+        g.submit(&[(2, AccessMode::Write)], 2.0, |_| log.lock().expect("log lock").push(2));
         g.execute(1);
-        assert_eq!(log.into_inner().unwrap(), vec![3, 2, 1]);
+        assert_eq!(log.into_inner().expect("log lock"), vec![3, 2, 1]);
     }
 
     #[test]
@@ -457,12 +520,79 @@ mod tests {
         let mut g = DataflowGraph::new(2);
         // Two tasks on disjoint data — no inferred edge; the explicit
         // control dependency must still order them.
-        let a = g.submit(&[(0, AccessMode::Write)], 0.0, |_| log.lock().unwrap().push("a"));
-        let b = g.submit(&[(1, AccessMode::Write)], 100.0, |_| log.lock().unwrap().push("b"));
-        g.add_dependency(b, a); // run b first despite submission order
-        g.add_dependency(b, a); // duplicate edge is a no-op
+        let a = g.submit(&[(0, AccessMode::Write)], 0.0, |_| log.lock().expect("log lock").push("a"));
+        let b = g.submit(&[(1, AccessMode::Write)], 100.0, |_| log.lock().expect("log lock").push("b"));
+        // Run b first despite submission order; the duplicate is a no-op.
+        g.add_dependency(b, a).expect("valid edge");
+        g.add_dependency(b, a).expect("duplicate edge is accepted");
         g.execute(4);
-        assert_eq!(log.into_inner().unwrap(), vec!["b", "a"]);
+        assert_eq!(log.into_inner().expect("log lock"), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn add_dependency_rejects_self_dependency() {
+        let mut g = DataflowGraph::new(1);
+        let t = g.submit(&[(0, AccessMode::Write)], 0.0, |_| {});
+        assert_eq!(
+            g.add_dependency(t, t),
+            Err(GraphError::SelfDependency { task: t })
+        );
+        // The graph is still runnable: the bad edge was not recorded.
+        g.execute(2);
+    }
+
+    #[test]
+    fn add_dependency_rejects_dangling_task_ids() {
+        let mut g = DataflowGraph::new(1);
+        let t = g.submit(&[(0, AccessMode::Write)], 0.0, |_| {});
+        assert_eq!(
+            g.add_dependency(t, 7),
+            Err(GraphError::UnknownTask { task: 7, ntasks: 1 })
+        );
+        assert_eq!(
+            g.add_dependency(9, t),
+            Err(GraphError::UnknownTask { task: 9, ntasks: 1 })
+        );
+        g.execute(2);
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_inflate_predecessor_counts() {
+        // A duplicated explicit edge must not leave `npred` too high —
+        // that would make the successor wait forever (silent hang).
+        let log = StdMutex::new(Vec::new());
+        let mut g = DataflowGraph::new(2);
+        let a = g.submit(&[(0, AccessMode::Write)], 0.0, |_| log.lock().expect("log lock").push("a"));
+        let b = g.submit(&[(1, AccessMode::Write)], 0.0, |_| log.lock().expect("log lock").push("b"));
+        for _ in 0..3 {
+            g.add_dependency(a, b).expect("valid edge");
+        }
+        let spec = g.to_spec();
+        let report = crate::verify::check_static(&spec);
+        assert!(report.is_clean(), "{report}");
+        g.execute(2);
+        assert_eq!(log.into_inner().expect("log lock"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn to_spec_reproduces_inferred_hazards() {
+        use crate::verify::{check_static, Mode};
+        let mut g = DataflowGraph::new(2);
+        g.submit(&[(0, AccessMode::Write)], 0.0, |_| {});
+        g.submit(&[(0, AccessMode::Read), (1, AccessMode::ReadWrite)], 0.0, |_| {});
+        g.submit(&[(1, AccessMode::ReadWrite)], 0.0, |_| {});
+        let spec = g.to_spec();
+        assert_eq!(spec.ntasks(), 3);
+        assert_eq!(spec.accesses_of(1), &[(0, Mode::Read), (1, Mode::ReadWrite)]);
+        let report = check_static(&spec);
+        assert!(report.is_clean(), "{report}");
+        // Drop the inferred RAW edge 0→1 from the exported spec: the
+        // static pass must flag the now-unordered W/R pair.
+        let mut broken = spec.clone();
+        assert!(broken.remove_edge(0, 1));
+        let report = check_static(&broken);
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.races[0].data, 0);
     }
 
     #[test]
@@ -475,7 +605,9 @@ mod tests {
                 counter.fetch_add(1, Ordering::SeqCst);
             });
         }
-        let report = g.execute_checked(4, RunConfig::default()).unwrap();
+        let report = g
+            .execute_checked(4, RunConfig::default())
+            .expect("checked run succeeds");
         assert_eq!(report.ntasks, 10);
         assert_eq!(report.completed, 10);
         assert_eq!(report.retries, 0);
@@ -493,22 +625,22 @@ mod policy_tests {
         let log = StdMutex::new(Vec::new());
         let mut g = DataflowGraph::new(3);
         // Priorities deliberately inverted: eager must ignore them.
-        g.submit(&[(0, AccessMode::Write)], 1.0, |_| log.lock().unwrap().push(0));
-        g.submit(&[(1, AccessMode::Write)], 9.0, |_| log.lock().unwrap().push(1));
-        g.submit(&[(2, AccessMode::Write)], 5.0, |_| log.lock().unwrap().push(2));
+        g.submit(&[(0, AccessMode::Write)], 1.0, |_| log.lock().expect("log lock").push(0));
+        g.submit(&[(1, AccessMode::Write)], 9.0, |_| log.lock().expect("log lock").push(1));
+        g.submit(&[(2, AccessMode::Write)], 5.0, |_| log.lock().expect("log lock").push(2));
         g.execute_with(1, SchedulerPolicy::Eager);
-        assert_eq!(log.into_inner().unwrap(), vec![0, 1, 2]);
+        assert_eq!(log.into_inner().expect("log lock"), vec![0, 1, 2]);
     }
 
     #[test]
     fn priority_policy_reorders_independent_tasks() {
         let log = StdMutex::new(Vec::new());
         let mut g = DataflowGraph::new(3);
-        g.submit(&[(0, AccessMode::Write)], 1.0, |_| log.lock().unwrap().push(0));
-        g.submit(&[(1, AccessMode::Write)], 9.0, |_| log.lock().unwrap().push(1));
-        g.submit(&[(2, AccessMode::Write)], 5.0, |_| log.lock().unwrap().push(2));
+        g.submit(&[(0, AccessMode::Write)], 1.0, |_| log.lock().expect("log lock").push(0));
+        g.submit(&[(1, AccessMode::Write)], 9.0, |_| log.lock().expect("log lock").push(1));
+        g.submit(&[(2, AccessMode::Write)], 5.0, |_| log.lock().expect("log lock").push(2));
         g.execute_with(1, SchedulerPolicy::Priority);
-        assert_eq!(log.into_inner().unwrap(), vec![1, 2, 0]);
+        assert_eq!(log.into_inner().expect("log lock"), vec![1, 2, 0]);
     }
 
     #[test]
@@ -519,11 +651,11 @@ mod policy_tests {
             for i in 0..32usize {
                 let log = &log;
                 g.submit(&[(0, AccessMode::ReadWrite)], (i % 7) as f64, move |_| {
-                    log.lock().unwrap().push(i)
+                    log.lock().expect("log lock").push(i)
                 });
             }
             g.execute_with(4, policy);
-            assert_eq!(log.into_inner().unwrap(), (0..32).collect::<Vec<_>>(), "{policy:?}");
+            assert_eq!(log.into_inner().expect("log lock"), (0..32).collect::<Vec<_>>(), "{policy:?}");
         }
     }
 }

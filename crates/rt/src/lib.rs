@@ -34,6 +34,13 @@
 //! schedulers with a watchdog, and reports per-task attempt counts —
 //! with deterministic fault *injection* ([`fault::FaultPlan`]) for
 //! testing all of it.
+//!
+//! The hazard contract the engines enforce (and [`shared::SharedSlice`]
+//! relies on) is machine-checked by [`verify`]: static happens-before
+//! race/deadlock analysis over any engine's submitted graph, a dynamic
+//! vector-clock race checker, and a cross-engine equivalence signature.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod dataflow;
 pub mod deque;
@@ -42,6 +49,7 @@ pub mod native;
 pub mod ptg;
 pub mod shared;
 pub mod sync;
+pub mod verify;
 
 pub use fault::{
     EngineError, FaultPlan, RetryPolicy, RunConfig, RunReport, TransientFault,

@@ -45,9 +45,10 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // total_cmp: NaN priorities order deterministically instead of
+        // panicking inside the scheduler.
         self.priority
-            .partial_cmp(&other.priority)
-            .unwrap()
+            .total_cmp(&other.priority)
             .then_with(|| other.task.cmp(&self.task))
     }
 }
@@ -187,11 +188,7 @@ fn steal(queues: &Queues, thief: usize, nworkers: usize) -> Option<TaskId> {
         return None;
     }
     let mut entries: Vec<Entry> = std::mem::take(&mut *q).into_vec();
-    let (min_idx, _) = entries
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.cmp(b.1))
-        .unwrap();
+    let (min_idx, _) = entries.iter().enumerate().min_by(|a, b| a.1.cmp(b.1))?;
     let stolen = entries.swap_remove(min_idx);
     *q = entries.into_iter().collect();
     Some(stolen.task)

@@ -80,7 +80,7 @@ pub fn run_ptg_checked<P: PtgProgram>(
     let mut roots: Vec<usize> = (0..ntasks)
         .filter(|&t| program.num_predecessors(t) == 0)
         .collect();
-    roots.sort_by(|&a, &b| program.priority(b).partial_cmp(&program.priority(a)).unwrap());
+    roots.sort_by(|&a, &b| program.priority(b).total_cmp(&program.priority(a)));
     for t in roots {
         injector.push(t);
     }
@@ -119,12 +119,7 @@ pub fn run_ptg_checked<P: PtgProgram>(
                     program.successors(t, &mut succ_buf);
                     // Local release: highest-priority successor pushed last
                     // so the LIFO pop picks it up next (hot data path).
-                    succ_buf.sort_by(|&a, &b| {
-                        program
-                            .priority(a)
-                            .partial_cmp(&program.priority(b))
-                            .unwrap()
-                    });
+                    succ_buf.sort_by(|&a, &b| program.priority(a).total_cmp(&program.priority(b)));
                     for &s in &succ_buf {
                         if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
                             local.push(s);

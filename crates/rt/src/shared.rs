@@ -18,6 +18,16 @@ use core::cell::UnsafeCell;
 /// runtime's dependency tracking — that no other thread accesses an
 /// overlapping range for the duration of the borrow. Disjoint mutable
 /// ranges are always fine.
+///
+/// Precisely, each borrow is an *access* of some element range in a mode
+/// (read / exclusive write / lock-protected accumulation), and the
+/// obligation is the invariant checked by [`crate::verify`]: for every
+/// pair of tasks whose accesses overlap and conflict (not read–read, not
+/// accumulate–accumulate), the engine's dependency graph must contain a
+/// happens-before path between the two tasks. `check_static` proves this
+/// for a whole submitted graph; the vector-clock [`crate::verify::RaceChecker`]
+/// checks it on executed schedules. A graph that passes cannot produce
+/// two live overlapping borrows here, in any schedule.
 pub struct SharedSlice<T> {
     data: UnsafeCell<Box<[T]>>,
 }
@@ -70,7 +80,10 @@ impl<T> SharedSlice<T> {
     /// # Safety
     /// The caller must hold exclusive access (via runtime dependencies) to
     /// every element it actually touches, and concurrent callers must
-    /// touch disjoint elements.
+    /// touch disjoint elements: the borrowing task's writes must be
+    /// ordered by a happens-before edge against every conflicting access
+    /// of the same elements (the invariant [`crate::verify::check_static`]
+    /// verifies per engine graph).
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self) -> &mut [T] {
         unsafe { &mut *self.data.get() }
@@ -81,7 +94,10 @@ impl<T> SharedSlice<T> {
     ///
     /// # Safety
     /// The caller must guarantee (via runtime dependencies) that no other
-    /// thread writes `read` or touches `write` during the borrows.
+    /// thread writes `read` or touches `write` during the borrows — i.e.
+    /// the task holds a verified read access on `read` and an exclusive
+    /// (or lock-protected accumulating) access on `write` in the sense of
+    /// [`crate::verify::Mode`].
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn disjoint_pair(
         &self,
@@ -110,7 +126,10 @@ impl<T> SharedSlice<T> {
     ///
     /// # Safety
     /// The caller must hold exclusive access to `range` for the duration
-    /// of the borrow.
+    /// of the borrow: every other task accessing an overlapping range must
+    /// be separated from this one by a dependency edge (or, for
+    /// commutative scatter-adds, by the per-panel accumulation lock —
+    /// [`crate::verify::Mode::Accum`]).
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn range_mut(&self, range: core::ops::Range<usize>) -> &mut [T] {
         assert!(range.end <= self.len());

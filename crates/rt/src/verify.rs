@@ -1,0 +1,1154 @@
+//! `dagfact-verify`: static and dynamic verification of engine task
+//! graphs.
+//!
+//! The whole numeric layer hands aliasable mutable storage
+//! ([`crate::shared::SharedSlice`]) to concurrently running tasks and
+//! relies on the engines' dependency edges to keep conflicting accesses
+//! apart. This module turns that trust into a checked contract, in three
+//! layers:
+//!
+//! 1. **Static race/deadlock analysis** ([`check_static`]) over a
+//!    [`GraphSpec`] — a uniform happens-before description extracted from
+//!    any engine's submitted graph ([`DataflowGraph::to_spec`] for the
+//!    StarPU-like engine, [`GraphSpec::from_native`] for the PaStiX-style
+//!    task array, [`GraphSpec::from_ptg`] for a PaRSEC-like program).
+//!    Every pair of tasks touching the same datum with a conflicting mode
+//!    must be transitively ordered by edges; cycles, dangling edges,
+//!    self-edges and duplicate edges are reported too. A clean report
+//!    means *no schedule* of the DAG can race or deadlock.
+//! 2. **Dynamic vector-clock race checking** ([`RaceChecker`]) — a
+//!    FastTrack-style epoch checker fed by instrumented task bodies. The
+//!    [`replay`] harness drives the *real* engines (threads, queues,
+//!    stealing) over a [`GraphSpec`] with bodies that only log accesses,
+//!    giving an executable oracle for the static pass: a dropped edge is
+//!    flagged by both.
+//! 3. **Cross-engine equivalence** ([`conflict_signature`]) — a canonical
+//!    per-datum ordering of conflicting writes. Two engines with equal
+//!    signatures serialize the numerically non-commuting operations the
+//!    same way, so native/dataflow/ptg runs are interchangeable.
+//!
+//! `dagfact-core` builds specs from an `Analysis` and wires all three
+//! layers into `Analysis::verify_task_graph` and the `dagfact verify`
+//! CLI command.
+
+use crate::dataflow::DataflowGraph;
+use crate::fault::{EngineError, RunConfig};
+use crate::native::{run_native_checked, NativeTask};
+use crate::ptg::{run_ptg_checked, PtgProgram};
+use crate::sync::Mutex;
+use crate::{AccessMode, DataId, RuntimeKind, TaskId};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// How a task touches a datum, as seen by the verifier.
+///
+/// Extends the engine-facing [`AccessMode`] with [`Mode::Accum`]:
+/// commutative, *mutually excluded* accumulation (StarPU's `REDUX`, or a
+/// scatter-add under a per-panel lock). Two `Accum` accesses to the same
+/// datum need no ordering edge — the lock serializes them and addition
+/// commutes — but `Accum` still conflicts with reads and plain writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Read-only.
+    Read,
+    /// Write-only.
+    Write,
+    /// Read-modify-write (exclusive).
+    ReadWrite,
+    /// Commutative accumulation under mutual exclusion.
+    Accum,
+}
+
+impl Mode {
+    /// Do two accesses in these modes require a happens-before edge?
+    pub fn conflicts_with(self, other: Mode) -> bool {
+        !matches!(
+            (self, other),
+            (Mode::Read, Mode::Read) | (Mode::Accum, Mode::Accum)
+        )
+    }
+
+    /// Does the access modify the datum (including accumulation)?
+    pub fn writes(self) -> bool {
+        !matches!(self, Mode::Read)
+    }
+
+    /// Conservative merge of two accesses by the *same task* to the same
+    /// datum.
+    fn merge(self, other: Mode) -> Mode {
+        if self == other {
+            self
+        } else {
+            Mode::ReadWrite
+        }
+    }
+}
+
+impl From<AccessMode> for Mode {
+    fn from(m: AccessMode) -> Mode {
+        match m {
+            AccessMode::Read => Mode::Read,
+            AccessMode::Write => Mode::Write,
+            AccessMode::ReadWrite => Mode::ReadWrite,
+        }
+    }
+}
+
+/// Engine-independent description of a submitted task graph: tasks,
+/// happens-before edges, and per-task data accesses.
+///
+/// Task ids are the dense range `0..ntasks`. Edges may be recorded
+/// verbatim (including duplicates, self-edges, or out-of-range endpoints);
+/// [`check_static`] classifies and reports the malformed ones instead of
+/// panicking, so the verifier can describe a broken graph rather than die
+/// on it.
+#[derive(Debug, Clone)]
+pub struct GraphSpec {
+    ntasks: usize,
+    ndata: usize,
+    accesses: Vec<Vec<(DataId, Mode)>>,
+    edges: Vec<(TaskId, TaskId)>,
+    tags: Vec<u64>,
+}
+
+impl GraphSpec {
+    /// Empty spec over `ntasks` tasks.
+    pub fn new(ntasks: usize) -> GraphSpec {
+        GraphSpec {
+            ntasks,
+            ndata: 0,
+            accesses: vec![Vec::new(); ntasks],
+            edges: Vec::new(),
+            tags: (0..ntasks as u64).collect(),
+        }
+    }
+
+    /// Number of tasks.
+    pub fn ntasks(&self) -> usize {
+        self.ntasks
+    }
+
+    /// Number of data handles (1 + the largest recorded `DataId`).
+    pub fn ndata(&self) -> usize {
+        self.ndata
+    }
+
+    /// Number of recorded edges (raw, before deduplication).
+    pub fn nedges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Record that `task` touches datum `data` in `mode`.
+    pub fn access(&mut self, task: TaskId, data: DataId, mode: Mode) {
+        assert!(task < self.ntasks, "access on unknown task {task}");
+        self.ndata = self.ndata.max(data + 1);
+        self.accesses[task].push((data, mode));
+    }
+
+    /// Accesses recorded for `task`.
+    pub fn accesses_of(&self, task: TaskId) -> &[(DataId, Mode)] {
+        &self.accesses[task]
+    }
+
+    /// Record a happens-before edge `pred → succ` (kept verbatim;
+    /// [`check_static`] flags malformed edges).
+    pub fn edge(&mut self, pred: TaskId, succ: TaskId) {
+        self.edges.push((pred, succ));
+    }
+
+    /// Equivalence-class tag of a task, used by [`conflict_signature`] to
+    /// compare graphs of different granularity (defaults to the task id).
+    pub fn set_tag(&mut self, task: TaskId, tag: u64) {
+        self.tags[task] = tag;
+    }
+
+    /// Remove every copy of the edge `pred → succ`; returns whether any
+    /// was present. Exists so tests can *break* a graph deliberately and
+    /// assert the verifier notices.
+    pub fn remove_edge(&mut self, pred: TaskId, succ: TaskId) -> bool {
+        let before = self.edges.len();
+        self.edges.retain(|&e| e != (pred, succ));
+        self.edges.len() != before
+    }
+
+    /// Extract the happens-before relation of a native-engine task array
+    /// (accesses must be added by the caller; the task array only carries
+    /// structure).
+    pub fn from_native(tasks: &[NativeTask]) -> GraphSpec {
+        let mut spec = GraphSpec::new(tasks.len());
+        for (t, task) in tasks.iter().enumerate() {
+            for &s in &task.succs {
+                spec.edge(t, s);
+            }
+        }
+        spec
+    }
+
+    /// Extract the happens-before relation of a PTG program by evaluating
+    /// its successor function over the dense task range.
+    pub fn from_ptg<P: PtgProgram>(program: &P) -> GraphSpec {
+        let n = program.num_tasks();
+        let mut spec = GraphSpec::new(n);
+        let mut buf = Vec::new();
+        for t in 0..n {
+            buf.clear();
+            program.successors(t, &mut buf);
+            for &s in &buf {
+                spec.edge(t, s);
+            }
+        }
+        spec
+    }
+
+    /// Valid deduplicated adjacency (dangling and self-edges dropped) plus
+    /// per-task predecessor counts — the shape the [`replay`] harness
+    /// feeds to the engines.
+    fn clean_adjacency(&self) -> (Vec<Vec<TaskId>>, Vec<u32>) {
+        let mut succs = vec![Vec::new(); self.ntasks];
+        for &(p, s) in &self.edges {
+            if p < self.ntasks && s < self.ntasks && p != s {
+                succs[p].push(s);
+            }
+        }
+        let mut npred = vec![0u32; self.ntasks];
+        for list in &mut succs {
+            list.sort_unstable();
+            list.dedup();
+            for &s in list.iter() {
+                npred[s] += 1;
+            }
+        }
+        (succs, npred)
+    }
+
+    /// Per-task accesses with duplicates on the same datum merged
+    /// (conservatively to [`Mode::ReadWrite`] when modes differ).
+    fn merged_accesses(&self, task: TaskId) -> Vec<(DataId, Mode)> {
+        let mut list = self.accesses[task].clone();
+        list.sort_unstable_by_key(|&(d, _)| d);
+        let mut out: Vec<(DataId, Mode)> = Vec::with_capacity(list.len());
+        for (d, m) in list {
+            match out.last_mut() {
+                Some((ld, lm)) if *ld == d => *lm = lm.merge(m),
+                _ => out.push((d, m)),
+            }
+        }
+        out
+    }
+}
+
+/// An unordered pair of conflicting accesses found by [`check_static`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticRace {
+    /// Datum both tasks touch.
+    pub data: DataId,
+    /// Topologically earlier task.
+    pub first: TaskId,
+    /// Topologically later task.
+    pub second: TaskId,
+    /// Access mode of `first`.
+    pub first_mode: Mode,
+    /// Access mode of `second`.
+    pub second_mode: Mode,
+}
+
+/// Result of the static happens-before analysis.
+#[derive(Debug, Clone)]
+pub struct StaticReport {
+    /// Task count of the analyzed spec.
+    pub ntasks: usize,
+    /// Distinct valid edges.
+    pub nedges: usize,
+    /// Conflicting task pairs with no happens-before path.
+    pub races: Vec<StaticRace>,
+    /// Tasks that can never become ready (on or behind a dependency
+    /// cycle) — a non-empty list means the graph deadlocks.
+    pub deadlocked: Vec<TaskId>,
+    /// Edges whose endpoint is outside `0..ntasks`.
+    pub dangling_edges: Vec<(TaskId, TaskId)>,
+    /// Tasks with an edge to themselves.
+    pub self_edges: Vec<TaskId>,
+    /// Edges recorded more than once.
+    pub duplicate_edges: Vec<(TaskId, TaskId)>,
+    /// Conflicting frontier pairs whose ordering was checked.
+    pub pairs_checked: usize,
+}
+
+impl StaticReport {
+    /// No races, no cycles, no malformed edges.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty()
+            && self.deadlocked.is_empty()
+            && self.dangling_edges.is_empty()
+            && self.self_edges.is_empty()
+            && self.duplicate_edges.is_empty()
+    }
+}
+
+impl fmt::Display for StaticReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks, {} edges, {} ordered pairs checked: {} race(s), {} deadlocked, \
+             {} dangling / {} self / {} duplicate edge(s)",
+            self.ntasks,
+            self.nedges,
+            self.pairs_checked,
+            self.races.len(),
+            self.deadlocked.len(),
+            self.dangling_edges.len(),
+            self.self_edges.len(),
+            self.duplicate_edges.len(),
+        )
+    }
+}
+
+/// Reachability oracle over the DAG: direct-edge fast path (the engines
+/// chain conflicting accesses with direct edges, so almost every query
+/// hits it) plus a backward BFS pruned by topological position.
+struct Reach<'g> {
+    succs: &'g [Vec<TaskId>],
+    preds: &'g [Vec<TaskId>],
+    pos: &'g [usize],
+    stamp: Vec<u32>,
+    round: u32,
+    stack: Vec<TaskId>,
+}
+
+impl Reach<'_> {
+    /// Is there a path `u → … → v`? Caller guarantees `pos[u] < pos[v]`.
+    fn ordered(&mut self, u: TaskId, v: TaskId) -> bool {
+        if self.succs[u].binary_search(&v).is_ok() {
+            return true;
+        }
+        self.round += 1;
+        self.stack.clear();
+        self.stack.push(v);
+        self.stamp[v] = self.round;
+        while let Some(x) = self.stack.pop() {
+            for &p in &self.preds[x] {
+                if p == u {
+                    return true;
+                }
+                // Only nodes strictly between u and v can lie on a path.
+                if self.pos[p] > self.pos[u] && self.stamp[p] != self.round {
+                    self.stamp[p] = self.round;
+                    self.stack.push(p);
+                }
+            }
+        }
+        false
+    }
+}
+
+const UNREACHED: usize = usize::MAX;
+
+/// Kahn topological sort over a clean adjacency; returns the order and
+/// per-task positions (`UNREACHED` for tasks behind a cycle).
+fn topo_order(succs: &[Vec<TaskId>], npred: &[u32]) -> (Vec<TaskId>, Vec<usize>) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = succs.len();
+    let mut remaining = npred.to_vec();
+    let mut order = Vec::with_capacity(n);
+    let mut pos = vec![UNREACHED; n];
+    // Smallest ready id first: deterministic positions, and race reports
+    // attribute the pair in natural (submission) task order.
+    let mut queue: BinaryHeap<Reverse<TaskId>> =
+        (0..n).filter(|&t| remaining[t] == 0).map(Reverse).collect();
+    while let Some(Reverse(t)) = queue.pop() {
+        pos[t] = order.len();
+        order.push(t);
+        for &s in &succs[t] {
+            remaining[s] -= 1;
+            if remaining[s] == 0 {
+                queue.push(Reverse(s));
+            }
+        }
+    }
+    (order, pos)
+}
+
+/// Per-datum frontier during the static sweep: the accesses a new access
+/// must be ordered against. Checking only frontier members suffices —
+/// anything older is ordered against the frontier by the same invariant,
+/// and happens-before composes.
+#[derive(Default, Clone)]
+struct Frontier {
+    writer: Option<(TaskId, Mode)>,
+    readers: Vec<TaskId>,
+    accums: Vec<TaskId>,
+}
+
+/// Statically verify a [`GraphSpec`]: race-freedom (every conflicting
+/// access pair transitively ordered), deadlock-freedom (no cycles), and
+/// well-formedness (no dangling / self / duplicate edges).
+pub fn check_static(spec: &GraphSpec) -> StaticReport {
+    let n = spec.ntasks;
+    // 1) Classify edges.
+    let mut dangling_edges = Vec::new();
+    let mut self_edges = Vec::new();
+    let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    for &(p, s) in &spec.edges {
+        if p >= n || s >= n {
+            dangling_edges.push((p, s));
+        } else if p == s {
+            self_edges.push(p);
+        } else {
+            succs[p].push(s);
+        }
+    }
+    self_edges.sort_unstable();
+    self_edges.dedup();
+    let mut duplicate_edges = Vec::new();
+    for (p, list) in succs.iter_mut().enumerate() {
+        list.sort_unstable();
+        let mut i = 0;
+        while i + 1 < list.len() {
+            if list[i] == list[i + 1] {
+                duplicate_edges.push((p, list[i]));
+                while i + 1 < list.len() && list[i] == list[i + 1] {
+                    list.remove(i + 1);
+                }
+            }
+            i += 1;
+        }
+    }
+    let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    let mut npred = vec![0u32; n];
+    let mut nedges = 0usize;
+    for (p, list) in succs.iter().enumerate() {
+        nedges += list.len();
+        for &s in list {
+            preds[s].push(p);
+            npred[s] += 1;
+        }
+    }
+
+    // 2) Cycle / reachability analysis.
+    let (order, pos) = topo_order(&succs, &npred);
+    let deadlocked: Vec<TaskId> = (0..n).filter(|&t| pos[t] == UNREACHED).collect();
+
+    // 3) Frontier sweep for race detection (only over schedulable tasks;
+    //    a deadlocked graph is already rejected above).
+    let mut reach = Reach {
+        succs: &succs,
+        preds: &preds,
+        pos: &pos,
+        stamp: vec![0; n],
+        round: 0,
+        stack: Vec::new(),
+    };
+    let mut frontier: Vec<Frontier> = vec![Frontier::default(); spec.ndata];
+    let mut races = Vec::new();
+    let mut pairs_checked = 0usize;
+    for &t in &order {
+        for (d, mode) in spec.merged_accesses(t) {
+            let fr = std::mem::take(&mut frontier[d]);
+            let mut check = |earlier: TaskId, em: Mode, reach: &mut Reach<'_>| {
+                pairs_checked += 1;
+                if !reach.ordered(earlier, t) {
+                    races.push(StaticRace {
+                        data: d,
+                        first: earlier,
+                        second: t,
+                        first_mode: em,
+                        second_mode: mode,
+                    });
+                }
+            };
+            if let Some((w, wm)) = fr.writer {
+                if mode.conflicts_with(wm) {
+                    check(w, wm, &mut reach);
+                }
+            }
+            if mode.conflicts_with(Mode::Read) {
+                for &r in &fr.readers {
+                    check(r, Mode::Read, &mut reach);
+                }
+            }
+            if mode.conflicts_with(Mode::Accum) {
+                for &a in &fr.accums {
+                    check(a, Mode::Accum, &mut reach);
+                }
+            }
+            let mut fr = fr;
+            match mode {
+                Mode::Read => fr.readers.push(t),
+                Mode::Accum => fr.accums.push(t),
+                Mode::Write | Mode::ReadWrite => {
+                    fr.writer = Some((t, mode));
+                    fr.readers.clear();
+                    fr.accums.clear();
+                }
+            }
+            frontier[d] = fr;
+        }
+    }
+    races.sort_unstable_by_key(|r: &StaticRace| (r.data, r.first, r.second));
+    races.dedup_by_key(|r: &mut StaticRace| (r.data, r.first, r.second));
+
+    StaticReport {
+        ntasks: n,
+        nedges,
+        races,
+        deadlocked,
+        dangling_edges,
+        self_edges,
+        duplicate_edges,
+        pairs_checked,
+    }
+}
+
+/// Canonical per-datum ordering of conflicting *writes* (tags of writing
+/// tasks in topological order, with commutative [`Mode::Accum`] groups
+/// sorted and adjacent repeats collapsed). Two graphs with equal
+/// signatures serialize the non-commuting operations on every datum
+/// identically, even at different task granularities. Returns `None` when
+/// the graph has a cycle.
+pub fn conflict_signature(spec: &GraphSpec) -> Option<Vec<Vec<u64>>> {
+    let (succs, npred) = spec.clean_adjacency();
+    let (order, pos) = topo_order(&succs, &npred);
+    if pos.contains(&UNREACHED) {
+        return None;
+    }
+    let mut events: Vec<Vec<(u64, bool)>> = vec![Vec::new(); spec.ndata];
+    for &t in &order {
+        for (d, mode) in spec.merged_accesses(t) {
+            if mode.writes() {
+                events[d].push((spec.tags[t], mode == Mode::Accum));
+            }
+        }
+    }
+    Some(events.into_iter().map(canonical_write_chain).collect())
+}
+
+fn canonical_write_chain(events: Vec<(u64, bool)>) -> Vec<u64> {
+    let mut out = Vec::with_capacity(events.len());
+    let mut i = 0;
+    while i < events.len() {
+        if events[i].1 {
+            let start = out.len();
+            while i < events.len() && events[i].1 {
+                out.push(events[i].0);
+                i += 1;
+            }
+            out[start..].sort_unstable();
+        } else {
+            out.push(events[i].0);
+            i += 1;
+        }
+    }
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic vector-clock race checking.
+// ---------------------------------------------------------------------------
+
+/// Granularity of the dynamic checker's vector clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockGranularity {
+    /// One clock component per worker thread (FastTrack/TSan-style):
+    /// cheap and scalable, but two conflicting tasks that happen to run
+    /// on the *same* worker are ordered by program order and not flagged.
+    /// Detects races in the observed schedule.
+    PerWorker,
+    /// One clock component per task: happens-before is exactly the DAG's
+    /// transitive closure, so a missing edge is flagged *deterministically*
+    /// regardless of where tasks land. O(ntasks) per clock — use on small
+    /// and medium graphs.
+    PerTask,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Epoch {
+    comp: u32,
+    clock: u32,
+    task: TaskId,
+}
+
+#[derive(Default)]
+struct DatumState {
+    write: Option<Epoch>,
+    reads: Vec<Epoch>,
+    accums: Vec<Epoch>,
+}
+
+/// A pair of conflicting accesses the dynamic checker observed without a
+/// happens-before path between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicRace {
+    /// Datum both tasks touched.
+    pub data: DataId,
+    /// Task whose access was recorded first.
+    pub earlier: TaskId,
+    /// Task that raced with it.
+    pub later: TaskId,
+}
+
+/// Result of one instrumented run.
+#[derive(Debug, Clone)]
+pub struct DynamicReport {
+    /// Distinct unordered conflicting pairs observed.
+    pub races: Vec<DynamicRace>,
+    /// Total instrumented accesses.
+    pub naccesses: usize,
+    /// Tasks executed.
+    pub ntasks: usize,
+    /// Clock granularity the run used.
+    pub granularity: ClockGranularity,
+}
+
+impl DynamicReport {
+    /// No races observed.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+impl fmt::Display for DynamicReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks, {} accesses ({:?} clocks): {} race(s)",
+            self.ntasks,
+            self.naccesses,
+            self.granularity,
+            self.races.len()
+        )
+    }
+}
+
+/// Vector-clock dynamic race checker.
+///
+/// Usage per task: [`RaceChecker::task_begin`], one
+/// [`RaceChecker::access`] per datum touched, then
+/// [`RaceChecker::task_end`] with the task's successors — called *inside*
+/// the task body, i.e. before the engine decrements successor counters,
+/// so the release clock is published before any successor can start.
+pub struct RaceChecker {
+    granularity: ClockGranularity,
+    /// Per-worker clock of the currently running task.
+    clocks: Vec<Mutex<Vec<u32>>>,
+    /// Per-task join of completed predecessors' clocks.
+    release: Vec<Mutex<Vec<u32>>>,
+    data: Vec<Mutex<DatumState>>,
+    races: Mutex<Vec<DynamicRace>>,
+    naccesses: AtomicUsize,
+    ntasks: usize,
+}
+
+fn vc_join(dst: &mut Vec<u32>, src: &[u32]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if *d < s {
+            *d = s;
+        }
+    }
+}
+
+fn vc_get(vc: &[u32], comp: usize) -> u32 {
+    vc.get(comp).copied().unwrap_or(0)
+}
+
+fn vc_set_min(vc: &mut Vec<u32>, comp: usize, val: u32) {
+    if vc.len() <= comp {
+        vc.resize(comp + 1, 0);
+    }
+    if vc[comp] < val {
+        vc[comp] = val;
+    }
+}
+
+impl RaceChecker {
+    /// Checker for `ntasks` tasks over `ndata` data handles on `nworkers`
+    /// workers.
+    pub fn new(
+        ntasks: usize,
+        ndata: usize,
+        nworkers: usize,
+        granularity: ClockGranularity,
+    ) -> RaceChecker {
+        RaceChecker {
+            granularity,
+            clocks: (0..nworkers).map(|_| Mutex::new(Vec::new())).collect(),
+            release: (0..ntasks).map(|_| Mutex::new(Vec::new())).collect(),
+            data: (0..ndata).map(|_| Mutex::new(DatumState::default())).collect(),
+            races: Mutex::new(Vec::new()),
+            naccesses: AtomicUsize::new(0),
+            ntasks,
+        }
+    }
+
+    fn comp(&self, task: TaskId, worker: usize) -> usize {
+        match self.granularity {
+            ClockGranularity::PerWorker => worker,
+            ClockGranularity::PerTask => task,
+        }
+    }
+
+    /// Enter `task` on `worker`: acquire the joined clocks of all
+    /// completed predecessors.
+    pub fn task_begin(&self, task: TaskId, worker: usize) {
+        let rel = self.release[task].lock().clone();
+        let mut c = self.clocks[worker].lock();
+        match self.granularity {
+            ClockGranularity::PerWorker => {
+                vc_join(&mut c, &rel);
+                // Epoch clocks must be ≥ 1 so a fresh worker's events are
+                // not vacuously covered by everyone's zero clock.
+                vc_set_min(&mut c, worker, 1);
+            }
+            ClockGranularity::PerTask => {
+                *c = rel;
+                vc_set_min(&mut c, task, 1);
+            }
+        }
+    }
+
+    /// Record an access and flag any concurrent conflicting epoch.
+    pub fn access(&self, data: DataId, mode: Mode, task: TaskId, worker: usize) {
+        self.naccesses.fetch_add(1, Ordering::Relaxed);
+        let comp = self.comp(task, worker);
+        let c = self.clocks[worker].lock();
+        let epoch = Epoch {
+            comp: comp as u32,
+            clock: vc_get(&c, comp),
+            task,
+        };
+        let mut st = self.data[data].lock();
+        let mut offenders: Vec<TaskId> = Vec::new();
+        {
+            let mut scan = |e: &Epoch| {
+                if e.task != task && e.clock > vc_get(&c, e.comp as usize) {
+                    offenders.push(e.task);
+                }
+            };
+            if let Some(w) = &st.write {
+                if mode.conflicts_with(Mode::Write) || mode.conflicts_with(Mode::ReadWrite) {
+                    scan(w);
+                }
+            }
+            if mode.conflicts_with(Mode::Read) {
+                for e in &st.reads {
+                    scan(e);
+                }
+            }
+            if mode.conflicts_with(Mode::Accum) {
+                for e in &st.accums {
+                    scan(e);
+                }
+            }
+        }
+        match mode {
+            Mode::Read => upsert(&mut st.reads, epoch),
+            Mode::Accum => upsert(&mut st.accums, epoch),
+            Mode::Write | Mode::ReadWrite => {
+                st.write = Some(epoch);
+                st.reads.clear();
+                st.accums.clear();
+            }
+        }
+        drop(st);
+        drop(c);
+        if !offenders.is_empty() {
+            let mut races = self.races.lock();
+            for earlier in offenders {
+                races.push(DynamicRace {
+                    data,
+                    earlier,
+                    later: task,
+                });
+            }
+        }
+    }
+
+    /// Leave `task` on `worker`: publish its clock to `succs`. Must run
+    /// before the engine releases the successors.
+    pub fn task_end(&self, task: TaskId, worker: usize, succs: &[TaskId]) {
+        let mut c = self.clocks[worker].lock();
+        for &s in succs {
+            vc_join(&mut self.release[s].lock(), &c);
+        }
+        if self.granularity == ClockGranularity::PerWorker {
+            let next = vc_get(&c, worker) + 1;
+            vc_set_min(&mut c, worker, next);
+        }
+        let _ = task;
+    }
+
+    /// Snapshot the observed races (sorted, deduplicated).
+    pub fn report(&self) -> DynamicReport {
+        let mut races = self.races.lock().clone();
+        races.sort_unstable_by_key(|r: &DynamicRace| (r.data, r.earlier, r.later));
+        races.dedup();
+        DynamicReport {
+            races,
+            naccesses: self.naccesses.load(Ordering::Relaxed),
+            ntasks: self.ntasks,
+            granularity: self.granularity,
+        }
+    }
+}
+
+fn upsert(list: &mut Vec<Epoch>, epoch: Epoch) {
+    match list.iter_mut().find(|e| e.comp == epoch.comp) {
+        Some(e) => *e = epoch,
+        None => list.push(epoch),
+    }
+}
+
+/// Drive a *real* engine over `spec` with instrumented no-op task bodies
+/// and return the dynamic checker's verdict.
+///
+/// This is the executable oracle for [`check_static`]: the engine's
+/// actual scheduler (threads, queues, work stealing) executes the graph
+/// while every declared access goes through a [`RaceChecker`]. Dangling
+/// and self-edges are dropped (the static pass reports them); a cyclic
+/// spec fails with [`EngineError::Stalled`] via the watchdog rather than
+/// hanging.
+pub fn replay(
+    spec: &GraphSpec,
+    engine: RuntimeKind,
+    nworkers: usize,
+    granularity: ClockGranularity,
+) -> Result<DynamicReport, EngineError> {
+    assert!(nworkers >= 1);
+    let (succs, npred) = spec.clean_adjacency();
+    let n = spec.ntasks;
+    let checker = RaceChecker::new(n, spec.ndata, nworkers, granularity);
+    let config = RunConfig {
+        watchdog: Some(Duration::from_secs(5)),
+        ..RunConfig::default()
+    };
+    let run_body = |t: TaskId, w: usize| {
+        checker.task_begin(t, w);
+        for &(d, mode) in &spec.accesses[t] {
+            checker.access(d, mode, t, w);
+        }
+        checker.task_end(t, w, &succs[t]);
+    };
+    match engine {
+        RuntimeKind::Native => {
+            let tasks: Vec<NativeTask> = (0..n)
+                .map(|t| NativeTask {
+                    owner: t % nworkers,
+                    npred: npred[t],
+                    succs: succs[t].clone(),
+                    priority: (n - t) as f64,
+                })
+                .collect();
+            run_native_checked(&tasks, nworkers, config, run_body)?;
+        }
+        RuntimeKind::Dataflow => {
+            let mut g = DataflowGraph::new(0);
+            for t in 0..n {
+                let run_body = &run_body;
+                g.submit(&[], (n - t) as f64, move |w| run_body(t, w));
+            }
+            for (p, list) in succs.iter().enumerate() {
+                for &s in list {
+                    g.add_dependency(p, s)
+                        .expect("clean_adjacency yields only valid edges");
+                }
+            }
+            g.execute_checked(nworkers, config)?;
+        }
+        RuntimeKind::Ptg => {
+            struct Replay<'a, F: Fn(TaskId, usize) + Sync> {
+                succs: &'a [Vec<TaskId>],
+                npred: &'a [u32],
+                body: F,
+            }
+            impl<F: Fn(TaskId, usize) + Sync> PtgProgram for Replay<'_, F> {
+                fn num_tasks(&self) -> usize {
+                    self.succs.len()
+                }
+                fn num_predecessors(&self, task: usize) -> u32 {
+                    self.npred[task]
+                }
+                fn successors(&self, task: usize, out: &mut Vec<usize>) {
+                    out.extend_from_slice(&self.succs[task]);
+                }
+                fn execute(&self, task: usize, worker: usize) {
+                    (self.body)(task, worker);
+                }
+                fn priority(&self, task: usize) -> f64 {
+                    -(task as f64)
+                }
+            }
+            let program = Replay {
+                succs: &succs,
+                npred: &npred,
+                body: run_body,
+            };
+            run_ptg_checked(&program, nworkers, config)?;
+        }
+    }
+    Ok(checker.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain 0→1→2 writing one datum: clean under every check.
+    fn chain_spec() -> GraphSpec {
+        let mut spec = GraphSpec::new(3);
+        for t in 0..3 {
+            spec.access(t, 0, Mode::ReadWrite);
+        }
+        spec.edge(0, 1);
+        spec.edge(1, 2);
+        spec
+    }
+
+    #[test]
+    fn clean_chain_passes_static() {
+        let report = check_static(&chain_spec());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.nedges, 2);
+        assert_eq!(report.pairs_checked, 2);
+    }
+
+    #[test]
+    fn transitive_order_is_accepted() {
+        // 0→1→2 but 0 and 2 share the datum; 1 does not touch it. The
+        // frontier keeps 0 as last writer and must find the 0→1→2 path.
+        let mut spec = GraphSpec::new(3);
+        spec.access(0, 0, Mode::Write);
+        spec.access(2, 0, Mode::ReadWrite);
+        spec.edge(0, 1);
+        spec.edge(1, 2);
+        let report = check_static(&spec);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn dropped_edge_is_a_static_race() {
+        let mut spec = chain_spec();
+        assert!(spec.remove_edge(1, 2));
+        let report = check_static(&spec);
+        assert_eq!(report.races.len(), 1);
+        let race = &report.races[0];
+        assert_eq!((race.data, race.first, race.second), (0, 1, 2));
+    }
+
+    #[test]
+    fn read_read_needs_no_order() {
+        let mut spec = GraphSpec::new(3);
+        spec.access(0, 0, Mode::Write);
+        spec.access(1, 0, Mode::Read);
+        spec.access(2, 0, Mode::Read);
+        spec.edge(0, 1);
+        spec.edge(0, 2);
+        assert!(check_static(&spec).is_clean());
+    }
+
+    #[test]
+    fn accum_accum_needs_no_order_but_read_accum_does() {
+        // Two unordered accumulators: fine. An unordered reader: race.
+        let mut spec = GraphSpec::new(4);
+        spec.access(0, 0, Mode::Write);
+        spec.access(1, 0, Mode::Accum);
+        spec.access(2, 0, Mode::Accum);
+        spec.access(3, 0, Mode::Read);
+        spec.edge(0, 1);
+        spec.edge(0, 2);
+        spec.edge(0, 3); // 3 unordered w.r.t. accums 1 and 2
+        let report = check_static(&spec);
+        assert_eq!(report.races.len(), 2, "{report}");
+        assert!(report.races.iter().all(|r| r.second == 3));
+    }
+
+    #[test]
+    fn cycle_is_reported_as_deadlock() {
+        let mut spec = GraphSpec::new(3);
+        spec.edge(0, 1);
+        spec.edge(1, 2);
+        spec.edge(2, 1); // 1 ⇄ 2 cycle
+        let report = check_static(&spec);
+        assert_eq!(report.deadlocked, vec![1, 2]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn malformed_edges_are_classified() {
+        let mut spec = GraphSpec::new(2);
+        spec.edge(0, 1);
+        spec.edge(0, 1); // duplicate
+        spec.edge(1, 1); // self
+        spec.edge(0, 7); // dangling
+        let report = check_static(&spec);
+        assert_eq!(report.duplicate_edges, vec![(0, 1)]);
+        assert_eq!(report.self_edges, vec![1]);
+        assert_eq!(report.dangling_edges, vec![(0, 7)]);
+        assert_eq!(report.nedges, 1);
+    }
+
+    #[test]
+    fn signature_collapses_granularity() {
+        // Coarse graph: one task accumulates sources {5, 3} then task
+        // tagged 9 closes. Fine graph: serialized updates 3 then 5, then
+        // 9. Signatures must match.
+        let mut coarse = GraphSpec::new(2);
+        coarse.access(0, 0, Mode::Accum);
+        coarse.access(1, 0, Mode::ReadWrite);
+        coarse.edge(0, 1);
+        coarse.set_tag(0, 5);
+        coarse.set_tag(1, 9);
+        let mut coarse2 = GraphSpec::new(3);
+        coarse2.access(0, 0, Mode::Accum);
+        coarse2.access(1, 0, Mode::Accum);
+        coarse2.access(2, 0, Mode::ReadWrite);
+        coarse2.edge(0, 2);
+        coarse2.edge(1, 2);
+        coarse2.set_tag(0, 5);
+        coarse2.set_tag(1, 3);
+        coarse2.set_tag(2, 9);
+        let mut fine = GraphSpec::new(3);
+        fine.access(0, 0, Mode::ReadWrite);
+        fine.access(1, 0, Mode::ReadWrite);
+        fine.access(2, 0, Mode::ReadWrite);
+        fine.edge(0, 1);
+        fine.edge(1, 2);
+        fine.set_tag(0, 3);
+        fine.set_tag(1, 5);
+        fine.set_tag(2, 9);
+        let c = conflict_signature(&coarse).expect("acyclic");
+        let c2 = conflict_signature(&coarse2).expect("acyclic");
+        let f = conflict_signature(&fine).expect("acyclic");
+        assert_eq!(c2, f);
+        assert_eq!(c[0], vec![5, 9]);
+        assert_eq!(f[0], vec![3, 5, 9]);
+    }
+
+    #[test]
+    fn signature_none_on_cycle() {
+        let mut spec = GraphSpec::new(2);
+        spec.edge(0, 1);
+        spec.edge(1, 0);
+        assert!(conflict_signature(&spec).is_none());
+    }
+
+    #[test]
+    fn vector_clock_checker_flags_unordered_writers() {
+        // Drive the checker directly from two logical workers with no
+        // release edge between the tasks: deterministic dynamic race.
+        let rc = RaceChecker::new(2, 1, 2, ClockGranularity::PerWorker);
+        rc.task_begin(0, 0);
+        rc.access(0, Mode::Write, 0, 0);
+        rc.task_end(0, 0, &[]);
+        rc.task_begin(1, 1);
+        rc.access(0, Mode::Write, 1, 1);
+        rc.task_end(1, 1, &[]);
+        let report = rc.report();
+        assert_eq!(report.races.len(), 1);
+        assert_eq!(report.races[0].earlier, 0);
+        assert_eq!(report.races[0].later, 1);
+    }
+
+    #[test]
+    fn vector_clock_checker_accepts_released_order() {
+        // Same two tasks, but task 0 publishes to task 1 → no race.
+        let rc = RaceChecker::new(2, 1, 2, ClockGranularity::PerWorker);
+        rc.task_begin(0, 0);
+        rc.access(0, Mode::Write, 0, 0);
+        rc.task_end(0, 0, &[1]);
+        rc.task_begin(1, 1);
+        rc.access(0, Mode::Write, 1, 1);
+        rc.task_end(1, 1, &[]);
+        assert!(rc.report().is_clean());
+    }
+
+    #[test]
+    fn replay_clean_spec_on_all_engines() {
+        // Diamond over one datum: 0 writes, 1 and 2 read, 3 rewrites.
+        let mut spec = GraphSpec::new(4);
+        spec.access(0, 0, Mode::Write);
+        spec.access(1, 0, Mode::Read);
+        spec.access(2, 0, Mode::Read);
+        spec.access(3, 0, Mode::ReadWrite);
+        spec.edge(0, 1);
+        spec.edge(0, 2);
+        spec.edge(1, 3);
+        spec.edge(2, 3);
+        assert!(check_static(&spec).is_clean());
+        for engine in RuntimeKind::ALL {
+            for granularity in [ClockGranularity::PerWorker, ClockGranularity::PerTask] {
+                let report = replay(&spec, engine, 4, granularity)
+                    .expect("replay must complete");
+                assert!(report.is_clean(), "{engine:?}/{granularity:?}: {report}");
+                assert_eq!(report.naccesses, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_flags_dropped_edge_on_all_engines() {
+        // W→R chain with the edge dropped: per-task clocks flag it
+        // deterministically on every engine, any schedule.
+        let mut spec = GraphSpec::new(2);
+        spec.access(0, 0, Mode::Write);
+        spec.access(1, 0, Mode::Write);
+        // no edge at all
+        assert_eq!(check_static(&spec).races.len(), 1);
+        for engine in RuntimeKind::ALL {
+            let report = replay(&spec, engine, 2, ClockGranularity::PerTask)
+                .expect("replay must complete");
+            assert_eq!(report.races.len(), 1, "{engine:?}: {report}");
+            assert_eq!(report.races[0].data, 0);
+        }
+    }
+
+    #[test]
+    fn replay_cyclic_spec_stalls_instead_of_hanging() {
+        let mut spec = GraphSpec::new(2);
+        spec.edge(0, 1);
+        spec.edge(1, 0);
+        let err = replay(&spec, RuntimeKind::Native, 2, ClockGranularity::PerWorker);
+        assert!(
+            matches!(err, Err(EngineError::Stalled { .. })),
+            "expected stall, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn spec_extraction_from_native_and_ptg() {
+        let tasks = vec![
+            NativeTask { owner: 0, npred: 0, succs: vec![1], priority: 1.0 },
+            NativeTask { owner: 1, npred: 1, succs: vec![], priority: 0.0 },
+        ];
+        let mut spec = GraphSpec::from_native(&tasks);
+        spec.access(0, 0, Mode::Write);
+        spec.access(1, 0, Mode::Read);
+        assert!(check_static(&spec).is_clean());
+
+        struct Chain;
+        impl PtgProgram for Chain {
+            fn num_tasks(&self) -> usize {
+                3
+            }
+            fn num_predecessors(&self, t: usize) -> u32 {
+                u32::from(t > 0)
+            }
+            fn successors(&self, t: usize, out: &mut Vec<usize>) {
+                if t + 1 < 3 {
+                    out.push(t + 1);
+                }
+            }
+            fn execute(&self, _: usize, _: usize) {}
+        }
+        let mut spec = GraphSpec::from_ptg(&Chain);
+        for t in 0..3 {
+            spec.access(t, 0, Mode::ReadWrite);
+        }
+        assert!(check_static(&spec).is_clean());
+        assert_eq!(spec.nedges(), 2);
+    }
+}

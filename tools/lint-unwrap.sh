@@ -1,0 +1,56 @@
+#!/bin/sh
+# Forbid `.unwrap()` in runtime/solver *library* code.
+#
+# An unwrap in an engine or the numeric phase takes the whole worker pool
+# down with a poisoned-lock cascade instead of surfacing a structured
+# EngineError/SolverError through the fault-tolerant layer. Tests are
+# exempt (#[cfg(test)] mod blocks are stripped), as are comment and doc
+# lines.
+#
+# Usage: tools/lint-unwrap.sh [dir ...]   (default: crates/rt/src crates/core/src)
+# Exits 1 listing file:line of every offender.
+
+set -eu
+cd "$(dirname "$0")/.."
+dirs="${*:-crates/rt/src crates/core/src}"
+
+# shellcheck disable=SC2086
+offenders=$(find $dirs -name '*.rs' -print | sort | xargs awk '
+    function braces(s,  n) {
+        # net brace depth change of a line, ignoring braces in line comments
+        sub(/\/\/.*$/, "", s)
+        n = gsub(/{/, "", s) - gsub(/}/, "", s)
+        return n
+    }
+    FNR == 1 { intest = 0; pending = 0; depth = 0; opened = 0 }
+    {
+        line = $0
+        stripped = line
+        sub(/^[ \t]+/, "", stripped)
+        if (intest) {
+            depth += braces(line)
+            if (depth > 0) opened = 1
+            if (opened && depth <= 0) intest = 0
+            next
+        }
+        if (stripped ~ /^#\[cfg\(test\)\]/) { pending = 1; next }
+        if (pending) {
+            pending = 0
+            if (stripped ~ /^(pub +)?mod / && stripped !~ /;[ \t]*$/) {
+                intest = 1; depth = braces(line); opened = (depth > 0)
+                if (opened && depth <= 0) intest = 0
+                next
+            }
+        }
+        if (stripped ~ /^\/\//) next
+        if (index(line, ".unwrap()") > 0) print FILENAME ":" FNR ": " stripped
+    }
+' || true)
+
+if [ -n "$offenders" ]; then
+    echo "lint-unwrap: .unwrap() is forbidden in library code (use expect with"
+    echo "a message, a structured error, or the poison-transparent rt::sync locks):"
+    echo "$offenders"
+    exit 1
+fi
+echo "lint-unwrap: clean ($dirs)"
