@@ -1,6 +1,6 @@
 # Convenience targets. The canonical gate is `make check`.
 
-.PHONY: build test check check-robust check-analysis lint-strict clippy
+.PHONY: build test check check-robust check-analysis check-memory lint-strict clippy
 
 build:
 	cargo build --release
@@ -8,8 +8,8 @@ build:
 test:
 	cargo test -q --workspace
 
-# The full gate: robustness suite + static-analysis suite.
-check: check-robust check-analysis
+# The full gate: robustness + static-analysis + memory-budget suites.
+check: check-robust check-analysis check-memory
 
 # Full robustness gate: the whole test suite plus the fault-injection and
 # recovery suites with backtraces on, then a warning-free clippy pass.
@@ -27,6 +27,15 @@ check-analysis: lint-strict
 	RUST_BACKTRACE=1 cargo test -q -p dagfact-core --test verify_graph
 	cargo run -q --release -p dagfact-bench --bin verify_sweep
 	cargo clippy --workspace --all-targets -- -D warnings
+
+# Memory-budget gate: the ledger unit suite, the budgeted-execution and
+# reader-fuzz integration suites, and the release-mode cap sweep (50% of
+# peak must complete through the degradation ladder at full accuracy).
+check-memory:
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-rt budget
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-core --test memory_budget
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-sparse --test reader_fuzz
+	cargo run -q --release -p dagfact-bench --bin memsweep
 
 # Grep-gate: no .unwrap() in rt/core library code (tests exempt).
 lint-strict:

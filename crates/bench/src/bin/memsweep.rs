@@ -1,0 +1,193 @@
+//! Memory-budget sweep: factorize three Table-I proxy problems (one per
+//! factorization kind) unconstrained to measure the natural footprint,
+//! then again under descending hard caps, recording the per-phase
+//! `{peak_bytes, spill_bytes, spill_events}` accounting and the
+//! degradation counters as JSON.
+//!
+//! ```text
+//! cargo run -p dagfact-bench --bin memsweep --release
+//! ```
+//!
+//! Output: a human-readable table on stdout plus `results/memsweep.json`.
+//! Exits non-zero if any capped run fails to complete or loses accuracy,
+//! so `make check-memory` can gate on it.
+
+use dagfact_bench::Json;
+use dagfact_core::{Analysis, ExecOptions, RuntimeKind, SolverOptions};
+use dagfact_rt::{MemoryBudget, MemoryStats, RetryPolicy, RunConfig};
+use dagfact_sparse::gen;
+use dagfact_sparse::CscMatrix;
+use dagfact_symbolic::FactoKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fractions of the unconstrained peak to sweep (1.0 = accounting only).
+const CAP_FRACTIONS: &[f64] = &[1.0, 0.75, 0.5];
+
+fn berr(a: &CscMatrix<f64>, x: &[f64], b: &[f64]) -> f64 {
+    let mut r = vec![0.0; b.len()];
+    a.spmv(x, &mut r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let num = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let nx = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let nb = b.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    num / (a.norm_inf() * nx + nb).max(f64::MIN_POSITIVE)
+}
+
+fn exec(budget: Arc<MemoryBudget>, spill_dir: Option<std::path::PathBuf>) -> ExecOptions {
+    ExecOptions {
+        run: RunConfig {
+            fault_plan: None,
+            retry: RetryPolicy::retrying(),
+            watchdog: Some(Duration::from_secs(60)),
+            budget: Some(budget),
+        },
+        epsilon_override: None,
+        spill_dir,
+    }
+}
+
+fn mem_record(mem: &MemoryStats) -> Json {
+    Json::obj()
+        .field("cap_bytes", mem.cap)
+        .field("peak_bytes", mem.peak_bytes)
+        .field("spill_bytes", mem.spill_bytes)
+        .field("spill_events", mem.spill_events)
+        .field("fault_in_events", mem.fault_in_events)
+        .field("shed_events", mem.shed_events)
+        .field("throttle_events", mem.throttle_events)
+        .field("overcommit_events", mem.overcommit_events)
+        .field(
+            "phases",
+            mem.phases
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .field("name", p.name.as_str())
+                        .field("peak_bytes", p.peak_bytes)
+                        .field("spill_bytes", p.spill_bytes)
+                        .field("spill_events", p.spill_events)
+                })
+                .collect::<Vec<_>>(),
+        )
+}
+
+fn main() {
+    let problems: Vec<(&str, CscMatrix<f64>, FactoKind)> = vec![
+        ("audi-proxy", gen::grid_laplacian_3d(16, 16, 16), FactoKind::Cholesky),
+        (
+            "serena-proxy",
+            gen::shifted_laplacian_3d(14, 14, 14, 1.0),
+            FactoKind::Ldlt,
+        ),
+        (
+            "mhd-proxy",
+            gen::convection_diffusion_3d(12, 12, 12, 0.4),
+            FactoKind::Lu,
+        ),
+    ];
+    let spill_root = std::env::temp_dir().join(format!("dagfact-memsweep-{}", std::process::id()));
+    let nthreads = std::thread::available_parallelism().map_or(4, |v| v.get().min(8));
+    println!("memory sweep: {} proxies x {:?} of unconstrained peak", problems.len(), CAP_FRACTIONS);
+    println!(
+        "{:<14} {:>6} {:>5} | {:>10} {:>10} | {:>7} {:>8} {:>6} {:>5} | {:>9}",
+        "Matrix", "Method", "cap%", "cap MB", "peak MB", "spills", "spill MB", "sheds", "thr", "berr"
+    );
+    let mut records = Vec::new();
+    let mut failures = 0usize;
+    for (name, a, facto) in &problems {
+        let analysis = Analysis::new(a.pattern(), *facto, &SolverOptions::default());
+        let b = vec![1.0; a.nrows()];
+        // Unconstrained baseline: accounting without a cap.
+        let free = exec(MemoryBudget::unbounded(), None);
+        let baseline = match analysis.factorize_with(a, RuntimeKind::Native, nthreads, &free) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{name}: unconstrained run failed: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let peak = baseline
+            .stats
+            .run
+            .memory
+            .as_ref()
+            .map_or(0, |m| m.peak_bytes);
+        for &frac in CAP_FRACTIONS {
+            let cap = (peak as f64 * frac) as usize;
+            let dir = spill_root.join(format!("{name}-{}", (frac * 100.0) as usize));
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("{name}: cannot create spill dir {}: {e}", dir.display());
+                failures += 1;
+                continue;
+            }
+            let opts = exec(MemoryBudget::with_cap(cap), Some(dir));
+            let mut record = Json::obj()
+                .field("matrix", *name)
+                .field("facto", facto.label())
+                .field("nthreads", nthreads)
+                .field("cap_fraction", frac)
+                .field("unconstrained_peak_bytes", peak);
+            match analysis.factorize_with(a, RuntimeKind::Native, nthreads, &opts) {
+                Ok(f) => {
+                    let e = berr(a, &f.solve(&b), &b);
+                    let ok = e <= 1e-10;
+                    if !ok {
+                        eprintln!("{name} @ {frac}: backward error {e:.3e} FAILED");
+                        failures += 1;
+                    }
+                    let mem = f.stats.run.memory.clone().unwrap_or_default();
+                    println!(
+                        "{:<14} {:>6} {:>5.0} | {:>10.1} {:>10.1} | {:>7} {:>8.1} {:>6} {:>5} | {:>9.2e}{}",
+                        name,
+                        facto.label(),
+                        frac * 100.0,
+                        cap as f64 / 1048576.0,
+                        mem.peak_bytes as f64 / 1048576.0,
+                        mem.spill_events,
+                        mem.spill_bytes as f64 / 1048576.0,
+                        mem.shed_events,
+                        mem.throttle_events,
+                        e,
+                        if ok { "" } else { "  FAILED" },
+                    );
+                    record = record
+                        .field("completed", true)
+                        .field("backward_error", e)
+                        .field("memory", mem_record(&mem));
+                }
+                Err(e) => {
+                    eprintln!("{name} @ {frac}: factorization FAILED: {e}");
+                    failures += 1;
+                    record = record
+                        .field("completed", false)
+                        .field("error", e.to_string());
+                }
+            }
+            records.push(record);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&spill_root);
+    let doc = Json::obj()
+        .field("experiment", "memsweep")
+        .field("cap_fractions", CAP_FRACTIONS.to_vec())
+        .field("runs", records);
+    let out = std::path::Path::new("results").join("memsweep.json");
+    match std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&out, doc.pretty() + "\n"))
+    {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", out.display());
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("memory sweep: {failures} run(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("memory sweep: all runs completed at full accuracy");
+}

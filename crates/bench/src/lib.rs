@@ -13,13 +13,18 @@
 //!   ASTRA-like / sparse kernels × 1-3 streams);
 //! * `fig4`   — hybrid scaling, 12 cores + 0-3 GPUs;
 //! * `ablation` — design-choice studies beyond the paper (amalgamation
-//!   ratio sweep, 1D vs 2D task split, data-reuse on/off).
+//!   ratio sweep, 1D vs 2D task split, data-reuse on/off);
+//! * `memsweep` — memory-budget sweep: proxy factorizations under
+//!   descending caps, per-phase peak/spill accounting recorded as JSON
+//!   (`results/memsweep.json`).
 //!
 //! The library half hosts the proxy-matrix registry substituting for the
 //! University of Florida set (DESIGN.md §2).
 
+pub mod json;
 pub mod matrices;
 pub mod microbench;
 
+pub use json::Json;
 pub use matrices::{proxies, MatrixProxy};
 pub use microbench::Bench;

@@ -7,6 +7,7 @@
 //! dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]
 //!                  [--threads N] [--rhs <file>] [--refine N] [--output <file>]
 //!                  [--fault-plan <spec>] [--max-refactor-attempts N]
+//!                  [--mem-budget <bytes>] [--spill-dir <path>]
 //! dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]
 //!                  [--policy pastix|starpu|parsec] [--streams N]
 //! dagfact verify   <matrix.mtx> [--facto …] [--threads N] [--no-dynamic]
@@ -30,7 +31,7 @@ use dagfact_core::{
     simulate_factorization, Analysis, ExecOptions, RuntimeKind, SimOptions, Solver,
     SolverOptions, VerifyOptions,
 };
-use dagfact_rt::{FaultPlan, RunConfig};
+use dagfact_rt::{FaultPlan, MemoryBudget, RunConfig};
 use dagfact_gpusim::{Platform, SimPolicy};
 use dagfact_kernels::{Scalar, C64};
 use dagfact_sparse::mm::read_matrix_market_file;
@@ -51,6 +52,8 @@ struct Opts {
     output: Option<String>,
     fault_plan: Option<String>,
     max_refactor_attempts: Option<u32>,
+    mem_budget: Option<usize>,
+    spill_dir: Option<String>,
     cores: usize,
     gpus: usize,
     policy: SimPolicy,
@@ -71,7 +74,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage:\n  dagfact analyze  <matrix.mtx> [--facto auto|chol|ldlt|lu]\n  dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]\n                   [--threads N] [--rhs file] [--refine N] [--output file]\n                   [--fault-plan spec] [--max-refactor-attempts N]\n  dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]\n                   [--policy pastix|starpu|parsec] [--streams N]\n  dagfact verify   <matrix.mtx> [--facto …] [--threads N] [--no-dynamic]"
+    "usage:\n  dagfact analyze  <matrix.mtx> [--facto auto|chol|ldlt|lu]\n  dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]\n                   [--threads N] [--rhs file] [--refine N] [--output file]\n                   [--fault-plan spec] [--max-refactor-attempts N]\n                   [--mem-budget bytes[K|M|G]] [--spill-dir path]\n  dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]\n                   [--policy pastix|starpu|parsec] [--streams N]\n  dagfact verify   <matrix.mtx> [--facto …] [--threads N] [--no-dynamic]"
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
@@ -95,6 +98,8 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         output: None,
         fault_plan: None,
         max_refactor_attempts: None,
+        mem_budget: None,
+        spill_dir: None,
         cores: 12,
         gpus: 0,
         policy: SimPolicy::ParsecLike { streams: 3 },
@@ -140,6 +145,8 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                 opts.max_refactor_attempts =
                     Some(parse_num(&value()?)?.min(u32::MAX as usize) as u32)
             }
+            "--mem-budget" => opts.mem_budget = Some(parse_bytes(&value()?)?),
+            "--spill-dir" => opts.spill_dir = Some(value()?),
             "--cores" => opts.cores = parse_num(&value()?)?,
             "--gpus" => opts.gpus = parse_num(&value()?)?,
             "--streams" => streams = parse_num(&value()?)?,
@@ -159,6 +166,21 @@ fn parse(args: &[String]) -> Result<Opts, String> {
 
 fn parse_num(s: &str) -> Result<usize, String> {
     s.parse::<usize>().map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+/// Parse a byte size with an optional `K`/`M`/`G` suffix (powers of 1024).
+fn parse_bytes(s: &str) -> Result<usize, String> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'K' | b'k') => (&s[..s.len() - 1], 1usize << 10),
+        Some(b'M' | b'm') => (&s[..s.len() - 1], 1usize << 20),
+        Some(b'G' | b'g') => (&s[..s.len() - 1], 1usize << 30),
+        _ => (s, 1),
+    };
+    let n = digits
+        .parse::<usize>()
+        .map_err(|e| format!("bad byte size {s:?}: {e}"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("byte size {s:?} overflows"))
 }
 
 /// Sniff the Matrix Market header for the `complex` field.
@@ -228,9 +250,13 @@ fn solve<T: Scalar>(opts: &Opts, a: &CscMatrix<T>) -> Result<String, String> {
         let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
         run.fault_plan = Some(std::sync::Arc::new(plan));
     }
+    if let Some(cap) = opts.mem_budget {
+        run.budget = Some(MemoryBudget::with_cap(cap));
+    }
     let exec = ExecOptions {
         run,
         epsilon_override: None,
+        spill_dir: opts.spill_dir.as_ref().map(std::path::PathBuf::from),
     };
     let t0 = std::time::Instant::now();
     let mut solver = Solver::with_exec(a, opts.facto, &options, opts.runtime, opts.threads, &exec)
@@ -277,6 +303,29 @@ fn solve<T: Scalar>(opts: &Opts, a: &CscMatrix<T>) -> Result<String, String> {
             if stats.run.retries == 1 { "y" } else { "ies" },
             stats.run.faults_injected
         );
+    }
+    if let Some(mem) = &stats.run.memory {
+        let _ = writeln!(
+            out,
+            "memory       : peak {:.1} MB{}",
+            mem.peak_bytes as f64 / (1 << 20) as f64,
+            match mem.cap {
+                Some(c) => format!(" (budget {:.1} MB)", c as f64 / (1 << 20) as f64),
+                None => String::new(),
+            }
+        );
+        if mem.spill_events > 0 || mem.shed_events > 0 || mem.throttle_events > 0 {
+            let _ = writeln!(
+                out,
+                "degradation  : {} panel(s) spilled ({:.1} MB), {} faulted back, {} shed update(s), {} throttle(s), {} overcommit(s)",
+                mem.spill_events,
+                mem.spill_bytes as f64 / (1 << 20) as f64,
+                mem.fault_in_events,
+                mem.shed_events,
+                mem.throttle_events,
+                mem.overcommit_events
+            );
+        }
     }
     let _ = writeln!(
         out,
@@ -529,6 +578,46 @@ mod tests {
         assert!(out.contains("factorization: LU"), "{out}");
         assert!(!out.contains("replay"), "{out}");
         assert!(out.contains("identical conflicting-access orderings"), "{out}");
+    }
+
+    #[test]
+    fn mem_budget_flag_constrains_and_reports_memory() {
+        let path = write_temp("membudget", &grid_laplacian_3d(7, 7, 7));
+        // Unconstrained run first, to learn the natural peak.
+        let free = run(&args(&["solve", &path, "--threads", "2", "--mem-budget", "4G"])).unwrap();
+        let mem_line = free.lines().find(|l| l.starts_with("memory")).unwrap();
+        assert!(mem_line.contains("budget 4096.0 MB"), "{free}");
+        let peak_mb: f64 = mem_line
+            .split("peak ")
+            .nth(1)
+            .unwrap()
+            .split(" MB")
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        // Now squeeze: half the measured peak forces the degradation
+        // ladder, yet the solve still reaches machine precision.
+        let cap = format!("{}", ((peak_mb / 2.0) * (1 << 20) as f64) as usize);
+        let spill = std::env::temp_dir().join("dagfact-cli-test-spill");
+        let tight = run(&args(&[
+            "solve", &path, "--threads", "2", "--mem-budget", &cap, "--spill-dir",
+            spill.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(tight.contains("memory"), "{tight}");
+        let err_line = tight.lines().find(|l| l.starts_with("backward err")).unwrap();
+        let val: f64 = err_line.split(':').nth(1).unwrap().trim().parse().unwrap();
+        assert!(val < 1e-12, "{tight}");
+    }
+
+    #[test]
+    fn byte_suffixes_parse() {
+        assert_eq!(parse_bytes("123").unwrap(), 123);
+        assert_eq!(parse_bytes("4K").unwrap(), 4096);
+        assert_eq!(parse_bytes("2m").unwrap(), 2 << 20);
+        assert_eq!(parse_bytes("1G").unwrap(), 1 << 30);
+        assert!(parse_bytes("lots").is_err());
     }
 
     #[test]

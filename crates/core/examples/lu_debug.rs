@@ -19,8 +19,10 @@ fn main() {
     }
     for c in 0..symbol.ncblk() {
         let cb = &symbol.cblks[c];
-        let lp = unsafe { f.tab.l_panel(symbol, c) };
-        let up = unsafe { f.tab.u_panel(symbol, c) };
+        let lpin = f.tab.pin_l_solve(symbol, c);
+        let upin = f.tab.pin_u_solve(symbol, c);
+        let lp = unsafe { lpin.slice() };
+        let up = unsafe { upin.slice() };
         for (local_j, j) in (cb.fcol..cb.lcol).enumerate() {
             for b in symbol.panel_blocks(c) {
                 for r in b.frow..b.lrow {

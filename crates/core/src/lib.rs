@@ -34,6 +34,7 @@ pub mod refine;
 pub mod simulate;
 pub mod solve;
 pub mod solver;
+pub mod spill;
 pub mod tasks;
 pub mod verify;
 
@@ -70,6 +71,23 @@ pub enum SolverError {
     /// consecutive corrections — the factorization is too inaccurate for
     /// refinement to recover (typically after heavy static pivoting).
     RefinementStalled { iterations: usize, last_berr: f64 },
+    /// The memory budget's hard cap cannot be met even after workspace
+    /// shedding, throttling and spilling — e.g. a single panel larger
+    /// than the whole cap. `site` is the budget allocation site
+    /// (`dagfact_rt::budget::site`).
+    BudgetExceeded {
+        requested: usize,
+        used: usize,
+        cap: usize,
+        site: usize,
+    },
+    /// A fault plan injected an allocation failure (`AllocFail`) at this
+    /// budget site. Transient by construction: the plan's per-site
+    /// failure budget is consumed, so a retry of the same phase succeeds.
+    AllocFault { site: usize },
+    /// The disk-backed spill store failed (I/O error writing or faulting
+    /// a panel back in).
+    Spill(String),
 }
 
 impl core::fmt::Display for SolverError {
@@ -87,6 +105,21 @@ impl core::fmt::Display for SolverError {
                 "iterative refinement diverging after {iterations} step(s) \
                  (backward error {last_berr:.3e})"
             ),
+            SolverError::BudgetExceeded {
+                requested,
+                used,
+                cap,
+                site,
+            } => write!(
+                f,
+                "memory budget exceeded beyond recovery: requested {requested} B at \
+                 site {site} with {used} B of {cap} B charged (even spilling cannot \
+                 make progress)"
+            ),
+            SolverError::AllocFault { site } => {
+                write!(f, "injected allocation failure at budget site {site}")
+            }
+            SolverError::Spill(msg) => write!(f, "spill store failure: {msg}"),
         }
     }
 }
@@ -120,5 +153,31 @@ impl SolverError {
             ) | SolverError::NonFinite { .. }
                 | SolverError::RefinementStalled { .. }
         )
+    }
+
+    /// `true` when the failure was an *injected* allocation fault whose
+    /// per-site budget is consumed on delivery: retrying the same phase
+    /// (same pivot threshold — no escalation needed) will succeed once
+    /// the plan runs out of failures.
+    pub fn is_transient_alloc(&self) -> bool {
+        matches!(self, SolverError::AllocFault { .. })
+    }
+
+    /// Map a budget-layer refusal into the solver error space.
+    pub fn from_budget(e: dagfact_rt::BudgetError) -> Self {
+        match e {
+            dagfact_rt::BudgetError::Exceeded {
+                requested,
+                used,
+                cap,
+                site,
+            } => SolverError::BudgetExceeded {
+                requested,
+                used,
+                cap,
+                site,
+            },
+            dagfact_rt::BudgetError::Injected { site } => SolverError::AllocFault { site },
+        }
     }
 }

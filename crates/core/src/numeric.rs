@@ -12,26 +12,56 @@
 //! updates are plain GEMMs, while the generic runtimes "perform the full
 //! LDLᵀ operation at each update" — the reason PaStiX wins on `pmlDF` and
 //! `Serena`.
+//!
+//! # Memory-budgeted execution
+//!
+//! When [`ExecOptions::run`] carries a [`MemoryBudget`], every large
+//! allocation of the factorization is charged to it: the coefficient
+//! panels (through the pager in [`CoefTab`]), the per-worker GEMM buffers
+//! (`site::WORKSPACE`), the native engine's `D·Lᵀ` panel (`site::DLT`)
+//! and the pivot diagonal (`site::DIAG`). Under a hard cap the tasks
+//! degrade instead of failing, in pressure order:
+//!
+//! 1. **shed** — GEMM updates narrow their scatter buffer to a few
+//!    columns, and at critical pressure drop it entirely
+//!    (`update_scatter_direct`, zero workspace);
+//! 2. **throttle** — the engines stop admitting new tasks past the
+//!    budget's admission width (see `Supervisor::try_admit`);
+//! 3. **spill** — panels whose consumers are all done are retired to the
+//!    disk-backed [`crate::spill::SpillStore`] and faulted back in on the
+//!    next touch (usually the solve).
+//!
+//! Task bodies pin every panel they touch *before* mutating anything, so
+//! an injected allocation failure (`AllocFail`) at a pin is retry-safe:
+//! fine-grained engines re-run the task, the native engine and the
+//! adaptive solver retry the factorization without escalating the pivot
+//! threshold.
 
 use crate::analysis::Analysis;
-use crate::coeftab::CoefTab;
+use crate::coeftab::{CoefTab, MemoryOptions, PanelPin};
 use crate::tasks::{OneDGraph, TaskGraph, TaskKind};
 use crate::SolverError;
 use dagfact_kernels::gemm::{gemm, Trans};
 use dagfact_kernels::trsm::{trsm, Diag, Side, Uplo};
-use dagfact_kernels::update::{update_via_buffer, Scatter};
-use dagfact_kernels::{getrf, ldlt, ldlt_apply_diag, potrf, KernelError, Scalar};
+use dagfact_kernels::update::{update_scatter_direct, update_via_buffer, Scatter};
+use dagfact_kernels::{getrf, ldlt, ldlt_apply_diag, potrf, Scalar};
+use dagfact_rt::budget::{site, MemoryBudget, PressureLevel};
 use dagfact_rt::dataflow::DataflowGraph;
 use dagfact_rt::native::{run_native_checked, NativeTask};
 use dagfact_rt::ptg::{run_ptg_checked, PtgProgram};
 use dagfact_rt::sync::Mutex;
 use dagfact_rt::{
     AccessMode, EngineError, FaultPlan, RunConfig, RunReport, RuntimeKind, SharedSlice,
+    TransientFault,
 };
 use dagfact_sparse::CscMatrix;
 use dagfact_symbolic::FactoKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Scatter-buffer width under `Yellow` pressure: wide enough to keep the
+/// GEMM efficient, narrow enough to shed most of the workspace.
+const SHED_COLS: usize = 8;
 
 /// Per-worker scratch memory ("constant memory overhead per working
 /// thread", §V-B).
@@ -46,6 +76,11 @@ struct Workspace<T> {
     /// Global row index of each mapped row (LU's U-side scatter needs to
     /// know which rows fall inside the destination's diagonal block).
     row_glob: Vec<usize>,
+    /// Bytes of `tmp` currently charged to the budget (high-water; the
+    /// charge is released once when the factorization finishes). The
+    /// small O(blocksize²) `diag`/`row_map` scratch is deliberately not
+    /// accounted.
+    tmp_charged: usize,
 }
 
 /// Everything the task bodies need, shared across workers.
@@ -58,9 +93,18 @@ struct NumericCtx<'a, T: Scalar> {
     threshold: f64,
     /// Fault-injection plan for NaN output corruption (testing).
     fault: Option<Arc<FaultPlan>>,
+    /// Memory ledger (None: historical unaccounted behavior).
+    budget: Option<Arc<MemoryBudget>>,
+    /// Engine retry budget allows at least one retry: a retry-safe pin
+    /// failure may panic with [`TransientFault`] instead of poisoning
+    /// the whole factorization.
+    engine_retries: bool,
+    /// Updates still reading each source panel; at zero the panel is
+    /// retired to the pager (preferred spill victim).
+    remaining_reads: Vec<AtomicUsize>,
     pivots_repaired: AtomicUsize,
-    /// First kernel error; once set, remaining tasks no-op.
-    error: Mutex<Option<KernelError>>,
+    /// First error; once set, remaining tasks no-op.
+    error: Mutex<Option<SolverError>>,
     workspaces: Vec<Mutex<Workspace<T>>>,
     /// Per-panel accumulation locks for the native engine: the coarse 1D
     /// DAG orders every updater *before* its target's 1D task but not the
@@ -77,10 +121,89 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
         self.error.lock().is_some()
     }
 
-    fn record_error(&self, e: KernelError) {
+    fn record_error(&self, e: SolverError) {
         let mut guard = self.error.lock();
         if guard.is_none() {
             *guard = Some(e);
+        }
+    }
+
+    /// Unwrap a pin, routing failures: a transient (injected) allocation
+    /// fault panics with [`TransientFault`] when the failing task is
+    /// retry-safe and the engine has retry budget — the engine re-runs
+    /// it and the consumed per-site fault budget lets the retry succeed.
+    /// Everything else (and transient faults with no retry capacity) is
+    /// recorded, so the factorization drains and the adaptive solver can
+    /// retry without escalating the pivot threshold.
+    fn pin_or_fail<'t>(
+        &self,
+        r: Result<PanelPin<'t, T>, SolverError>,
+        task: usize,
+        retryable: bool,
+    ) -> Option<PanelPin<'t, T>> {
+        match r {
+            Ok(pin) => Some(pin),
+            Err(e) => {
+                if retryable && self.engine_retries && e.is_transient_alloc() {
+                    std::panic::panic_any(TransientFault { task, attempt: 0 });
+                }
+                self.record_error(e);
+                None
+            }
+        }
+    }
+
+    /// Grow the charged high-water of a worker's `tmp` buffer to `elems`
+    /// elements. `false` when the ledger (or an injected fault) refuses.
+    fn ensure_tmp(&self, tmp_charged: &mut usize, elems: usize) -> bool {
+        let Some(b) = &self.budget else {
+            return true;
+        };
+        let bytes = elems * std::mem::size_of::<T>();
+        if bytes <= *tmp_charged {
+            return true;
+        }
+        match b.try_charge(bytes - *tmp_charged, site::WORKSPACE) {
+            Ok(()) => {
+                *tmp_charged = bytes;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Decide the scatter-buffer width for an `m × n` update under the
+    /// current memory pressure: `Some(cols)` runs the buffered kernel in
+    /// column chunks of `cols` (the full `n` when unconstrained —
+    /// bit-identical to the historical single call), `None` sheds the
+    /// buffer entirely (direct-scatter path).
+    fn plan_cols(&self, tmp_charged: &mut usize, m: usize, n: usize) -> Option<usize> {
+        let Some(b) = &self.budget else {
+            return Some(n);
+        };
+        let want = if b.cap().is_none() {
+            n
+        } else {
+            match b.level() {
+                PressureLevel::Green => n,
+                PressureLevel::Yellow => n.min(SHED_COLS),
+                PressureLevel::Orange => 1,
+                PressureLevel::Red => {
+                    b.note_shed();
+                    return None;
+                }
+            }
+        }
+        .max(1);
+        if self.ensure_tmp(tmp_charged, m * want) {
+            if want < n {
+                b.note_shed();
+            }
+            Some(want)
+        } else {
+            // Even the reduced buffer was refused: zero-workspace path.
+            b.note_shed();
+            None
         }
     }
 
@@ -97,11 +220,24 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
         let cb = &symbol.cblks[c];
         let (w, stride) = (cb.width(), cb.stride);
         let below = stride - w;
-        let range = self.tab.layout.panel_range(symbol, c);
+        // Pin before mutating anything: an allocation failure here is
+        // retry-safe for every engine (the native 1D task starts with
+        // this call, so nothing has been written yet either way).
+        let Some(lpin) = self.pin_or_fail(self.tab.pin_l(symbol, c), c, true) else {
+            return;
+        };
+        let upin = if self.analysis.facto == FactoKind::Lu {
+            match self.pin_or_fail(self.tab.pin_u(symbol, c), c, true) {
+                Some(p) => Some(p),
+                None => return,
+            }
+        } else {
+            None
+        };
         // SAFETY: the DAG gives panel(c) exclusive access to panel c.
-        let l = unsafe { self.tab.lcoef.range_mut(range.clone()) };
+        let l = unsafe { lpin.slice_mut() };
         let mut ws = self.workspaces[worker].lock();
-        let result: Result<(), KernelError> = (|| {
+        let result: Result<(), SolverError> = (|| {
             match self.analysis.facto {
                 FactoKind::Cholesky => {
                     potrf(w, l, stride)?;
@@ -147,7 +283,10 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
                     let stats = getrf(w, l, stride, self.threshold)?;
                     self.pivots_repaired.fetch_add(stats.repaired, Ordering::Relaxed);
                     // SAFETY: panel(c) also owns its U panel.
-                    let u = unsafe { self.tab.ucoef.range_mut(range) };
+                    let Some(up) = &upin else {
+                        unreachable!("LU panel task without a U pin")
+                    };
+                    let u = unsafe { up.slice_mut() };
                     if below > 0 {
                         copy_full_block(l, stride, w, &mut ws.diag);
                         // L side: A_ik ← A_ik · U_kk⁻¹.
@@ -192,6 +331,11 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
                         l[0] = T::from_f64(f64::NAN);
                     }
                 }
+                // A panel with no updates is cold as soon as it is
+                // factored.
+                if self.remaining_reads[c].load(Ordering::Acquire) == 0 {
+                    self.tab.retire(c);
+                }
             }
         }
     }
@@ -218,15 +362,36 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
         let k = cb.width();
         let n = block.nrows();
         let m = cb.stride - block.local_offset;
-        let src = self.tab.layout.panel_range(symbol, c);
-        let dst = self.tab.layout.panel_range(symbol, j);
+        // Pin every panel up front, before any mutation: a pin failure is
+        // then retry-safe — but only for the fine-grained engines, whose
+        // update is a task of its own. Inside a native 1D task the panel
+        // has already been factored, so re-running the task would corrupt
+        // it: those failures are recorded instead (solver-level retry).
+        let retryable = !lock_target;
+        let Some(lsrc_pin) = self.pin_or_fail(self.tab.pin_l(symbol, c), c, retryable) else {
+            return;
+        };
+        let Some(ldst_pin) = self.pin_or_fail(self.tab.pin_l(symbol, j), c, retryable) else {
+            return;
+        };
+        let upins = if self.analysis.facto == FactoKind::Lu {
+            let Some(us) = self.pin_or_fail(self.tab.pin_u(symbol, c), c, retryable) else {
+                return;
+            };
+            let Some(ud) = self.pin_or_fail(self.tab.pin_u(symbol, j), c, retryable) else {
+                return;
+            };
+            Some((us, ud))
+        } else {
+            None
+        };
         let mut ws = self.workspaces[worker].lock();
         let ws = &mut *ws;
         build_row_map(symbol, c, bi, j, &mut ws.row_map, &mut ws.row_glob);
-        let scatter = Scatter {
-            row_map: &ws.row_map,
-            col_offset: block.frow - tcb.fcol,
-        };
+        let col_off = block.frow - tcb.fcol;
+        // Pressure-dependent buffer plan, decided before the target lock
+        // so ledger traffic never happens under it.
+        let cols_l = self.plan_cols(&mut ws.tmp_charged, m, n);
         // Serialize concurrent accumulations into panel j (native engine
         // only; see `panel_locks`). Taken before the destination borrow so
         // two updaters never hold overlapping `&mut` views.
@@ -234,23 +399,33 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
         // SAFETY: the DAG guarantees panel c is read-only here, and either
         // serializes updates into panel j (fine-grained engines) or the
         // accumulation lock above excludes concurrent updaters (native);
-        // the two panels are disjoint ranges.
-        let (lsrc, ldst) = unsafe { self.tab.lcoef.disjoint_pair(src.clone(), dst.clone()) };
+        // the two panels are distinct allocations held by their pins.
+        let lsrc = unsafe { lsrc_pin.slice() };
+        let ldst = unsafe { ldst_pin.slice_mut() };
         let a1 = &lsrc[block.local_offset..];
         let a2 = &lsrc[block.local_offset..];
         match self.analysis.facto {
-            FactoKind::Cholesky => {
-                update_via_buffer(
-                    m, n, k,
+            FactoKind::Cholesky => match cols_l {
+                Some(cols) => chunked_update(
+                    cols, m, n, k,
                     -T::one(),
                     a1, cb.stride,
                     a2, cb.stride,
                     None,
                     &mut ws.tmp,
                     ldst, tcb.stride,
-                    scatter,
-                );
-            }
+                    &ws.row_map, col_off,
+                ),
+                None => update_scatter_direct(
+                    m, n, k,
+                    -T::one(),
+                    a1, cb.stride,
+                    a2, cb.stride,
+                    None,
+                    ldst, tcb.stride,
+                    Scatter { row_map: &ws.row_map, col_offset: col_off },
+                ),
+            },
             FactoKind::Ldlt => {
                 match dlt {
                     Some(w_panel) => {
@@ -258,20 +433,55 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
                         // pick the columns of block bi and run a plain
                         // GEMM (the PaStiX temp-buffer trick).
                         let col0 = block.local_offset - cb.width();
-                        let w2 = &w_panel[col0 * k..(col0 + n) * k];
-                        ws.tmp.clear();
-                        ws.tmp.resize(m * n, T::zero());
-                        gemm(
-                            Trans::NoTrans,
-                            Trans::NoTrans,
-                            m, n, k,
-                            T::one(),
-                            a1, cb.stride,
-                            w2, k,
-                            T::zero(),
-                            &mut ws.tmp, m,
-                        );
-                        scatter_sub(&ws.tmp, m, n, ldst, tcb.stride, scatter);
+                        match cols_l {
+                            Some(cols) => {
+                                let mut j0 = 0;
+                                while j0 < n {
+                                    let nc = cols.min(n - j0);
+                                    let w2 = &w_panel[(col0 + j0) * k..(col0 + j0 + nc) * k];
+                                    ws.tmp.clear();
+                                    ws.tmp.resize(m * nc, T::zero());
+                                    gemm(
+                                        Trans::NoTrans,
+                                        Trans::NoTrans,
+                                        m, nc, k,
+                                        T::one(),
+                                        a1, cb.stride,
+                                        w2, k,
+                                        T::zero(),
+                                        &mut ws.tmp, m,
+                                    );
+                                    scatter_sub(
+                                        &ws.tmp,
+                                        m,
+                                        nc,
+                                        ldst,
+                                        tcb.stride,
+                                        Scatter {
+                                            row_map: &ws.row_map,
+                                            col_offset: col_off + j0,
+                                        },
+                                    );
+                                    j0 += nc;
+                                }
+                            }
+                            None => {
+                                // Zero-workspace fallback: accumulate the
+                                // outer products straight into the target.
+                                for jj in 0..n {
+                                    let col = &mut ldst[(col_off + jj) * tcb.stride..];
+                                    for l in 0..k {
+                                        let s = w_panel[(col0 + jj) * k + l];
+                                        if s == T::zero() {
+                                            continue;
+                                        }
+                                        for (i, &rm) in ws.row_map.iter().enumerate().take(m) {
+                                            col[rm] -= a1[l * cb.stride + i] * s;
+                                        }
+                                    }
+                                }
+                            }
+                        }
                     }
                     None => {
                         // Generic-runtime path: rescale by D inside every
@@ -279,34 +489,60 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
                         // the full LDLᵀ operation at each update", §V-A).
                         // SAFETY: d[cols of c] was finalized by panel(c).
                         let d = unsafe { self.d.range(cb.fcol..cb.lcol) };
-                        update_via_buffer(
-                            m, n, k,
-                            -T::one(),
-                            a1, cb.stride,
-                            a2, cb.stride,
-                            Some(d),
-                            &mut ws.tmp,
-                            ldst, tcb.stride,
-                            scatter,
-                        );
+                        match cols_l {
+                            Some(cols) => chunked_update(
+                                cols, m, n, k,
+                                -T::one(),
+                                a1, cb.stride,
+                                a2, cb.stride,
+                                Some(d),
+                                &mut ws.tmp,
+                                ldst, tcb.stride,
+                                &ws.row_map, col_off,
+                            ),
+                            None => update_scatter_direct(
+                                m, n, k,
+                                -T::one(),
+                                a1, cb.stride,
+                                a2, cb.stride,
+                                Some(d),
+                                ldst, tcb.stride,
+                                Scatter { row_map: &ws.row_map, col_offset: col_off },
+                            ),
+                        }
                     }
                 }
             }
             FactoKind::Lu => {
+                let Some((usrc_pin, udst_pin)) = &upins else {
+                    unreachable!("LU update without U pins")
+                };
                 // SAFETY: same discipline as the L side.
-                let (usrc, udst) = unsafe { self.tab.ucoef.disjoint_pair(src, dst) };
+                let usrc = unsafe { usrc_pin.slice() };
+                let udst = unsafe { udst_pin.slice_mut() };
                 let ut = &usrc[block.local_offset..];
                 // C_L -= L[R≥b, c] · (Uᵀ[R_b, c])ᵀ
-                update_via_buffer(
-                    m, n, k,
-                    -T::one(),
-                    a1, cb.stride,
-                    ut, cb.stride,
-                    None,
-                    &mut ws.tmp,
-                    ldst, tcb.stride,
-                    scatter,
-                );
+                match cols_l {
+                    Some(cols) => chunked_update(
+                        cols, m, n, k,
+                        -T::one(),
+                        a1, cb.stride,
+                        ut, cb.stride,
+                        None,
+                        &mut ws.tmp,
+                        ldst, tcb.stride,
+                        &ws.row_map, col_off,
+                    ),
+                    None => update_scatter_direct(
+                        m, n, k,
+                        -T::one(),
+                        a1, cb.stride,
+                        ut, cb.stride,
+                        None,
+                        ldst, tcb.stride,
+                        Scatter { row_map: &ws.row_map, col_offset: col_off },
+                    ),
+                }
                 // C_U -= Uᵀ[R>b, c] · (L[R_b, c])ᵀ for the rows strictly
                 // below block b (the diagonal part went into C_L's full
                 // square). The destination splits in two:
@@ -318,36 +554,72 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
                     let mu = m - n;
                     let ut_below = &usrc[block.local_offset + n..];
                     let a2l = &lsrc[block.local_offset..];
-                    ws.tmp.clear();
-                    ws.tmp.resize(mu * n, T::zero());
-                    gemm(
-                        Trans::NoTrans,
-                        Trans::Trans,
-                        mu, n, k,
-                        T::one(),
-                        ut_below, cb.stride,
-                        a2l, cb.stride,
-                        T::zero(),
-                        &mut ws.tmp, mu,
-                    );
-                    for jj in 0..n {
-                        let cglob = block.frow + jj; // column of the target panel
-                        for ii in 0..mu {
-                            let r = ws.row_glob[n + ii]; // global row (r > cglob)
-                            let v = ws.tmp[jj * mu + ii];
-                            if r < tcb.lcol {
-                                // U[cglob, r] inside the diagonal block:
-                                // column r of the L panel, storage row of
-                                // cglob.
-                                ldst[(r - tcb.fcol) * tcb.stride + (cglob - tcb.fcol)] -= v;
-                            } else {
-                                // Uᵀ[r, cglob] in the U panel.
-                                udst[(cglob - tcb.fcol) * tcb.stride + ws.row_map[n + ii]] -= v;
+                    match self.plan_cols(&mut ws.tmp_charged, mu, n) {
+                        Some(cols) => {
+                            let mut jj0 = 0;
+                            while jj0 < n {
+                                let nc = cols.min(n - jj0);
+                                ws.tmp.clear();
+                                ws.tmp.resize(mu * nc, T::zero());
+                                gemm(
+                                    Trans::NoTrans,
+                                    Trans::Trans,
+                                    mu, nc, k,
+                                    T::one(),
+                                    ut_below, cb.stride,
+                                    &a2l[jj0..], cb.stride,
+                                    T::zero(),
+                                    &mut ws.tmp, mu,
+                                );
+                                for jj in 0..nc {
+                                    // Column of the target panel.
+                                    let cglob = block.frow + jj0 + jj;
+                                    for ii in 0..mu {
+                                        let r = ws.row_glob[n + ii]; // global row (r > cglob)
+                                        let v = ws.tmp[jj * mu + ii];
+                                        if r < tcb.lcol {
+                                            // U[cglob, r] inside the diagonal block:
+                                            // column r of the L panel, storage row of
+                                            // cglob.
+                                            ldst[(r - tcb.fcol) * tcb.stride + (cglob - tcb.fcol)] -= v;
+                                        } else {
+                                            // Uᵀ[r, cglob] in the U panel.
+                                            udst[(cglob - tcb.fcol) * tcb.stride + ws.row_map[n + ii]] -= v;
+                                        }
+                                    }
+                                }
+                                jj0 += nc;
+                            }
+                        }
+                        None => {
+                            // Zero-workspace fallback for the U side.
+                            for jj in 0..n {
+                                let cglob = block.frow + jj;
+                                for l in 0..k {
+                                    let s = a2l[l * cb.stride + jj];
+                                    if s == T::zero() {
+                                        continue;
+                                    }
+                                    for ii in 0..mu {
+                                        let r = ws.row_glob[n + ii];
+                                        let v = ut_below[l * cb.stride + ii] * s;
+                                        if r < tcb.lcol {
+                                            ldst[(r - tcb.fcol) * tcb.stride + (cglob - tcb.fcol)] -= v;
+                                        } else {
+                                            udst[(cglob - tcb.fcol) * tcb.stride + ws.row_map[n + ii]] -= v;
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
                 }
             }
+        }
+        // This update has consumed its read of panel c; the last one
+        // hands the panel to the pager as a preferred spill victim.
+        if self.remaining_reads[c].fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.tab.retire(c);
         }
     }
 
@@ -360,26 +632,61 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
         }
         let symbol = &self.analysis.symbol;
         let cb = &symbol.cblks[c];
+        let mut dlt_charged = 0usize;
         let dlt_panel: Option<Vec<T>> = if self.analysis.facto == FactoKind::Ldlt {
             let below = cb.stride - cb.width();
-            if below == 0 {
-                None
+            let k = cb.width();
+            let granted = below > 0 && {
+                match &self.budget {
+                    None => true,
+                    Some(b) => {
+                        let bytes = k * below * std::mem::size_of::<T>();
+                        match b.try_charge(bytes, site::DLT) {
+                            Ok(()) => {
+                                dlt_charged = bytes;
+                                true
+                            }
+                            Err(_) => {
+                                // Refused (pressure or injected fault):
+                                // the generic per-update kernel needs no
+                                // D·Lᵀ buffer.
+                                b.note_shed();
+                                false
+                            }
+                        }
+                    }
+                }
+            };
+            if granted {
+                match self.tab.pin_l(symbol, c) {
+                    Ok(pin) => {
+                        // SAFETY: panel(c) is complete and ours to read.
+                        let l = unsafe { pin.slice() };
+                        let d = unsafe { self.d.range(cb.fcol..cb.lcol) };
+                        let mut w = vec![T::zero(); k * below];
+                        dagfact_kernels::ldlt::ldlt_scale_transpose(
+                            below,
+                            k,
+                            d,
+                            &l[k..],
+                            cb.stride,
+                            &mut w,
+                        );
+                        Some(w)
+                    }
+                    Err(_) => {
+                        // Could not read our own panel back (injected
+                        // fault or spill IO): degrade to the generic
+                        // update kernel; it re-pins and reports properly.
+                        if let Some(b) = &self.budget {
+                            b.release(dlt_charged);
+                        }
+                        dlt_charged = 0;
+                        None
+                    }
+                }
             } else {
-                // SAFETY: panel(c) is complete and exclusively ours to read.
-                let range = self.tab.layout.panel_range(symbol, c);
-                let l = unsafe { self.tab.lcoef.range(range) };
-                let d = unsafe { self.d.range(cb.fcol..cb.lcol) };
-                let k = cb.width();
-                let mut w = vec![T::zero(); k * below];
-                dagfact_kernels::ldlt::ldlt_scale_transpose(
-                    below,
-                    k,
-                    d,
-                    &l[k..],
-                    cb.stride,
-                    &mut w,
-                );
-                Some(w)
+                None
             }
         } else {
             None
@@ -387,6 +694,51 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
         for bi in (cb.block_begin + 1)..cb.block_end {
             self.update_task(c, bi, worker, dlt_panel.as_deref(), true);
         }
+        drop(dlt_panel);
+        if dlt_charged > 0 {
+            if let Some(b) = &self.budget {
+                b.release(dlt_charged);
+            }
+        }
+    }
+}
+
+/// Run the buffered update kernel in column chunks of `cols` — with
+/// `cols == n` this is exactly one historical `update_via_buffer` call,
+/// and because the kernel computes each output column independently the
+/// chunked result is bit-identical for any chunk width.
+#[allow(clippy::too_many_arguments)]
+fn chunked_update<T: Scalar>(
+    cols: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a1: &[T],
+    lda1: usize,
+    a2: &[T],
+    lda2: usize,
+    d: Option<&[T]>,
+    work: &mut Vec<T>,
+    c: &mut [T],
+    ldc: usize,
+    row_map: &[usize],
+    col_offset: usize,
+) {
+    let mut j0 = 0;
+    while j0 < n {
+        let nc = cols.min(n - j0);
+        update_via_buffer(
+            m, nc, k,
+            alpha,
+            a1, lda1,
+            &a2[j0..], lda2,
+            d,
+            work,
+            c, ldc,
+            Scatter { row_map, col_offset: col_offset + j0 },
+        );
+        j0 += nc;
     }
 }
 
@@ -465,16 +817,22 @@ fn build_row_map(
 
 /// Execution-time options for one factorization run (as opposed to the
 /// analysis-time [`crate::SolverOptions`]): the fault-tolerance
-/// configuration handed to the runtime engine, plus the static-pivot
-/// override used by the adaptive retry loop.
+/// configuration handed to the runtime engine, the memory-budget spill
+/// directory, plus the static-pivot override used by the adaptive retry
+/// loop.
 #[derive(Debug, Clone, Default)]
 pub struct ExecOptions {
-    /// Runtime fault layer: injection plan, retry policy, stall watchdog.
+    /// Runtime fault layer: injection plan, retry policy, stall watchdog,
+    /// and the memory budget (`RunConfig::budget`) every allocation is
+    /// charged to.
     pub run: RunConfig,
     /// Overrides [`crate::SolverOptions::static_pivot_epsilon`] when set.
     /// The symbolic structure does not depend on the threshold, so the
     /// recovery loop can escalate it without re-running the analysis.
     pub epsilon_override: Option<f64>,
+    /// Base directory for spilled panels when the budget has a hard cap
+    /// (default: system temp dir).
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 /// How a factorization went: the data behind the paper-style run logs and
@@ -490,7 +848,7 @@ pub struct FactorStats {
     /// Factorization attempts performed by the recovery loop (≥ 1).
     pub attempts: u32,
     /// The runtime engine's execution report (task counts, retries,
-    /// injected faults, elapsed time).
+    /// injected faults, memory counters, elapsed time).
     pub run: RunReport,
 }
 
@@ -522,11 +880,13 @@ impl Analysis {
     }
 
     /// [`Analysis::factorize`] with explicit execution options: a fault
-    /// plan and retry/watchdog configuration for the engine, and an
-    /// optional static-pivot override. Engine failures (task panics,
-    /// exhausted retry budgets, scheduler stalls) surface as
-    /// [`SolverError::Engine`]; a post-factorization sweep rejects
-    /// non-finite coefficients with [`SolverError::NonFinite`].
+    /// plan and retry/watchdog configuration for the engine, an optional
+    /// memory budget (allocation accounting, pressure-aware degradation,
+    /// out-of-core spilling), and an optional static-pivot override.
+    /// Engine failures (task panics, exhausted retry budgets, scheduler
+    /// stalls) surface as [`SolverError::Engine`]; a post-factorization
+    /// sweep rejects non-finite coefficients with
+    /// [`SolverError::NonFinite`].
     pub fn factorize_with<'a, T: Scalar>(
         &'a self,
         a: &CscMatrix<T>,
@@ -543,7 +903,24 @@ impl Analysis {
             )));
         }
         let nthreads = nthreads.max(1);
-        let tab = CoefTab::assemble(self, a);
+        // Wire the fault plan into the budget before assembly so every
+        // charge — including assembly-phase ones — sees injected faults.
+        if let (Some(b), Some(plan)) = (&exec.run.budget, &exec.run.fault_plan) {
+            b.set_fault_plan(plan.clone());
+        }
+        let mem = MemoryOptions {
+            budget: exec.run.budget.clone(),
+            spill_dir: exec.spill_dir.clone(),
+        };
+        let tab = CoefTab::assemble_with(self, a, &mem)?;
+        let d_bytes = self.symbol.n * std::mem::size_of::<T>();
+        if let Some(b) = &exec.run.budget {
+            // The diagonal is O(n) — forced (never degrades), but still
+            // visible to accounting and injection.
+            b.charge_forced(d_bytes, site::DIAG)
+                .map_err(SolverError::from_budget)?;
+            b.end_phase("assembly");
+        }
         let d: SharedSlice<T> = SharedSlice::from_vec(vec![T::zero(); self.symbol.n]);
         // Static pivoting threshold ε·‖A‖∞ (PaStiX-style); Cholesky has
         // its own positivity check instead.
@@ -561,24 +938,53 @@ impl Analysis {
             d: &d,
             threshold,
             fault: exec.run.fault_plan.clone(),
+            budget: exec.run.budget.clone(),
+            engine_retries: exec.run.retry.max_attempts > 1,
+            remaining_reads: self
+                .symbol
+                .cblks
+                .iter()
+                .map(|cb| AtomicUsize::new(cb.block_end - cb.block_begin - 1))
+                .collect(),
             pivots_repaired: AtomicUsize::new(0),
             error: Mutex::new(None),
             workspaces: (0..nthreads).map(|_| Mutex::new(Workspace::default())).collect(),
             panel_locks: (0..self.symbol.ncblk()).map(|_| Mutex::new(())).collect(),
         };
-        let report = match runtime {
-            RuntimeKind::Native => self.run_native_engine(&ctx, nthreads, exec.run.clone()),
-            RuntimeKind::Dataflow => self.run_dataflow_engine(&ctx, nthreads, exec.run.clone()),
-            RuntimeKind::Ptg => self.run_ptg_engine(&ctx, nthreads, exec.run.clone()),
-        };
-        // A kernel error is the root cause when present (the engine drains
-        // cleanly around it); otherwise an engine error is fatal on its
-        // own.
-        if let Some(e) = ctx.error.lock().take() {
-            return Err(SolverError::Kernel(e));
+        let outcome: Result<RunReport, SolverError> = (|| {
+            let report = match runtime {
+                RuntimeKind::Native => self.run_native_engine(&ctx, nthreads, exec.run.clone()),
+                RuntimeKind::Dataflow => self.run_dataflow_engine(&ctx, nthreads, exec.run.clone()),
+                RuntimeKind::Ptg => self.run_ptg_engine(&ctx, nthreads, exec.run.clone()),
+            };
+            // A task-level error is the root cause when present (the
+            // engine drains cleanly around it); otherwise an engine error
+            // is fatal on its own.
+            if let Some(e) = ctx.error.lock().take() {
+                return Err(e);
+            }
+            let report = report?;
+            self.sweep_non_finite(&tab, &d)?;
+            Ok(report)
+        })();
+        // Scratch charges are released on every path so a solver-level
+        // retry starts from a balanced ledger (the coefficient panels
+        // release through `CoefTab`'s own drop).
+        if let Some(b) = &exec.run.budget {
+            for wsm in &ctx.workspaces {
+                let mut ws = wsm.lock();
+                b.release(ws.tmp_charged);
+                ws.tmp_charged = 0;
+            }
+            b.release(d_bytes);
+            b.end_phase("factorization");
         }
-        let report = report?;
-        self.sweep_non_finite(&tab, &d)?;
+        let mut report = outcome?;
+        if let Some(b) = &exec.run.budget {
+            // Refresh: the engine's snapshot predates the sweep and the
+            // scratch releases above.
+            report.memory = Some(b.stats());
+        }
         let pivots = ctx.pivots_repaired.load(Ordering::Relaxed);
         Ok(Factors {
             analysis: self,
@@ -605,15 +1011,14 @@ impl Analysis {
         let finite = |v: &[T]| v.iter().all(|x| x.modulus().is_finite());
         let symbol = &self.symbol;
         for c in 0..symbol.ncblk() {
-            let range = tab.layout.panel_range(symbol, c);
+            let lp = tab.pin_l(symbol, c)?;
             // SAFETY: the engine has quiesced; no worker holds a borrow.
-            let l = unsafe { tab.lcoef.range(range.clone()) };
-            if !finite(l) {
+            if !finite(unsafe { lp.slice() }) {
                 return Err(SolverError::NonFinite { task: "L", block: c });
             }
-            if !tab.ucoef.is_empty() {
-                let u = unsafe { tab.ucoef.range(range) };
-                if !finite(u) {
+            if tab.has_u() {
+                let up = tab.pin_u(symbol, c)?;
+                if !finite(unsafe { up.slice() }) {
                     return Err(SolverError::NonFinite { task: "U", block: c });
                 }
             }

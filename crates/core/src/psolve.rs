@@ -163,9 +163,10 @@ impl<T: Scalar> Factors<'_, T> {
             FactoKind::Cholesky => Diag::NonUnit,
             _ => Diag::Unit,
         };
+        let lpin = self.tab.pin_l_solve(symbol, c);
         // SAFETY: read-only factor panels; x rows fcol..lcol are exclusively
         // ours (all contributors completed, per the DAG).
-        let l = unsafe { self.tab.l_panel(symbol, c) };
+        let l = unsafe { lpin.slice() };
         let mut xc = vec![T::zero(); w * nrhs];
         {
             let _own = locks[c].lock();
@@ -230,12 +231,13 @@ impl<T: Scalar> Factors<'_, T> {
         let cb = &symbol.cblks[c];
         let w = cb.width();
         let lu = self.analysis.facto == FactoKind::Lu;
+        let lpin = self.tab.pin_l_solve(symbol, c);
         // SAFETY: facing panels completed (read-only); own rows exclusive.
-        let l = unsafe { self.tab.l_panel(symbol, c) };
-        let u = if lu {
-            unsafe { self.tab.u_panel(symbol, c) }
-        } else {
-            l
+        let l = unsafe { lpin.slice() };
+        let upin = lu.then(|| self.tab.pin_u_solve(symbol, c));
+        let u = match &upin {
+            Some(p) => unsafe { p.slice() },
+            None => l,
         };
         let mut xc = vec![T::zero(); w * nrhs];
         {

@@ -69,8 +69,9 @@ impl<T: Scalar> Factors<'_, T> {
         for c in 0..symbol.ncblk() {
             let cb = &symbol.cblks[c];
             let w = cb.width();
+            let lpin = self.tab.pin_l_solve(symbol, c);
             // SAFETY: factorization finished; read-only access.
-            let l = unsafe { self.tab.l_panel(symbol, c) };
+            let l = unsafe { lpin.slice() };
             // Diagonal solve on rows fcol..lcol of every RHS column.
             trsm(
                 Side::Left,
@@ -117,19 +118,20 @@ impl<T: Scalar> Factors<'_, T> {
         for c in (0..symbol.ncblk()).rev() {
             let cb = &symbol.cblks[c];
             let w = cb.width();
+            let lpin = self.tab.pin_l_solve(symbol, c);
             // SAFETY: read-only post-factorization access.
-            let l = unsafe { self.tab.l_panel(symbol, c) };
+            let l = unsafe { lpin.slice() };
             // Gather the panel rows, subtract below-block contributions,
             // then solve the triangle — all in the scratch buffer so the
             // reads of x stay immutable.
             gather_rows(x, n, cb.fcol, w, nrhs, &mut xc);
             // For LU the gathered contribution uses U[cols_c, R_b], which
             // is stored transposed in the U panel; otherwise Lᵀ.
+            let upin = lu.then(|| self.tab.pin_u_solve(symbol, c));
             // SAFETY: read-only post-factorization access.
-            let u = if lu {
-                unsafe { self.tab.u_panel(symbol, c) }
-            } else {
-                l
+            let u = match &upin {
+                Some(p) => unsafe { p.slice() },
+                None => l,
             };
             for b in symbol.off_blocks(c) {
                 let m = b.nrows();

@@ -151,6 +151,7 @@ impl<T: Scalar> Solver<T> {
             let exec_try = ExecOptions {
                 run: exec.run.clone(),
                 epsilon_override: Some(epsilon),
+                spill_dir: exec.spill_dir.clone(),
             };
             match analysis_ref.factorize_with::<T>(a, runtime, threads, &exec_try) {
                 Ok(mut f) => {
@@ -165,6 +166,14 @@ impl<T: Scalar> Solver<T> {
                     // For Cholesky the threshold is unused — the retry
                     // still matters for transient corruption.
                     epsilon = escalate_epsilon(epsilon);
+                }
+                Err(e)
+                    if attempt < options.max_refactor_attempts && e.is_transient_alloc() =>
+                {
+                    // Injected allocation fault: its per-site failure
+                    // budget was consumed on delivery, so the same pivot
+                    // threshold will succeed — retry WITHOUT escalating
+                    // (the factors must match the unfaulted run exactly).
                 }
                 Err(e) => return Err(e),
             }
@@ -197,9 +206,29 @@ impl<T: Scalar> Solver<T> {
         let exec = ExecOptions {
             run: self.exec.run.clone(),
             epsilon_override: Some(epsilon),
+            spill_dir: self.exec.spill_dir.clone(),
         };
         self.factors = None; // drop the borrower before replacing it
-        let mut f = analysis_ref.factorize_with::<T>(&self.matrix, self.runtime, self.threads, &exec)?;
+        // Transient (injected) allocation faults retry at the same
+        // threshold — their failure budget is consumed on delivery.
+        let mut tries = 0u32;
+        let mut f = loop {
+            match analysis_ref.factorize_with::<T>(
+                &self.matrix,
+                self.runtime,
+                self.threads,
+                &exec,
+            ) {
+                Ok(f) => break f,
+                Err(e)
+                    if tries + 1 < self.options.max_refactor_attempts
+                        && e.is_transient_alloc() =>
+                {
+                    tries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
         f.stats.attempts = stats.attempts + 1;
         f.stats.epsilon_history = stats.epsilon_history;
         f.stats.epsilon_history.push(epsilon);

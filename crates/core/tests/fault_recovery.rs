@@ -31,8 +31,10 @@ fn resilient_with(plan: FaultPlan) -> ExecOptions {
             fault_plan: Some(Arc::new(plan)),
             retry: RetryPolicy::retrying(),
             watchdog: Some(Duration::from_secs(20)),
+            budget: None,
         },
         epsilon_override: None,
+        spill_dir: None,
     }
 }
 

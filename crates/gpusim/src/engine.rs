@@ -166,6 +166,16 @@ struct ActiveKernel {
     ceiling: f64,
 }
 
+/// One datum held in a device's memory.
+struct ResidentData {
+    data: DataId,
+    /// LRU stamp (global monotone clock; higher = hotter).
+    stamp: u64,
+    /// Tasks staged on this device that still need the datum; pinned
+    /// entries are never evicted.
+    pins: u32,
+}
+
 struct GpuState {
     streams: usize,
     active: Vec<ActiveKernel>,
@@ -184,6 +194,10 @@ struct GpuState {
     busy_time: f64,
     /// dmda bookkeeping: expected availability.
     expected_free: f64,
+    /// Data resident in device memory (mirrors the per-datum valid bits).
+    resident: Vec<ResidentData>,
+    resident_bytes: f64,
+    peak_resident: f64,
 }
 
 impl GpuState {
@@ -289,6 +303,10 @@ struct Engine<'a> {
     bytes_d2h: f64,
     tasks_on_gpu: usize,
     tasks_on_cpu: usize,
+    /// Global LRU clock for device residency.
+    lru_clock: u64,
+    device_evictions: usize,
+    bytes_evicted: f64,
 }
 
 /// Number of CPU workers that execute tasks under a policy.
@@ -339,6 +357,9 @@ pub fn simulate(dag: &SimDag, platform: &Platform, policy: SimPolicy) -> SimRepo
                 version: 0,
                 busy_time: 0.0,
                 expected_free: 0.0,
+                resident: Vec::new(),
+                resident_bytes: 0.0,
+                peak_resident: 0.0,
             })
             .collect(),
         queues,
@@ -351,6 +372,9 @@ pub fn simulate(dag: &SimDag, platform: &Platform, policy: SimPolicy) -> SimRepo
         bytes_d2h: 0.0,
         tasks_on_gpu: 0,
         tasks_on_cpu: 0,
+        lru_clock: 0,
+        device_evictions: 0,
+        bytes_evicted: 0.0,
     };
     engine.run();
     let flush = engine.final_flush_time();
@@ -363,6 +387,9 @@ pub fn simulate(dag: &SimDag, platform: &Platform, policy: SimPolicy) -> SimRepo
         bytes_d2h: engine.bytes_d2h,
         tasks_on_gpu: engine.tasks_on_gpu,
         tasks_on_cpu: engine.tasks_on_cpu,
+        peak_device_bytes: engine.gpus.iter().map(|g| g.peak_resident).collect(),
+        device_evictions: engine.device_evictions,
+        bytes_evicted: engine.bytes_evicted,
     }
 }
 
@@ -541,20 +568,28 @@ impl<'a> Engine<'a> {
         gpu.expected_free.max(gpu.h2d_busy.max(self.now) + transfer) + exec
     }
 
-    /// Stage a task onto GPU `g`: enqueue its missing transfers on the h2d
-    /// link and schedule its readiness.
+    /// Stage a task onto GPU `g`: pin its data into device memory (evicting
+    /// cold panels if the working set overflows), enqueue its missing
+    /// transfers on the h2d link and schedule its readiness.
     fn offload(&mut self, t: TaskId, g: usize) {
         self.gpus[g].assigned += 1;
-        let mut ready_at = self.now;
-        let needs: Vec<DataId> = {
+        let all: Vec<DataId> = {
             let task = &self.dag.tasks[t];
             task.reads
                 .iter()
                 .chain(std::iter::once(&task.writes))
                 .copied()
-                .filter(|&d| !self.data[d].valid_on_gpu(g))
                 .collect()
         };
+        for &d in &all {
+            self.pin_device_data(g, d);
+        }
+        self.enforce_device_capacity(g);
+        let mut ready_at = self.now;
+        let needs: Vec<DataId> = all
+            .into_iter()
+            .filter(|&d| !self.data[d].valid_on_gpu(g))
+            .collect();
         for d in needs {
             let bytes = self.dag.data[d].bytes;
             // If the only valid copy is on another GPU, fetch it home
@@ -582,6 +617,65 @@ impl<'a> Engine<'a> {
             / (kernel_rate(&self.platform.gpus[g], kind, m, n, k) * 1e9);
         self.gpus[g].expected_free = self.gpus[g].expected_free.max(ready_at) + exec;
         self.events.push(ready_at, Event::GpuTaskReady { gpu: g, task: t });
+    }
+
+    /// Pin a datum into GPU `g`'s memory, refreshing its LRU stamp. New
+    /// entries count toward the resident footprint immediately (the
+    /// allocation precedes the transfer).
+    fn pin_device_data(&mut self, g: usize, d: DataId) {
+        self.lru_clock += 1;
+        let stamp = self.lru_clock;
+        let bytes = self.dag.data[d].bytes;
+        let gpu = &mut self.gpus[g];
+        if let Some(r) = gpu.resident.iter_mut().find(|r| r.data == d) {
+            r.stamp = stamp;
+            r.pins += 1;
+        } else {
+            gpu.resident.push(ResidentData { data: d, stamp, pins: 1 });
+            gpu.resident_bytes += bytes;
+            gpu.peak_resident = gpu.peak_resident.max(gpu.resident_bytes);
+        }
+    }
+
+    fn unpin_device_data(&mut self, g: usize, d: DataId) {
+        if let Some(r) = self.gpus[g].resident.iter_mut().find(|r| r.data == d) {
+            r.pins = r.pins.saturating_sub(1);
+        }
+    }
+
+    /// Evict cold (LRU, unpinned) data until GPU `g`'s resident set fits
+    /// its device memory. A datum whose only valid copy lives on the
+    /// device is written back over PCIe before being dropped. When every
+    /// resident datum is pinned by staged tasks the device overcommits —
+    /// the in-flight working set cannot be shrunk without stalling.
+    fn enforce_device_capacity(&mut self, g: usize) {
+        let cap = self.platform.gpus[g].memory_bytes;
+        while self.gpus[g].resident_bytes > cap {
+            let Some(idx) = self.gpus[g]
+                .resident
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.pins == 0)
+                .min_by_key(|(_, r)| r.stamp)
+                .map(|(i, _)| i)
+            else {
+                return; // everything pinned: overcommit
+            };
+            let victim = self.gpus[g].resident.swap_remove(idx);
+            let bytes = self.dag.data[victim.data].bytes;
+            self.gpus[g].resident_bytes -= bytes;
+            self.device_evictions += 1;
+            self.bytes_evicted += bytes;
+            if self.data[victim.data].dirty_gpu() == Some(g) {
+                // Only valid copy: write it back before dropping it.
+                let done =
+                    self.gpus[g].d2h_busy.max(self.now) + self.platform.link.time(bytes);
+                self.gpus[g].d2h_busy = done;
+                self.bytes_d2h += bytes;
+                self.data[victim.data].valid |= HOST;
+            }
+            self.data[victim.data].valid &= !DataState::gpu_bit(g);
+        }
     }
 
     fn try_start_kernels(&mut self, g: usize) {
@@ -642,6 +736,17 @@ impl<'a> Engine<'a> {
             let d = self.dag.tasks[t].writes;
             self.data[d].valid = DataState::gpu_bit(g);
             self.data[d].last_writer = LastWriter::Gpu(g);
+            let used: Vec<DataId> = {
+                let task = &self.dag.tasks[t];
+                task.reads
+                    .iter()
+                    .chain(std::iter::once(&task.writes))
+                    .copied()
+                    .collect()
+            };
+            for d in used {
+                self.unpin_device_data(g, d);
+            }
             self.complete_task(t, None);
         }
         self.scavenge_for_gpu(g);
@@ -1007,6 +1112,81 @@ mod tests {
             "streams gave no speedup: {} vs {}",
             s3.makespan,
             s1.makespan
+        );
+    }
+
+    #[test]
+    fn tight_device_memory_forces_evictions_and_extra_traffic() {
+        // 128 updates × 1 MB writes + 4 shared 1 MB reads. A 6 GB device
+        // holds everything; a 4 MB device must evict cold panels and
+        // re-fetch the shared sources, inflating PCIe traffic.
+        let dag = independent_updates(128, 4e8, 4096);
+        let policy = SimPolicy::ParsecLike { streams: 1 };
+        let roomy = Platform::mirage(12, 1);
+        let mut tight = roomy.clone();
+        tight.gpus[0].memory_bytes = 4e6;
+        let a = simulate(&dag, &roomy, policy);
+        let b = simulate(&dag, &tight, policy);
+        assert!(a.tasks_on_gpu > 0 && b.tasks_on_gpu > 0);
+        assert_eq!(a.device_evictions, 0, "6 GB fits the whole working set");
+        assert!(a.peak_device_bytes[0] > 0.0);
+        assert!(a.peak_device_bytes[0] <= roomy.gpus[0].memory_bytes);
+        assert!(b.device_evictions > 0, "4 MB cannot hold the working set");
+        assert!(b.bytes_evicted > 0.0);
+        assert!(
+            b.peak_device_bytes[0] < a.peak_device_bytes[0],
+            "capped footprint must stay below the unconstrained one: {} vs {}",
+            b.peak_device_bytes[0],
+            a.peak_device_bytes[0]
+        );
+        // Dirty victims are written back, not silently dropped.
+        assert!(b.bytes_d2h >= a.bytes_d2h);
+    }
+
+    #[test]
+    fn evicted_source_is_refetched_when_reused() {
+        // A serial chain where the last task re-reads the first task's
+        // source. With 3 MB of device memory that datum goes cold, gets
+        // evicted mid-chain, and must cross PCIe a second time.
+        let n = 10;
+        let dag = SimDag {
+            tasks: (0..n)
+                .map(|i| SimTask {
+                    shape: TaskShape::Update {
+                        m: 4096,
+                        n: 128,
+                        k: 128,
+                        target_height: 4096,
+                        ldlt: false,
+                    },
+                    flops: 1e8,
+                    reads: vec![if i + 1 == n { 0 } else { i }],
+                    writes: n + i,
+                    gpu_eligible: true,
+                    succs: if i + 1 < n { vec![i + 1] } else { vec![] },
+                    npred: u32::from(i > 0),
+                    priority: 1.0,
+                    static_owner: 0,
+                    cpu_multiplier: 1.0,
+                })
+                .collect(),
+            data: (0..2 * n).map(|_| SimData { bytes: 1e6 }).collect(),
+        };
+        let policy = SimPolicy::ParsecLike { streams: 1 };
+        let roomy = Platform::mirage(4, 1);
+        let mut tight = roomy.clone();
+        tight.gpus[0].memory_bytes = 3e6;
+        let a = simulate(&dag, &roomy, policy);
+        let b = simulate(&dag, &tight, policy);
+        assert_eq!(a.tasks_on_gpu, n, "chain must run on the device");
+        assert_eq!(b.tasks_on_gpu, n, "chain must run on the device");
+        assert_eq!(a.device_evictions, 0);
+        assert!(b.device_evictions > 0);
+        assert!(
+            b.bytes_h2d > a.bytes_h2d,
+            "the evicted source must be re-fetched: {} vs {}",
+            b.bytes_h2d,
+            a.bytes_h2d
         );
     }
 

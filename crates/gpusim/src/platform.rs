@@ -38,6 +38,10 @@ pub struct GpuModel {
     /// Scatter penalty coefficient of the sparse kernel (Figure 3's
     /// "Sparse" curves): rate ÷= 1 + β·(target_height/m − 1).
     pub scatter_beta: f64,
+    /// Device memory capacity in bytes. The engine caps the resident
+    /// working set at this size; excess panels are evicted LRU with a
+    /// write-back over PCIe when the device holds the only valid copy.
+    pub memory_bytes: f64,
 }
 
 /// PCIe link model (one h2d + one d2h lane per GPU).
@@ -120,6 +124,7 @@ impl GpuModel {
             m_half: 450.0,
             launch_overhead: 8e-6,
             scatter_beta: 0.35,
+            memory_bytes: 6e9, // 6 GB GDDR5
         }
     }
 }
@@ -153,6 +158,8 @@ mod tests {
         assert!((p.cpu.peak_gflops * 12.0 - 128.4).abs() < 1.0);
         // A GPU is worth several cores on large GEMMs.
         assert!(p.gpus[0].peak_gflops > 20.0 * p.cpu.rate(64));
+        // Tesla M2070: 6 GB of device memory.
+        assert!((p.gpus[0].memory_bytes - 6e9).abs() < 1.0);
     }
 
     #[test]

@@ -20,6 +20,14 @@ pub struct SimReport {
     pub tasks_on_gpu: usize,
     /// Number of tasks executed on CPU cores.
     pub tasks_on_cpu: usize,
+    /// Peak bytes resident in each device's memory.
+    pub peak_device_bytes: Vec<f64>,
+    /// Panels evicted from device memory because the working set
+    /// exceeded [`crate::GpuModel::memory_bytes`].
+    pub device_evictions: usize,
+    /// Bytes freed by those evictions (write-back traffic is folded into
+    /// `bytes_d2h` when the device held the only valid copy).
+    pub bytes_evicted: f64,
 }
 
 impl SimReport {

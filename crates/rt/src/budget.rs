@@ -1,0 +1,497 @@
+//! Memory-budget accounting for the numeric phase.
+//!
+//! The paper's GPU contribution is a *memory-constrained* kernel: the
+//! scheduler must know what fits on the device and degrade gracefully
+//! when the answer is "not everything" (§IV-C). [`MemoryBudget`] is the
+//! ledger that makes that decision possible on the host side: every
+//! coefficient-panel, temp-buffer and workspace allocation in
+//! `dagfact-core` charges the ledger before allocating and releases it
+//! when the storage is dropped or spilled.
+//!
+//! The ledger drives a three-rung degradation ladder (DESIGN.md §9):
+//!
+//! 1. **Workspace shedding** — under pressure, GEMM updates switch from
+//!    the full temp-buffer+scatter variant to column-chunked buffers and
+//!    finally to the in-place direct-scatter variant.
+//! 2. **Throttling** — the engines narrow their admission width so fewer
+//!    tasks (and therefore fewer live panels and workspaces) run
+//!    concurrently ([`crate::fault::Supervisor`] consults
+//!    [`MemoryBudget::admission_width`]).
+//! 3. **Spilling** — cold factored panels are written to a disk-backed
+//!    store and faulted back in for the solve phase (`core/src/spill.rs`).
+//!
+//! A typed [`BudgetError::Exceeded`] is returned only when even spilling
+//! cannot make progress (for example a single panel larger than the
+//! whole cap). The [`crate::fault::FaultPlan`] `AllocFail` kind injects
+//! failures at [`MemoryBudget::try_charge`] so the whole ladder — and
+//! the PR-1 recovery loop above it — stays exercised by tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::fault::FaultPlan;
+use crate::sync::Mutex;
+
+/// Pressure at which workspace shedding starts (chunked GEMM buffers).
+pub const PRESSURE_SHED: f64 = 0.80;
+/// Pressure at which the engines throttle admission width to 2.
+pub const PRESSURE_THROTTLE: f64 = 0.90;
+/// Pressure at which updates go direct-scatter and admission width is 1.
+pub const PRESSURE_CRITICAL: f64 = 0.97;
+/// Pressure at which retired (cold) panels are eagerly spilled.
+pub const PRESSURE_SPILL: f64 = 0.85;
+
+/// Stable identifiers for the allocation sites that charge the budget.
+/// Fault plans pin `AllocFail` injections per site (`alloc=SITExK`).
+pub mod site {
+    /// Whole-factor L coefficient storage (eager assembly).
+    pub const COEFTAB_L: usize = 1;
+    /// Whole-factor U coefficient storage (eager assembly, LU only).
+    pub const COEFTAB_U: usize = 2;
+    /// LDLᵀ diagonal vector.
+    pub const DIAG: usize = 3;
+    /// Per-worker GEMM temp buffers.
+    pub const WORKSPACE: usize = 4;
+    /// LDLᵀ `D·Lᵀ` staging buffer (native 1D path).
+    pub const DLT: usize = 5;
+    /// Lazy-assembly entry plan (per-panel scatter lists).
+    pub const ASSEMBLY: usize = 6;
+    /// Fault-in of a spilled panel during solve or update.
+    pub const SPILL_READBACK: usize = 7;
+    /// Base for per-panel materialization sites: panel `c` of side L
+    /// charges at `PANEL_BASE + key(c)`.
+    pub const PANEL_BASE: usize = 64;
+}
+
+/// Why a charge was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetError {
+    /// The hard cap would be exceeded and the caller asked for a strict
+    /// charge (no spill/overcommit escape).
+    Exceeded {
+        /// Bytes the caller asked for.
+        requested: usize,
+        /// Bytes charged at the time of the request.
+        used: usize,
+        /// The configured hard cap.
+        cap: usize,
+        /// Allocation site (see [`site`]).
+        site: usize,
+    },
+    /// A fault plan injected an allocation failure at this site.
+    Injected {
+        /// Allocation site (see [`site`]).
+        site: usize,
+    },
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::Exceeded {
+                requested,
+                used,
+                cap,
+                site,
+            } => write!(
+                f,
+                "memory budget exceeded: requested {requested} B at site {site} \
+                 with {used} B of {cap} B in use"
+            ),
+            BudgetError::Injected { site } => {
+                write!(f, "injected allocation failure at site {site}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Degradation rung derived from current pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureLevel {
+    /// Below [`PRESSURE_SHED`]: no degradation.
+    Green,
+    /// Workspace shedding: chunked GEMM buffers.
+    Yellow,
+    /// Shedding + admission throttled to width 2.
+    Orange,
+    /// Direct-scatter updates, admission width 1, eager spill.
+    Red,
+}
+
+/// Peak-memory snapshot for one named phase (assembly, factorization,
+/// solve, …) as recorded by [`MemoryBudget::end_phase`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Phase label.
+    pub name: String,
+    /// High-water mark of charged bytes during the phase.
+    pub peak_bytes: usize,
+    /// Bytes written to the spill store during the phase.
+    pub spill_bytes: usize,
+    /// Panels spilled during the phase.
+    pub spill_events: usize,
+}
+
+/// Snapshot of the ledger counters, carried in `RunReport` and the
+/// bench JSON emitter.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryStats {
+    /// Configured hard cap, if any.
+    pub cap: Option<usize>,
+    /// Bytes currently charged.
+    pub used_bytes: usize,
+    /// All-time high-water mark of charged bytes.
+    pub peak_bytes: usize,
+    /// Total bytes written to the spill store.
+    pub spill_bytes: usize,
+    /// Panels spilled to disk.
+    pub spill_events: usize,
+    /// Spilled panels faulted back in.
+    pub fault_in_events: usize,
+    /// Times an engine worker was denied admission by the throttle.
+    pub throttle_events: usize,
+    /// GEMM updates that shed workspace (chunked or direct-scatter).
+    pub shed_events: usize,
+    /// Charges forced above the cap because nothing was evictable.
+    pub overcommit_events: usize,
+    /// Allocation failures injected by the fault plan.
+    pub alloc_faults: usize,
+    /// Per-phase peaks, in the order the phases ended.
+    pub phases: Vec<PhaseStats>,
+}
+
+/// The ledger. Cheap to share (`Arc`), all hot-path counters are
+/// atomics; the phase list is behind a mutex touched only at phase
+/// boundaries.
+#[derive(Debug, Default)]
+pub struct MemoryBudget {
+    cap: Option<usize>,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+    phase_peak: AtomicUsize,
+    phase_spill_bytes: AtomicUsize,
+    phase_spill_events: AtomicUsize,
+    spill_bytes: AtomicUsize,
+    spill_events: AtomicUsize,
+    fault_in_events: AtomicUsize,
+    throttle_events: AtomicUsize,
+    shed_events: AtomicUsize,
+    overcommit_events: AtomicUsize,
+    alloc_faults: AtomicUsize,
+    phases: Mutex<Vec<PhaseStats>>,
+    fault: Mutex<Option<Arc<FaultPlan>>>,
+}
+
+impl MemoryBudget {
+    /// Unbounded ledger: accounting (peaks, counters) without a cap.
+    pub fn unbounded() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Ledger with a hard cap in bytes.
+    pub fn with_cap(cap: usize) -> Arc<Self> {
+        Arc::new(Self {
+            cap: Some(cap),
+            ..Self::default()
+        })
+    }
+
+    /// The configured hard cap, if any.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Attach a fault plan whose `AllocFail` kinds fire inside
+    /// [`Self::try_charge`].
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.fault.lock() = Some(plan);
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Acquire)
+    }
+
+    /// All-time high-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Acquire)
+    }
+
+    /// Fraction of the cap currently in use (0.0 when unbounded).
+    pub fn pressure(&self) -> f64 {
+        match self.cap {
+            Some(cap) if cap > 0 => self.used() as f64 / cap as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Current degradation rung.
+    pub fn level(&self) -> PressureLevel {
+        let p = self.pressure();
+        if p >= PRESSURE_CRITICAL {
+            PressureLevel::Red
+        } else if p >= PRESSURE_THROTTLE {
+            PressureLevel::Orange
+        } else if p >= PRESSURE_SHED {
+            PressureLevel::Yellow
+        } else {
+            PressureLevel::Green
+        }
+    }
+
+    /// Should retired (cold) panels be spilled eagerly right now?
+    pub fn should_spill(&self) -> bool {
+        self.cap.is_some() && self.pressure() >= PRESSURE_SPILL
+    }
+
+    /// Engine admission width: `None` means unlimited; `Some(w)` means
+    /// at most `w` tasks should run concurrently. Always ≥ 1 so the
+    /// watchdog can never see a fully-throttled live graph.
+    pub fn admission_width(&self) -> Option<usize> {
+        match self.level() {
+            PressureLevel::Green | PressureLevel::Yellow => None,
+            PressureLevel::Orange => Some(2),
+            PressureLevel::Red => Some(1),
+        }
+    }
+
+    /// Charge `bytes` at `site`, failing if an injected fault fires or
+    /// the hard cap would be exceeded. On `Ok(())` the caller owns the
+    /// charge and must pair it with [`Self::release`].
+    pub fn try_charge(&self, bytes: usize, site: usize) -> Result<(), BudgetError> {
+        if self.take_injected_failure(site) {
+            return Err(BudgetError::Injected { site });
+        }
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(bytes);
+            if let Some(cap) = self.cap {
+                if next > cap {
+                    return Err(BudgetError::Exceeded {
+                        requested: bytes,
+                        used: cur,
+                        cap,
+                        site,
+                    });
+                }
+            }
+            match self.used.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.bump_peak(next);
+                    return Ok(());
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Charge `bytes` at `site` unconditionally (overcommit): used when
+    /// an allocation is required for progress and nothing is evictable.
+    /// Still consults the fault plan so injection reaches forced sites.
+    pub fn charge_forced(&self, bytes: usize, site: usize) -> Result<(), BudgetError> {
+        if self.take_injected_failure(site) {
+            return Err(BudgetError::Injected { site });
+        }
+        let next = self.used.fetch_add(bytes, Ordering::AcqRel) + bytes;
+        if let Some(cap) = self.cap {
+            if next > cap {
+                self.overcommit_events.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.bump_peak(next);
+        Ok(())
+    }
+
+    /// Release a previous charge.
+    pub fn release(&self, bytes: usize) {
+        self.used.fetch_sub(bytes, Ordering::AcqRel);
+    }
+
+    fn take_injected_failure(&self, site: usize) -> bool {
+        let plan = self.fault.lock().clone();
+        if let Some(plan) = plan {
+            if plan.take_alloc_fail(site) {
+                self.alloc_faults.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn bump_peak(&self, next: usize) {
+        self.peak.fetch_max(next, Ordering::AcqRel);
+        self.phase_peak.fetch_max(next, Ordering::AcqRel);
+    }
+
+    /// Record a spill of `bytes` (one panel written to disk).
+    pub fn note_spill(&self, bytes: usize) {
+        self.spill_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.spill_events.fetch_add(1, Ordering::Relaxed);
+        self.phase_spill_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.phase_spill_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a spilled panel faulted back into memory.
+    pub fn note_fault_in(&self) {
+        self.fault_in_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an admission denial by the engine throttle.
+    pub fn note_throttle(&self) {
+        self.throttle_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a GEMM update that shed workspace (chunked or direct).
+    pub fn note_shed(&self) {
+        self.shed_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Close the current phase under `name`, recording its peak and
+    /// spill traffic, and reset the per-phase counters for the next one.
+    pub fn end_phase(&self, name: &str) {
+        let peak = self.phase_peak.swap(self.used(), Ordering::AcqRel);
+        let spill_bytes = self.phase_spill_bytes.swap(0, Ordering::AcqRel);
+        let spill_events = self.phase_spill_events.swap(0, Ordering::AcqRel);
+        self.phases.lock().push(PhaseStats {
+                name: name.to_string(),
+                peak_bytes: peak,
+                spill_bytes,
+                spill_events,
+            });
+    }
+
+    /// Snapshot every counter.
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            cap: self.cap,
+            used_bytes: self.used(),
+            peak_bytes: self.peak(),
+            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            spill_events: self.spill_events.load(Ordering::Relaxed),
+            fault_in_events: self.fault_in_events.load(Ordering::Relaxed),
+            throttle_events: self.throttle_events.load(Ordering::Relaxed),
+            shed_events: self.shed_events.load(Ordering::Relaxed),
+            overcommit_events: self.overcommit_events.load(Ordering::Relaxed),
+            alloc_faults: self.alloc_faults.load(Ordering::Relaxed),
+            phases: self.phases.lock().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_release_tracks_peak() {
+        let b = MemoryBudget::unbounded();
+        b.try_charge(100, site::WORKSPACE).expect("charge");
+        b.try_charge(50, site::DIAG).expect("charge");
+        assert_eq!(b.used(), 150);
+        b.release(100);
+        assert_eq!(b.used(), 50);
+        assert_eq!(b.peak(), 150);
+        assert_eq!(b.pressure(), 0.0);
+        assert_eq!(b.level(), PressureLevel::Green);
+    }
+
+    #[test]
+    fn hard_cap_rejects_with_typed_error() {
+        let b = MemoryBudget::with_cap(100);
+        b.try_charge(80, site::COEFTAB_L).expect("fits");
+        let err = b.try_charge(40, site::WORKSPACE).expect_err("over cap");
+        assert_eq!(
+            err,
+            BudgetError::Exceeded {
+                requested: 40,
+                used: 80,
+                cap: 100,
+                site: site::WORKSPACE
+            }
+        );
+        // The failed charge must not leak into the ledger.
+        assert_eq!(b.used(), 80);
+    }
+
+    #[test]
+    fn pressure_levels_follow_thresholds() {
+        let b = MemoryBudget::with_cap(1000);
+        b.try_charge(790, 1).expect("charge");
+        assert_eq!(b.level(), PressureLevel::Green);
+        assert_eq!(b.admission_width(), None);
+        b.try_charge(10, 1).expect("charge");
+        assert_eq!(b.level(), PressureLevel::Yellow);
+        assert_eq!(b.admission_width(), None);
+        b.try_charge(100, 1).expect("charge");
+        assert_eq!(b.level(), PressureLevel::Orange);
+        assert_eq!(b.admission_width(), Some(2));
+        b.try_charge(70, 1).expect("charge");
+        assert_eq!(b.level(), PressureLevel::Red);
+        assert_eq!(b.admission_width(), Some(1));
+        assert!(b.should_spill());
+    }
+
+    #[test]
+    fn forced_charge_overcommits_and_counts() {
+        let b = MemoryBudget::with_cap(100);
+        b.try_charge(90, 1).expect("charge");
+        b.charge_forced(50, 2).expect("forced");
+        assert_eq!(b.used(), 140);
+        let stats = b.stats();
+        assert_eq!(stats.overcommit_events, 1);
+        assert_eq!(stats.peak_bytes, 140);
+    }
+
+    #[test]
+    fn phases_record_peaks_independently() {
+        let b = MemoryBudget::unbounded();
+        b.try_charge(100, 1).expect("charge");
+        b.end_phase("assembly");
+        b.release(100);
+        b.try_charge(40, 1).expect("charge");
+        b.note_spill(16);
+        b.end_phase("factorization");
+        let stats = b.stats();
+        assert_eq!(stats.phases.len(), 2);
+        assert_eq!(stats.phases[0].name, "assembly");
+        assert_eq!(stats.phases[0].peak_bytes, 100);
+        assert_eq!(stats.phases[0].spill_events, 0);
+        // A phase opens at the previous phase's residual usage (100 was
+        // still charged at the boundary), so that is its floor.
+        assert_eq!(stats.phases[1].peak_bytes, 100);
+        assert_eq!(stats.phases[1].spill_bytes, 16);
+        assert_eq!(stats.phases[1].spill_events, 1);
+        assert_eq!(stats.spill_events, 1);
+    }
+
+    #[test]
+    fn injected_alloc_failure_consumes_budget() {
+        let plan = Arc::new(FaultPlan::new().alloc_fail_on(site::WORKSPACE, 2));
+        let b = MemoryBudget::with_cap(1 << 20);
+        b.set_fault_plan(plan);
+        assert_eq!(
+            b.try_charge(8, site::WORKSPACE),
+            Err(BudgetError::Injected {
+                site: site::WORKSPACE
+            })
+        );
+        assert_eq!(
+            b.try_charge(8, site::WORKSPACE),
+            Err(BudgetError::Injected {
+                site: site::WORKSPACE
+            })
+        );
+        // Failure budget consumed: third attempt succeeds.
+        b.try_charge(8, site::WORKSPACE).expect("third try fits");
+        assert_eq!(b.stats().alloc_faults, 2);
+        // Other sites unaffected.
+        b.try_charge(8, site::DIAG).expect("other site");
+    }
+}

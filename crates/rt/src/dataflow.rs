@@ -406,8 +406,12 @@ impl CentralQueue {
             if sup.halted() {
                 return None;
             }
-            if let Some(t) = queue.pop() {
-                return Some(t);
+            // Memory-pressure throttle: leave ready tasks queued (and
+            // wait out a tick) while the admission width is saturated.
+            if sup.try_admit() {
+                if let Some(t) = queue.pop() {
+                    return Some(t);
+                }
             }
             if sup.remaining() == 0 {
                 self.cv.notify_all();

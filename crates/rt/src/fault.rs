@@ -79,6 +79,16 @@ pub struct FaultPlan {
     /// NaN, with a remaining-injection budget each (so a re-factorization
     /// attempt can succeed). Consumed via [`FaultPlan::take_corruption`].
     corrupt: Mutex<HashMap<usize, u32>>,
+    /// Allocation sites (see `crate::budget::site`) whose next `failures`
+    /// budget charges are refused — the `AllocFail` fault kind, fired
+    /// inside `MemoryBudget::try_charge`.
+    alloc_pinned: HashMap<usize, u32>,
+    /// Probability ∈ [0, 1] that a given allocation *site* fails its
+    /// first `k` charges, sampled deterministically from the seed.
+    random_alloc: Option<(f64, u32)>,
+    /// Per-site count of alloc failures already delivered (both pinned
+    /// and sampled draw down from the same consumption record).
+    alloc_used: Mutex<HashMap<usize, u32>>,
     /// Total faults injected so far (all kinds).
     injected: AtomicUsize,
 }
@@ -139,6 +149,21 @@ impl FaultPlan {
         self
     }
 
+    /// Pin an allocation failure (`AllocFail`) to budget site `site`:
+    /// its first `failures` charges are refused, then charges succeed —
+    /// so a retry (engine- or solver-level) can make progress.
+    pub fn alloc_fail_on(mut self, site: usize, failures: u32) -> Self {
+        self.alloc_pinned.insert(site, failures);
+        self
+    }
+
+    /// Sample allocation failures on roughly `prob · nsites` budget
+    /// sites, each refusing its first `failures` charges.
+    pub fn random_alloc_fail(mut self, prob: f64, failures: u32) -> Self {
+        self.random_alloc = Some((prob, failures));
+        self
+    }
+
     /// Corrupt the output of panel `panel` with NaN, once.
     pub fn corrupt_panel(self, panel: usize) -> Self {
         self.corrupt_panel_times(panel, 1)
@@ -167,6 +192,34 @@ impl FaultPlan {
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Should the budget charge at `site` fail this time? Consumes one
+    /// unit of the site's failure budget (pinned takes precedence over
+    /// the sampled mode); the budget layer turns `true` into a typed
+    /// `BudgetError::Injected`. Deterministic per `(seed, site)` like
+    /// the task-sampled modes.
+    pub fn take_alloc_fail(&self, site: usize) -> bool {
+        let budget = self.alloc_pinned.get(&site).copied().or_else(|| {
+            let (p, failures) = self.random_alloc?;
+            let draw = splitmix64(
+                self.seed ^ 0xA110_CA7E ^ (site as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+            (unit < p).then_some(failures)
+        });
+        let Some(failures) = budget else {
+            return false;
+        };
+        let mut used = self.alloc_used.lock();
+        let consumed = used.entry(site).or_insert(0);
+        if *consumed < failures {
+            *consumed += 1;
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
         }
     }
 
@@ -225,8 +278,10 @@ impl FaultPlan {
 
     /// Parse a CLI-style plan: comma-separated directives
     /// `seed=N`, `panic=T`, `transient=TxK`, `delay=T:MICROS`, `nan=P`,
-    /// `tprob=P.PxK` (sampled transients), `pprob=P.P` (sampled panics).
-    /// Example: `seed=42,transient=3x2,nan=0,tprob=0.05x1`.
+    /// `tprob=P.PxK` (sampled transients), `pprob=P.P` (sampled panics),
+    /// `alloc=SITExK` (pinned allocation failures), `aprob=P.PxK`
+    /// (sampled allocation failures).
+    /// Example: `seed=42,transient=3x2,nan=0,tprob=0.05x1,alloc=4x2`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new();
         for item in spec.split(',').filter(|s| !s.is_empty()) {
@@ -262,6 +317,19 @@ impl FaultPlan {
                 "pprob" => {
                     let p: f64 = value.parse().map_err(|e| format!("{item:?}: {e}"))?;
                     plan = plan.random_panic(p);
+                }
+                "alloc" => {
+                    let (s, k) = value
+                        .split_once('x')
+                        .ok_or_else(|| format!("{item:?}: expected alloc=SITExCOUNT"))?;
+                    plan = plan.alloc_fail_on(num(s)? as usize, num(k)? as u32);
+                }
+                "aprob" => {
+                    let (p, k) = value
+                        .split_once('x')
+                        .ok_or_else(|| format!("{item:?}: expected aprob=PROBxCOUNT"))?;
+                    let p: f64 = p.parse().map_err(|e| format!("{item:?}: {e}"))?;
+                    plan = plan.random_alloc_fail(p, num(k)? as u32);
                 }
                 other => return Err(format!("unknown fault directive {other:?}")),
             }
@@ -329,6 +397,11 @@ pub struct RunConfig {
     /// while tasks remain and no worker is executing, the run fails with
     /// [`EngineError::Stalled`] instead of deadlocking. `None` disables.
     pub watchdog: Option<Duration>,
+    /// Optional memory ledger. When set, the engines consult
+    /// [`crate::budget::MemoryBudget::admission_width`] before dispatching
+    /// (pressure-aware throttling) and the final [`RunReport`] carries a
+    /// [`crate::budget::MemoryStats`] snapshot.
+    pub budget: Option<Arc<crate::budget::MemoryBudget>>,
 }
 
 impl RunConfig {
@@ -338,6 +411,7 @@ impl RunConfig {
             fault_plan: None,
             retry: RetryPolicy::retrying(),
             watchdog: Some(Duration::from_secs(30)),
+            budget: None,
         }
     }
 }
@@ -433,6 +507,9 @@ pub struct RunReport {
     pub task_attempts: Vec<(TaskId, u32)>,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Memory-ledger snapshot (peaks, spill/throttle/shed counters) when
+    /// the run carried a [`crate::budget::MemoryBudget`].
+    pub memory: Option<crate::budget::MemoryStats>,
 }
 
 // ---------------------------------------------------------------------
@@ -518,6 +595,28 @@ impl Supervisor {
     /// Tasks not yet completed.
     pub fn remaining(&self) -> usize {
         self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Pressure-aware admission throttle. Returns `false` when the
+    /// memory budget's admission width is saturated by already-running
+    /// tasks — the worker should idle briefly instead of dispatching.
+    /// Always admits when nothing is running, so a throttled run can
+    /// never starve (and the watchdog can never see a fully-throttled
+    /// live graph stall forever).
+    pub fn try_admit(&self) -> bool {
+        let Some(budget) = self.config.budget.as_ref() else {
+            return true;
+        };
+        let Some(width) = budget.admission_width() else {
+            return true;
+        };
+        let running = self.running.load(Ordering::Acquire);
+        if running < width.max(1) {
+            true
+        } else {
+            budget.note_throttle();
+            false
+        }
     }
 
     /// A sensible condvar/poll tick for blocked workers: short enough to
@@ -667,6 +766,11 @@ impl Supervisor {
                 .map_or(0, FaultPlan::faults_injected),
             task_attempts,
             elapsed: self.start.elapsed(),
+            memory: self
+                .config
+                .budget
+                .as_deref()
+                .map(crate::budget::MemoryBudget::stats),
         })
     }
 }
@@ -738,12 +842,50 @@ mod tests {
     }
 
     #[test]
+    fn alloc_fail_pinned_consumes_and_recovers() {
+        let plan = FaultPlan::new().alloc_fail_on(4, 2);
+        assert!(plan.take_alloc_fail(4));
+        assert!(plan.take_alloc_fail(4));
+        assert!(!plan.take_alloc_fail(4), "failure budget exhausted");
+        assert!(!plan.take_alloc_fail(5), "other sites unaffected");
+        assert_eq!(plan.faults_injected(), 2);
+    }
+
+    #[test]
+    fn alloc_fail_sampled_is_deterministic_per_site() {
+        let decide = |seed: u64, site: usize| {
+            FaultPlan::with_seed(seed)
+                .random_alloc_fail(0.3, 1)
+                .take_alloc_fail(site)
+        };
+        let hits = (0..512).filter(|&s| decide(11, s)).count();
+        assert!((80..250).contains(&hits), "sampled alloc rate off: {hits}/512");
+        for site in 0..64 {
+            assert_eq!(decide(11, site), decide(11, site), "site {site}");
+        }
+        // Sampled failures also consume a per-site budget.
+        let plan = FaultPlan::with_seed(11).random_alloc_fail(1.0, 1);
+        assert!(plan.take_alloc_fail(40));
+        assert!(!plan.take_alloc_fail(40));
+    }
+
+    #[test]
+    fn parse_alloc_directives() {
+        let plan = FaultPlan::parse("alloc=64x2,aprob=0.5x3").unwrap();
+        assert_eq!(plan.alloc_pinned.get(&64), Some(&2));
+        assert_eq!(plan.random_alloc, Some((0.5, 3)));
+        assert!(FaultPlan::parse("alloc=64").is_err());
+        assert!(FaultPlan::parse("aprob=0.5").is_err());
+    }
+
+    #[test]
     fn supervisor_retries_then_completes() {
         let plan = Arc::new(FaultPlan::new().transient_on(0, 2));
         let sup = Supervisor::new(1, RunConfig {
             fault_plan: Some(plan),
             retry: RetryPolicy::retrying(),
             watchdog: None,
+            budget: None,
         });
         let mut runs = 0;
         assert_eq!(sup.run_task(0, || runs += 1), TaskOutcome::Retry);
@@ -768,6 +910,7 @@ mod tests {
                 backoff_factor: 2.0,
             },
             watchdog: None,
+            budget: None,
         });
         assert_eq!(sup.run_task(0, || {}), TaskOutcome::Retry);
         assert_eq!(sup.run_task(0, || {}), TaskOutcome::Retry);

@@ -42,6 +42,7 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod budget;
 pub mod dataflow;
 pub mod deque;
 pub mod fault;
@@ -51,6 +52,7 @@ pub mod shared;
 pub mod sync;
 pub mod verify;
 
+pub use budget::{BudgetError, MemoryBudget, MemoryStats, PhaseStats, PressureLevel};
 pub use fault::{
     EngineError, FaultPlan, RetryPolicy, RunConfig, RunReport, TransientFault,
 };

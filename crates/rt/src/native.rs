@@ -112,6 +112,15 @@ where
             if supref.remaining() == 0 || supref.halted() {
                 break;
             }
+            // 0) Memory-pressure throttle: leave ready tasks queued when
+            // the budget's admission width is saturated.
+            if !supref.try_admit() {
+                if supref.idle_check() {
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            }
             // 1) Own queue first (locality of the static mapping).
             let mine = queues.ready[worker].lock().pop();
             let picked = match mine {

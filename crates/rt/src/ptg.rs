@@ -94,6 +94,15 @@ pub fn run_ptg_checked<P: PtgProgram>(
             if supref.remaining() == 0 || supref.halted() {
                 break;
             }
+            // Memory-pressure throttle: keep ready work queued while the
+            // budget's admission width is saturated.
+            if !supref.try_admit() {
+                if supref.idle_check() {
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            }
             // Local LIFO first (data reuse), then the injector, then steal.
             let task = local
                 .pop()

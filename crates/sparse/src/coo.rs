@@ -6,6 +6,7 @@
 
 use crate::csc::CscMatrix;
 use crate::pattern::SparsityPattern;
+use crate::SparseError;
 use dagfact_kernels::Scalar;
 
 /// Accumulates `(row, col, value)` triplets and assembles a [`CscMatrix`].
@@ -35,6 +36,25 @@ impl<T: Scalar> TripletBuilder<T> {
         }
     }
 
+    /// Fallible variant of [`TripletBuilder::with_capacity`] for
+    /// untrusted inputs (file readers): an absurd declared entry count
+    /// becomes a typed error instead of an allocation abort.
+    pub fn try_with_capacity(
+        nrows: usize,
+        ncols: usize,
+        cap: usize,
+    ) -> Result<Self, SparseError> {
+        let mut entries = Vec::new();
+        entries.try_reserve_exact(cap).map_err(|_| {
+            SparseError::Parse(format!("cannot reserve {cap} matrix entries"))
+        })?;
+        Ok(TripletBuilder {
+            nrows,
+            ncols,
+            entries,
+        })
+    }
+
     /// Add a contribution; duplicates are summed at build time. Panics on
     /// out-of-bounds indices.
     pub fn push(&mut self, row: usize, col: usize, value: T) {
@@ -45,6 +65,24 @@ impl<T: Scalar> TripletBuilder<T> {
             self.ncols
         );
         self.entries.push((row, col, value));
+    }
+
+    /// Fallible [`TripletBuilder::push`]: out-of-bounds indices become a
+    /// typed error instead of a panic. For readers of untrusted files.
+    pub fn try_push(&mut self, row: usize, col: usize, value: T) -> Result<(), SparseError> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.entries.try_reserve(1).map_err(|_| {
+            SparseError::Parse("out of memory growing the triplet buffer".into())
+        })?;
+        self.entries.push((row, col, value));
+        Ok(())
     }
 
     /// Number of raw (pre-merge) triplets.
@@ -60,13 +98,34 @@ impl<T: Scalar> TripletBuilder<T> {
     /// Assemble into CSC form, summing duplicate coordinates. Entries whose
     /// sum is exactly zero are *kept* (explicit zeros preserve the
     /// structural information the analysis relies on).
-    pub fn build(mut self) -> CscMatrix<T> {
+    pub fn build(self) -> CscMatrix<T> {
+        self.try_build().expect("triplet assembly failed")
+    }
+
+    /// Fallible [`TripletBuilder::build`]: dimension-count overflow or a
+    /// failed allocation becomes a typed error instead of a panic/abort.
+    pub fn try_build(mut self) -> Result<CscMatrix<T>, SparseError> {
         self.entries
             .sort_unstable_by_key(|&(r, c, _)| (c, r));
-        let mut colptr = Vec::with_capacity(self.ncols + 1);
+        let ptr_len = self.ncols.checked_add(1).ok_or_else(|| {
+            SparseError::Parse(format!("column count {} overflows", self.ncols))
+        })?;
+        let mut colptr = Vec::new();
+        colptr.try_reserve_exact(ptr_len).map_err(|_| {
+            SparseError::Parse(format!("cannot reserve {ptr_len} column pointers"))
+        })?;
         colptr.push(0usize);
-        let mut rowind: Vec<usize> = Vec::with_capacity(self.entries.len());
-        let mut values: Vec<T> = Vec::with_capacity(self.entries.len());
+        let mut rowind: Vec<usize> = Vec::new();
+        let mut values: Vec<T> = Vec::new();
+        rowind
+            .try_reserve_exact(self.entries.len())
+            .and_then(|()| values.try_reserve_exact(self.entries.len()))
+            .map_err(|_| {
+                SparseError::Parse(format!(
+                    "cannot reserve {} assembled entries",
+                    self.entries.len()
+                ))
+            })?;
         let mut cur_col = 0usize;
         for (r, c, v) in self.entries {
             while cur_col < c {
@@ -88,7 +147,7 @@ impl<T: Scalar> TripletBuilder<T> {
             cur_col += 1;
         }
         let pattern = SparsityPattern::from_csc(self.nrows, self.ncols, colptr, rowind);
-        CscMatrix::new(pattern, values)
+        Ok(CscMatrix::new(pattern, values))
     }
 }
 

@@ -1,0 +1,414 @@
+//! Minimal Harwell-Boeing reader.
+//!
+//! The University of Florida collection the paper draws its nine test
+//! matrices from is historically distributed in Harwell-Boeing (`.rua`,
+//! `.rsa`, `.psa`) form. This module reads the assembled point dialect:
+//! real or pattern values, symmetric or unsymmetric, fixed-width FORTRAN
+//! data cards. Elemental matrices, right-hand sides and complex values
+//! are out of scope and rejected with a typed error.
+//!
+//! Every failure mode on untrusted input — truncated cards, malformed
+//! FORTRAN format strings, out-of-range indices, non-monotone column
+//! pointers, overflowing header counts — is a [`SparseError`], never a
+//! panic: the reader is exercised by the mutation-fuzz suite in
+//! `tests/reader_fuzz.rs`.
+
+use crate::coo::TripletBuilder;
+use crate::csc::CscMatrix;
+use crate::SparseError;
+use dagfact_kernels::Scalar;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+/// A parsed FORTRAN edit descriptor like `(16I8)` or `(3E26.18)`:
+/// `per_line` fields of `width` characters each.
+struct CardFormat {
+    per_line: usize,
+    width: usize,
+}
+
+fn parse_fortran_format(spec: &str) -> Result<CardFormat, SparseError> {
+    let bad = || SparseError::Parse(format!("bad FORTRAN format {spec:?}"));
+    let inner = spec
+        .trim()
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(bad)?;
+    // Strip scale factors like the `1P` in `(1P,3E26.18)` or `(1P3E26.18)`.
+    let inner = match inner.find(['I', 'i', 'E', 'e', 'D', 'd', 'F', 'f', 'G', 'g']) {
+        Some(pos) => {
+            let head = &inner[..pos];
+            let repeat_start = head.rfind(|c: char| !c.is_ascii_digit()).map_or(0, |p| p + 1);
+            &inner[repeat_start..]
+        }
+        None => return Err(bad()),
+    };
+    let letter_pos = inner
+        .find(|c: char| c.is_ascii_alphabetic())
+        .ok_or_else(bad)?;
+    let per_line: usize = if letter_pos == 0 {
+        1
+    } else {
+        inner[..letter_pos].parse().map_err(|_| bad())?
+    };
+    let rest = &inner[letter_pos + 1..];
+    let width_digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let width: usize = width_digits.parse().map_err(|_| bad())?;
+    if per_line == 0 || width == 0 {
+        return Err(bad());
+    }
+    Ok(CardFormat { per_line, width })
+}
+
+/// Split one fixed-width card line into trimmed, non-empty fields.
+fn card_fields<'l>(line: &'l str, fmt: &CardFormat, out: &mut Vec<&'l str>) {
+    out.clear();
+    let bytes = line.as_bytes();
+    for f in 0..fmt.per_line {
+        let start = f * fmt.width;
+        if start >= bytes.len() {
+            break;
+        }
+        let end = (start + fmt.width).min(bytes.len());
+        // HB cards are ASCII; a non-ASCII mutation must not split a
+        // UTF-8 sequence, so fall back to lossy trimming of the chunk.
+        let Some(chunk) = line.get(start..end) else {
+            continue;
+        };
+        let t = chunk.trim();
+        if !t.is_empty() {
+            out.push(t);
+        }
+    }
+}
+
+/// Read `count` numbers spread over `cards` fixed-width lines.
+fn read_card_block<F, N>(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+    cards: usize,
+    count: usize,
+    fmt: &CardFormat,
+    what: &str,
+    parse: F,
+) -> Result<Vec<N>, SparseError>
+where
+    F: Fn(&str) -> Result<N, SparseError>,
+{
+    let mut out = Vec::new();
+    out.try_reserve_exact(count.min(1 << 20)).map_err(|_| {
+        SparseError::Parse(format!("cannot reserve {count} {what} entries"))
+    })?;
+    for _ in 0..cards {
+        let line = lines
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("truncated {what} section")))??;
+        let mut fields = Vec::with_capacity(fmt.per_line);
+        card_fields(&line, fmt, &mut fields);
+        for tok in &fields {
+            if out.len() == count {
+                return Err(SparseError::Parse(format!(
+                    "{what} section holds more than {count} entries"
+                )));
+            }
+            out.try_reserve(1).map_err(|_| {
+                SparseError::Parse(format!("out of memory reading {what}"))
+            })?;
+            out.push(parse(tok)?);
+        }
+    }
+    if out.len() != count {
+        return Err(SparseError::Parse(format!(
+            "{what} section holds {} entries, header declared {count}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+fn parse_hb_int(tok: &str) -> Result<usize, SparseError> {
+    tok.parse::<usize>()
+        .map_err(|e| SparseError::Parse(format!("bad integer {tok:?}: {e}")))
+}
+
+fn parse_hb_real(tok: &str) -> Result<f64, SparseError> {
+    // FORTRAN floats may carry D exponents: 1.5D+02.
+    let fixed = tok.replace(['D', 'd'], "E");
+    fixed
+        .parse::<f64>()
+        .map_err(|e| SparseError::Parse(format!("bad real {tok:?}: {e}")))
+}
+
+/// Parse an assembled Harwell-Boeing stream into a [`CscMatrix`].
+///
+/// Supports matrix types `R_A` (real) and `P_A` (pattern, unit values)
+/// with symmetry `S` (lower triangle stored, mirrored on read) or `U`.
+/// Any right-hand-side section is ignored.
+pub fn read_harwell_boeing<T: Scalar, R: Read>(reader: R) -> Result<CscMatrix<T>, SparseError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut next_line = |what: &str| -> Result<String, SparseError> {
+        lines
+            .next()
+            .ok_or_else(|| SparseError::Parse(format!("missing {what} line")))?
+            .map_err(SparseError::Io)
+    };
+
+    let _title = next_line("title")?;
+    let counts_line = next_line("card-count")?;
+    let counts: Vec<usize> = counts_line
+        .split_whitespace()
+        .map(parse_hb_int)
+        .collect::<Result<_, _>>()?;
+    if counts.len() < 4 {
+        return Err(SparseError::Parse(format!(
+            "bad card-count line {counts_line:?}"
+        )));
+    }
+    let (ptrcrd, indcrd, valcrd) = (counts[1], counts[2], counts[3]);
+
+    let type_line = next_line("matrix-type")?;
+    let mut tokens = type_line.split_whitespace();
+    let mxtype = tokens
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty matrix-type line".into()))?
+        .to_ascii_uppercase();
+    let dims: Vec<usize> = tokens.map(parse_hb_int).collect::<Result<_, _>>()?;
+    if mxtype.len() != 3 || dims.len() < 3 {
+        return Err(SparseError::Parse(format!(
+            "bad matrix-type line {type_line:?}"
+        )));
+    }
+    let (nrow, ncol, nnz) = (dims[0], dims[1], dims[2]);
+    let mut ty = mxtype.chars();
+    let (value_kind, symmetry, assembled) =
+        (ty.next().unwrap(), ty.next().unwrap(), ty.next().unwrap());
+    let pattern_only = match value_kind {
+        'R' => false,
+        'P' => true,
+        'C' => {
+            return Err(SparseError::Parse(
+                "complex Harwell-Boeing matrices are not supported".into(),
+            ))
+        }
+        other => {
+            return Err(SparseError::Parse(format!(
+                "unsupported HB value type {other:?}"
+            )))
+        }
+    };
+    let mirror = match symmetry {
+        'S' => true,
+        'U' | 'R' => false,
+        other => {
+            return Err(SparseError::Parse(format!(
+                "unsupported HB symmetry {other:?} (S/U only)"
+            )))
+        }
+    };
+    if assembled != 'A' {
+        return Err(SparseError::Parse(
+            "elemental (unassembled) HB matrices are not supported".into(),
+        ));
+    }
+    if pattern_only && valcrd > 0 {
+        return Err(SparseError::Parse(
+            "pattern matrix declares value cards".into(),
+        ));
+    }
+
+    let fmt_line = next_line("format")?;
+    let mut fmts = fmt_line.split_whitespace();
+    let bad_fmt = || SparseError::Parse(format!("bad format line {fmt_line:?}"));
+    let ptrfmt = parse_fortran_format(fmts.next().ok_or_else(bad_fmt)?)?;
+    let indfmt = parse_fortran_format(fmts.next().ok_or_else(bad_fmt)?)?;
+    let valfmt = if valcrd > 0 {
+        Some(parse_fortran_format(fmts.next().ok_or_else(bad_fmt)?)?)
+    } else {
+        None
+    };
+    if counts.len() >= 5 && counts[4] > 0 {
+        // RHSCRD > 0: a fifth header line describes the right-hand sides.
+        let _rhs_header = next_line("rhs-header")?;
+    }
+
+    let ptr_len = ncol.checked_add(1).ok_or_else(|| {
+        SparseError::Parse(format!("column count {ncol} overflows"))
+    })?;
+    let colptr = read_card_block(&mut lines, ptrcrd, ptr_len, &ptrfmt, "pointer", parse_hb_int)?;
+    let rowind = read_card_block(&mut lines, indcrd, nnz, &indfmt, "row-index", parse_hb_int)?;
+    let values: Vec<f64> = match &valfmt {
+        Some(f) => read_card_block(&mut lines, valcrd, nnz, f, "value", parse_hb_real)?,
+        None => Vec::new(),
+    };
+    if !pattern_only && values.len() != nnz {
+        return Err(SparseError::Parse(format!(
+            "real matrix with {nnz} entries but {} values (VALCRD = {valcrd})",
+            values.len()
+        )));
+    }
+
+    // Column pointers are 1-based, monotone, and must cover exactly nnz.
+    if colptr.first() != Some(&1) || colptr.last() != Some(&nnz.wrapping_add(1)) {
+        return Err(SparseError::Parse(format!(
+            "column pointers must run from 1 to nnz+1, got {:?}..{:?}",
+            colptr.first(),
+            colptr.last()
+        )));
+    }
+    if colptr.windows(2).any(|w| w[1] < w[0]) {
+        return Err(SparseError::Parse("column pointers must be monotone".into()));
+    }
+
+    let cap = if mirror {
+        nnz.checked_mul(2).ok_or_else(|| {
+            SparseError::Parse(format!("entry count {nnz} overflows when mirrored"))
+        })?
+    } else {
+        nnz
+    };
+    let mut builder = TripletBuilder::try_with_capacity(nrow, ncol, cap.min(1 << 20))?;
+    for j in 0..ncol {
+        for k in colptr[j] - 1..colptr[j + 1] - 1 {
+            let i = rowind[k];
+            if i == 0 || i > nrow {
+                return Err(SparseError::Parse(format!(
+                    "row index {i} outside 1..={nrow} in column {}",
+                    j + 1
+                )));
+            }
+            let v = if pattern_only {
+                T::one()
+            } else {
+                T::from_f64(values[k])
+            };
+            builder.try_push(i - 1, j, v)?;
+            if mirror && i - 1 != j {
+                builder.try_push(j, i - 1, v)?;
+            }
+        }
+    }
+    builder.try_build()
+}
+
+/// Read a Harwell-Boeing file from disk.
+pub fn read_harwell_boeing_file<T: Scalar>(
+    path: impl AsRef<Path>,
+) -> Result<CscMatrix<T>, SparseError> {
+    read_harwell_boeing(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 3×3 tridiagonal Laplacian in RSA form (lower triangle stored),
+    /// hand-laid-out with the fixed-width cards a FORTRAN writer emits.
+    const RSA: &str = "\
+1D Laplacian test matrix                                                LAP3
+             3             1             1             1             0
+RSA                        3             3             5             0
+(16I5)          (16I5)          (5E16.8)
+    1    3    5    6
+    1    2    2    3    3
+  2.00000000E+00 -1.00000000E+00  2.00000000E+00 -1.00000000E+00  2.00000000E+00
+";
+
+    /// Unsymmetric 2×2 in RUA form.
+    const RUA: &str = "\
+tiny unsymmetric                                                        TINY
+             3             1             1             1
+RUA                        2             2             3             0
+(16I5)          (16I5)          (4E20.12)
+    1    3    4
+    1    2    2
+  4.000000000000E+00 -1.000000000000E+00  3.000000000000E+00
+";
+
+    /// Pattern-only symmetric matrix: no value cards at all.
+    const PSA: &str = "\
+pattern only                                                            PAT2
+             2             1             1             0             0
+PSA                        2             2             2             0
+(16I5)          (16I5)
+    1    2    3
+    1    2
+";
+
+    #[test]
+    fn reads_symmetric_rsa_and_mirrors() {
+        let a: CscMatrix<f64> = read_harwell_boeing(RSA.as_bytes()).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert!(a.is_symmetric());
+    }
+
+    #[test]
+    fn reads_unsymmetric_rua() {
+        let a: CscMatrix<f64> = read_harwell_boeing(RUA.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(1, 1), 3.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn reads_pattern_psa_with_unit_values() {
+        let a: CscMatrix<f64> = read_harwell_boeing(PSA.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 1), 1.0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn fortran_d_exponents_parse() {
+        let src = RSA.replace("E+00", "D+00");
+        let a: CscMatrix<f64> = read_harwell_boeing(src.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn format_parser_handles_common_specs() {
+        for (spec, per, width) in [
+            ("(16I5)", 16, 5),
+            ("(10I8)", 10, 8),
+            ("(5E16.8)", 5, 16),
+            ("(1P,3E26.18)", 3, 26),
+            ("(1P3E26.18)", 3, 26),
+            ("(F20.12)", 1, 20),
+            ("(4D25.17)", 4, 25),
+        ] {
+            let f = parse_fortran_format(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!((f.per_line, f.width), (per, width), "{spec}");
+        }
+        for bad in ["", "16I5", "(I)", "(XQ9)", "(0I5)", "(5I0)"] {
+            assert!(parse_fortran_format(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn rejects_elemental_complex_and_unknown_types() {
+        for (from, to) in [("RSA", "RSE"), ("RSA", "CSA"), ("RSA", "XSA"), ("RSA", "RZA")] {
+            let src = RSA.replace(from, to);
+            assert!(
+                read_harwell_boeing::<f64, _>(src.as_bytes()).is_err(),
+                "{to} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_and_inconsistent_sections() {
+        // Drop the value card entirely.
+        let truncated: String = RSA.lines().take(6).map(|l| format!("{l}\n")).collect();
+        assert!(read_harwell_boeing::<f64, _>(truncated.as_bytes()).is_err());
+        // Row index out of range.
+        let oob = RSA.replace("    2    3    3", "    2    3    9");
+        assert!(read_harwell_boeing::<f64, _>(oob.as_bytes()).is_err());
+        // Non-monotone column pointers.
+        let nonmono = RSA.replace("    1    3    5    6", "    1    5    3    6");
+        assert!(read_harwell_boeing::<f64, _>(nonmono.as_bytes()).is_err());
+    }
+}

@@ -15,12 +15,15 @@
 //! * [`gen`] — synthetic problem generators standing in for the paper's
 //!   nine UF matrices (2D/3D grid stencils, real/complex, SPD/indefinite/
 //!   unsymmetric),
-//! * [`mm`] — Matrix Market I/O for interoperability.
+//! * [`mm`] — Matrix Market I/O for interoperability,
+//! * [`hb`] — a minimal Harwell-Boeing reader (the collection's native
+//!   distribution format).
 
 pub mod coo;
 pub mod csc;
 pub mod gen;
 pub mod graph;
+pub mod hb;
 pub mod mm;
 pub mod pattern;
 

@@ -91,15 +91,19 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CscMatrix<T>,
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
 
-    let mut builder = TripletBuilder::with_capacity(
-        nrows,
-        ncols,
-        if symmetry == MmSymmetry::Symmetric {
-            2 * nnz
-        } else {
-            nnz
-        },
-    );
+    // Untrusted header: reserve fallibly and with overflow checks, so an
+    // absurd declared size is a typed error, not an abort.
+    let cap = if symmetry == MmSymmetry::Symmetric {
+        nnz.checked_mul(2).ok_or_else(|| {
+            SparseError::Parse(format!("entry count {nnz} overflows when mirrored"))
+        })?
+    } else {
+        nnz
+    };
+    // Clamp the eager reservation: growth past this is driven by entries
+    // actually present in the file (fallibly, via `try_push`), so a lying
+    // header cannot force a huge up-front allocation.
+    let mut builder = TripletBuilder::try_with_capacity(nrows, ncols, cap.min(1 << 20))?;
     let mut seen = 0usize;
     for line in lines {
         let line = line?;
@@ -125,18 +129,23 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CscMatrix<T>,
                 T::from_parts(re, im)
             }
         };
-        builder.push(i - 1, j - 1, v);
+        builder.try_push(i - 1, j - 1, v)?;
         if symmetry == MmSymmetry::Symmetric && i != j {
-            builder.push(j - 1, i - 1, v);
+            builder.try_push(j - 1, i - 1, v)?;
         }
         seen += 1;
+        if seen > nnz {
+            return Err(SparseError::Parse(format!(
+                "file contains more than the {nnz} declared entries"
+            )));
+        }
     }
     if seen != nnz {
         return Err(SparseError::Parse(format!(
             "header declared {nnz} entries, file contained {seen}"
         )));
     }
-    Ok(builder.build())
+    builder.try_build()
 }
 
 #[derive(PartialEq, Clone, Copy)]

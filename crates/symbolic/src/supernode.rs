@@ -71,14 +71,20 @@ impl SupernodePartition {
     }
 
     /// nnz(L) under this partition (panels are dense: width·(width+1)/2
-    /// diagonal entries plus width·|rows| below).
+    /// diagonal entries plus width·|rows| below). Saturates instead of
+    /// wrapping on degenerate partitions.
     pub fn nnz_factor(&self) -> usize {
-        (0..self.len())
-            .map(|s| {
-                let w = self.width(s);
-                w * (w + 1) / 2 + w * self.rows[s].len()
-            })
-            .sum()
+        (0..self.len()).fold(0usize, |acc, s| {
+            let w = self.width(s);
+            let tri = w
+                .checked_add(1)
+                .and_then(|w1| w.checked_mul(w1))
+                .map(|x| x / 2);
+            let panel = tri
+                .and_then(|t| w.checked_mul(self.rows[s].len()).and_then(|wr| t.checked_add(wr)))
+                .unwrap_or(usize::MAX);
+            acc.saturating_add(panel)
+        })
     }
 }
 
@@ -188,11 +194,21 @@ pub fn amalgamate(
     let parent: Vec<usize> = partition.parent.clone();
     let mut alive: Vec<bool> = vec![true; nsup];
     let mut merged_into: Vec<usize> = (0..nsup).collect();
-    let group_nnz = |w: usize, r: usize| w * (w + 1) / 2 + w * r;
+    // Checked arithmetic throughout the cost model: a pathological
+    // partition (widths near the usize range) must price a merge as
+    // "infinitely expensive" instead of wrapping and looking cheap.
+    let group_nnz = |w: usize, r: usize| -> usize {
+        let tri = w
+            .checked_add(1)
+            .and_then(|w1| w.checked_mul(w1))
+            .map(|x| x / 2);
+        tri.and_then(|t| w.checked_mul(r).and_then(|wr| t.checked_add(wr)))
+            .unwrap_or(usize::MAX)
+    };
     let mut cur_nnz: Vec<usize> = (0..nsup)
         .map(|s| group_nnz(partition.width(s), partition.rows[s].len()))
         .collect();
-    let total_orig: usize = cur_nnz.iter().sum();
+    let total_orig: usize = cur_nnz.iter().fold(0usize, |a, &x| a.saturating_add(x));
     let mut budget = (options.fill_ratio * total_orig as f64) as i64;
     // A generation stamp per group invalidates stale heap entries after a
     // group takes part in a merge.
@@ -223,8 +239,11 @@ pub fn amalgamate(
             .collect();
         merged.sort_unstable();
         merged.dedup();
-        let new_nnz = group_nnz(wc + wp, merged.len());
-        let fill = new_nnz as i64 - (cur_nnz[c] + cur_nnz[p]) as i64;
+        let new_nnz = group_nnz(wc.saturating_add(wp), merged.len());
+        let old_nnz = cur_nnz[c].saturating_add(cur_nnz[p]);
+        let fill = i64::try_from(new_nnz)
+            .unwrap_or(i64::MAX)
+            .saturating_sub(i64::try_from(old_nnz).unwrap_or(i64::MAX));
         (fill, merged)
     };
 
