@@ -1,6 +1,6 @@
 # Convenience targets. The canonical gate is `make check`.
 
-.PHONY: build test check check-robust check-analysis check-memory lint-strict clippy
+.PHONY: build test bench check check-robust check-analysis check-memory check-trace lint-strict clippy
 
 build:
 	cargo build --release
@@ -8,8 +8,19 @@ build:
 test:
 	cargo test -q --workspace
 
-# The full gate: robustness + static-analysis + memory-budget suites.
-check: check-robust check-analysis check-memory
+# Regenerate every results/ artifact (tables, figures, sweeps).
+bench:
+	cargo run -q --release -p dagfact-bench --bin table1
+	cargo run -q --release -p dagfact-bench --bin fig2
+	cargo run -q --release -p dagfact-bench --bin fig3
+	cargo run -q --release -p dagfact-bench --bin fig4
+	cargo run -q --release -p dagfact-bench --bin ablation
+	cargo run -q --release -p dagfact-bench --bin memsweep
+	cargo run -q --release -p dagfact-bench --bin tracesweep
+
+# The full gate: robustness + static-analysis + memory-budget +
+# observability suites.
+check: check-robust check-analysis check-memory check-trace
 
 # Full robustness gate: the whole test suite plus the fault-injection and
 # recovery suites with backtraces on, then a warning-free clippy pass.
@@ -36,6 +47,17 @@ check-memory:
 	RUST_BACKTRACE=1 cargo test -q -p dagfact-core --test memory_budget
 	RUST_BACKTRACE=1 cargo test -q -p dagfact-sparse --test reader_fuzz
 	cargo run -q --release -p dagfact-bench --bin memsweep
+
+# Observability gate: the recorder/analyzer unit suite, the engine-level
+# span-invariant suite, the Chrome-trace exporter tests, the CLI
+# --trace/--metrics tests, and the release-mode trace sweep (3 proxies x
+# 3 engines + the tracing-overhead guard).
+check-trace:
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-rt trace
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-rt --test trace_spans
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-bench --lib
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-cli trace
+	cargo run -q --release -p dagfact-bench --bin tracesweep
 
 # Grep-gate: no .unwrap() in rt/core library code (tests exempt).
 lint-strict:

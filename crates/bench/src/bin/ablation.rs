@@ -13,6 +13,7 @@
 //! cargo run -p dagfact-bench --bin ablation --release
 //! ```
 
+use dagfact_bench::{write_results, Json};
 use dagfact_core::{simulate_factorization, Analysis, SimOptions, SolverOptions};
 use dagfact_gpusim::{Platform, SimPolicy};
 use dagfact_order::OrderingKind;
@@ -34,6 +35,7 @@ fn main() {
         "{:>6} {:>9} {:>8} {:>8} | {:>10} {:>10}",
         "ratio", "GFlop", "panels", "blocks", "cpu GF/s", "hyb GF/s"
     );
+    let mut amalgamation_rows = Vec::new();
     for ratio in [0.0, 0.05, 0.12, 0.25, 0.50] {
         let an = Analysis::new(
             a.pattern(),
@@ -60,6 +62,15 @@ fn main() {
             cpu,
             hyb
         );
+        amalgamation_rows.push(
+            Json::obj()
+                .field("fill_ratio", ratio)
+                .field("gflop", st.flops_real / 1e9)
+                .field("panels", st.ncblk)
+                .field("blocks", st.nblocks)
+                .field("cpu_gflops", cpu)
+                .field("hybrid_gflops", hyb),
+        );
     }
 
     println!();
@@ -68,6 +79,7 @@ fn main() {
         "{:>6} {:>8} {:>8} | {:>10} {:>10}",
         "width", "panels", "blocks", "cpu GF/s", "hyb GF/s"
     );
+    let mut split_rows = Vec::new();
     for width in [32usize, 64, 128, 256, 1024] {
         let an = Analysis::new(
             a.pattern(),
@@ -86,6 +98,14 @@ fn main() {
             "{:>6} {:>8} {:>8} | {:>10.2} {:>10.2}",
             width, st.ncblk, st.nblocks, cpu, hyb
         );
+        split_rows.push(
+            Json::obj()
+                .field("max_width", width)
+                .field("panels", st.ncblk)
+                .field("blocks", st.nblocks)
+                .field("cpu_gflops", cpu)
+                .field("hybrid_gflops", hyb),
+        );
     }
 
     println!();
@@ -94,6 +114,7 @@ fn main() {
         "{:>18} {:>10} {:>10} | {:>10}",
         "ordering", "nnzL", "GFlop", "cpu GF/s"
     );
+    let mut ordering_rows = Vec::new();
     for (name, kind) in [
         ("nested dissection", OrderingKind::NestedDissection),
         ("reverse CM", OrderingKind::ReverseCuthillMcKee),
@@ -115,6 +136,13 @@ fn main() {
             st.nnz_l,
             st.flops_real / 1e9,
             cpu
+        );
+        ordering_rows.push(
+            Json::obj()
+                .field("ordering", name)
+                .field("nnz_l", st.nnz_l)
+                .field("gflop", st.flops_real / 1e9)
+                .field("cpu_gflops", cpu),
         );
     }
 
@@ -139,6 +167,7 @@ fn main() {
         "{:>12} {:>8} | {:>10} {:>10}",
         "threshold", "tasks", "starpu GF/s", "parsec GF/s"
     );
+    let mut cluster_rows = Vec::new();
     for divisor in [0usize, 1000, 300, 100, 30] {
         let o = SimOptions {
             cluster_flops: (divisor > 0).then(|| costs.total / divisor as f64),
@@ -154,6 +183,13 @@ fn main() {
             format!("total/{divisor}")
         };
         println!("{label:>12} {:>8} | {s:>10.2} {p:>11.2}", dag.tasks.len());
+        cluster_rows.push(
+            Json::obj()
+                .field("threshold", label.as_str())
+                .field("tasks", dag.tasks.len())
+                .field("starpu_gflops", s)
+                .field("parsec_gflops", p),
+        );
     }
 
     println!();
@@ -164,8 +200,25 @@ fn main() {
         "{:>6} | {:>10} {:>10} | {:>10} {:>10} | {:>9} {:>9}",
         "nodes", "msgs(out)", "MB(out)", "msgs(in)", "MB(in)", "msg cut", "byte cut"
     );
+    let mut fan_rows = Vec::new();
     for nnodes in [2usize, 4, 8, 16] {
         let study = dagfact_core::fan_in_study(&an, false, nnodes);
+        fan_rows.push(
+            Json::obj()
+                .field("nodes", nnodes)
+                .field(
+                    "fan_out",
+                    Json::obj()
+                        .field("messages", study.fan_out.messages)
+                        .field("bytes", study.fan_out.bytes),
+                )
+                .field(
+                    "fan_in",
+                    Json::obj()
+                        .field("messages", study.fan_in.messages)
+                        .field("bytes", study.fan_in.bytes),
+                ),
+        );
         println!(
             "{:>6} | {:>10} {:>10.1} | {:>10} {:>10.1} | {:>8.1}x {:>8.2}x",
             nnodes,
@@ -179,4 +232,24 @@ fn main() {
     }
     println!("   (fan-in accumulates remote updates locally: far fewer messages,");
     println!("    somewhat fewer bytes, at the price of local buffers — §VI)");
+    let doc = Json::obj()
+        .field("experiment", "ablation")
+        .field("amalgamation", amalgamation_rows)
+        .field("split_width", split_rows)
+        .field("ordering", ordering_rows)
+        .field(
+            "ldlt_update",
+            Json::obj()
+                .field("native_gflops", native)
+                .field("generic_gflops", generic),
+        )
+        .field("clustering", cluster_rows)
+        .field("fan_in_out", fan_rows);
+    match write_results("ablation", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write results/ablation.json: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -12,13 +12,14 @@
 //! the generic runtimes trail native PaStiX on the LDLᵀ matrices
 //! (pmlDF, Serena) because they redo the D·Lᵀ product in every update.
 
-use dagfact_bench::proxies;
+use dagfact_bench::{proxies, write_results, Json};
 use dagfact_core::{simulate_factorization, SimOptions};
 use dagfact_gpusim::{Platform, SimPolicy};
 
 fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
     let cores = [1usize, 3, 6, 9, 12];
+    let mut runs = Vec::new();
     println!("Figure 2 — CPU scaling, GFlop/s (simulated Mirage node)");
     println!(
         "{:<10} {:>5} | {:>8} {:>8} {:>8}",
@@ -52,6 +53,14 @@ fn main() {
             if ncores == 12 {
                 at12 = [g[0], g[1], g[2]];
             }
+            runs.push(
+                Json::obj()
+                    .field("matrix", m.name)
+                    .field("cores", ncores)
+                    .field("pastix_gflops", g[0])
+                    .field("starpu_gflops", g[1])
+                    .field("parsec_gflops", g[2]),
+            );
         }
         println!();
         summary.push((m.name.to_string(), at12));
@@ -72,4 +81,24 @@ fn main() {
     println!();
     println!("paper checkpoints (§V-A): schedulers comparable on shared memory;");
     println!("PaRSEC ≥ StarPU as cores grow; PaStiX ahead on LDLt (pmlDF, Serena).");
+    let doc = Json::obj().field("experiment", "fig2").field("runs", runs).field(
+        "summary_12core",
+        summary
+            .iter()
+            .map(|(name, g)| {
+                Json::obj()
+                    .field("matrix", name.as_str())
+                    .field("pastix_gflops", g[0])
+                    .field("starpu_gflops", g[1])
+                    .field("parsec_gflops", g[2])
+            })
+            .collect::<Vec<_>>(),
+    );
+    match write_results("fig2", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write results/fig2.json: {e}");
+            std::process::exit(1);
+        }
+    }
 }

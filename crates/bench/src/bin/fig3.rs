@@ -11,6 +11,7 @@
 //! cargo run -p dagfact-bench --bin fig3 --release
 //! ```
 
+use dagfact_bench::{write_results, Json};
 use dagfact_gpusim::kernelmodel::{stream_bench_gflops, GpuKernelKind};
 use dagfact_gpusim::platform::GpuModel;
 
@@ -35,6 +36,7 @@ fn main() {
         "sp-2s",
         "sp-3s"
     );
+    let mut rows = Vec::new();
     for &m in &ms {
         let run = |kind: GpuKernelKind, s: usize| stream_bench_gflops(&gpu, kind, m, 128, 128, 100, s);
         let sparse = GpuKernelKind::Sparse {
@@ -42,18 +44,19 @@ fn main() {
             target_height: 2 * m,
             ldlt: false,
         };
+        let cub: Vec<f64> = (1..=3).map(|s| run(GpuKernelKind::CublasLike, s)).collect();
+        let ast: Vec<f64> = (1..=3).map(|s| run(GpuKernelKind::AstraLike, s)).collect();
+        let sp: Vec<f64> = (1..=3).map(|s| run(sparse, s)).collect();
         println!(
             "{:>6} | {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1}",
-            m,
-            run(GpuKernelKind::CublasLike, 1),
-            run(GpuKernelKind::CublasLike, 2),
-            run(GpuKernelKind::CublasLike, 3),
-            run(GpuKernelKind::AstraLike, 1),
-            run(GpuKernelKind::AstraLike, 2),
-            run(GpuKernelKind::AstraLike, 3),
-            run(sparse, 1),
-            run(sparse, 2),
-            run(sparse, 3),
+            m, cub[0], cub[1], cub[2], ast[0], ast[1], ast[2], sp[0], sp[1], sp[2],
+        );
+        rows.push(
+            Json::obj()
+                .field("m", m)
+                .field("cublas_gflops", cub)
+                .field("astra_gflops", ast)
+                .field("sparse_gflops", sp),
         );
     }
     println!();
@@ -89,4 +92,24 @@ fn main() {
         "LDLt kernel variant at M={m}, 2 streams: {llt:.1} -> {ldlt:.1} GFlop/s ({:.1}% loss)",
         (1.0 - ldlt / llt) * 100.0
     );
+    let doc = Json::obj()
+        .field("experiment", "fig3")
+        .field("peak_gflops", gpu.peak_gflops)
+        .field("streams", vec![1usize, 2, 3])
+        .field("rows", rows)
+        .field(
+            "ldlt_variant",
+            Json::obj()
+                .field("m", m)
+                .field("streams", 2usize)
+                .field("llt_gflops", llt)
+                .field("ldlt_gflops", ldlt),
+        );
+    match write_results("fig3", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write results/fig3.json: {e}");
+            std::process::exit(1);
+        }
+    }
 }

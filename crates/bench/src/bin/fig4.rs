@@ -13,12 +13,13 @@
 //! device); afshell10 sees almost nothing ("the amount of Flop produced is
 //! too small to efficiently benefit from the GPUs").
 
-use dagfact_bench::proxies;
+use dagfact_bench::{proxies, write_results, Json};
 use dagfact_core::{simulate_factorization, SimOptions};
 use dagfact_gpusim::{Platform, SimPolicy};
 
 fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
+    let mut runs = Vec::new();
     println!("Figure 4 — hybrid scaling, 12 cores + 0..=3 GPUs, GFlop/s (simulated)");
     println!(
         "{:<10} {:>4} | {:>8} | {:>8} {:>9} {:>9}",
@@ -65,6 +66,15 @@ fn main() {
             if gpus == 3 {
                 best3 = round_best;
             }
+            runs.push(
+                Json::obj()
+                    .field("matrix", m.name)
+                    .field("gpus", gpus)
+                    .field("pastix_cpu_gflops", (gpus == 0).then_some(pastix_ref))
+                    .field("starpu_gflops", g[0])
+                    .field("parsec_1s_gflops", g[1])
+                    .field("parsec_3s_gflops", g[2]),
+            );
         }
         println!();
         speedups.push((m.name.to_string(), best0, best3));
@@ -77,4 +87,24 @@ fn main() {
     println!("paper checkpoints (§V-C): GPUs give large gains on the big matrices;");
     println!("PaRSEC's extra streams compensate StarPU's prefetching; afshell10");
     println!("gains little (too few flops for the transfers).");
+    let doc = Json::obj().field("experiment", "fig4").field("runs", runs).field(
+        "speedups",
+        speedups
+            .iter()
+            .map(|(name, b0, b3)| {
+                Json::obj()
+                    .field("matrix", name.as_str())
+                    .field("best_0gpu_gflops", *b0)
+                    .field("best_3gpu_gflops", *b3)
+                    .field("speedup", b3 / b0)
+            })
+            .collect::<Vec<_>>(),
+    );
+    match write_results("fig4", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write results/fig4.json: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -12,7 +12,7 @@
 //! Exits non-zero if any capped run fails to complete or loses accuracy,
 //! so `make check-memory` can gate on it.
 
-use dagfact_bench::Json;
+use dagfact_bench::{write_results, Json};
 use dagfact_core::{Analysis, ExecOptions, RuntimeKind, SolverOptions};
 use dagfact_rt::{MemoryBudget, MemoryStats, RetryPolicy, RunConfig};
 use dagfact_sparse::gen;
@@ -43,6 +43,7 @@ fn exec(budget: Arc<MemoryBudget>, spill_dir: Option<std::path::PathBuf>) -> Exe
             retry: RetryPolicy::retrying(),
             watchdog: Some(Duration::from_secs(60)),
             budget: Some(budget),
+            trace: None,
         },
         epsilon_override: None,
         spill_dir,
@@ -175,13 +176,10 @@ fn main() {
         .field("experiment", "memsweep")
         .field("cap_fractions", CAP_FRACTIONS.to_vec())
         .field("runs", records);
-    let out = std::path::Path::new("results").join("memsweep.json");
-    match std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write(&out, doc.pretty() + "\n"))
-    {
-        Ok(()) => println!("wrote {}", out.display()),
+    match write_results("memsweep", &doc) {
+        Ok(out) => println!("wrote {}", out.display()),
         Err(e) => {
-            eprintln!("cannot write {}: {e}", out.display());
+            eprintln!("cannot write results/memsweep.json: {e}");
             failures += 1;
         }
     }

@@ -8,8 +8,11 @@
 //! Columns labelled `paper` are the published values (matrices ~300×
 //! larger); `proxy` are this reproduction's synthetic stand-ins. Compare
 //! *ratios* (fill factor nnzL/nnzA, flops ordering), not absolutes.
+//!
+//! Output: the table on stdout plus machine-readable
+//! `results/table1.json` (redirect stdout for the `.txt` copy).
 
-use dagfact_bench::proxies;
+use dagfact_bench::{proxies, write_results, Json};
 
 fn main() {
     println!("Table I — matrix description (paper values vs. synthetic proxies)");
@@ -30,6 +33,7 @@ fn main() {
     );
     let mut prev_flops = 0.0;
     let mut ordering_ok = true;
+    let mut rows = Vec::new();
     for m in proxies() {
         let analysis = m.analyze();
         let st = analysis.stats();
@@ -58,6 +62,30 @@ fn main() {
             ordering_ok = false;
         }
         prev_flops = flops;
+        rows.push(
+            Json::obj()
+                .field("matrix", m.name)
+                .field("prec", m.prec)
+                .field("method", m.facto.label())
+                .field(
+                    "paper",
+                    Json::obj()
+                        .field("n", m.paper.n)
+                        .field("nnz_a", m.paper.nnz_a)
+                        .field("nnz_l", m.paper.nnz_l)
+                        .field("tflop", m.paper.tflop),
+                )
+                .field(
+                    "proxy",
+                    Json::obj()
+                        .field("n", st.n)
+                        .field("nnz_a", st.nnz_a)
+                        .field("nnz_l", st.nnz_l)
+                        .field("gflop", flops / 1e9)
+                        .field("fill", fill)
+                        .field("desc", m.proxy_desc),
+                ),
+        );
     }
     println!();
     println!(
@@ -67,5 +95,16 @@ fn main() {
     println!("proxy descriptions:");
     for m in proxies() {
         println!("  {:<10} {}", m.name, m.proxy_desc);
+    }
+    let doc = Json::obj()
+        .field("experiment", "table1")
+        .field("flop_ordering_preserved", ordering_ok)
+        .field("rows", rows);
+    match write_results("table1", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write results/table1.json: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -1,0 +1,254 @@
+//! Trace sweep: factorize three Table-I proxy problems under each of the
+//! three runtime engines with span recording enabled, and distil the
+//! traces into scheduler metrics — wall time, parallel efficiency,
+//! critical path, per-kernel time/GFLOP/s and per-worker busy/idle
+//! shares — recorded as JSON.
+//!
+//! ```text
+//! cargo run -p dagfact-bench --bin tracesweep --release
+//! ```
+//!
+//! Output: a human-readable table on stdout plus `results/tracesweep.json`.
+//!
+//! The sweep ends with the tracing overhead guard: the same factorization
+//! timed with the recorder detached and attached. The detached path is a
+//! single branch on an `Option` per task, so its cost must sit below the
+//! run-to-run noise floor; the guard measures that noise (A/A skew
+//! between two interleaved detached sample sets) and the attached
+//! overhead, and fails the sweep if recording itself distorts the run.
+//! Exits non-zero on any failed run or violated invariant, so
+//! `make check-trace` can gate on it.
+
+use dagfact_bench::{chrome_trace, write_results, Json};
+use dagfact_core::{Analysis, ExecOptions, RuntimeKind, SolverOptions};
+use dagfact_rt::{RunConfig, Trace, TraceRecorder};
+use dagfact_sparse::gen;
+use dagfact_sparse::CscMatrix;
+use dagfact_symbolic::FactoKind;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ENGINES: &[RuntimeKind] = &[RuntimeKind::Native, RuntimeKind::Dataflow, RuntimeKind::Ptg];
+
+/// Attached tracing must not stretch the factorization by more than this
+/// factor; generous because recording adds two clock reads per task.
+const MAX_ATTACHED_OVERHEAD: f64 = 0.50;
+/// A/A skew bound between the two detached sample sets: the noise floor
+/// the disabled branch must hide under.
+const MAX_DETACHED_SKEW: f64 = 0.10;
+const OVERHEAD_REPS: usize = 4;
+
+fn traced_exec(rec: Option<Arc<TraceRecorder>>) -> ExecOptions {
+    ExecOptions {
+        run: RunConfig {
+            trace: rec,
+            ..RunConfig::resilient()
+        },
+        epsilon_override: None,
+        spill_dir: None,
+    }
+}
+
+fn trace_record(trace: &Trace) -> Json {
+    let cp = trace.critical_path();
+    let wall = trace.wall_ns();
+    Json::obj()
+        .field("spans", trace.spans.len())
+        .field("wall_ms", wall as f64 / 1e6)
+        .field("parallel_efficiency", trace.parallel_efficiency())
+        .field("critical_path_ms", cp.length_ns as f64 / 1e6)
+        .field("critical_path_tasks", cp.tasks.len())
+        .field(
+            "kernels",
+            trace
+                .kernel_breakdown()
+                .iter()
+                .map(|k| {
+                    Json::obj()
+                        .field("kernel", k.kernel)
+                        .field("tasks", k.count)
+                        .field("time_ms", k.total_ns as f64 / 1e6)
+                        .field("gflops", k.gflops)
+                })
+                .collect::<Vec<_>>(),
+        )
+        .field(
+            "workers",
+            trace
+                .worker_stats()
+                .iter()
+                .map(|w| {
+                    Json::obj()
+                        .field("worker", w.worker)
+                        .field("tasks", w.tasks)
+                        .field("busy_ms", w.busy_ns as f64 / 1e6)
+                        .field("wait_ms", w.wait_ns as f64 / 1e6)
+                        .field("steal_ms", w.steal_ns as f64 / 1e6)
+                        .field("idle_frac", w.idle_frac)
+                })
+                .collect::<Vec<_>>(),
+        )
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let problems: Vec<(&str, CscMatrix<f64>, FactoKind)> = vec![
+        ("audi-proxy", gen::grid_laplacian_3d(16, 16, 16), FactoKind::Cholesky),
+        (
+            "serena-proxy",
+            gen::shifted_laplacian_3d(14, 14, 14, 1.0),
+            FactoKind::Ldlt,
+        ),
+        (
+            "mhd-proxy",
+            gen::convection_diffusion_3d(12, 12, 12, 0.4),
+            FactoKind::Lu,
+        ),
+    ];
+    let nthreads = std::thread::available_parallelism().map_or(4, |v| v.get().min(8));
+    let mut records = Vec::new();
+    let mut failures = 0usize;
+    println!(
+        "trace sweep: {} proxies x {} engines on {nthreads} threads",
+        problems.len(),
+        ENGINES.len()
+    );
+    println!(
+        "{:<14} {:>8} | {:>9} {:>8} {:>9} {:>7} | {:>6}",
+        "Matrix", "Engine", "wall ms", "eff %", "cp ms", "cp len", "spans"
+    );
+    for (name, a, facto) in &problems {
+        let analysis = Analysis::new(a.pattern(), *facto, &SolverOptions::default());
+        for &engine in ENGINES {
+            let rec = TraceRecorder::shared();
+            let run = analysis.factorize_with(a, engine, nthreads, &traced_exec(Some(rec.clone())));
+            if let Err(e) = run {
+                eprintln!("{name}/{}: factorization FAILED: {e}", engine.label());
+                failures += 1;
+                continue;
+            }
+            let trace = rec.snapshot();
+            let cp = trace.critical_path();
+            let wall = trace.wall_ns();
+            let eff = trace.parallel_efficiency();
+            // Invariants the sweep gates on: a non-empty measured DAG, a
+            // critical path inside the wall clock, a sane efficiency, and
+            // a Chrome-trace export with one event per span.
+            let events = match chrome_trace(&trace) {
+                Json::Obj(ref fields) => fields
+                    .iter()
+                    .find(|(k, _)| k == "traceEvents")
+                    .map_or(0, |(_, v)| match v {
+                        Json::Arr(items) => items.len(),
+                        _ => 0,
+                    }),
+                _ => 0,
+            };
+            let ok = !trace.spans.is_empty()
+                && cp.length_ns <= wall
+                && eff > 0.0
+                && eff <= 1.0 + 1e-9
+                && events == trace.spans.len();
+            if !ok {
+                eprintln!(
+                    "{name}/{}: trace invariants violated (spans {}, cp {} ns, wall {wall} ns, eff {eff:.3}, events {events})",
+                    engine.label(),
+                    trace.spans.len(),
+                    cp.length_ns
+                );
+                failures += 1;
+            }
+            println!(
+                "{:<14} {:>8} | {:>9.3} {:>8.1} {:>9.3} {:>7} | {:>6}{}",
+                name,
+                engine.label(),
+                wall as f64 / 1e6,
+                eff * 100.0,
+                cp.length_ns as f64 / 1e6,
+                cp.tasks.len(),
+                trace.spans.len(),
+                if ok { "" } else { "  FAILED" },
+            );
+            records.push(
+                Json::obj()
+                    .field("matrix", *name)
+                    .field("facto", facto.label())
+                    .field("runtime", engine.label())
+                    .field("nthreads", nthreads)
+                    .field("ok", ok)
+                    .field("trace", trace_record(&trace)),
+            );
+        }
+    }
+
+    // Overhead guard: interleaved detached/detached/attached timings of
+    // one proxy factorization under the PTG engine.
+    let (name, a, facto) = &problems[0];
+    let analysis = Analysis::new(a.pattern(), *facto, &SolverOptions::default());
+    let (mut off_a, mut off_b, mut on) = (Vec::new(), Vec::new(), Vec::new());
+    let time_run = |exec: &ExecOptions, out: &mut Vec<f64>| {
+        let t0 = Instant::now();
+        let r = analysis.factorize_with(a, RuntimeKind::Ptg, nthreads, exec);
+        out.push(t0.elapsed().as_secs_f64());
+        r.is_ok()
+    };
+    let mut overhead_ok = true;
+    for _ in 0..OVERHEAD_REPS {
+        overhead_ok &= time_run(&traced_exec(None), &mut off_a);
+        overhead_ok &= time_run(&traced_exec(None), &mut off_b);
+        overhead_ok &= time_run(&traced_exec(Some(TraceRecorder::shared())), &mut on);
+    }
+    let (m_off_a, m_off_b, m_on) = (median(&mut off_a), median(&mut off_b), median(&mut on));
+    let m_off = m_off_a.min(m_off_b);
+    let detached_skew = (m_off_a - m_off_b).abs() / m_off.max(f64::MIN_POSITIVE);
+    let attached_overhead = (m_on - m_off) / m_off.max(f64::MIN_POSITIVE);
+    println!(
+        "overhead ({name}, ptg): detached {:.3} ms / {:.3} ms (A/A skew {:.2}%), attached {:.3} ms (+{:.2}%)",
+        m_off_a * 1e3,
+        m_off_b * 1e3,
+        detached_skew * 100.0,
+        m_on * 1e3,
+        attached_overhead * 100.0
+    );
+    if !overhead_ok || detached_skew > MAX_DETACHED_SKEW || attached_overhead > MAX_ATTACHED_OVERHEAD
+    {
+        eprintln!(
+            "overhead guard FAILED (skew bound {:.0}%, attached bound {:.0}%)",
+            MAX_DETACHED_SKEW * 100.0,
+            MAX_ATTACHED_OVERHEAD * 100.0
+        );
+        failures += 1;
+    }
+
+    let doc = Json::obj()
+        .field("experiment", "tracesweep")
+        .field("nthreads", nthreads)
+        .field("runs", records)
+        .field(
+            "overhead",
+            Json::obj()
+                .field("matrix", *name)
+                .field("runtime", "ptg")
+                .field("reps", OVERHEAD_REPS)
+                .field("detached_median_s", m_off)
+                .field("detached_aa_skew", detached_skew)
+                .field("attached_median_s", m_on)
+                .field("attached_overhead", attached_overhead),
+        );
+    match write_results("tracesweep", &doc) {
+        Ok(out) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("cannot write results/tracesweep.json: {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("trace sweep: {failures} run(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("trace sweep: all runs completed with consistent traces");
+}

@@ -80,6 +80,16 @@ impl Json {
     }
 }
 
+/// Write `doc` to `results/<name>.json` (pretty-printed with a trailing
+/// newline), creating the directory if needed. Returns the written path —
+/// the shared sink for every bench binary's machine-readable output.
+pub fn write_results(name: &str, doc: &Json) -> std::io::Result<std::path::PathBuf> {
+    let out = std::path::Path::new("results").join(format!("{name}.json"));
+    std::fs::create_dir_all("results")?;
+    std::fs::write(&out, doc.pretty() + "\n")?;
+    Ok(out)
+}
+
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -24,7 +24,9 @@
 pub mod json;
 pub mod matrices;
 pub mod microbench;
+pub mod traceviz;
 
-pub use json::Json;
+pub use json::{write_results, Json};
 pub use matrices::{proxies, MatrixProxy};
 pub use microbench::Bench;
+pub use traceviz::{chrome_trace, sim_chrome_trace};

@@ -83,7 +83,11 @@ impl Group<'_> {
             f();
             warm_iters += 1;
         }
-        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Clamp like `bench_batched` below: a zero-duration estimate (a
+        // no-op body on a coarse clock) would make the batch size
+        // `inf.ceil() as u64` — which saturates to u64::MAX and hangs the
+        // sample loop.
+        let per_iter = (warm_start.elapsed().as_secs_f64() / warm_iters as f64).max(1e-9);
         let batch = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
         let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
         for _ in 0..SAMPLES {
@@ -182,6 +186,25 @@ mod tests {
         let mut calls = 0u64;
         b.group("smoke").bench("noop", || calls += 1);
         assert_eq!(calls, 0);
+    }
+
+    /// Regression: a body whose timed section rounds to zero used to
+    /// drive the batch size through `inf.ceil() as u64` → u64::MAX and
+    /// hang the sample loop. With the clamp the batch stays finite and
+    /// the bench terminates.
+    #[test]
+    fn zero_duration_body_terminates() {
+        let b = Bench { filter: None };
+        let mut runs = 0u64;
+        b.group("smoke").bench_batched("noop", || (), |()| {
+            runs += 1;
+        });
+        assert!(runs > 0);
+        let mut calls = 0u64;
+        b.group("smoke").bench("noop-direct", || {
+            calls += 1;
+        });
+        assert!(calls > 0);
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //!                  [--threads N] [--rhs <file>] [--refine N] [--output <file>]
 //!                  [--fault-plan <spec>] [--max-refactor-attempts N]
 //!                  [--mem-budget <bytes>] [--spill-dir <path>]
+//!                  [--trace <file>] [--metrics]
 //! dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]
 //!                  [--policy pastix|starpu|parsec] [--streams N]
+//!                  [--trace <file>]
 //! dagfact verify   <matrix.mtx> [--facto …] [--threads N] [--no-dynamic]
 //! ```
 //!
@@ -19,6 +21,12 @@
 //! conflicting-access order, and (unless `--no-dynamic`) a vector-clock
 //! replay through each real engine. The command fails (non-zero exit)
 //! when any check does.
+//!
+//! `--trace` writes the recorded task/phase timeline as a Chrome-trace
+//! JSON file (load in Perfetto or `chrome://tracing`); `--metrics`
+//! appends the per-kernel / per-worker / critical-path report to the
+//! solve output. Both observe the run through `dagfact_rt::TraceRecorder`
+//! and cost nothing when absent.
 //!
 //! Matrices are Matrix Market coordinate files (real or complex,
 //! general or symmetric). Without `--rhs`, the right-hand side is `A·1`
@@ -54,6 +62,8 @@ struct Opts {
     max_refactor_attempts: Option<u32>,
     mem_budget: Option<usize>,
     spill_dir: Option<String>,
+    trace: Option<String>,
+    metrics: bool,
     cores: usize,
     gpus: usize,
     policy: SimPolicy,
@@ -74,7 +84,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage:\n  dagfact analyze  <matrix.mtx> [--facto auto|chol|ldlt|lu]\n  dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]\n                   [--threads N] [--rhs file] [--refine N] [--output file]\n                   [--fault-plan spec] [--max-refactor-attempts N]\n                   [--mem-budget bytes[K|M|G]] [--spill-dir path]\n  dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]\n                   [--policy pastix|starpu|parsec] [--streams N]\n  dagfact verify   <matrix.mtx> [--facto …] [--threads N] [--no-dynamic]"
+    "usage:\n  dagfact analyze  <matrix.mtx> [--facto auto|chol|ldlt|lu]\n  dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]\n                   [--threads N] [--rhs file] [--refine N] [--output file]\n                   [--fault-plan spec] [--max-refactor-attempts N]\n                   [--mem-budget bytes[K|M|G]] [--spill-dir path]\n                   [--trace file.json] [--metrics]\n  dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]\n                   [--policy pastix|starpu|parsec] [--streams N]\n                   [--trace file.json]\n  dagfact verify   <matrix.mtx> [--facto …] [--threads N] [--no-dynamic]"
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
@@ -100,6 +110,8 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         max_refactor_attempts: None,
         mem_budget: None,
         spill_dir: None,
+        trace: None,
+        metrics: false,
         cores: 12,
         gpus: 0,
         policy: SimPolicy::ParsecLike { streams: 3 },
@@ -147,6 +159,8 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             }
             "--mem-budget" => opts.mem_budget = Some(parse_bytes(&value()?)?),
             "--spill-dir" => opts.spill_dir = Some(value()?),
+            "--trace" => opts.trace = Some(value()?),
+            "--metrics" => opts.metrics = true,
             "--cores" => opts.cores = parse_num(&value()?)?,
             "--gpus" => opts.gpus = parse_num(&value()?)?,
             "--streams" => streams = parse_num(&value()?)?,
@@ -253,6 +267,12 @@ fn solve<T: Scalar>(opts: &Opts, a: &CscMatrix<T>) -> Result<String, String> {
     if let Some(cap) = opts.mem_budget {
         run.budget = Some(MemoryBudget::with_cap(cap));
     }
+    // Observability: a span recorder is attached only when a trace export
+    // or a metrics report was requested; otherwise the engines skip all
+    // timestamping (DESIGN.md §10).
+    let recorder = (opts.trace.is_some() || opts.metrics)
+        .then(dagfact_rt::TraceRecorder::shared);
+    run.trace = recorder.clone();
     let exec = ExecOptions {
         run,
         epsilon_override: None,
@@ -337,6 +357,23 @@ fn solve<T: Scalar>(opts: &Opts, a: &CscMatrix<T>) -> Result<String, String> {
         "backward err : {:.3e}",
         refined.residuals.last().copied().unwrap_or(f64::NAN)
     );
+    if let Some(rec) = &recorder {
+        let trace = rec.snapshot();
+        if let Some(path) = &opts.trace {
+            let doc = dagfact_bench::chrome_trace(&trace);
+            std::fs::write(path, doc.to_string() + "\n")
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "trace        : {} event(s) written to {path} (Chrome-trace JSON)",
+                trace.spans.len()
+            );
+        }
+        if opts.metrics {
+            out.push_str(&trace.render_report());
+            out.push_str(&trace.render_gantt(72));
+        }
+    }
     if let Some(path) = &opts.output {
         write_vector(path, &refined.x)?;
         let _ = writeln!(out, "solution     : written to {path}");
@@ -373,6 +410,16 @@ fn simulate_cmd<T: Scalar>(opts: &Opts, a: &CscMatrix<T>, complex: bool) -> Resu
         report.bytes_h2d / 1e6,
         report.bytes_d2h / 1e6
     );
+    if let Some(path) = &opts.trace {
+        let doc = dagfact_bench::sim_chrome_trace(&report);
+        std::fs::write(path, doc.to_string() + "\n")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "trace      : {} event(s) written to {path} (Chrome-trace JSON)",
+            report.spans.len()
+        );
+    }
     Ok(out)
 }
 
@@ -609,6 +656,65 @@ mod tests {
         let err_line = tight.lines().find(|l| l.starts_with("backward err")).unwrap();
         let val: f64 = err_line.split(':').nth(1).unwrap().trim().parse().unwrap();
         assert!(val < 1e-12, "{tight}");
+    }
+
+    /// The `--trace`/`--metrics` pair must work on every runtime: the
+    /// trace file is valid Chrome-trace JSON (complete events with
+    /// ph/ts/dur/pid/tid), and the metrics report carries the per-kernel
+    /// table, phase lines and critical-path / efficiency summary.
+    #[test]
+    fn solve_trace_and_metrics_cover_all_runtimes() {
+        let path = write_temp("traceflags", &grid_laplacian_3d(6, 6, 6));
+        for rt in ["native", "starpu", "parsec"] {
+            let tr = std::env::temp_dir().join(format!("dagfact-cli-test-trace-{rt}.json"));
+            let out = run(&args(&[
+                "solve", &path, "--runtime", rt, "--threads", "2", "--trace",
+                tr.to_str().unwrap(), "--metrics",
+            ]))
+            .unwrap();
+            assert!(out.contains("critical path:"), "{rt}: {out}");
+            assert!(out.contains("parallel efficiency:"), "{rt}: {out}");
+            assert!(out.contains("phase numeric"), "{rt}: {out}");
+            assert!(out.contains("phase solve"), "{rt}: {out}");
+            // At least one per-worker share line (tiny problems may leave
+            // some workers without a single span).
+            assert!(
+                out.lines().any(|l| l.starts_with("worker ") && l.contains("idle")),
+                "{rt}: {out}"
+            );
+            assert!(out.contains("event(s) written to"), "{rt}: {out}");
+            let json = std::fs::read_to_string(&tr).unwrap();
+            assert!(json.starts_with("{\"traceEvents\":["), "{rt}");
+            for key in ["\"ph\":\"X\"", "\"ts\":", "\"dur\":", "\"pid\":", "\"tid\":"] {
+                assert!(json.contains(key), "{rt}: missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_without_trace_file_reports_kernels() {
+        let path = write_temp("metricsonly", &grid_laplacian_3d(6, 6, 6));
+        let out = run(&args(&["solve", &path, "--threads", "2", "--metrics"])).unwrap();
+        // Per-kernel rows from the symbolic flop model (GFLOP/s column).
+        assert!(out.contains("panel"), "{out}");
+        assert!(out.contains("GFlop/s"), "{out}");
+        assert!(out.contains("backward err"), "{out}");
+    }
+
+    #[test]
+    fn simulate_trace_exports_device_lanes() {
+        let path = write_temp("simtrace", &grid_laplacian_3d(14, 14, 14));
+        let tr = std::env::temp_dir().join("dagfact-cli-test-simtrace.json");
+        let out = run(&args(&[
+            "simulate", &path, "--cores", "4", "--gpus", "1", "--trace",
+            tr.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("event(s) written to"), "{out}");
+        let json = std::fs::read_to_string(&tr).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"resource\":\"gpu\""), "no gpu lane in {json}");
+        assert!(json.contains("\"resource\":\"h2d\""), "no h2d lane");
     }
 
     #[test]

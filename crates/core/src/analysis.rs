@@ -94,6 +94,18 @@ impl Analysis {
     /// The pattern may be structurally unsymmetric: like PaStiX, the
     /// analysis works on `A + Aᵀ` (§III).
     pub fn new(pattern: &SparsityPattern, facto: FactoKind, options: &SolverOptions) -> Analysis {
+        Self::new_traced(pattern, facto, options, None)
+    }
+
+    /// [`Analysis::new`] with an optional span recorder: the ordering and
+    /// the symbolic factorization are recorded as `order` / `symbolic`
+    /// phase spans (see [`dagfact_rt::TraceRecorder`]).
+    pub fn new_traced(
+        pattern: &SparsityPattern,
+        facto: FactoKind,
+        options: &SolverOptions,
+        trace: Option<&dagfact_rt::TraceRecorder>,
+    ) -> Analysis {
         assert_eq!(
             pattern.nrows(),
             pattern.ncols(),
@@ -101,8 +113,13 @@ impl Analysis {
         );
         let sym = pattern.symmetrize();
         // 1) Fill-reducing ordering.
+        let order_from = trace.map(dagfact_rt::TraceRecorder::now_ns);
         let fill_perm = compute_ordering(&sym, options.ordering);
         let permuted = sym.permute_symmetric(fill_perm.perm());
+        if let (Some(rec), Some(from)) = (trace, order_from) {
+            rec.phase_from("order", from);
+        }
+        let symbolic_from = trace.map(dagfact_rt::TraceRecorder::now_ns);
         // 2) Elimination tree + postorder relabeling (supernode columns
         //    must be consecutive).
         let parent = elimination_tree(&permuted);
@@ -121,6 +138,9 @@ impl Analysis {
         let partition = amalgamate(partition, &options.amalgamation);
         let symbol = SymbolMatrix::from_partition(&partition, &options.split);
         debug_assert_eq!(symbol.validate(), Ok(()));
+        if let (Some(rec), Some(from)) = (trace, symbolic_from) {
+            rec.phase_from("symbolic", from);
+        }
         Analysis {
             facto,
             perm,

@@ -864,6 +864,9 @@ pub struct Factors<'a, T: Scalar> {
     pub pivots_repaired: usize,
     /// Execution statistics (engine report, pivot-escalation history).
     pub stats: FactorStats,
+    /// Span recorder inherited from the factorizing [`ExecOptions`]; the
+    /// solve and refine phases record into it when present.
+    pub trace: Option<std::sync::Arc<dagfact_rt::TraceRecorder>>,
 }
 
 impl Analysis {
@@ -912,7 +915,17 @@ impl Analysis {
             budget: exec.run.budget.clone(),
             spill_dir: exec.spill_dir.clone(),
         };
-        let tab = CoefTab::assemble_with(self, a, &mem)?;
+        let tracer = exec.run.trace.clone();
+        if let Some(rec) = &tracer {
+            // A recovery-loop retry re-runs the numeric phase with task
+            // ids starting over: only the final attempt's timeline should
+            // be analyzed (phase spans are kept).
+            rec.reset_tasks();
+        }
+        let tab = match &tracer {
+            Some(rec) => rec.phase("assembly", || CoefTab::assemble_with(self, a, &mem))?,
+            None => CoefTab::assemble_with(self, a, &mem)?,
+        };
         let d_bytes = self.symbol.n * std::mem::size_of::<T>();
         if let Some(b) = &exec.run.budget {
             // The diagonal is O(n) — forced (never degrades), but still
@@ -951,7 +964,7 @@ impl Analysis {
             workspaces: (0..nthreads).map(|_| Mutex::new(Workspace::default())).collect(),
             panel_locks: (0..self.symbol.ncblk()).map(|_| Mutex::new(())).collect(),
         };
-        let outcome: Result<RunReport, SolverError> = (|| {
+        let run_numeric = || -> Result<RunReport, SolverError> {
             let report = match runtime {
                 RuntimeKind::Native => self.run_native_engine(&ctx, nthreads, exec.run.clone()),
                 RuntimeKind::Dataflow => self.run_dataflow_engine(&ctx, nthreads, exec.run.clone()),
@@ -966,7 +979,11 @@ impl Analysis {
             let report = report?;
             self.sweep_non_finite(&tab, &d)?;
             Ok(report)
-        })();
+        };
+        let outcome: Result<RunReport, SolverError> = match &tracer {
+            Some(rec) => rec.phase("numeric", run_numeric),
+            None => run_numeric(),
+        };
         // Scratch charges are released on every path so a solver-level
         // retry starts from a balanced ledger (the coefficient panels
         // release through `CoefTab`'s own drop).
@@ -997,6 +1014,7 @@ impl Analysis {
                 attempts: 1,
                 run: report,
             },
+            trace: tracer,
         })
     }
 
@@ -1051,6 +1069,21 @@ impl Analysis {
                 priority: prio[c],
             })
             .collect();
+        if let Some(rec) = &config.trace {
+            // Fused 1D tasks: the task id IS the panel; the flop count
+            // bundles the panel with all its updates (the cost model's
+            // task_1d, so GFLOP/s matches the schedule's denominator).
+            for c in 0..self.symbol.ncblk() {
+                rec.set_task_meta(c, "1d-panel", c, costs.task_1d(&self.symbol, c));
+            }
+            rec.set_edges(
+                tasks
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(t, task)| task.succs.iter().map(move |&s| (t, s)))
+                    .collect(),
+            );
+        }
         run_native_checked(&tasks, nthreads, config, |c, worker| ctx.one_d_task(c, worker))
     }
 
@@ -1068,18 +1101,27 @@ impl Analysis {
         let prio = self.priorities(&costs);
         let mut g = DataflowGraph::new(self.symbol.ncblk());
         for (cblk, &pr) in prio.iter().enumerate().take(self.symbol.ncblk()) {
-            g.submit(&[(cblk, AccessMode::ReadWrite)], pr, move |w| {
+            let id = g.submit(&[(cblk, AccessMode::ReadWrite)], pr, move |w| {
                 ctx.panel_task(cblk, w)
             });
+            if let Some(rec) = &config.trace {
+                rec.set_task_meta(id, "panel", cblk, costs.panel[cblk]);
+            }
             let cb = &self.symbol.cblks[cblk];
             for block in (cb.block_begin + 1)..cb.block_end {
                 let target = self.symbol.blocks[block].facing;
-                g.submit(
+                let id = g.submit(
                     &[(cblk, AccessMode::Read), (target, AccessMode::ReadWrite)],
                     pr,
                     move |w| ctx.update_task(cblk, block, w, None, false),
                 );
+                if let Some(rec) = &config.trace {
+                    rec.set_task_meta(id, "update", cblk, costs.update[block]);
+                }
             }
+        }
+        if let Some(rec) = &config.trace {
+            rec.set_edges(g.edges());
         }
         g.execute_checked(nthreads, config)
     }
@@ -1126,6 +1168,27 @@ impl Analysis {
             graph: TaskGraph::build(&self.symbol),
             prio: self.priorities(&costs),
         };
+        if let Some(rec) = &config.trace {
+            for t in 0..program.graph.len() {
+                match program.graph.tasks[t] {
+                    TaskKind::Panel { cblk } => {
+                        rec.set_task_meta(t, "panel", cblk, costs.panel[cblk]);
+                    }
+                    TaskKind::Update { cblk, block, .. } => {
+                        rec.set_task_meta(t, "update", cblk, costs.update[block]);
+                    }
+                }
+            }
+            rec.set_edges(
+                program
+                    .graph
+                    .succs
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(t, succs)| succs.iter().map(move |&s| (t, s)))
+                    .collect(),
+            );
+        }
         run_ptg_checked(&program, nthreads, config)
     }
 }

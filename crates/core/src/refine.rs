@@ -43,7 +43,11 @@ impl<T: Scalar> Factors<'_, T> {
         let n = b.len();
         let norm_a = a.norm_inf();
         let norm_b = inf_norm(b);
-        let mut x = self.solve(b);
+        let tracer = self.trace.as_deref();
+        let mut x = match tracer {
+            Some(rec) => rec.phase("solve", || self.solve(b)),
+            None => self.solve(b),
+        };
         let mut residuals = Vec::with_capacity(max_iter + 1);
         let mut r = vec![T::zero(); n];
         let mut iterations = 0;
@@ -51,6 +55,7 @@ impl<T: Scalar> Factors<'_, T> {
         let mut best_berr = f64::INFINITY;
         let mut growths = 0usize;
         let mut stalled = false;
+        let refine_from = tracer.map(|rec| rec.now_ns());
         for it in 0..=max_iter {
             // r = b - A x
             a.spmv(&x, &mut r);
@@ -87,6 +92,9 @@ impl<T: Scalar> Factors<'_, T> {
                 *xi += di;
             }
             iterations += 1;
+        }
+        if let (Some(rec), Some(from)) = (tracer, refine_from) {
+            rec.phase_from("refine", from);
         }
         if stalled {
             if let Some(bx) = best_x {

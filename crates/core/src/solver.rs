@@ -130,7 +130,12 @@ impl<T: Scalar> Solver<T> {
         threads: usize,
         exec: &ExecOptions,
     ) -> Result<Solver<T>, SolverError> {
-        let analysis = Box::new(Analysis::new(a.pattern(), facto, options));
+        let analysis = Box::new(Analysis::new_traced(
+            a.pattern(),
+            facto,
+            options,
+            exec.run.trace.as_deref(),
+        ));
         // SAFETY: `factors` borrows the boxed analysis, whose heap
         // allocation outlives it inside this struct (factors is dropped
         // and never exposed with the fake 'static lifetime).

@@ -32,6 +32,7 @@ fn resilient_with(plan: FaultPlan) -> ExecOptions {
             retry: RetryPolicy::retrying(),
             watchdog: Some(Duration::from_secs(20)),
             budget: None,
+            trace: None,
         },
         epsilon_override: None,
         spill_dir: None,

@@ -56,6 +56,7 @@ fn exec(
             retry: RetryPolicy::retrying(),
             watchdog: Some(Duration::from_secs(30)),
             budget: Some(budget),
+            trace: None,
         },
         epsilon_override: None,
         spill_dir: spill.map(|s| s.0.clone()),

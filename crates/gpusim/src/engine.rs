@@ -9,7 +9,7 @@
 use crate::dag::{DataId, SimDag, TaskId, TaskShape};
 use crate::kernelmodel::{kernel_ceiling, kernel_rate, GpuKernelKind};
 use crate::platform::Platform;
-use crate::report::SimReport;
+use crate::report::{SimReport, SimResource, SimSpan};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -164,6 +164,8 @@ struct ActiveKernel {
     alone_rate: f64,
     /// Device-saturated ceiling of this kernel's family (GFlop/s).
     ceiling: f64,
+    /// Simulated time the kernel entered its stream (for the span log).
+    started: f64,
 }
 
 /// One datum held in a device's memory.
@@ -307,6 +309,9 @@ struct Engine<'a> {
     lru_clock: u64,
     device_evictions: usize,
     bytes_evicted: f64,
+    /// Per-resource timeline of the run (CPU tasks, GPU kernels, PCIe
+    /// transfers), in simulated seconds.
+    spans: Vec<SimSpan>,
 }
 
 /// Number of CPU workers that execute tasks under a policy.
@@ -375,9 +380,13 @@ pub fn simulate(dag: &SimDag, platform: &Platform, policy: SimPolicy) -> SimRepo
         lru_clock: 0,
         device_evictions: 0,
         bytes_evicted: 0.0,
+        spans: Vec::new(),
     };
     engine.run();
     let flush = engine.final_flush_time();
+    engine
+        .spans
+        .sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap_or(core::cmp::Ordering::Equal));
     SimReport {
         makespan: engine.now.max(flush),
         total_flops: dag.total_flops(),
@@ -390,6 +399,7 @@ pub fn simulate(dag: &SimDag, platform: &Platform, policy: SimPolicy) -> SimRepo
         peak_device_bytes: engine.gpus.iter().map(|g| g.peak_resident).collect(),
         device_evictions: engine.device_evictions,
         bytes_evicted: engine.bytes_evicted,
+        spans: engine.spans,
     }
 }
 
@@ -597,11 +607,18 @@ impl<'a> Engine<'a> {
             // for both, the d2d benefit being minor for this workload).
             if let Some(owner) = self.data[d].dirty_gpu() {
                 if owner != g {
-                    let done = self.gpus[owner].d2h_busy.max(self.now)
-                        + self.platform.link.time(bytes);
+                    let from = self.gpus[owner].d2h_busy.max(self.now);
+                    let done = from + self.platform.link.time(bytes);
                     self.gpus[owner].d2h_busy = done;
                     self.bytes_d2h += bytes;
                     self.data[d].valid |= HOST;
+                    self.spans.push(SimSpan {
+                        resource: SimResource::D2h(owner),
+                        task: Some(t),
+                        start: from,
+                        end: done,
+                        label: "d2h",
+                    });
                     ready_at = ready_at.max(done);
                 }
             }
@@ -610,6 +627,13 @@ impl<'a> Engine<'a> {
             self.gpus[g].h2d_busy = done;
             self.bytes_h2d += bytes;
             self.data[d].valid |= DataState::gpu_bit(g);
+            self.spans.push(SimSpan {
+                resource: SimResource::H2d(g),
+                task: Some(t),
+                start,
+                end: done,
+                label: "h2d",
+            });
             ready_at = ready_at.max(done);
         }
         let (kind, m, n, k) = self.gpu_kernel(t);
@@ -668,11 +692,18 @@ impl<'a> Engine<'a> {
             self.bytes_evicted += bytes;
             if self.data[victim.data].dirty_gpu() == Some(g) {
                 // Only valid copy: write it back before dropping it.
-                let done =
-                    self.gpus[g].d2h_busy.max(self.now) + self.platform.link.time(bytes);
+                let from = self.gpus[g].d2h_busy.max(self.now);
+                let done = from + self.platform.link.time(bytes);
                 self.gpus[g].d2h_busy = done;
                 self.bytes_d2h += bytes;
                 self.data[victim.data].valid |= HOST;
+                self.spans.push(SimSpan {
+                    resource: SimResource::D2h(g),
+                    task: None,
+                    start: from,
+                    end: done,
+                    label: "d2h",
+                });
             }
             self.data[victim.data].valid &= !DataState::gpu_bit(g);
         }
@@ -694,6 +725,7 @@ impl<'a> Engine<'a> {
                 remaining: self.dag.tasks[t].flops + overhead_flops,
                 alone_rate: alone,
                 ceiling: kernel_ceiling(&self.platform.gpus[g], kind, m),
+                started: self.now,
             });
             changed = true;
         }
@@ -718,18 +750,25 @@ impl<'a> Engine<'a> {
         }
         let peak = self.platform.gpus[g].peak_gflops;
         self.gpus[g].advance(self.now, peak);
-        let finished: Vec<TaskId> = self.gpus[g]
+        let finished: Vec<(TaskId, f64)> = self.gpus[g]
             .active
             .iter()
             .filter(|k| k.remaining <= 1.0) // < 1 flop left = done
-            .map(|k| k.task)
+            .map(|k| (k.task, k.started))
             .collect();
         if finished.is_empty() {
             self.reschedule_gpu(g);
             return;
         }
         self.gpus[g].active.retain(|k| k.remaining > 1.0);
-        for t in finished {
+        for (t, started) in finished {
+            self.spans.push(SimSpan {
+                resource: SimResource::Gpu(g),
+                task: Some(t),
+                start: started,
+                end: self.now,
+                label: "gpu-kernel",
+            });
             self.gpus[g].assigned -= 1;
             self.tasks_on_gpu += 1;
             // Write: the GPU now holds the only valid copy.
@@ -866,10 +905,18 @@ impl<'a> Engine<'a> {
         for d in fetches {
             if let Some(g) = self.data[d].dirty_gpu() {
                 let bytes = self.dag.data[d].bytes;
-                let done = self.gpus[g].d2h_busy.max(self.now) + self.platform.link.time(bytes);
+                let from = self.gpus[g].d2h_busy.max(self.now);
+                let done = from + self.platform.link.time(bytes);
                 self.gpus[g].d2h_busy = done;
                 self.bytes_d2h += bytes;
                 self.data[d].valid |= HOST;
+                self.spans.push(SimSpan {
+                    resource: SimResource::D2h(g),
+                    task: Some(t),
+                    start: from,
+                    end: done,
+                    label: "d2h",
+                });
                 start = start.max(done);
             }
         }
@@ -877,6 +924,13 @@ impl<'a> Engine<'a> {
         let finish = start + exec;
         self.cpu_busy[w] += finish - self.now;
         self.worker_free[w] = finish;
+        self.spans.push(SimSpan {
+            resource: SimResource::Cpu(w),
+            task: Some(t),
+            start,
+            end: finish,
+            label: "cpu-task",
+        });
         self.events.push(finish, Event::CpuFinish { worker: w, task: t });
     }
 
@@ -957,10 +1011,18 @@ impl<'a> Engine<'a> {
         for d in 0..self.data.len() {
             if let Some(g) = self.data[d].dirty_gpu() {
                 let bytes = self.dag.data[d].bytes;
-                let done = self.gpus[g].d2h_busy.max(self.now) + self.platform.link.time(bytes);
+                let from = self.gpus[g].d2h_busy.max(self.now);
+                let done = from + self.platform.link.time(bytes);
                 self.gpus[g].d2h_busy = done;
                 self.bytes_d2h += bytes;
                 self.data[d].valid |= HOST;
+                self.spans.push(SimSpan {
+                    resource: SimResource::D2h(g),
+                    task: None,
+                    start: from,
+                    end: done,
+                    label: "d2h",
+                });
                 horizon = horizon.max(done);
             }
         }

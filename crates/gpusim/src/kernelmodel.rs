@@ -35,6 +35,12 @@ pub enum GpuKernelKind {
 /// Single-kernel sustained throughput (GFlop/s) of a `M×N×K` GEMM-like
 /// call when alone on the device. Multi-kernel sharing is handled by the
 /// engine's fluid model on top of this.
+///
+/// Cast audit: the `usize → f64` conversions on matrix dimensions here
+/// (and in [`stream_bench_gflops`]'s flop count) are exact — dimensions
+/// and `m·n·k` products stay far below 2⁵³, where every integer is
+/// representable. Time units follow `dagfact_rt::trace::units` (the
+/// simulator works in seconds as `f64`).
 pub fn kernel_rate(gpu: &GpuModel, kind: GpuKernelKind, m: usize, n: usize, k: usize) -> f64 {
     // Occupancy: a kernel with few rows cannot fill the SMs. N and K also
     // matter but the paper's sweep fixes N=K=128; we fold their effect

@@ -40,4 +40,4 @@ pub mod report;
 pub use dag::{SimDag, SimData, SimTask, TaskShape};
 pub use engine::{simulate, SimPolicy};
 pub use platform::{CpuModel, GpuModel, LinkModel, Platform, SchedulerCosts};
-pub use report::SimReport;
+pub use report::{SimReport, SimResource, SimSpan};

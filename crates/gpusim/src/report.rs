@@ -1,5 +1,36 @@
 //! Simulation results.
 
+/// Resource a simulated span occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimResource {
+    /// CPU worker `w` executing a task.
+    Cpu(usize),
+    /// GPU `g` executing a kernel.
+    Gpu(usize),
+    /// Host→device PCIe link of GPU `g`.
+    H2d(usize),
+    /// Device→host PCIe link of GPU `g`.
+    D2h(usize),
+}
+
+/// One interval of simulated time on one resource. Times are simulated
+/// seconds from the start of the run (the simulator's native unit; the
+/// trace exporter converts to nanoseconds/microseconds — see
+/// `dagfact_rt::trace::units` for the wall-clock conventions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimSpan {
+    /// Where the interval was spent.
+    pub resource: SimResource,
+    /// The task involved (`None` for data-movement spans).
+    pub task: Option<usize>,
+    /// Start, simulated seconds.
+    pub start: f64,
+    /// End, simulated seconds (≥ `start`).
+    pub end: f64,
+    /// Display label (`"cpu-task"`, `"gpu-kernel"`, `"h2d"`, `"d2h"`).
+    pub label: &'static str,
+}
+
 /// Outcome of one simulated factorization run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -28,6 +59,9 @@ pub struct SimReport {
     /// Bytes freed by those evictions (write-back traffic is folded into
     /// `bytes_d2h` when the device held the only valid copy).
     pub bytes_evicted: f64,
+    /// Per-resource execution/transfer timeline of the simulated run
+    /// (CPU task bodies, GPU kernels, PCIe transfers).
+    pub spans: Vec<SimSpan>,
 }
 
 impl SimReport {

@@ -26,6 +26,7 @@
 
 use crate::fault::{EngineError, RunConfig, RunReport, Supervisor, TaskOutcome};
 use crate::sync::{Condvar, Mutex};
+use crate::trace::{Lane, SpanKind};
 use crate::{AccessMode, DataId, TaskId};
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -201,6 +202,17 @@ impl<'a> DataflowGraph<'a> {
         Ok(())
     }
 
+    /// All dependency edges (`pred → succ`) of the submitted graph —
+    /// inferred hazards plus explicit dependencies. Used to register the
+    /// measured DAG with a [`crate::trace::TraceRecorder`].
+    pub fn edges(&self) -> Vec<(TaskId, TaskId)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .flat_map(|(t, task)| task.succs.iter().map(move |&s| (t, s)))
+            .collect()
+    }
+
     /// Export the submitted graph (inferred hazard edges + explicit
     /// dependencies + declared accesses) for the static verifier.
     pub fn to_spec(&self) -> crate::verify::GraphSpec {
@@ -255,6 +267,7 @@ impl<'a> DataflowGraph<'a> {
     ) -> Result<RunReport, EngineError> {
         assert!(nworkers >= 1);
         let ntasks = self.tasks.len();
+        let tracer = config.trace.clone();
         let sup = Supervisor::new(ntasks, config);
         if ntasks == 0 {
             return sup.finish();
@@ -282,34 +295,46 @@ impl<'a> DataflowGraph<'a> {
             central.push(meta[t].0, t);
         }
         let supref = &sup;
-        let worker = |w: usize| while let Some(t) = central.pop(supref) {
-            // An empty slot means the scheduler dispatched `t` twice —
-            // surface the engine bug as a structured error, not a panic.
-            let Some(mut body) = bodies.slots[t].lock().take() else {
-                sup.duplicate_execution(t);
-                central.wake_all();
-                break;
-            };
-            match sup.run_task(t, || body(w)) {
-                TaskOutcome::Completed => {
-                    drop(body);
-                    for &s in &meta[t].1 {
-                        if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            central.push(meta[s].0, s);
-                        }
-                    }
-                    sup.task_done(t);
-                    if sup.remaining() == 0 {
-                        central.wake_all();
-                    }
-                }
-                TaskOutcome::Retry => {
-                    *bodies.slots[t].lock() = Some(body);
-                    central.push(meta[t].0, t);
-                }
-                TaskOutcome::Aborted => {
+        let traceref = tracer.as_deref();
+        let worker = |w: usize| {
+            let mut lane = Lane::new(traceref, w);
+            loop {
+                // Time spent blocked on the central queue is the engine's
+                // queue-wait (there is no per-worker stealing here).
+                let wait_from = lane.now();
+                let Some(t) = central.pop(supref) else { break };
+                lane.record(SpanKind::QueueWait, Some(t), wait_from);
+                // An empty slot means the scheduler dispatched `t` twice —
+                // surface the engine bug as a structured error, not a panic.
+                let Some(mut body) = bodies.slots[t].lock().take() else {
+                    sup.duplicate_execution(t);
                     central.wake_all();
                     break;
+                };
+                let exec_from = lane.now();
+                let outcome = sup.run_task(t, || body(w));
+                lane.record(SpanKind::Execute, Some(t), exec_from);
+                match outcome {
+                    TaskOutcome::Completed => {
+                        drop(body);
+                        for &s in &meta[t].1 {
+                            if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                central.push(meta[s].0, s);
+                            }
+                        }
+                        sup.task_done(t);
+                        if sup.remaining() == 0 {
+                            central.wake_all();
+                        }
+                    }
+                    TaskOutcome::Retry => {
+                        *bodies.slots[t].lock() = Some(body);
+                        central.push(meta[t].0, t);
+                    }
+                    TaskOutcome::Aborted => {
+                        central.wake_all();
+                        break;
+                    }
                 }
             }
         };

@@ -125,7 +125,7 @@ impl FaultPlan {
         self.pinned.insert(
             task,
             FaultKind::Delay {
-                micros: delay.as_micros() as u64,
+                micros: crate::trace::units::micros_u64(delay),
             },
         );
         self
@@ -145,7 +145,7 @@ impl FaultPlan {
 
     /// Sample pre-execution delays on roughly `prob · ntasks` tasks.
     pub fn random_delay(mut self, prob: f64, delay: Duration) -> Self {
-        self.random_delay = Some((prob, delay.as_micros() as u64));
+        self.random_delay = Some((prob, crate::trace::units::micros_u64(delay)));
         self
     }
 
@@ -402,6 +402,10 @@ pub struct RunConfig {
     /// (pressure-aware throttling) and the final [`RunReport`] carries a
     /// [`crate::budget::MemoryStats`] snapshot.
     pub budget: Option<Arc<crate::budget::MemoryBudget>>,
+    /// Optional span recorder. When set, every engine records per-worker
+    /// queue-wait / execute / steal spans into it (see [`crate::trace`]);
+    /// when `None` the instrumentation costs one branch per hook.
+    pub trace: Option<Arc<crate::trace::TraceRecorder>>,
 }
 
 impl RunConfig {
@@ -412,6 +416,7 @@ impl RunConfig {
             retry: RetryPolicy::retrying(),
             watchdog: Some(Duration::from_secs(30)),
             budget: None,
+            trace: None,
         }
     }
 }
@@ -629,7 +634,10 @@ impl Supervisor {
     }
 
     fn note_progress(&self) {
-        let nanos = self.start.elapsed().as_nanos() as u64;
+        // Saturating u128 → u64: `as u64` would silently truncate (the
+        // elapsed nanos fit for ~584 years, but the convention here is
+        // that no timestamp narrows with `as`; see `trace::units`).
+        let nanos = crate::trace::units::nanos_u64(self.start.elapsed());
         self.last_progress.store(nanos, Ordering::Release);
     }
 
@@ -884,8 +892,7 @@ mod tests {
         let sup = Supervisor::new(1, RunConfig {
             fault_plan: Some(plan),
             retry: RetryPolicy::retrying(),
-            watchdog: None,
-            budget: None,
+            ..RunConfig::default()
         });
         let mut runs = 0;
         assert_eq!(sup.run_task(0, || runs += 1), TaskOutcome::Retry);
@@ -909,8 +916,7 @@ mod tests {
                 backoff: Duration::from_micros(10),
                 backoff_factor: 2.0,
             },
-            watchdog: None,
-            budget: None,
+            ..RunConfig::default()
         });
         assert_eq!(sup.run_task(0, || {}), TaskOutcome::Retry);
         assert_eq!(sup.run_task(0, || {}), TaskOutcome::Retry);

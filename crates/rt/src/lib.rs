@@ -50,6 +50,7 @@ pub mod native;
 pub mod ptg;
 pub mod shared;
 pub mod sync;
+pub mod trace;
 pub mod verify;
 
 pub use budget::{BudgetError, MemoryBudget, MemoryStats, PhaseStats, PressureLevel};
@@ -57,6 +58,7 @@ pub use fault::{
     EngineError, FaultPlan, RetryPolicy, RunConfig, RunReport, TransientFault,
 };
 pub use shared::SharedSlice;
+pub use trace::{Span, SpanKind, Trace, TraceRecorder};
 
 /// Identifier of a task within one engine run.
 pub type TaskId = usize;

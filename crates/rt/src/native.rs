@@ -15,6 +15,7 @@
 
 use crate::fault::{EngineError, RunConfig, RunReport, Supervisor, TaskOutcome};
 use crate::sync::Mutex;
+use crate::trace::{Lane, SpanKind};
 use crate::TaskId;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -88,6 +89,7 @@ where
 {
     assert!(nworkers >= 1);
     let ntasks = tasks.len();
+    let tracer = config.trace.clone();
     let sup = Supervisor::new(ntasks, config);
     if ntasks == 0 {
         return sup.finish();
@@ -107,7 +109,12 @@ where
     }
 
     let supref = &sup;
+    let traceref = tracer.as_deref();
     let body = |worker: usize| {
+        let mut lane = Lane::new(traceref, worker);
+        // Open interval of not-executing time; closed (as QueueWait or
+        // Steal) when the next task is acquired.
+        let mut wait_from = lane.now();
         loop {
             if supref.remaining() == 0 || supref.halted() {
                 break;
@@ -123,9 +130,9 @@ where
             }
             // 1) Own queue first (locality of the static mapping).
             let mine = queues.ready[worker].lock().pop();
-            let picked = match mine {
-                Some(e) => Some(e.task),
-                None => steal(&queues, worker, nworkers),
+            let (picked, stolen) = match mine {
+                Some(e) => (Some(e.task), false),
+                None => (steal(&queues, worker, nworkers), true),
             };
             let Some(t) = picked else {
                 // Idle: service the watchdog, then yield to the OS.
@@ -135,7 +142,13 @@ where
                 std::thread::yield_now();
                 continue;
             };
-            match supref.run_task(t, || execute(t, worker)) {
+            let kind = if stolen { SpanKind::Steal } else { SpanKind::QueueWait };
+            lane.record(kind, Some(t), wait_from);
+            let exec_from = lane.now();
+            let outcome = supref.run_task(t, || execute(t, worker));
+            lane.record(SpanKind::Execute, Some(t), exec_from);
+            wait_from = lane.now();
+            match outcome {
                 TaskOutcome::Completed => {
                     // Release successors onto their owners' queues.
                     for &s in &tasks[t].succs {

@@ -21,6 +21,7 @@
 
 use crate::deque::{Injector, Stealer, WorkerDeque};
 use crate::fault::{EngineError, RunConfig, RunReport, Supervisor, TaskOutcome};
+use crate::trace::{Lane, SpanKind};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Algebraic task-graph description (the PTG). Task ids form the dense
@@ -64,6 +65,7 @@ pub fn run_ptg_checked<P: PtgProgram>(
 ) -> Result<RunReport, EngineError> {
     assert!(nworkers >= 1);
     let ntasks = program.num_tasks();
+    let tracer = config.trace.clone();
     let sup = Supervisor::new(ntasks, config);
     if ntasks == 0 {
         return sup.finish();
@@ -87,9 +89,14 @@ pub fn run_ptg_checked<P: PtgProgram>(
 
     let supref = &sup;
     let deques = &deques;
+    let traceref = tracer.as_deref();
     let body = |w: usize| {
         let local = &deques[w];
         let mut succ_buf: Vec<usize> = Vec::new();
+        let mut lane = Lane::new(traceref, w);
+        // Open interval of not-executing time; closed (as QueueWait or
+        // Steal) when the next task is acquired.
+        let mut wait_from = lane.now();
         loop {
             if supref.remaining() == 0 || supref.halted() {
                 break;
@@ -104,16 +111,23 @@ pub fn run_ptg_checked<P: PtgProgram>(
                 continue;
             }
             // Local LIFO first (data reuse), then the injector, then steal.
+            // Only the per-worker deque steals count as steals for the
+            // trace: the injector only holds the seed distribution.
+            let mut stolen = false;
             let task = local
                 .pop()
                 .or_else(|| injector.steal())
-                .or_else(|| stealers.iter().enumerate().find_map(|(v, s)| {
-                    if v == w {
-                        None
-                    } else {
-                        s.steal()
-                    }
-                }));
+                .or_else(|| {
+                    let hit = stealers.iter().enumerate().find_map(|(v, s)| {
+                        if v == w {
+                            None
+                        } else {
+                            s.steal()
+                        }
+                    });
+                    stolen = hit.is_some();
+                    hit
+                });
             let Some(t) = task else {
                 // Idle: service the watchdog, then yield to the OS.
                 if supref.idle_check() {
@@ -122,7 +136,13 @@ pub fn run_ptg_checked<P: PtgProgram>(
                 std::thread::yield_now();
                 continue;
             };
-            match supref.run_task(t, || program.execute(t, w)) {
+            let kind = if stolen { SpanKind::Steal } else { SpanKind::QueueWait };
+            lane.record(kind, Some(t), wait_from);
+            let exec_from = lane.now();
+            let outcome = supref.run_task(t, || program.execute(t, w));
+            lane.record(SpanKind::Execute, Some(t), exec_from);
+            wait_from = lane.now();
+            match outcome {
                 TaskOutcome::Completed => {
                     succ_buf.clear();
                     program.successors(t, &mut succ_buf);

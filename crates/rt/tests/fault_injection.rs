@@ -98,6 +98,7 @@ fn panic_config() -> RunConfig {
         retry: RetryPolicy::default(),
         watchdog: Some(Duration::from_secs(10)),
         budget: None,
+        trace: None,
     }
 }
 
@@ -107,6 +108,7 @@ fn transient_config() -> RunConfig {
         retry: RetryPolicy::retrying(),
         watchdog: Some(Duration::from_secs(10)),
         budget: None,
+        trace: None,
     }
 }
 
@@ -253,6 +255,7 @@ fn retry_budget_exhaustion_is_an_error() {
         retry: RetryPolicy::retrying(),
         watchdog: Some(Duration::from_secs(10)),
         budget: None,
+        trace: None,
     };
     let tasks = chain_tasks();
     let result = with_timeout(|| run_native_checked(&tasks, NWORKERS, config, |_, _| {}));
@@ -331,6 +334,7 @@ fn random_transients_complete_on_every_engine() {
         retry: RetryPolicy::retrying(),
         watchdog: Some(Duration::from_secs(10)),
         budget: None,
+        trace: None,
     };
 
     let (native, dataflow, ptg) = with_timeout(|| {

@@ -1,0 +1,270 @@
+//! Trace-layer integration suite: span guarantees under real concurrent
+//! execution on all three engines.
+//!
+//! Checked invariants:
+//! * every task gets exactly one execute span (no retries configured);
+//! * per-worker spans are monotonic and non-overlapping — a worker's
+//!   timeline, sorted by start, never has a span starting before the
+//!   previous one ended;
+//! * the critical path over the measured DAG is bounded by the wall clock
+//!   below and the heaviest single task above;
+//! * with tracing disabled nothing is recorded.
+
+use dagfact_rt::dataflow::DataflowGraph;
+use dagfact_rt::fault::RunConfig;
+use dagfact_rt::native::{run_native_checked, NativeTask};
+use dagfact_rt::ptg::{run_ptg_checked, PtgProgram};
+use dagfact_rt::trace::SpanKind;
+use dagfact_rt::{AccessMode, Trace, TraceRecorder};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NWORKERS: usize = 4;
+
+fn traced_config(rec: &Arc<TraceRecorder>) -> RunConfig {
+    RunConfig {
+        trace: Some(rec.clone()),
+        ..RunConfig::default()
+    }
+}
+
+/// A fork-join diamond: 0 → {1..=width} → width+1, with sleepy bodies so
+/// several workers genuinely overlap in time.
+fn diamond(width: usize) -> Vec<NativeTask> {
+    let mut tasks = vec![NativeTask {
+        owner: 0,
+        npred: 0,
+        succs: (1..=width).collect(),
+        priority: 10.0,
+    }];
+    for i in 1..=width {
+        tasks.push(NativeTask {
+            owner: i % NWORKERS,
+            npred: 1,
+            succs: vec![width + 1],
+            priority: 5.0,
+        });
+    }
+    tasks.push(NativeTask {
+        owner: 0,
+        npred: width as u32,
+        succs: vec![],
+        priority: 1.0,
+    });
+    tasks
+}
+
+fn edges_of(tasks: &[NativeTask]) -> Vec<(usize, usize)> {
+    tasks
+        .iter()
+        .enumerate()
+        .flat_map(|(t, task)| task.succs.iter().map(move |&s| (t, s)))
+        .collect()
+}
+
+/// Per-worker spans must be monotonic and non-overlapping: sorted by
+/// start, each span begins no earlier than the previous one ended.
+fn assert_monotone_per_worker(trace: &Trace) {
+    let mut workers: Vec<usize> = trace.worker_spans().map(|s| s.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    assert!(!workers.is_empty(), "no worker spans recorded");
+    for w in workers {
+        let mut spans: Vec<_> = trace.worker_spans().filter(|s| s.worker == w).collect();
+        spans.sort_by_key(|s| (s.start_ns, s.end_ns));
+        for pair in spans.windows(2) {
+            assert!(
+                pair[1].start_ns >= pair[0].end_ns,
+                "worker {w}: span {:?} overlaps {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        for s in &spans {
+            assert!(s.end_ns >= s.start_ns, "negative span {s:?}");
+        }
+    }
+}
+
+fn assert_one_execute_per_task(trace: &Trace, ntasks: usize) {
+    let mut seen = vec![0usize; ntasks];
+    for s in trace.worker_spans() {
+        if s.kind == SpanKind::Execute {
+            seen[s.task.expect("execute spans carry their task")] += 1;
+        }
+    }
+    for (t, &n) in seen.iter().enumerate() {
+        assert_eq!(n, 1, "task {t} has {n} execute spans");
+    }
+}
+
+fn assert_critical_path_bounds(trace: &Trace) {
+    let cp = trace.critical_path();
+    let wall = trace.wall_ns();
+    assert!(
+        cp.length_ns <= wall,
+        "critical path {} ns exceeds wall {} ns",
+        cp.length_ns,
+        wall
+    );
+    let max_task = trace.task_durations().into_values().max().unwrap_or(0);
+    assert!(
+        cp.length_ns >= max_task,
+        "critical path {} ns below heaviest task {} ns",
+        cp.length_ns,
+        max_task
+    );
+    assert!(!cp.tasks.is_empty());
+}
+
+#[test]
+fn native_engine_spans_are_consistent() {
+    let tasks = diamond(24);
+    let rec = TraceRecorder::shared();
+    rec.set_edges(edges_of(&tasks));
+    run_native_checked(&tasks, NWORKERS, traced_config(&rec), |_t, _w| {
+        std::thread::sleep(Duration::from_micros(300));
+    })
+    .unwrap();
+    let trace = rec.snapshot();
+    assert_one_execute_per_task(&trace, tasks.len());
+    assert_monotone_per_worker(&trace);
+    assert_critical_path_bounds(&trace);
+    // The diamond forces the chain 0 → mid → sink onto the path.
+    let cp = trace.critical_path();
+    assert_eq!(cp.tasks.first(), Some(&0));
+    assert_eq!(cp.tasks.last(), Some(&(tasks.len() - 1)));
+    assert!(trace.parallel_efficiency() > 0.0);
+    assert!(trace.parallel_efficiency() <= 1.0 + 1e-9);
+}
+
+#[test]
+fn dataflow_engine_spans_are_consistent() {
+    // A RAW chain per datum, WAW-crossed: 32 tasks over 4 data.
+    let ndata = 4;
+    let ntasks = 32;
+    let mut g = DataflowGraph::new(ndata);
+    for i in 0..ntasks {
+        g.submit(
+            &[(i % ndata, AccessMode::ReadWrite)],
+            (ntasks - i) as f64,
+            move |_w| std::thread::sleep(Duration::from_micros(200)),
+        );
+    }
+    let edges = g.edges();
+    let rec = TraceRecorder::shared();
+    rec.set_edges(edges);
+    g.execute_checked(NWORKERS, traced_config(&rec)).unwrap();
+    let trace = rec.snapshot();
+    assert_one_execute_per_task(&trace, ntasks);
+    assert_monotone_per_worker(&trace);
+    assert_critical_path_bounds(&trace);
+    // 32 tasks in 4 independent chains of 8: the path is one chain.
+    assert_eq!(trace.critical_path().tasks.len(), ntasks / ndata);
+}
+
+#[test]
+fn ptg_engine_spans_are_consistent() {
+    struct Wavefront {
+        n: usize,
+    }
+    impl Wavefront {
+        fn idx(&self, i: usize, j: usize) -> usize {
+            i * self.n + j
+        }
+    }
+    impl PtgProgram for Wavefront {
+        fn num_tasks(&self) -> usize {
+            self.n * self.n
+        }
+        fn num_predecessors(&self, t: usize) -> u32 {
+            let (i, j) = (t / self.n, t % self.n);
+            u32::from(i > 0) + u32::from(j > 0)
+        }
+        fn successors(&self, t: usize, out: &mut Vec<usize>) {
+            let (i, j) = (t / self.n, t % self.n);
+            if i + 1 < self.n {
+                out.push(self.idx(i + 1, j));
+            }
+            if j + 1 < self.n {
+                out.push(self.idx(i, j + 1));
+            }
+        }
+        fn execute(&self, _t: usize, _w: usize) {
+            std::thread::sleep(Duration::from_micros(150));
+        }
+    }
+    let p = Wavefront { n: 8 };
+    let mut edges = Vec::new();
+    let mut buf = Vec::new();
+    for t in 0..p.num_tasks() {
+        buf.clear();
+        p.successors(t, &mut buf);
+        edges.extend(buf.iter().map(|&s| (t, s)));
+    }
+    let rec = TraceRecorder::shared();
+    rec.set_edges(edges);
+    run_ptg_checked(&p, NWORKERS, traced_config(&rec)).unwrap();
+    let trace = rec.snapshot();
+    assert_one_execute_per_task(&trace, p.num_tasks());
+    assert_monotone_per_worker(&trace);
+    assert_critical_path_bounds(&trace);
+    // An n×n wavefront's dependency depth is 2n−1 tasks.
+    assert_eq!(trace.critical_path().tasks.len(), 2 * p.n - 1);
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let tasks = diamond(8);
+    run_native_checked(&tasks, 2, RunConfig::default(), |_t, _w| {}).unwrap();
+
+    let mut g = DataflowGraph::new(2);
+    for i in 0..8 {
+        g.submit(&[(i % 2, AccessMode::ReadWrite)], 1.0, |_w| {});
+    }
+    g.execute_checked(2, RunConfig::default()).unwrap();
+
+    struct Bag;
+    impl PtgProgram for Bag {
+        fn num_tasks(&self) -> usize {
+            8
+        }
+        fn num_predecessors(&self, _t: usize) -> u32 {
+            0
+        }
+        fn successors(&self, _t: usize, _out: &mut Vec<usize>) {}
+        fn execute(&self, _t: usize, _w: usize) {}
+    }
+    run_ptg_checked(&Bag, 2, RunConfig::default()).unwrap();
+
+    // A recorder that was never attached sees nothing — and an attached
+    // one records only for its own run.
+    let rec = TraceRecorder::shared();
+    assert!(rec.is_empty());
+    run_native_checked(&diamond(4), 2, RunConfig::default(), |_t, _w| {}).unwrap();
+    assert!(rec.is_empty(), "untraced run leaked spans into the recorder");
+}
+
+/// The report and Gantt renderers stay total on real traces (no panics,
+/// non-empty output) — they feed the CLI `--metrics` path.
+#[test]
+fn renderers_work_on_live_trace() {
+    let tasks = diamond(12);
+    let rec = TraceRecorder::shared();
+    rec.set_edges(edges_of(&tasks));
+    for (t, _) in tasks.iter().enumerate() {
+        rec.set_task_meta(t, "1d-panel", t, 1.0e6);
+    }
+    run_native_checked(&tasks, NWORKERS, traced_config(&rec), |_t, _w| {
+        std::thread::sleep(Duration::from_micros(200));
+    })
+    .unwrap();
+    let trace = rec.snapshot();
+    let report = trace.render_report();
+    assert!(report.contains("critical path:"));
+    assert!(report.contains("parallel efficiency:"));
+    assert!(report.contains("1d-panel"));
+    let gantt = trace.render_gantt(72);
+    assert!(gantt.contains("w0"));
+    assert!(gantt.contains('#'));
+}
