@@ -1,6 +1,6 @@
 # Convenience targets. The canonical gate is `make check`.
 
-.PHONY: build test bench check check-robust check-analysis check-memory check-trace lint-strict clippy
+.PHONY: build test bench check check-robust check-analysis check-memory check-trace check-concurrency check-loom check-miri check-tsan lint-safety lint-strict clippy
 
 build:
 	cargo build --release
@@ -19,8 +19,8 @@ bench:
 	cargo run -q --release -p dagfact-bench --bin tracesweep
 
 # The full gate: robustness + static-analysis + memory-budget +
-# observability suites.
-check: check-robust check-analysis check-memory check-trace
+# observability + concurrency-verification suites.
+check: check-robust check-analysis check-memory check-trace check-concurrency
 
 # Full robustness gate: the whole test suite plus the fault-injection and
 # recovery suites with backtraces on, then a warning-free clippy pass.
@@ -59,8 +59,35 @@ check-trace:
 	RUST_BACKTRACE=1 cargo test -q -p dagfact-cli trace
 	cargo run -q --release -p dagfact-bench --bin tracesweep
 
-# Grep-gate: no .unwrap() in rt/core library code (tests exempt).
-lint-strict:
+# Concurrency-verification gate (DESIGN.md §11): exhaustive loom models
+# of the five runtime protocols, then the best-effort real-execution
+# checkers (Miri, TSan — each skips with a warning when its nightly
+# component is unavailable).
+check-concurrency: check-loom check-miri check-tsan
+
+# Model-check the five runtime sync protocols (+ their negative "teeth"
+# twins) under the in-repo loom-style explorer. The dedicated target dir
+# keeps --cfg loom artifacts from churning the normal build cache.
+check-loom:
+	RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+	    cargo test -q -p dagfact-rt --release --test loom_models
+
+# Curated unsafe-bearing suites under Miri (skips if miri is missing).
+check-miri:
+	tools/check-miri.sh
+
+# Concurrency suites under ThreadSanitizer (skips without nightly +
+# rust-src: a sound TSan run needs an instrumented std via -Zbuild-std).
+check-tsan:
+	tools/check-tsan.sh
+
+# The SAFETY-contract / ORDERING-justification / sync-shim lint.
+lint-safety:
+	cargo run -q -p dagfact-lint --bin lint-safety
+
+# Grep-gates: no .unwrap() in rt/core library code (tests exempt), and
+# 100% SAFETY/ORDERING coverage with no shim bypasses.
+lint-strict: lint-safety
 	tools/lint-unwrap.sh
 
 clippy:

@@ -21,6 +21,8 @@ fn main() {
         let cb = &symbol.cblks[c];
         let lpin = f.tab.pin_l_solve(symbol, c);
         let upin = f.tab.pin_u_solve(symbol, c);
+        // SAFETY: single-threaded example; factorization finished — no
+        // concurrent writer exists.
         let lp = unsafe { lpin.slice() };
         let up = unsafe { upin.slice() };
         for (local_j, j) in (cb.fcol..cb.lcol).enumerate() {

@@ -348,6 +348,8 @@ impl<T: Scalar> CoefTab<T> {
     fn pin(&self, key: usize, len: usize) -> Result<PanelPin<'_, T>, SolverError> {
         let slot = &self.slots[key];
         let mut st = slot.lock();
+        // ORDERING: the stamp is an LRU recency hint read under the slot
+        // lock; a stale value only skews eviction order, never safety.
         slot.stamp
             .store(self.clock.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
         let esize = std::mem::size_of::<T>();
@@ -497,6 +499,8 @@ impl<T: Scalar> CoefTab<T> {
             .map(|(key, s)| {
                 (
                     !s.retired.load(Ordering::Acquire),
+                    // ORDERING: LRU recency hint; staleness only skews
+                    // eviction order, never safety.
                     s.stamp.load(Ordering::Relaxed),
                     key,
                 )
@@ -589,6 +593,7 @@ mod tests {
                 let cb = &symbol.cblks[c];
                 let row = symbol.row_offset_in_panel(c, i);
                 let pin = tab.pin_l(symbol, c).expect("pin");
+                // SAFETY: single-threaded test — no concurrent writer.
                 let got = unsafe { pin.slice() }[(j - cb.fcol) * cb.stride + row];
                 assert_eq!(got, v, "entry ({oldi},{oldj})");
                 placed += 1;
@@ -600,6 +605,7 @@ mod tests {
         let total: f64 = (0..symbol.ncblk())
             .map(|c| {
                 let pin = tab.pin_l(symbol, c).expect("pin");
+                // SAFETY: single-threaded test — no concurrent writer.
                 unsafe { pin.slice() }.iter().sum::<f64>()
             })
             .sum();
@@ -627,6 +633,7 @@ mod tests {
             .map(|c| {
                 let lp = tab.pin_l(symbol, c).expect("pin L");
                 let up = tab.pin_u(symbol, c).expect("pin U");
+                // SAFETY: single-threaded test — no concurrent writer.
                 let l = unsafe { lp.slice() }.iter().sum::<f64>();
                 let u = unsafe { up.slice() }.iter().sum::<f64>();
                 l + u
@@ -637,6 +644,7 @@ mod tests {
         // U side is not empty for a convective problem.
         let any_u = (0..symbol.ncblk()).any(|c| {
             let up = tab.pin_u(symbol, c).expect("pin U");
+            // SAFETY: single-threaded test — no concurrent writer.
             unsafe { up.slice() }.iter().any(|&v| v != 0.0)
         });
         assert!(any_u);
@@ -674,6 +682,7 @@ mod tests {
         for c in 0..symbol.ncblk() {
             let lp = lazy.pin_l(symbol, c).expect("second touch");
             let ep = eager.pin_l(symbol, c).expect("eager pin");
+            // SAFETY: single-threaded test — no concurrent writer.
             let (lzy, egr) = unsafe { (lp.slice(), ep.slice()) };
             for (x, y) in lzy.iter().zip(egr.iter()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "panel {c} differs");
@@ -709,12 +718,14 @@ mod tests {
         };
         let tab = CoefTab::assemble_with(&an, &a, &mem).expect("assemble");
         let pin0 = tab.pin_l(symbol, 0).expect("pin 0");
+        // SAFETY: single-threaded test — no concurrent writer.
         let before = unsafe { pin0.slice() }.to_vec();
         // Hammer the pager: materialize everything else while 0 is pinned.
         for c in 1..symbol.ncblk() {
             let _ = tab.pin_l(symbol, c).expect("pin");
         }
         // Panel 0 must still be resident and unchanged under the pin.
+        // SAFETY: single-threaded test — no concurrent writer.
         let after = unsafe { pin0.slice() };
         for (x, y) in before.iter().zip(after.iter()) {
             assert_eq!(x.to_bits(), y.to_bits());

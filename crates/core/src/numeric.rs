@@ -261,6 +261,8 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
                     // SAFETY: panel(c) owns the d-range of its columns.
                     let d = unsafe { self.d.range_mut(cb.fcol..cb.lcol) };
                     let repaired = ldlt(w, l, stride, d, self.threshold)?;
+                    // ORDERING: statistics counter; no memory is
+                    // published.
                     self.pivots_repaired.fetch_add(repaired, Ordering::Relaxed);
                     if below > 0 {
                         copy_lower_triangle(l, stride, w, &mut ws.diag);
@@ -281,6 +283,8 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
                 }
                 FactoKind::Lu => {
                     let stats = getrf(w, l, stride, self.threshold)?;
+                    // ORDERING: statistics counter; no memory is
+                    // published.
                     self.pivots_repaired.fetch_add(stats.repaired, Ordering::Relaxed);
                     // SAFETY: panel(c) also owns its U panel.
                     let Some(up) = &upin else {
@@ -1002,6 +1006,8 @@ impl Analysis {
             // scratch releases above.
             report.memory = Some(b.stats());
         }
+        // ORDERING: statistics counter, read after the engine's join
+        // barrier — no concurrent writer remains.
         let pivots = ctx.pivots_repaired.load(Ordering::Relaxed);
         Ok(Factors {
             analysis: self,

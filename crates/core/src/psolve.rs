@@ -88,7 +88,9 @@ impl<T: Scalar> Factors<'_, T> {
 
         // ---- diagonal sweep (LDLᵀ) -------------------------------------
         if self.analysis.facto == FactoKind::Ldlt {
-            // SAFETY: forward sweep complete; single-threaded phase.
+            // SAFETY: `run_ptg` has returned, which joins every worker
+            // thread — no other reference to `x` exists; this phase is
+            // single-threaded (upheld by the engine's join barrier).
             let xs = unsafe { x.slice_mut() };
             for r in 0..nrhs {
                 for (xi, &di) in xs[r * n..(r + 1) * n].iter_mut().zip(self.d.iter()) {
@@ -164,13 +166,18 @@ impl<T: Scalar> Factors<'_, T> {
             _ => Diag::Unit,
         };
         let lpin = self.tab.pin_l_solve(symbol, c);
-        // SAFETY: read-only factor panels; x rows fcol..lcol are exclusively
-        // ours (all contributors completed, per the DAG).
+        // SAFETY: factor panels are read-only during the solve — `self`
+        // is borrowed shared, so no writer can exist (caller contract,
+        // enforced by the borrow checker on `solve_parallel_many`).
         let l = unsafe { lpin.slice() };
         let mut xc = vec![T::zero(); w * nrhs];
         {
             let _own = locks[c].lock();
-            // SAFETY: gated by the panel lock + DAG.
+            // SAFETY: task `c` runs only after all its contributors
+            // completed — the PTG pending counter (`release_pending`,
+            // AcqRel edge proven by the loom fan-in model) orders their
+            // writes before this read, and the per-panel lock excludes
+            // concurrent scatters into the same rows.
             let xs = unsafe { x.slice_mut() };
             trsm(
                 Side::Left,
@@ -212,8 +219,10 @@ impl<T: Scalar> Factors<'_, T> {
             // Scatter-subtract under the target panel's lock (contributions
             // from different panels commute but must not race).
             let _guard = locks[b.facing].lock();
-            // SAFETY: rows frow..lrow belong to panel `facing`, gated by
-            // its lock.
+            // SAFETY: rows frow..lrow belong to panel `facing`; the
+            // panel's mutex (held here) serializes every writer of those
+            // rows, and its release/acquire pair publishes the writes —
+            // the mutual-exclusion contract the loom mutex model checks.
             let xs = unsafe { x.slice_mut() };
             for r in 0..nrhs {
                 for (i, &v) in contribution[r * m..(r + 1) * m].iter().enumerate() {
@@ -232,16 +241,23 @@ impl<T: Scalar> Factors<'_, T> {
         let w = cb.width();
         let lu = self.analysis.facto == FactoKind::Lu;
         let lpin = self.tab.pin_l_solve(symbol, c);
-        // SAFETY: facing panels completed (read-only); own rows exclusive.
+        // SAFETY: factor panels are read-only during the solve (shared
+        // borrow of `self`; caller contract).
         let l = unsafe { lpin.slice() };
         let upin = lu.then(|| self.tab.pin_u_solve(symbol, c));
         let u = match &upin {
+            // SAFETY: as for `l` — read-only factor panels under a
+            // shared borrow of `self`.
             Some(p) => unsafe { p.slice() },
             None => l,
         };
         let mut xc = vec![T::zero(); w * nrhs];
         {
-            // SAFETY: reads of completed segments + own segment.
+            // SAFETY: the segments read here belong to `c` (exclusively
+            // ours in the reverse DAG) or to facing panels that already
+            // completed — ordered before us by the PTG pending counter's
+            // AcqRel edge (`release_pending`, proven by the loom fan-in
+            // model). No concurrent writer exists for any of them.
             let xs = unsafe { x.slice() };
             for r in 0..nrhs {
                 xc[r * w..(r + 1) * w]
@@ -297,7 +313,10 @@ impl<T: Scalar> Factors<'_, T> {
                 w,
             );
         }
-        // SAFETY: own rows, exclusive in the backward DAG.
+        // SAFETY: rows fcol..fcol+w are written only by task `c` in the
+        // backward sweep (reverse-DAG exclusivity: every reader of these
+        // rows is a predecessor that already ran, ordered by the PTG
+        // pending counter's AcqRel edge).
         let xs = unsafe { x.slice_mut() };
         for r in 0..nrhs {
             xs[r * n + cb.fcol..r * n + cb.fcol + w].copy_from_slice(&xc[r * w..(r + 1) * w]);

@@ -39,6 +39,8 @@ impl SpillStore {
     /// subdirectory of `dir`; with `None`, of the system temp dir.
     pub fn create(base: Option<&Path>) -> std::io::Result<SpillStore> {
         let base = base.map(Path::to_path_buf).unwrap_or_else(std::env::temp_dir);
+        // ORDERING: process-unique sequence number; only uniqueness
+        // matters, no memory is published.
         let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
         let dir = base.join(format!(
             "dagfact-spill-{}-{}",

@@ -4,6 +4,12 @@
 //! A blocked right-looking variant delegates the trailing update to
 //! [`gemm`](crate::gemm::gemm()) so most of the work runs at GEMM speed; the
 //! unblocked base case handles the final tile.
+//!
+//! SAFETY audit: this kernel (like the whole `dagfact-kernels` crate)
+//! contains **no** `unsafe` code — the one aliasing temptation (the
+//! diagonal tile feeding the panel TRSM below it) is resolved by copying
+//! the ≤ NB² tile instead. `make lint-strict` (`lint-safety`) keeps it
+//! that way: any future `unsafe` here must carry a SAFETY contract.
 
 use crate::gemm::{gemm, Trans};
 use crate::scalar::Scalar;

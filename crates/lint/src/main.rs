@@ -1,0 +1,92 @@
+//! `lint-safety`: enforce the SAFETY-contract, Relaxed-justification and
+//! sync-shim rules over the concurrency-bearing crates (rt, core,
+//! kernels). Exits non-zero listing `file:line` for every violation.
+//!
+//! Scope:
+//! * `crates/rt/src` — all three rules (the shim rule exempts the shim
+//!   itself, `sync.rs`, and the model checker under `model/`);
+//! * `crates/core/src`, `crates/kernels/src` — SAFETY + ORDERING;
+//! * each crate's `tests/` and `examples/` — SAFETY only.
+
+use dagfact_lint::{check_source, Finding, Options};
+use std::path::{Path, PathBuf};
+
+/// The crates whose concurrency code the lint gates.
+const CRATES: &[&str] = &["crates/rt", "crates/core", "crates/kernels"];
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+}
+
+/// The shim and the model checker implement the primitives the rest of
+/// the runtime must go through — they are allowed raw `std::sync`.
+fn shim_exempt(path: &Path) -> bool {
+    let p = path.to_string_lossy();
+    p.ends_with("rt/src/sync.rs") || p.contains("rt/src/model/")
+}
+
+fn options_for(crate_dir: &str, path: &Path, under: &str) -> Options {
+    match under {
+        "src" => {
+            if crate_dir.ends_with("/rt") && !shim_exempt(path) {
+                Options::rt_lib()
+            } else {
+                Options::lib()
+            }
+        }
+        _ => Options::tests(),
+    }
+}
+
+fn main() {
+    // Run from the workspace root regardless of invocation directory
+    // (cargo run sets CWD to the workspace root already; a direct binary
+    // invocation may not).
+    if !Path::new("crates").is_dir() {
+        if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+            let root = Path::new(&manifest).join("../..");
+            let _ = std::env::set_current_dir(root);
+        }
+    }
+
+    let mut total: Vec<(PathBuf, Finding)> = Vec::new();
+    let mut nfiles = 0usize;
+    for crate_dir in CRATES {
+        for under in ["src", "tests", "examples"] {
+            let dir = Path::new(crate_dir).join(under);
+            let mut files = Vec::new();
+            collect_rs(&dir, &mut files);
+            for path in files {
+                let Ok(src) = std::fs::read_to_string(&path) else {
+                    continue;
+                };
+                nfiles += 1;
+                let opts = options_for(crate_dir, &path, under);
+                for finding in check_source(&src, opts) {
+                    total.push((path.clone(), finding));
+                }
+            }
+        }
+    }
+
+    if total.is_empty() {
+        println!("lint-safety: clean ({nfiles} files, zero exceptions)");
+        return;
+    }
+    eprintln!("lint-safety: {} violation(s):", total.len());
+    for (path, f) in &total {
+        eprintln!("{}:{}: {} — {}", path.display(), f.line, f.rule, f.excerpt);
+    }
+    std::process::exit(1);
+}

@@ -26,11 +26,9 @@
 //! failures at [`MemoryBudget::try_charge`] so the whole ladder — and
 //! the PR-1 recovery loop above it — stays exercised by tests.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-
 use crate::fault::FaultPlan;
-use crate::sync::Mutex;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex};
 
 /// Pressure at which workspace shedding starts (chunked GEMM buffers).
 pub const PRESSURE_SHED: f64 = 0.80;
@@ -264,6 +262,8 @@ impl MemoryBudget {
         if self.take_injected_failure(site) {
             return Err(BudgetError::Injected { site });
         }
+        // ORDERING: optimistic first read of a CAS loop — a stale value
+        // only costs one extra CAS iteration.
         let mut cur = self.used.load(Ordering::Relaxed);
         loop {
             let next = cur.saturating_add(bytes);
@@ -277,6 +277,8 @@ impl MemoryBudget {
                     });
                 }
             }
+            // ORDERING: Relaxed on CAS failure — the reloaded value only
+            // feeds the next iteration's attempt, nothing is published.
             match self.used.compare_exchange_weak(
                 cur,
                 next,
@@ -302,6 +304,7 @@ impl MemoryBudget {
         let next = self.used.fetch_add(bytes, Ordering::AcqRel) + bytes;
         if let Some(cap) = self.cap {
             if next > cap {
+                // ORDERING: statistics counter; no memory is published.
                 self.overcommit_events.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -318,6 +321,7 @@ impl MemoryBudget {
         let plan = self.fault.lock().clone();
         if let Some(plan) = plan {
             if plan.take_alloc_fail(site) {
+                // ORDERING: statistics counter; no memory is published.
                 self.alloc_faults.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
@@ -332,6 +336,7 @@ impl MemoryBudget {
 
     /// Record a spill of `bytes` (one panel written to disk).
     pub fn note_spill(&self, bytes: usize) {
+        // ORDERING: statistics counters; no memory is published.
         self.spill_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.spill_events.fetch_add(1, Ordering::Relaxed);
         self.phase_spill_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -340,16 +345,19 @@ impl MemoryBudget {
 
     /// Record a spilled panel faulted back into memory.
     pub fn note_fault_in(&self) {
+        // ORDERING: statistics counter; no memory is published.
         self.fault_in_events.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record an admission denial by the engine throttle.
     pub fn note_throttle(&self) {
+        // ORDERING: statistics counter; no memory is published.
         self.throttle_events.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a GEMM update that shed workspace (chunked or direct).
     pub fn note_shed(&self) {
+        // ORDERING: statistics counter; no memory is published.
         self.shed_events.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -369,6 +377,8 @@ impl MemoryBudget {
 
     /// Snapshot every counter.
     pub fn stats(&self) -> MemoryStats {
+        // ORDERING: statistics snapshot; counters are independent and
+        // staleness is acceptable, so Relaxed loads suffice.
         MemoryStats {
             cap: self.cap,
             used_bytes: self.used(),

@@ -25,11 +25,12 @@
 //! if the run fails.
 
 use crate::fault::{EngineError, RunConfig, RunReport, Supervisor, TaskOutcome};
+use crate::shared::release_pending;
+use crate::sync::atomic::AtomicU32;
 use crate::sync::{Condvar, Mutex};
 use crate::trace::{Lane, SpanKind};
 use crate::{AccessMode, DataId, TaskId};
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Which central scheduling strategy the engine uses — the CPU-side
 /// members of StarPU's scheduler family (§IV: "it allows scheduling
@@ -317,10 +318,26 @@ impl<'a> DataflowGraph<'a> {
                 match outcome {
                     TaskOutcome::Completed => {
                         drop(body);
+                        // Checked fan-in decrement: a double release
+                        // (duplicate hazard edge / understated npred)
+                        // poisons the run instead of wrapping the counter.
+                        let mut underflow = false;
                         for &s in &meta[t].1 {
-                            if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                central.push(meta[s].0, s);
+                            match release_pending(&pending[s], s) {
+                                Ok(true) => central.push(meta[s].0, s),
+                                Ok(false) => {}
+                                Err(e) => {
+                                    sup.poison_with(EngineError::ReleaseUnderflow {
+                                        task: e.succ,
+                                    });
+                                    underflow = true;
+                                    break;
+                                }
                             }
+                        }
+                        if underflow {
+                            central.wake_all();
+                            break;
                         }
                         sup.task_done(t);
                         if sup.remaining() == 0 {
@@ -457,7 +474,7 @@ impl CentralQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex as StdMutex;
 
     #[test]

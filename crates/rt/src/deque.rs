@@ -9,9 +9,8 @@
 //! linear-algebra kernels, so the per-task locking cost is noise, and the
 //! semantics (LIFO owner, FIFO thieves) are identical.
 
-use crate::sync::Mutex;
+use crate::sync::{Arc, Mutex};
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 /// The owner's end of a work-stealing deque.
 pub struct WorkerDeque<T> {

@@ -22,11 +22,10 @@
 //! other panic payload is treated as fatal and aborts the run with
 //! [`EngineError::TaskPanicked`].
 
-use crate::sync::Mutex;
+use crate::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex, Once};
 use crate::TaskId;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
@@ -177,6 +176,8 @@ impl FaultPlan {
 
     /// Number of faults injected so far.
     pub fn faults_injected(&self) -> usize {
+        // ORDERING: statistics counter only; readers tolerate staleness
+        // and no other memory is published through it.
         self.injected.load(Ordering::Relaxed)
     }
 
@@ -188,6 +189,7 @@ impl FaultPlan {
         match map.get_mut(&panel) {
             Some(budget) if *budget > 0 => {
                 *budget -= 1;
+                // ORDERING: statistics counter; no memory is published.
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 true
             }
@@ -216,6 +218,7 @@ impl FaultPlan {
         let consumed = used.entry(site).or_insert(0);
         if *consumed < failures {
             *consumed += 1;
+            // ORDERING: statistics counter; no memory is published.
             self.injected.fetch_add(1, Ordering::Relaxed);
             true
         } else {
@@ -228,16 +231,21 @@ impl FaultPlan {
     /// (fatal or transient faults). `attempt` is 1-based.
     pub fn inject(&self, task: TaskId, attempt: u32) {
         let kind = self.pinned.get(&task).copied().or_else(|| self.sample(task));
+        // `injected` is a statistics counter; no memory is published
+        // through it, so Relaxed increments suffice at every site below.
         match kind {
             Some(FaultKind::Delay { micros }) if attempt == 1 => {
+                // ORDERING: statistics counter; no memory is published.
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(Duration::from_micros(micros));
             }
             Some(FaultKind::Panic) => {
+                // ORDERING: statistics counter; no memory is published.
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 std::panic::panic_any(format!("injected fault: task {task} panicked"));
             }
             Some(FaultKind::Transient { failures }) if attempt <= failures => {
+                // ORDERING: statistics counter; no memory is published.
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 std::panic::panic_any(TransientFault { task, attempt });
             }
@@ -462,6 +470,14 @@ pub enum EngineError {
         /// The task.
         task: TaskId,
     },
+    /// A successor's pending-predecessor counter was decremented below
+    /// zero — a malformed DAG (duplicate edge, understated predecessor
+    /// count) caught by [`crate::shared::release_pending`] before the
+    /// wrapped counter could release the task spuriously.
+    ReleaseUnderflow {
+        /// The successor whose counter underflowed.
+        task: TaskId,
+    },
 }
 
 impl core::fmt::Display for EngineError {
@@ -491,6 +507,12 @@ impl core::fmt::Display for EngineError {
             EngineError::DuplicateExecution { task } => {
                 write!(f, "scheduler bug: task {task} was dispatched twice")
             }
+            EngineError::ReleaseUnderflow { task } => write!(
+                f,
+                "graph bug: pending-predecessor counter of task {task} \
+                 decremented below zero (duplicate edge or understated \
+                 predecessor count)"
+            ),
         }
     }
 }
@@ -556,7 +578,7 @@ pub struct Supervisor {
 /// hook is installed once, process-wide, and delegates every genuine
 /// panic to whatever hook was active before.
 fn install_quiet_injection_hook() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
+    static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
@@ -641,7 +663,7 @@ impl Supervisor {
         self.last_progress.store(nanos, Ordering::Release);
     }
 
-    fn poison_with(&self, error: EngineError) {
+    pub(crate) fn poison_with(&self, error: EngineError) {
         let mut guard = self.error.lock();
         if guard.is_none() {
             *guard = Some(error);
@@ -676,6 +698,8 @@ impl Supervisor {
             Err(payload) => {
                 if payload.is::<TransientFault>() {
                     if attempt < self.config.retry.max_attempts {
+                        // ORDERING: statistics counter; no memory is
+                        // published.
                         self.retries.fetch_add(1, Ordering::Relaxed);
                         std::thread::sleep(self.config.retry.backoff_for(attempt));
                         self.note_progress();

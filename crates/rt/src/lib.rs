@@ -39,6 +39,12 @@
 //! relies on) is machine-checked by [`verify`]: static happens-before
 //! race/deadlock analysis over any engine's submitted graph, a dynamic
 //! vector-clock race checker, and a cross-engine equivalence signature.
+//! The *runtime primitives* that uphold that contract at execution time
+//! are themselves model-checked: [`sync`] is a dual-backend shim that,
+//! under `--cfg loom`, swaps std synchronization for the in-repo
+//! loom-style checker in [`model`], and the `loom_models` test suite
+//! exhaustively explores the load-bearing protocols (fan-in release,
+//! deque, watchdog shutdown, budget ledger, trace lanes).
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
@@ -46,6 +52,7 @@ pub mod budget;
 pub mod dataflow;
 pub mod deque;
 pub mod fault;
+pub mod model;
 pub mod native;
 pub mod ptg;
 pub mod shared;
@@ -57,7 +64,7 @@ pub use budget::{BudgetError, MemoryBudget, MemoryStats, PhaseStats, PressureLev
 pub use fault::{
     EngineError, FaultPlan, RetryPolicy, RunConfig, RunReport, TransientFault,
 };
-pub use shared::SharedSlice;
+pub use shared::{release_pending, ReleaseUnderflow, SharedSlice};
 pub use trace::{Span, SpanKind, Trace, TraceRecorder};
 
 /// Identifier of a task within one engine run.

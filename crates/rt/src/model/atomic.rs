@@ -1,0 +1,221 @@
+//! Model atomics: every access is a visible scheduling point, and the
+//! memory-ordering argument actually *does something*.
+//!
+//! Each location carries, next to its value, an optional "message" vector
+//! clock — the happens-before frontier published by the last release-class
+//! store (C++11 release sequence, conservatively approximated):
+//!
+//! * `store(Release)` publishes the writer's clock; `store(Relaxed)`
+//!   *clears* the message (a relaxed store breaks the release sequence).
+//! * `load(Acquire)` joins the message into the reader's clock;
+//!   `load(Relaxed)` joins nothing.
+//! * read-modify-writes with a release ordering *join* their clock into
+//!   the message (an RMW continues the release sequence — this is what
+//!   makes the fan-in counter sound: the final decrementer acquires every
+//!   earlier decrementer's writes). A `Relaxed` RMW leaves the message
+//!   untouched and joins nothing, which is exactly why the weakened
+//!   fan-in model in the `loom_models` negative tests fails.
+//!
+//! `SeqCst` is treated as `AcqRel`: the single total order of SC
+//! operations is not modeled (our protocols never rely on it — no
+//! store-buffering/IRIW idioms), and `compare_exchange_weak` never fails
+//! spuriously (the retry loops it sits in are exercised by real CAS
+//! contention instead).
+
+use super::sched;
+use std::sync::Mutex as OsMutex;
+pub use std::sync::atomic::Ordering;
+
+fn acquires(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+struct AtomicState<T> {
+    val: T,
+    msg: Option<sched::VClock>,
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $ty:ty, [$($int_ops:tt)*]) => {
+        /// Model counterpart of the `std::sync::atomic` type of the same
+        /// name; see the module docs for the ordering semantics.
+        pub struct $name {
+            s: OsMutex<AtomicState<$ty>>,
+        }
+
+        impl $name {
+            /// New location holding `v`, with no published message.
+            pub const fn new(v: $ty) -> Self {
+                $name {
+                    s: OsMutex::new(AtomicState { val: v, msg: None }),
+                }
+            }
+
+            /// Atomic load.
+            pub fn load(&self, ord: Ordering) -> $ty {
+                sched::yield_point();
+                sched::with_exec(|st, me| {
+                    let s = self.s.lock().unwrap();
+                    if acquires(ord) {
+                        if let Some(m) = &s.msg {
+                            st.clocks[me].join(m);
+                        }
+                    }
+                    s.val
+                })
+            }
+
+            /// Atomic store.
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                sched::yield_point();
+                sched::with_exec(|st, me| {
+                    let mut s = self.s.lock().unwrap();
+                    s.val = v;
+                    s.msg = if releases(ord) {
+                        Some(st.clocks[me].clone())
+                    } else {
+                        None
+                    };
+                })
+            }
+
+            fn rmw(&self, ord: Ordering, f: impl FnOnce($ty) -> $ty) -> $ty {
+                sched::yield_point();
+                sched::with_exec(|st, me| {
+                    let mut s = self.s.lock().unwrap();
+                    if acquires(ord) {
+                        if let Some(m) = &s.msg {
+                            st.clocks[me].join(m);
+                        }
+                    }
+                    let old = s.val;
+                    s.val = f(old);
+                    if releases(ord) {
+                        let mine = st.clocks[me].clone();
+                        match &mut s.msg {
+                            Some(m) => m.join(&mine),
+                            None => s.msg = Some(mine),
+                        }
+                    }
+                    old
+                })
+            }
+
+            /// Atomic swap; returns the previous value.
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |_| v)
+            }
+
+            /// Strong compare-and-exchange.
+            #[allow(clippy::result_unit_err)]
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                sched::yield_point();
+                sched::with_exec(|st, me| {
+                    let mut s = self.s.lock().unwrap();
+                    if s.val == current {
+                        if acquires(success) {
+                            if let Some(m) = &s.msg {
+                                st.clocks[me].join(m);
+                            }
+                        }
+                        s.val = new;
+                        if releases(success) {
+                            let mine = st.clocks[me].clone();
+                            match &mut s.msg {
+                                Some(m) => m.join(&mine),
+                                None => s.msg = Some(mine),
+                            }
+                        }
+                        Ok(current)
+                    } else {
+                        if acquires(failure) {
+                            if let Some(m) = &s.msg {
+                                st.clocks[me].join(m);
+                            }
+                        }
+                        Err(s.val)
+                    }
+                })
+            }
+
+            /// Weak compare-and-exchange; the model never fails it
+            /// spuriously (see module docs).
+            #[allow(clippy::result_unit_err)]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Consume and return the value.
+            pub fn into_inner(self) -> $ty {
+                self.s.into_inner().unwrap().val
+            }
+
+            model_atomic!(@ops $ty, $($int_ops)*);
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$ty>::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "(model)"))
+            }
+        }
+    };
+    (@ops $ty:ty, int) => {
+        /// Atomic add (wrapping); returns the previous value.
+        pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+            self.rmw(ord, |x| x.wrapping_add(v))
+        }
+
+        /// Atomic subtract (wrapping); returns the previous value.
+        pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+            self.rmw(ord, |x| x.wrapping_sub(v))
+        }
+
+        /// Atomic maximum; returns the previous value.
+        pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+            self.rmw(ord, |x| x.max(v))
+        }
+
+        /// Atomic minimum; returns the previous value.
+        pub fn fetch_min(&self, v: $ty, ord: Ordering) -> $ty {
+            self.rmw(ord, |x| x.min(v))
+        }
+    };
+    (@ops $ty:ty, bool) => {
+        /// Atomic OR; returns the previous value.
+        pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
+            self.rmw(ord, |x| x | v)
+        }
+
+        /// Atomic AND; returns the previous value.
+        pub fn fetch_and(&self, v: $ty, ord: Ordering) -> $ty {
+            self.rmw(ord, |x| x & v)
+        }
+    };
+}
+
+model_atomic!(AtomicU32, u32, [int]);
+model_atomic!(AtomicU64, u64, [int]);
+model_atomic!(AtomicUsize, usize, [int]);
+model_atomic!(AtomicBool, bool, [bool]);

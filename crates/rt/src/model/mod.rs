@@ -1,0 +1,272 @@
+//! An in-repo loom-style model checker for the runtime's synchronization
+//! protocols.
+//!
+//! # Why in-repo
+//!
+//! The workspace carries **zero external dependencies**, so instead of
+//! depending on the `loom` crate this module implements the same
+//! technique — exhaustive, replay-based exploration of thread
+//! interleavings with a vector-clock memory model — scoped to exactly
+//! what the `dagfact` runtime needs. The `sync` shim selects it under
+//! `--cfg loom` (see [`crate::sync`]), so the engines' own deques,
+//! budget ledger and trace lanes compile unmodified against the model
+//! primitives and are checked *as written*, not as re-transcribed
+//! pseudo-code.
+//!
+//! # What a check does
+//!
+//! [`check`]/[`try_check`] run a closure under a cooperative scheduler:
+//! one OS thread per model thread, exactly one running at a time, with
+//! every synchronization operation a scheduling point. The explorer
+//! enumerates all interleavings depth-first (replaying decision
+//! prefixes), and fails on:
+//!
+//! * a panic / failed assertion in the closure (reported with the
+//!   failing schedule),
+//! * a deadlock (no runnable thread, some thread unfinished),
+//! * a data race on a [`ModelCell`] — an access pair on the protected
+//!   payload not ordered by the happens-before relation induced by the
+//!   modeled atomics/mutexes (see [`atomic`] for the ordering rules).
+//!
+//! # What it abstracts away
+//!
+//! `SeqCst` is modeled as `AcqRel` (no single SC order), weak CAS never
+//! fails spuriously, `Mutex` wake-ups barge, and timed waits time out
+//! whenever the scheduler decides they do. All four are either
+//! conservative for our protocols or irrelevant to them; DESIGN.md §11
+//! spells out the argument, and Miri/TSan cover the gaps on real
+//! executions.
+//!
+//! # Example
+//!
+//! ```
+//! use dagfact_rt::model::{self, cell::ModelCell};
+//! use std::sync::Arc;
+//! use std::sync::atomic::Ordering;
+//!
+//! model::check(|| {
+//!     let data = Arc::new(ModelCell::new(0u32));
+//!     let flag = Arc::new(model::atomic::AtomicBool::new(false));
+//!     let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+//!     let t = model::thread::spawn(move || {
+//!         d2.write(42);
+//!         f2.store(true, Ordering::Release);
+//!     });
+//!     if flag.load(Ordering::Acquire) {
+//!         assert_eq!(data.read(), 42); // Acquire saw the flag ⇒ sees the data
+//!     }
+//!     t.join();
+//! });
+//! ```
+
+pub mod atomic;
+pub mod cell;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use cell::ModelCell;
+pub use sched::{in_model, Builder, Failure, Report, MAX_THREADS};
+
+/// Exhaustively model-check `f` with default limits; panics with the
+/// failing schedule on any failure.
+pub fn check<F: Fn() + Send + Sync + 'static>(f: F) -> Report {
+    Builder::default().check(f)
+}
+
+/// Exhaustively model-check `f`, returning the first failure instead of
+/// panicking — for negative ("teeth") tests that expect a model to fail.
+pub fn try_check<F: Fn() + Send + Sync + 'static>(f: F) -> Result<Report, Failure> {
+    Builder::default().try_check(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    #[test]
+    fn trivial_model_runs_once() {
+        let report = check(|| {
+            let c = cell::ModelCell::new(1u32);
+            assert_eq!(c.read(), 1);
+        });
+        assert_eq!(report.executions, 1);
+    }
+
+    #[test]
+    fn two_writers_explore_multiple_interleavings() {
+        let report = check(|| {
+            let a = Arc::new(atomic::AtomicU32::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                a2.fetch_add(1, Ordering::AcqRel);
+            });
+            a.fetch_add(1, Ordering::AcqRel);
+            t.join();
+            assert_eq!(a.load(Ordering::Acquire), 2);
+        });
+        assert!(report.executions > 1, "expected >1 interleavings");
+    }
+
+    #[test]
+    fn release_acquire_handoff_is_race_free() {
+        check(|| {
+            let data = Arc::new(cell::ModelCell::new(0u64));
+            let flag = Arc::new(atomic::AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = thread::spawn(move || {
+                d2.write(7);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.read(), 7);
+            }
+            t.join();
+        });
+    }
+
+    #[test]
+    fn relaxed_handoff_is_reported_as_race() {
+        let failure = try_check(|| {
+            let data = Arc::new(cell::ModelCell::new(0u64));
+            let flag = Arc::new(atomic::AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = thread::spawn(move || {
+                d2.write(7);
+                // Relaxed publish: the reader's Acquire has nothing to
+                // synchronize with.
+                f2.store(true, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Acquire) {
+                let _ = data.read();
+            }
+            t.join();
+        })
+        .expect_err("relaxed publish must race");
+        assert!(failure.message.contains("data race"), "got: {failure}");
+    }
+
+    #[test]
+    fn unsynchronized_writes_are_reported_as_race() {
+        let failure = try_check(|| {
+            let data = Arc::new(cell::ModelCell::new(0u64));
+            let d2 = Arc::clone(&data);
+            let t = thread::spawn(move || d2.write(1));
+            data.write(2);
+            t.join();
+        })
+        .expect_err("two unordered writes must race");
+        assert!(failure.message.contains("data race"), "got: {failure}");
+    }
+
+    #[test]
+    fn mutex_protects_plain_data() {
+        check(|| {
+            let m = Arc::new(sync::Mutex::new(0u32));
+            let m2 = Arc::clone(&m);
+            let t = thread::spawn(move || {
+                *m2.lock() += 1;
+            });
+            *m.lock() += 1;
+            t.join();
+            assert_eq!(*m.lock(), 2);
+        });
+    }
+
+    #[test]
+    fn abba_lock_order_deadlocks() {
+        let failure = try_check(|| {
+            let a = Arc::new(sync::Mutex::new(()));
+            let b = Arc::new(sync::Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop(_ga);
+            drop(_gb);
+            t.join();
+        })
+        .expect_err("ABBA must deadlock in some interleaving");
+        assert!(failure.message.contains("deadlock"), "got: {failure}");
+        assert!(!failure.schedule.is_empty());
+    }
+
+    #[test]
+    fn assertion_failures_carry_the_schedule() {
+        let failure = try_check(|| {
+            let a = Arc::new(atomic::AtomicU32::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                a2.store(1, Ordering::Release);
+            });
+            // Fails in interleavings where the store lands first.
+            assert_eq!(a.load(Ordering::Acquire), 0, "saw the store");
+            t.join();
+        })
+        .expect_err("some interleaving must see the store");
+        assert!(failure.message.contains("saw the store"), "got: {failure}");
+        assert!(failure.execution >= 1);
+    }
+
+    #[test]
+    fn condvar_notify_wakes_waiter() {
+        check(|| {
+            let m = Arc::new(sync::Mutex::new(false));
+            let cv = Arc::new(sync::Condvar::new());
+            let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+            let t = thread::spawn(move || {
+                let mut g = m2.lock();
+                *g = true;
+                cv2.notify_one();
+            });
+            {
+                let mut g = m.lock();
+                while !*g {
+                    g = cv.wait(g);
+                }
+            }
+            t.join();
+        });
+    }
+
+    #[test]
+    fn join_establishes_happens_before() {
+        check(|| {
+            let data = Arc::new(cell::ModelCell::new(0u8));
+            let d2 = Arc::clone(&data);
+            let t = thread::spawn(move || d2.write(9));
+            t.join();
+            assert_eq!(data.read(), 9); // join edge orders the read
+        });
+    }
+
+    #[test]
+    fn execution_limit_is_enforced() {
+        let failure = Builder {
+            max_executions: 2,
+            ..Builder::default()
+        }
+        .try_check(|| {
+            let a = Arc::new(atomic::AtomicU32::new(0));
+            let a2 = Arc::clone(&a);
+            let b2 = Arc::clone(&a);
+            let t1 = thread::spawn(move || {
+                a2.fetch_add(1, Ordering::AcqRel);
+                a2.fetch_add(1, Ordering::AcqRel);
+            });
+            let t2 = thread::spawn(move || {
+                b2.fetch_add(1, Ordering::AcqRel);
+                b2.fetch_add(1, Ordering::AcqRel);
+            });
+            t1.join();
+            t2.join();
+        })
+        .expect_err("2 executions cannot cover this");
+        assert!(failure.message.contains("exceeded 2 executions"), "got: {failure}");
+    }
+}

@@ -1,0 +1,625 @@
+//! The execution scheduler and interleaving explorer behind [`crate::model`].
+//!
+//! One *model execution* runs the checked closure with every model thread
+//! mapped to a real OS thread, but with at most one thread running at a
+//! time: every visible operation (atomic access, mutex lock/unlock,
+//! condvar wait/notify, spawn/join) re-enters this scheduler, which picks
+//! the next thread to run. The sequence of picks is a *decision path*; the
+//! explorer enumerates all decision paths depth-first, replaying the
+//! recorded prefix and branching at the first unexhausted choice — the
+//! stateless-search strategy of CHESS/loom.
+//!
+//! Happens-before is tracked with per-thread vector clocks (FastTrack
+//! style): release stores publish the writer's clock on the location,
+//! acquire loads join it, and read-modify-writes continue the release
+//! sequence by joining in both directions. [`super::cell::ModelCell`]
+//! checks every non-atomic access against those clocks, so a missing
+//! ordering is reported as a data race in *whatever* interleaving the
+//! explorer happens to run — the check does not depend on the racy access
+//! pair executing "simultaneously".
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
+
+/// Maximum model threads per execution (including the main model thread).
+/// Keeping the clock arrays fixed-size keeps every scheduler step
+/// allocation-free on the hot path.
+pub const MAX_THREADS: usize = 4;
+
+/// A fixed-width vector clock over the model threads of one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    t: [u32; MAX_THREADS],
+}
+
+impl VClock {
+    /// Pointwise maximum (the happens-before join).
+    pub fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            if other.t[i] > self.t[i] {
+                self.t[i] = other.t[i];
+            }
+        }
+    }
+
+    /// `self` happens-before-or-equal `other` (pointwise ≤).
+    pub fn le(&self, other: &VClock) -> bool {
+        (0..MAX_THREADS).all(|i| self.t[i] <= other.t[i])
+    }
+
+    /// Component `i`.
+    pub fn get(&self, i: usize) -> u32 {
+        self.t[i]
+    }
+
+    /// Raise component `i` to at least `v`.
+    pub fn set_max(&mut self, i: usize, v: u32) {
+        if v > self.t[i] {
+            self.t[i] = v;
+        }
+    }
+
+    fn tick(&mut self, i: usize) {
+        self.t[i] += 1;
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Runnable, waiting for the scheduler to pick it.
+    Ready,
+    /// The single currently-executing thread.
+    Running,
+    /// Parked on a mutex/condvar/join; `can_timeout` marks a timed wait
+    /// the scheduler may wake spuriously (the timeout firing is just one
+    /// more explorable scheduling decision).
+    Blocked { can_timeout: bool },
+    /// Closure returned (or unwound).
+    Finished,
+}
+
+/// Why a blocked thread was woken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WakeReason {
+    /// Another thread made it ready (notify / unlock / join target exit).
+    Notified,
+    /// The scheduler fired its timeout.
+    Timeout,
+}
+
+struct Th {
+    status: Status,
+    /// What the thread is blocked on, for deadlock reports.
+    why: &'static str,
+    /// Threads blocked in `join` on this one.
+    joiners: Vec<usize>,
+}
+
+/// Per-execution scheduler state. Exposed (crate-internally) so the model
+/// primitives can read and join the vector clocks under the one lock.
+pub(crate) struct ExecState {
+    threads: Vec<Th>,
+    /// Vector clock of each model thread (fixed slots, grown by spawn).
+    pub(crate) clocks: Vec<VClock>,
+    active: Option<usize>,
+    abort: bool,
+    failure: Option<String>,
+    schedule: Vec<usize>,
+    steps: usize,
+}
+
+impl ExecState {
+    /// Record a failure (first one wins) and put the execution into abort
+    /// mode so every thread unwinds at its next scheduler interaction.
+    pub(crate) fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.abort = true;
+    }
+
+    /// The acting thread's current epoch `(thread, timestamp)`.
+    pub(crate) fn epoch(&self, id: usize) -> (usize, u32) {
+        (id, self.clocks[id].get(id))
+    }
+}
+
+pub(crate) struct ExecShared {
+    m: OsMutex<ExecState>,
+    cv: OsCondvar,
+    handles: OsMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Panic payload used to unwind model threads when an execution aborts;
+/// not itself a failure.
+pub(crate) struct Abort;
+
+struct Ctx {
+    shared: Arc<ExecShared>,
+    id: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> (Arc<ExecShared>, usize) {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b
+            .as_ref()
+            .expect("model primitive used outside model::check (build without --cfg loom, or move the state into the checked closure)");
+        (Arc::clone(&ctx.shared), ctx.id)
+    })
+}
+
+/// `true` on a thread currently executing inside a model execution.
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Scheduler entry for a visible operation: hand control back and wait to
+/// be picked again. Every model primitive calls this exactly once per
+/// visible op, so one scheduler decision corresponds to one op.
+pub(crate) fn yield_point() {
+    let (shared, me) = ctx();
+    let mut st = shared.m.lock().unwrap();
+    if st.abort {
+        drop(st);
+        panic::panic_any(Abort);
+    }
+    st.threads[me].status = Status::Ready;
+    st.threads[me].why = "runnable";
+    st.active = None;
+    shared.cv.notify_all();
+    loop {
+        if st.abort {
+            drop(st);
+            panic::panic_any(Abort);
+        }
+        if st.active == Some(me) {
+            st.threads[me].status = Status::Running;
+            return;
+        }
+        st = shared.cv.wait(st).unwrap();
+    }
+}
+
+/// Park the current thread until another thread readies it (or, for timed
+/// waits, until the scheduler fires the timeout). Being rescheduled counts
+/// as the thread's next visible op — callers retry their operation
+/// immediately without another [`yield_point`].
+pub(crate) fn block_current(can_timeout: bool, why: &'static str) -> WakeReason {
+    let (shared, me) = ctx();
+    let mut st = shared.m.lock().unwrap();
+    st.threads[me].status = Status::Blocked { can_timeout };
+    st.threads[me].why = why;
+    st.active = None;
+    shared.cv.notify_all();
+    loop {
+        if st.abort {
+            drop(st);
+            panic::panic_any(Abort);
+        }
+        if st.active == Some(me) {
+            let timed_out = matches!(st.threads[me].status, Status::Blocked { .. });
+            st.threads[me].status = Status::Running;
+            return if timed_out { WakeReason::Timeout } else { WakeReason::Notified };
+        }
+        st = shared.cv.wait(st).unwrap();
+    }
+}
+
+/// Make blocked threads runnable (unlock / notify). Not itself a visible
+/// op — the caller already yielded for the operation doing the waking.
+pub(crate) fn make_ready(ids: &[usize]) {
+    if ids.is_empty() {
+        return;
+    }
+    let (shared, _) = ctx();
+    let mut st = shared.m.lock().unwrap();
+    for &id in ids {
+        if matches!(st.threads[id].status, Status::Blocked { .. }) {
+            st.threads[id].status = Status::Ready;
+            st.threads[id].why = "runnable";
+        }
+    }
+}
+
+/// Run `f` with the execution state locked and the current thread id.
+pub(crate) fn with_exec<R>(f: impl FnOnce(&mut ExecState, usize) -> R) -> R {
+    let (shared, me) = ctx();
+    let mut st = shared.m.lock().unwrap();
+    f(&mut st, me)
+}
+
+/// Spawn a new model thread; returns its id. The spawn itself is a visible
+/// op, and the child inherits the parent's happens-before frontier.
+pub(crate) fn spawn_model(f: Box<dyn FnOnce() + Send + 'static>) -> usize {
+    yield_point();
+    let (shared, me) = ctx();
+    let id = {
+        let mut st = shared.m.lock().unwrap();
+        let id = st.threads.len();
+        assert!(
+            id < MAX_THREADS,
+            "model supports at most {MAX_THREADS} threads (including the main model thread)"
+        );
+        let parent = st.clocks[me].clone();
+        st.clocks[id] = parent;
+        // Fork rule: the child inherits the parent's clock *snapshot*;
+        // the parent then ticks its own component so parent events
+        // after the fork are not ordered before the child's.
+        st.clocks[me].tick(me);
+        st.threads.push(Th {
+            status: Status::Ready,
+            why: "spawned",
+            joiners: Vec::new(),
+        });
+        id
+    };
+    let shared2 = Arc::clone(&shared);
+    let h = std::thread::Builder::new()
+        .name(format!("model-{id}"))
+        .spawn(move || child_main(shared2, id, f))
+        .expect("failed to spawn model OS thread");
+    shared.handles.lock().unwrap().push(h);
+    id
+}
+
+/// Block until model thread `target` finishes; joins its final clock
+/// (the join happens-before edge).
+pub(crate) fn join_model(target: usize) {
+    yield_point();
+    let (shared, me) = ctx();
+    loop {
+        {
+            let mut st = shared.m.lock().unwrap();
+            if matches!(st.threads[target].status, Status::Finished) {
+                let final_clock = st.clocks[target].clone();
+                st.clocks[me].join(&final_clock);
+                return;
+            }
+            st.threads[target].joiners.push(me);
+        }
+        block_current(false, "thread join");
+    }
+}
+
+fn child_main(shared: Arc<ExecShared>, id: usize, f: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            shared: Arc::clone(&shared),
+            id,
+        })
+    });
+    let run = first_wait(&shared, id);
+    let result = if run {
+        panic::catch_unwind(AssertUnwindSafe(f))
+    } else {
+        Ok(())
+    };
+    finish_thread(&shared, id, result);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Wait for the first scheduling of a freshly-spawned thread. Returns
+/// `false` if the execution aborted before the thread ever ran.
+fn first_wait(shared: &ExecShared, me: usize) -> bool {
+    let mut st = shared.m.lock().unwrap();
+    loop {
+        if st.abort {
+            st.threads[me].status = Status::Running; // finish_thread expects to transition us
+            return false;
+        }
+        if st.active == Some(me) {
+            st.threads[me].status = Status::Running;
+            return true;
+        }
+        st = shared.cv.wait(st).unwrap();
+    }
+}
+
+fn finish_thread(
+    shared: &ExecShared,
+    me: usize,
+    result: Result<(), Box<dyn std::any::Any + Send>>,
+) {
+    let mut st = shared.m.lock().unwrap();
+    if let Err(payload) = result {
+        if !payload.is::<Abort>() {
+            let msg = panic_msg(payload.as_ref());
+            st.fail(format!("model thread {me} panicked: {msg}"));
+        }
+    }
+    st.threads[me].status = Status::Finished;
+    let joiners: Vec<usize> = st.threads[me].joiners.drain(..).collect();
+    for j in joiners {
+        if matches!(st.threads[j].status, Status::Blocked { .. }) {
+            st.threads[j].status = Status::Ready;
+            st.threads[j].why = "runnable";
+        }
+    }
+    st.active = None;
+    shared.cv.notify_all();
+}
+
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Suppress the default panic printout for panics on model threads: the
+/// explorer reports them (with the failing schedule) itself. Same pattern
+/// as `fault::install_quiet_injection_hook`.
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if in_model() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// One scheduling decision: the runnable set at that point and which
+/// member was picked. The explorer mutates `pick` to enumerate.
+#[derive(Clone, Debug)]
+struct Choice {
+    options: Vec<usize>,
+    pick: usize,
+}
+
+/// Result of a completed exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of distinct interleavings executed.
+    pub executions: usize,
+}
+
+/// A failed exploration: the first failing execution, with the schedule
+/// (sequence of thread picks) that reproduces it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong (panic message, deadlock report, race report, …).
+    pub message: String,
+    /// Thread ids in scheduling order for the failing execution.
+    pub schedule: Vec<usize>,
+    /// 1-based index of the failing execution.
+    pub execution: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model check failed on execution {}: {} (schedule: {:?})",
+            self.execution, self.message, self.schedule
+        )
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// Exploration limits.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Abort exploration after this many executions (guards exponential
+    /// blow-up from an over-large model).
+    pub max_executions: usize,
+    /// Abort one execution after this many scheduler steps (guards
+    /// livelocked models, e.g. an unbounded spin loop).
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_executions: 200_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+impl Builder {
+    /// Exhaustively explore `f`; panic (with the failing schedule) on any
+    /// panic, assertion failure, data race, or deadlock.
+    pub fn check<F: Fn() + Send + Sync + 'static>(&self, f: F) -> Report {
+        match self.try_check(f) {
+            Ok(report) => report,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+
+    /// Exhaustively explore `f`, returning the first failure instead of
+    /// panicking — the hook for "teeth" tests that expect a model to fail.
+    pub fn try_check<F: Fn() + Send + Sync + 'static>(&self, f: F) -> Result<Report, Failure> {
+        assert!(!in_model(), "model::check cannot be nested inside a model");
+        install_quiet_hook();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut path: Vec<Choice> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            if executions > self.max_executions {
+                return Err(Failure {
+                    message: format!(
+                        "exploration exceeded {} executions without converging; shrink the model",
+                        self.max_executions
+                    ),
+                    schedule: Vec::new(),
+                    execution: executions,
+                });
+            }
+            if let Err((message, schedule)) = run_one(&f, &mut path, self.max_steps) {
+                return Err(Failure {
+                    message,
+                    schedule,
+                    execution: executions,
+                });
+            }
+            // Depth-first advance: bump the deepest unexhausted choice.
+            loop {
+                match path.last_mut() {
+                    None => return Ok(Report { executions }),
+                    Some(c) if c.pick + 1 < c.options.len() => {
+                        c.pick += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        path.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run one execution, replaying the decision prefix recorded in `path`
+/// and recording any new choices at the tail.
+fn run_one(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    path: &mut Vec<Choice>,
+    max_steps: usize,
+) -> Result<(), (String, Vec<usize>)> {
+    let shared = Arc::new(ExecShared {
+        m: OsMutex::new(ExecState {
+            threads: vec![Th {
+                status: Status::Ready,
+                why: "spawned",
+                joiners: Vec::new(),
+            }],
+            clocks: vec![VClock::default(); MAX_THREADS],
+            active: None,
+            abort: false,
+            failure: None,
+            schedule: Vec::new(),
+            steps: 0,
+        }),
+        cv: OsCondvar::new(),
+        handles: OsMutex::new(Vec::new()),
+    });
+    {
+        let f0 = Arc::clone(f);
+        let sh = Arc::clone(&shared);
+        let h = std::thread::Builder::new()
+            .name("model-0".to_string())
+            .spawn(move || child_main(sh, 0, Box::new(move || f0())))
+            .expect("failed to spawn model OS thread");
+        shared.handles.lock().unwrap().push(h);
+    }
+
+    let mut cursor = 0usize;
+    let outcome: Result<(), (String, Vec<usize>)> = loop {
+        let mut st = shared.m.lock().unwrap();
+        while st.active.is_some() {
+            st = shared.cv.wait(st).unwrap();
+        }
+        if st.abort || st.failure.is_some() {
+            let schedule = st.schedule.clone();
+            let message = st
+                .failure
+                .take()
+                .unwrap_or_else(|| "execution aborted".to_string());
+            break Err((message, schedule));
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(
+                    t.status,
+                    Status::Ready | Status::Blocked { can_timeout: true }
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| matches!(t.status, Status::Finished)) {
+                break Ok(());
+            }
+            let detail = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.status, Status::Finished))
+                .map(|(i, t)| format!("thread {i} blocked on {}", t.why))
+                .collect::<Vec<_>>()
+                .join("; ");
+            break Err((format!("deadlock: {detail}"), st.schedule.clone()));
+        }
+        st.steps += 1;
+        if st.steps > max_steps {
+            break Err((
+                format!("execution exceeded {max_steps} scheduler steps (livelocked model?)"),
+                st.schedule.clone(),
+            ));
+        }
+        let pick = if runnable.len() == 1 {
+            // Forced move: not a branching point, keep the path small.
+            runnable[0]
+        } else if cursor < path.len() {
+            let c = &path[cursor];
+            if c.options != runnable {
+                break Err((
+                    format!(
+                        "nondeterministic model: replay expected runnable set {:?}, found {:?} \
+                         (model state must be created inside the checked closure)",
+                        c.options, runnable
+                    ),
+                    st.schedule.clone(),
+                ));
+            }
+            let p = c.options[c.pick];
+            cursor += 1;
+            p
+        } else {
+            path.push(Choice {
+                options: runnable.clone(),
+                pick: 0,
+            });
+            cursor += 1;
+            runnable[0]
+        };
+        st.schedule.push(pick);
+        st.clocks[pick].tick(pick);
+        st.active = Some(pick);
+        shared.cv.notify_all();
+        drop(st);
+    };
+
+    // Tear down: abort unfinished threads (no-op on a clean finish) and
+    // wait for every model OS thread to exit before the next execution.
+    {
+        let mut st = shared.m.lock().unwrap();
+        st.abort = true;
+        shared.cv.notify_all();
+        while !st.threads.iter().all(|t| matches!(t.status, Status::Finished)) {
+            st = shared.cv.wait(st).unwrap();
+        }
+    }
+    for h in shared.handles.lock().unwrap().drain(..) {
+        let _ = h.join();
+    }
+    // A failure recorded during teardown (e.g. a panic that raced the
+    // scheduler) still fails the execution.
+    if outcome.is_ok() {
+        let mut st = shared.m.lock().unwrap();
+        if let Some(message) = st.failure.take() {
+            let schedule = st.schedule.clone();
+            return Err((message, schedule));
+        }
+    }
+    outcome
+}

@@ -1,0 +1,31 @@
+//! Model threads: `spawn`/`join` with happens-before edges.
+
+use super::sched;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle {
+    id: usize,
+}
+
+impl JoinHandle {
+    /// Block until the thread finishes; its effects happen-before the
+    /// return (the join edge joins its final vector clock).
+    pub fn join(self) {
+        sched::join_model(self.id);
+    }
+}
+
+/// Spawn a model thread running `f`. The spawn is a visible op and the
+/// child inherits the parent's happens-before frontier. At most
+/// [`super::MAX_THREADS`] threads may exist per execution.
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+    JoinHandle {
+        id: sched::spawn_model(Box::new(f)),
+    }
+}
+
+/// A pure scheduling point: lets the explorer interleave here without any
+/// memory effect (model analogue of `std::thread::yield_now`).
+pub fn yield_now() {
+    sched::yield_point();
+}

@@ -14,11 +14,12 @@
 //! calling thread if the run fails.
 
 use crate::fault::{EngineError, RunConfig, RunReport, Supervisor, TaskOutcome};
+use crate::shared::release_pending;
+use crate::sync::atomic::AtomicU32;
 use crate::sync::Mutex;
 use crate::trace::{Lane, SpanKind};
 use crate::TaskId;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A task in the native engine's statically-scheduled DAG.
 #[derive(Debug, Clone)]
@@ -150,14 +151,29 @@ where
             wait_from = lane.now();
             match outcome {
                 TaskOutcome::Completed => {
-                    // Release successors onto their owners' queues.
+                    // Release successors onto their owners' queues via the
+                    // checked fan-in decrement: an underflow (double
+                    // release / corrupted npred) poisons the run instead
+                    // of silently wrapping the counter.
+                    let mut underflow = false;
                     for &s in &tasks[t].succs {
-                        if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            queues.ready[tasks[s].owner % nworkers].lock().push(Entry {
-                                priority: tasks[s].priority,
-                                task: s,
-                            });
+                        match release_pending(&pending[s], s) {
+                            Ok(true) => {
+                                queues.ready[tasks[s].owner % nworkers].lock().push(Entry {
+                                    priority: tasks[s].priority,
+                                    task: s,
+                                });
+                            }
+                            Ok(false) => {}
+                            Err(e) => {
+                                supref.poison_with(EngineError::ReleaseUnderflow { task: e.succ });
+                                underflow = true;
+                                break;
+                            }
                         }
+                    }
+                    if underflow {
+                        break;
                     }
                     supref.task_done(t);
                 }
@@ -219,7 +235,7 @@ fn steal(queues: &Queues, thief: usize, nworkers: usize) -> Option<TaskId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex as StdMutex;
 
     /// Build a fork-join diamond: 0 -> {1..=w} -> w+1.
@@ -311,6 +327,32 @@ mod tests {
     #[test]
     fn empty_dag_returns_immediately() {
         run_native(&[], 4, |_, _| panic!("no task to run"));
+    }
+
+    #[test]
+    fn duplicate_successor_edge_reports_release_underflow() {
+        // Task 0 lists task 1 twice but task 1 only counts one
+        // predecessor: the second release used to wrap the counter to
+        // u32::MAX and silently mask the corrupted graph.
+        let tasks = vec![
+            NativeTask {
+                owner: 0,
+                npred: 0,
+                succs: vec![1, 1],
+                priority: 1.0,
+            },
+            NativeTask {
+                owner: 0,
+                npred: 1,
+                succs: vec![],
+                priority: 0.0,
+            },
+        ];
+        let err = run_native_checked(&tasks, 2, RunConfig::default(), |_, _| {}).unwrap_err();
+        assert!(
+            matches!(err, EngineError::ReleaseUnderflow { task: 1 }),
+            "expected ReleaseUnderflow for task 1, got: {err}"
+        );
     }
 
     #[test]

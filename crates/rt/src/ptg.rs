@@ -21,8 +21,9 @@
 
 use crate::deque::{Injector, Stealer, WorkerDeque};
 use crate::fault::{EngineError, RunConfig, RunReport, Supervisor, TaskOutcome};
+use crate::shared::release_pending;
+use crate::sync::atomic::AtomicU32;
 use crate::trace::{Lane, SpanKind};
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Algebraic task-graph description (the PTG). Task ids form the dense
 /// range `0..num_tasks()`; the shape functions must be pure.
@@ -148,11 +149,24 @@ pub fn run_ptg_checked<P: PtgProgram>(
                     program.successors(t, &mut succ_buf);
                     // Local release: highest-priority successor pushed last
                     // so the LIFO pop picks it up next (hot data path).
+                    // The checked decrement turns a double release (bad
+                    // num_predecessors / duplicate successors) into a
+                    // poisoned run instead of a wrapped counter.
                     succ_buf.sort_by(|&a, &b| program.priority(a).total_cmp(&program.priority(b)));
+                    let mut underflow = false;
                     for &s in &succ_buf {
-                        if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            local.push(s);
+                        match release_pending(&pending[s], s) {
+                            Ok(true) => local.push(s),
+                            Ok(false) => {}
+                            Err(e) => {
+                                supref.poison_with(EngineError::ReleaseUnderflow { task: e.succ });
+                                underflow = true;
+                                break;
+                            }
                         }
+                    }
+                    if underflow {
+                        break;
                     }
                     supref.task_done(t);
                 }
@@ -181,7 +195,7 @@ pub fn run_ptg_checked<P: PtgProgram>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     /// A 2D "wavefront" program: task (i, j) depends on (i-1, j) and
@@ -336,5 +350,33 @@ mod tests {
         assert_eq!(report.ntasks, 36);
         assert_eq!(report.completed, 36);
         assert_eq!(p.log.into_inner().unwrap().len(), 36);
+    }
+
+    #[test]
+    fn understated_predecessor_count_reports_release_underflow() {
+        // Task 0's successors list task 1 twice, but the program claims
+        // one predecessor: the second release underflows and must surface
+        // as a typed error, not a wrapped counter.
+        struct Corrupt;
+        impl PtgProgram for Corrupt {
+            fn num_tasks(&self) -> usize {
+                2
+            }
+            fn num_predecessors(&self, t: usize) -> u32 {
+                u32::from(t == 1)
+            }
+            fn successors(&self, t: usize, out: &mut Vec<usize>) {
+                if t == 0 {
+                    out.push(1);
+                    out.push(1);
+                }
+            }
+            fn execute(&self, _t: usize, _w: usize) {}
+        }
+        let err = run_ptg_checked(&Corrupt, 2, RunConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, EngineError::ReleaseUnderflow { task: 1 }),
+            "expected ReleaseUnderflow for task 1, got: {err}"
+        );
     }
 }

@@ -17,10 +17,9 @@
 //! [`Lane`] buffer (no shared state on the hot path) that is merged into
 //! the recorder once, when the worker exits.
 
-use crate::sync::Mutex;
+use crate::sync::{Arc, Mutex};
 use crate::TaskId;
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// Unit conventions shared by every producer and consumer of trace data.

@@ -35,10 +35,10 @@ use crate::dataflow::DataflowGraph;
 use crate::fault::{EngineError, RunConfig};
 use crate::native::{run_native_checked, NativeTask};
 use crate::ptg::{run_ptg_checked, PtgProgram};
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use crate::sync::Mutex;
 use crate::{AccessMode, DataId, RuntimeKind, TaskId};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// How a task touches a datum, as seen by the verifier.
@@ -713,6 +713,7 @@ impl RaceChecker {
 
     /// Record an access and flag any concurrent conflicting epoch.
     pub fn access(&self, data: DataId, mode: Mode, task: TaskId, worker: usize) {
+        // ORDERING: statistics counter; no memory is published.
         self.naccesses.fetch_add(1, Ordering::Relaxed);
         let comp = self.comp(task, worker);
         let c = self.clocks[worker].lock();
@@ -789,6 +790,7 @@ impl RaceChecker {
         races.dedup();
         DynamicReport {
             races,
+            // ORDERING: statistics counter; staleness is acceptable.
             naccesses: self.naccesses.load(Ordering::Relaxed),
             ntasks: self.ntasks,
             granularity: self.granularity,

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Run a curated set of unsafe-bearing test suites under Miri
+# (`cargo +nightly miri test`), the strictest UB checker available for
+# the SharedSlice / coeftab pointer code.
+#
+# Miri needs a nightly toolchain with the miri component. When either is
+# missing (offline containers cannot `rustup component add miri`), the
+# gate SKIPS with a visible warning instead of failing: the loom and TSan
+# gates still cover the concurrency half, and Miri runs wherever the
+# component exists (developer machines, CI with network).
+#
+# Usage: tools/check-miri.sh
+
+set -eu
+cd "$(dirname "$0")/.."
+
+if ! command -v cargo >/dev/null 2>&1; then
+    echo "check-miri: WARNING: cargo not found — SKIPPED" >&2
+    exit 0
+fi
+if ! cargo +nightly miri --version >/dev/null 2>&1; then
+    echo "check-miri: WARNING: 'cargo +nightly miri' unavailable (no nightly" >&2
+    echo "check-miri: toolchain or miri component not installed) — SKIPPED." >&2
+    echo "check-miri: install with: rustup +nightly component add miri" >&2
+    exit 0
+fi
+
+# Curated: the suites that exercise unsafe code, kept small because Miri
+# is ~100x slower than native. Isolation stays on (no files, no clocks
+# needed by these tests beyond what -Zmiri-disable-isolation would give).
+echo "check-miri: rt shared-slice + sync suites"
+MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo +nightly miri test -p dagfact-rt shared:: sync::
+echo "check-miri: kernels potrf/gemm suites"
+MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo +nightly miri test -p dagfact-kernels potrf gemm
+echo "check-miri: core parallel-solve suite"
+MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo +nightly miri test -p dagfact-core psolve
+echo "check-miri: clean"

@@ -4,8 +4,11 @@
 # An unwrap in an engine or the numeric phase takes the whole worker pool
 # down with a poisoned-lock cascade instead of surfacing a structured
 # EngineError/SolverError through the fault-tolerant layer. Tests are
-# exempt (#[cfg(test)] mod blocks are stripped), as are comment and doc
-# lines.
+# exempt (#[cfg(test)] / #[cfg(all(test, ...))] mod blocks are stripped),
+# as are comment and doc lines, and so is rt/src/model/ — the loom-style
+# checker backing rt::sync cannot route through the shim it implements,
+# and there a poisoned internal lock means a model thread panicked, which
+# must abort exploration (the panic IS the counterexample).
 #
 # Usage: tools/lint-unwrap.sh [dir ...]   (default: crates/rt/src crates/core/src)
 # Exits 1 listing file:line of every offender.
@@ -15,7 +18,7 @@ cd "$(dirname "$0")/.."
 dirs="${*:-crates/rt/src crates/core/src}"
 
 # shellcheck disable=SC2086
-offenders=$(find $dirs -name '*.rs' -print | sort | xargs awk '
+offenders=$(find $dirs -name '*.rs' -not -path '*/rt/src/model/*' -print | sort | xargs awk '
     function braces(s,  n) {
         # net brace depth change of a line, ignoring braces in line comments
         sub(/\/\/.*$/, "", s)
@@ -33,7 +36,7 @@ offenders=$(find $dirs -name '*.rs' -print | sort | xargs awk '
             if (opened && depth <= 0) intest = 0
             next
         }
-        if (stripped ~ /^#\[cfg\(test\)\]/) { pending = 1; next }
+        if (stripped ~ /^#\[cfg\((all\()?test[,)]/) { pending = 1; next }
         if (pending) {
             pending = 0
             if (stripped ~ /^(pub +)?mod / && stripped !~ /;[ \t]*$/) {
