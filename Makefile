@@ -1,6 +1,6 @@
 # Convenience targets. The canonical gate is `make check`.
 
-.PHONY: build test bench check check-robust check-analysis check-memory check-trace check-concurrency check-loom check-miri check-tsan lint-safety lint-strict clippy
+.PHONY: build test bench check check-robust check-analysis check-memory check-trace check-concurrency check-serve check-loom check-miri check-tsan lint-safety lint-strict clippy
 
 build:
 	cargo build --release
@@ -17,10 +17,11 @@ bench:
 	cargo run -q --release -p dagfact-bench --bin ablation
 	cargo run -q --release -p dagfact-bench --bin memsweep
 	cargo run -q --release -p dagfact-bench --bin tracesweep
+	cargo run -q --release -p dagfact-bench --bin servesweep
 
 # The full gate: robustness + static-analysis + memory-budget +
-# observability + concurrency-verification suites.
-check: check-robust check-analysis check-memory check-trace check-concurrency
+# observability + concurrency-verification + serving suites.
+check: check-robust check-analysis check-memory check-trace check-concurrency check-serve
 
 # Full robustness gate: the whole test suite plus the fault-injection and
 # recovery suites with backtraces on, then a warning-free clippy pass.
@@ -58,6 +59,18 @@ check-trace:
 	RUST_BACKTRACE=1 cargo test -q -p dagfact-bench --lib
 	RUST_BACKTRACE=1 cargo test -q -p dagfact-cli trace
 	cargo run -q --release -p dagfact-bench --bin tracesweep
+
+# Serving gate (DESIGN.md §12): the serve crate's unit suites, the
+# job-spec mutation fuzzer, the fault-injected concurrent soak (random
+# panics/alloc faults/deadlines — no contamination, typed rejections),
+# the CLI serve-mode tests, and the release-mode cache-latency sweep
+# (factor hits must be ≥5x faster than cold).
+check-serve:
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-serve
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-serve --test jobspec_fuzz
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-serve --test service_soak
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-cli serve
+	cargo run -q --release -p dagfact-bench --bin servesweep
 
 # Concurrency-verification gate (DESIGN.md §11): exhaustive loom models
 # of the five runtime protocols, then the best-effort real-execution

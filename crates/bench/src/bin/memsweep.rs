@@ -44,6 +44,7 @@ fn exec(budget: Arc<MemoryBudget>, spill_dir: Option<std::path::PathBuf>) -> Exe
             watchdog: Some(Duration::from_secs(60)),
             budget: Some(budget),
             trace: None,
+            cancel: None,
         },
         epsilon_override: None,
         spill_dir,

@@ -1,0 +1,265 @@
+//! Service latency sweep: run the three Table-I proxy problems through
+//! `dagfact-serve` and measure what the request-level caches buy —
+//! cold (no reuse), pattern-hit (analysis cached, numeric factorization
+//! fresh) and factor-hit (numeric factors cached, solve only) — then
+//! p50/p99 end-to-end latency under concurrent factor-hit load.
+//!
+//! ```text
+//! cargo run -p dagfact-bench --bin servesweep --release
+//! ```
+//!
+//! Output: a human-readable table on stdout plus `results/servesweep.json`.
+//! Exits non-zero if any job fails or the factor-hit path is not at
+//! least 5× faster than cold, so the Makefile can gate on it.
+
+use dagfact_bench::{write_results, Json};
+use dagfact_serve::{JobSpec, MatrixSource, ReusePolicy, ServeConfig, Service};
+use dagfact_sparse::{gen, CscMatrix};
+use dagfact_symbolic::FactoKind;
+use std::time::Instant;
+
+/// Repetitions per latency tier (medians are reported).
+const REPS: usize = 3;
+/// Concurrent clients and jobs-per-client in the load phase.
+const CLIENTS: usize = 4;
+const JOBS_PER_CLIENT: usize = 25;
+/// Acceptance gate: factor hits must beat cold by at least this factor.
+const MIN_FACTOR_SPEEDUP: f64 = 5.0;
+
+fn triplets_of(a: &CscMatrix<f64>) -> Vec<(usize, usize, f64)> {
+    let p = a.pattern();
+    let mut out = Vec::with_capacity(a.nnz());
+    for j in 0..a.ncols() {
+        for (k, &i) in p.col(j).iter().enumerate() {
+            out.push((i, j, a.values()[p.colptr()[j] + k]));
+        }
+    }
+    out
+}
+
+fn spec_for(a: &CscMatrix<f64>, facto: FactoKind, reuse: ReusePolicy, tag: &str) -> JobSpec {
+    JobSpec {
+        matrix: MatrixSource::Inline {
+            n: a.nrows(),
+            triplets: triplets_of(a),
+        },
+        facto,
+        threads: 2,
+        refine: 2,
+        reuse,
+        tag: Some(tag.to_string()),
+        ..JobSpec::default()
+    }
+}
+
+/// Wall-clock latency of one blocking job, in microseconds.
+fn timed_job(service: &Service, spec: JobSpec, failures: &mut usize) -> Option<f64> {
+    let t0 = Instant::now();
+    match service.solve_blocking(spec) {
+        Ok(_) => Some(t0.elapsed().as_secs_f64() * 1e6),
+        Err(e) => {
+            eprintln!("job failed: {e:?}");
+            *failures += 1;
+            None
+        }
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    samples[samples.len() / 2]
+}
+
+/// Nearest-rank percentile of a sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let problems: Vec<(&str, CscMatrix<f64>, FactoKind)> = vec![
+        ("audi-proxy", gen::grid_laplacian_3d(16, 16, 16), FactoKind::Cholesky),
+        (
+            "serena-proxy",
+            gen::shifted_laplacian_3d(14, 14, 14, 1.0),
+            FactoKind::Ldlt,
+        ),
+        (
+            "mhd-proxy",
+            gen::convection_diffusion_3d(12, 12, 12, 0.4),
+            FactoKind::Lu,
+        ),
+    ];
+    println!(
+        "service sweep: {} proxies, {REPS} reps/tier, {CLIENTS}x{JOBS_PER_CLIENT} concurrent jobs",
+        problems.len()
+    );
+    println!(
+        "{:<14} {:>6} | {:>10} {:>10} {:>10} | {:>8}",
+        "Matrix", "Method", "cold µs", "pat µs", "fact µs", "speedup"
+    );
+
+    let mut failures = 0usize;
+    let mut records = Vec::new();
+    let mut worst_speedup = f64::INFINITY;
+    let service = Service::start(ServeConfig {
+        workers: CLIENTS,
+        queue_cap: 2 * CLIENTS * JOBS_PER_CLIENT,
+        ..ServeConfig::default()
+    });
+
+    for (name, a, facto) in &problems {
+        // Cold: reuse=none bypasses both caches — the full pipeline
+        // (load, ordering, symbolic analysis, factorization, solve)
+        // runs on every request.
+        let mut cold: Vec<f64> = (0..REPS)
+            .filter_map(|r| {
+                let spec = spec_for(a, *facto, ReusePolicy::None, &format!("{name}-cold{r}"));
+                timed_job(&service, spec, &mut failures)
+            })
+            .collect();
+        // Warm both caches once (this request pays the fill).
+        let _ = timed_job(
+            &service,
+            spec_for(a, *facto, ReusePolicy::Factors, &format!("{name}-warm")),
+            &mut failures,
+        );
+        // Pattern hit: analysis from cache, numeric factorization fresh.
+        let mut pattern: Vec<f64> = (0..REPS)
+            .filter_map(|r| {
+                let spec = spec_for(a, *facto, ReusePolicy::Pattern, &format!("{name}-pat{r}"));
+                timed_job(&service, spec, &mut failures)
+            })
+            .collect();
+        // Factor hit: cached numeric factors, solve + refinement only.
+        let mut factor: Vec<f64> = (0..REPS)
+            .filter_map(|r| {
+                let spec = spec_for(a, *facto, ReusePolicy::Factors, &format!("{name}-fac{r}"));
+                timed_job(&service, spec, &mut failures)
+            })
+            .collect();
+        if cold.is_empty() || pattern.is_empty() || factor.is_empty() {
+            eprintln!("{name}: a latency tier produced no samples");
+            failures += 1;
+            continue;
+        }
+        let (c, p, f) = (median(&mut cold), median(&mut pattern), median(&mut factor));
+        let speedup = c / f;
+        worst_speedup = worst_speedup.min(speedup);
+        println!(
+            "{:<14} {:>6} | {:>10.0} {:>10.0} {:>10.0} | {:>7.1}x",
+            name,
+            format!("{facto:?}"),
+            c,
+            p,
+            f,
+            speedup
+        );
+        records.push(
+            Json::obj()
+                .field("matrix", *name)
+                .field("facto", format!("{facto:?}"))
+                .field("n", a.nrows())
+                .field("nnz", a.nnz())
+                .field("cold_us", c)
+                .field("pattern_hit_us", p)
+                .field("factor_hit_us", f)
+                .field("factor_speedup", speedup),
+        );
+    }
+
+    // Concurrent load: every client hammers the warmed factor caches
+    // with interleaved problems; end-to-end wall-clock per request.
+    let load_specs: Vec<JobSpec> = problems
+        .iter()
+        .map(|(name, a, facto)| spec_for(a, *facto, ReusePolicy::Factors, &format!("{name}-load")))
+        .collect();
+    let t_load = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let service = &service;
+                let load_specs = &load_specs;
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(JOBS_PER_CLIENT);
+                    let mut client_failures = 0usize;
+                    for r in 0..JOBS_PER_CLIENT {
+                        let spec = load_specs[(c + r) % load_specs.len()].clone();
+                        if let Some(us) = timed_job(service, spec, &mut client_failures) {
+                            lats.push(us);
+                        }
+                    }
+                    (lats, client_failures)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            let (lats, f) = h.join().expect("client thread");
+            all.extend(lats);
+            failures += f;
+        }
+        all
+    });
+    let load_wall = t_load.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (p50, p99) = if latencies.is_empty() {
+        failures += 1;
+        (f64::NAN, f64::NAN)
+    } else {
+        (percentile(&latencies, 50.0), percentile(&latencies, 99.0))
+    };
+    println!(
+        "concurrent load: {} jobs in {:.2}s — p50 {:.0}µs p99 {:.0}µs",
+        latencies.len(),
+        load_wall,
+        p50,
+        p99
+    );
+
+    let stats = service.shutdown();
+    let doc = Json::obj()
+        .field("bench", "servesweep")
+        .field("tiers", records)
+        .field(
+            "concurrent",
+            Json::obj()
+                .field("clients", CLIENTS)
+                .field("jobs_per_client", JOBS_PER_CLIENT)
+                .field("completed", latencies.len())
+                .field("wall_s", load_wall)
+                .field("p50_us", p50)
+                .field("p99_us", p99),
+        )
+        .field(
+            "service",
+            Json::obj()
+                .field("submitted", stats.submitted)
+                .field("completed", stats.completed)
+                .field("failed", stats.failed)
+                .field("pattern_cache_hits", stats.pattern_cache.hits)
+                .field("factor_cache_hits", stats.factor_cache.hits),
+        )
+        .field("min_factor_speedup_required", MIN_FACTOR_SPEEDUP)
+        .field("worst_factor_speedup", worst_speedup)
+        .field("failures", failures);
+    match write_results("servesweep", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write results: {e}");
+            failures += 1;
+        }
+    }
+    if worst_speedup < MIN_FACTOR_SPEEDUP {
+        eprintln!(
+            "FAIL: factor-hit speedup {worst_speedup:.1}x is below the \
+             {MIN_FACTOR_SPEEDUP:.0}x acceptance gate"
+        );
+        std::process::exit(1);
+    }
+    if failures > 0 {
+        eprintln!("FAIL: {failures} job failure(s)");
+        std::process::exit(1);
+    }
+    println!("OK: factor hits ≥{MIN_FACTOR_SPEEDUP:.0}x faster than cold on every proxy");
+}

@@ -68,12 +68,30 @@ struct Opts {
     gpus: usize,
     policy: SimPolicy,
     no_dynamic: bool,
+    serve: ServeOpts,
+}
+
+/// Options specific to the `serve` subcommand.
+#[derive(Debug, Clone, Default)]
+struct ServeOpts {
+    workers: usize,
+    queue_cap: usize,
+    deadline_ms: Option<u64>,
+    /// Job-spec file (one job per line, `-` = stdin) for batch mode.
+    jobs: Option<String>,
+    /// TCP listen address for HTTP mode.
+    listen: Option<String>,
+    /// Stop the HTTP loop after this many requests (tests, soaks).
+    max_requests: Option<usize>,
 }
 
 /// Entry point: parse `args` (without the program name), execute, return
 /// the report text.
 pub fn run(args: &[String]) -> Result<String, String> {
     let opts = parse(args)?;
+    if opts.command == "serve" {
+        return serve_cmd(&opts);
+    }
     let complex = matrix_is_complex(&opts.matrix)?;
     if complex {
         dispatch::<C64>(&opts, true)
@@ -84,19 +102,24 @@ pub fn run(args: &[String]) -> Result<String, String> {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage:\n  dagfact analyze  <matrix.mtx> [--facto auto|chol|ldlt|lu]\n  dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]\n                   [--threads N] [--rhs file] [--refine N] [--output file]\n                   [--fault-plan spec] [--max-refactor-attempts N]\n                   [--mem-budget bytes[K|M|G]] [--spill-dir path]\n                   [--trace file.json] [--metrics]\n  dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]\n                   [--policy pastix|starpu|parsec] [--streams N]\n                   [--trace file.json]\n  dagfact verify   <matrix.mtx> [--facto …] [--threads N] [--no-dynamic]"
+    "usage:\n  dagfact analyze  <matrix.mtx> [--facto auto|chol|ldlt|lu]\n  dagfact solve    <matrix.mtx> [--facto …] [--runtime native|starpu|parsec]\n                   [--threads N] [--rhs file] [--refine N] [--output file]\n                   [--fault-plan spec] [--max-refactor-attempts N]\n                   [--mem-budget bytes[K|M|G]] [--spill-dir path]\n                   [--trace file.json] [--metrics]\n  dagfact simulate <matrix.mtx> [--facto …] [--cores N] [--gpus N]\n                   [--policy pastix|starpu|parsec] [--streams N]\n                   [--trace file.json]\n  dagfact verify   <matrix.mtx> [--facto …] [--threads N] [--no-dynamic]\n  dagfact serve    (--jobs file|- | --listen addr:port) [--workers N]\n                   [--queue-cap N] [--deadline-ms N] [--max-requests N]\n                   [--mem-budget bytes[K|M|G]] [--fault-plan spec]"
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
     let mut it = args.iter();
     let command = it.next().ok_or_else(|| usage().to_string())?.clone();
-    if !["analyze", "solve", "simulate", "verify"].contains(&command.as_str()) {
+    if !["analyze", "solve", "simulate", "verify", "serve"].contains(&command.as_str()) {
         return Err(format!("unknown command {command:?}\n{}", usage()));
     }
-    let matrix = it
-        .next()
-        .ok_or_else(|| format!("{command}: missing matrix file\n{}", usage()))?
-        .clone();
+    // `serve` is a daemon: jobs carry their own matrices, so there is no
+    // matrix positional.
+    let matrix = if command == "serve" {
+        String::new()
+    } else {
+        it.next()
+            .ok_or_else(|| format!("{command}: missing matrix file\n{}", usage()))?
+            .clone()
+    };
     let mut opts = Opts {
         command,
         matrix,
@@ -116,6 +139,11 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         gpus: 0,
         policy: SimPolicy::ParsecLike { streams: 3 },
         no_dynamic: false,
+        serve: ServeOpts {
+            workers: 2,
+            queue_cap: 32,
+            ..ServeOpts::default()
+        },
     };
     let mut streams = 3usize;
     let mut policy_name = String::from("parsec");
@@ -166,6 +194,12 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--streams" => streams = parse_num(&value()?)?,
             "--no-dynamic" => opts.no_dynamic = true,
             "--policy" => policy_name = value()?,
+            "--workers" => opts.serve.workers = parse_num(&value()?)?.max(1),
+            "--queue-cap" => opts.serve.queue_cap = parse_num(&value()?)?.max(1),
+            "--deadline-ms" => opts.serve.deadline_ms = Some(parse_num(&value()?)? as u64),
+            "--jobs" => opts.serve.jobs = Some(value()?),
+            "--listen" => opts.serve.listen = Some(value()?),
+            "--max-requests" => opts.serve.max_requests = Some(parse_num(&value()?)?),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -195,6 +229,84 @@ fn parse_bytes(s: &str) -> Result<usize, String> {
         .map_err(|e| format!("bad byte size {s:?}: {e}"))?;
     n.checked_mul(mult)
         .ok_or_else(|| format!("byte size {s:?} overflows"))
+}
+
+/// The `serve` subcommand: start the solve daemon, feed it jobs from a
+/// file/stdin (batch mode) or over HTTP (`--listen`), and report the
+/// final service counters. One JSON object per answered job, one final
+/// `stats` line — machine-readable end to end.
+fn serve_cmd(opts: &Opts) -> Result<String, String> {
+    use dagfact_serve::{JobSpec, ServeConfig, Service};
+    let budget = match opts.mem_budget {
+        Some(cap) => MemoryBudget::with_cap(cap),
+        None => MemoryBudget::unbounded(),
+    };
+    let fault_plan = match &opts.fault_plan {
+        Some(spec) => Some(std::sync::Arc::new(
+            FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?,
+        )),
+        None => None,
+    };
+    let config = ServeConfig {
+        workers: opts.serve.workers,
+        queue_cap: opts.serve.queue_cap,
+        budget,
+        default_deadline_ms: opts.serve.deadline_ms,
+        fault_plan,
+        ..ServeConfig::default()
+    };
+    let service = Service::start(config);
+    let mut out = String::new();
+    match (&opts.serve.jobs, &opts.serve.listen) {
+        (Some(jobs), None) => {
+            let text = if jobs == "-" {
+                use std::io::Read as _;
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("reading stdin: {e}"))?;
+                buf
+            } else {
+                std::fs::read_to_string(jobs).map_err(|e| format!("cannot read {jobs}: {e}"))?
+            };
+            // Submit everything first so the pool works the batch
+            // concurrently, then collect in order.
+            let mut pending = Vec::new();
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let ticket = JobSpec::parse(line)
+                    .map_err(dagfact_serve::JobError::BadRequest)
+                    .and_then(|spec| service.submit(spec));
+                pending.push(ticket);
+            }
+            for entry in pending {
+                let line = match entry.and_then(|ticket| ticket.wait()) {
+                    Ok(resp) => resp.to_json(false),
+                    Err(e) => e.to_json(),
+                };
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        (None, Some(addr)) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            let local = listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| addr.clone());
+            let _ = writeln!(out, "listening on {local}");
+            let handled = dagfact_serve::serve_http(listener, &service, opts.serve.max_requests)
+                .map_err(|e| format!("serve loop: {e}"))?;
+            let _ = writeln!(out, "handled {handled} request(s)");
+        }
+        _ => return Err(format!("serve needs exactly one of --jobs or --listen\n{}", usage())),
+    }
+    let stats = service.shutdown();
+    let _ = writeln!(out, "stats {}", stats.to_json());
+    Ok(out)
 }
 
 /// Sniff the Matrix Market header for the `complex` field.
@@ -604,6 +716,53 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("backward err"), "{out}");
+    }
+
+    #[test]
+    fn parse_bytes_rejects_overflowing_suffix() {
+        // Regression: the suffix multiplier must use checked_mul, so an
+        // absurd --mem-budget value parses to an error, not a wrapped
+        // (tiny) cap.
+        let err = parse_bytes("99999999999999999G").unwrap_err();
+        assert!(err.contains("overflow"), "{err}");
+        assert_eq!(parse_bytes("4G").unwrap(), 4 << 30);
+        assert_eq!(parse_bytes("512").unwrap(), 512);
+    }
+
+    #[test]
+    fn serve_runs_a_job_batch_with_cache_reuse() {
+        let path = write_temp("servebatch", &grid_laplacian_3d(5, 5, 5));
+        let jobs = std::env::temp_dir().join("dagfact-cli-test-jobs.txt");
+        let text = format!(
+            "# two identical jobs: the second must hit the factor cache\n\
+             matrix={path} refine=2 tag=first\n\
+             matrix={path} refine=2 tag=second\n\
+             inline=2:0,0,1;1,1,-1 facto=cholesky tag=bad\n"
+        );
+        std::fs::write(&jobs, text).unwrap();
+        let out = run(&args(&[
+            "serve", "--jobs", jobs.to_str().unwrap(), "--workers", "1",
+        ]))
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"factor_hit\":false"), "{out}");
+        assert!(lines[0].contains("\"tag\":\"first\""), "{out}");
+        assert!(lines[1].contains("\"factor_hit\":true"), "{out}");
+        assert!(lines[1].contains("\"generation\":1"), "{out}");
+        // The indefinite matrix fails typed; the daemon kept serving.
+        assert!(lines[2].contains("\"status\":\"error\""), "{out}");
+        assert!(out.contains("\"completed\":2"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_conflicting_modes() {
+        let err = run(&args(&["serve"])).unwrap_err();
+        assert!(err.contains("--jobs or --listen"), "{err}");
+        let err = run(&args(&[
+            "serve", "--jobs", "x", "--listen", "127.0.0.1:0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--jobs or --listen"), "{err}");
     }
 
     #[test]

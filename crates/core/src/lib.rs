@@ -31,6 +31,7 @@ pub mod distributed;
 pub mod numeric;
 pub mod psolve;
 pub mod refine;
+pub mod service;
 pub mod simulate;
 pub mod solve;
 pub mod solver;
@@ -43,6 +44,7 @@ pub use verify::{EngineReport, VerifyOptions, VerifyOutcome};
 pub use distributed::{fan_in_study, CommStats, FanInStudy};
 pub use numeric::{ExecOptions, FactorStats, Factors};
 pub use refine::RefinedSolve;
+pub use service::SharedFactors;
 pub use solver::Solver;
 pub use simulate::{build_sim_dag, simulate_factorization, SimOptions};
 
@@ -152,6 +154,18 @@ impl SolverError {
                     | dagfact_kernels::KernelError::NonFinitePivot { .. }
             ) | SolverError::NonFinite { .. }
                 | SolverError::RefinementStalled { .. }
+        )
+    }
+
+    /// `true` when the run was cancelled through a
+    /// [`dagfact_rt::CancelToken`] (deadline, shutdown): the factors
+    /// never materialized, nothing about the problem itself is wrong,
+    /// and the same job resubmitted without the deadline would likely
+    /// succeed.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(
+            self,
+            SolverError::Engine(dagfact_rt::EngineError::Cancelled { .. })
         )
     }
 

@@ -1,0 +1,217 @@
+//! Shareable analysis/factor handles for long-lived solver services.
+//!
+//! The repeated-factorization regime the paper's runtime argument is
+//! strongest in (FEM time-stepping, circuit simulation: *same sparsity
+//! pattern, new values* and *same factors, new right-hand side*) needs
+//! the analysis and the numeric factors to outlive a single
+//! [`crate::Solver`] call so a cache can hand them to many requests.
+//! [`SharedFactors`] is that handle: it owns an `Arc<Analysis>`, a clone
+//! of the factorized matrix (for iterative refinement), and the numeric
+//! [`Factors`] borrowing the shared analysis — with the same
+//! self-reference discipline as [`crate::Solver`], made sharable by the
+//! `Arc` (the analysis heap allocation is stable no matter how many
+//! caches and jobs hold the handle).
+
+use crate::analysis::Analysis;
+use crate::numeric::{ExecOptions, FactorStats, Factors};
+use crate::refine::RefinedSolve;
+use crate::SolverError;
+use dagfact_kernels::Scalar;
+use dagfact_rt::RuntimeKind;
+use dagfact_sparse::CscMatrix;
+use std::sync::Arc;
+
+/// Numeric factors bound to a shared (`Arc`ed) analysis, self-contained
+/// enough to be cached and served across requests: the handle carries
+/// everything `solve` / `solve_refined` need.
+pub struct SharedFactors<T: Scalar> {
+    // Field order is load-bearing: `factors` borrows the Arc'ed analysis
+    // below and must drop first (fields drop in declaration order).
+    factors: Factors<'static, T>,
+    matrix: CscMatrix<T>,
+    analysis: Arc<Analysis>,
+}
+
+impl<T: Scalar> SharedFactors<T> {
+    /// Numerically factorize `a` against the shared `analysis`, with the
+    /// same adaptive recovery loop as [`crate::Solver`]: numeric
+    /// breakdown retries with an escalated static-pivot threshold,
+    /// injected allocation faults retry at the same threshold, both
+    /// bounded by [`crate::SolverOptions::max_refactor_attempts`].
+    pub fn factorize(
+        analysis: Arc<Analysis>,
+        a: &CscMatrix<T>,
+        runtime: RuntimeKind,
+        threads: usize,
+        exec: &ExecOptions,
+    ) -> Result<SharedFactors<T>, SolverError> {
+        // SAFETY: `factors` borrows the analysis through this fake
+        // 'static reference. The `Arc` heap allocation is stable for the
+        // life of the returned struct (the struct holds a clone of the
+        // Arc), the reference is never exposed with the fake lifetime,
+        // and the field order drops the borrower first.
+        let analysis_ref: &'static Analysis = unsafe { &*Arc::as_ptr(&analysis) };
+        let options = &analysis.options;
+        let mut epsilon = exec
+            .epsilon_override
+            .unwrap_or(options.static_pivot_epsilon);
+        let mut history: Vec<f64> = Vec::new();
+        let mut attempt = 0u32;
+        let factors = loop {
+            attempt += 1;
+            history.push(epsilon);
+            let exec_try = ExecOptions {
+                run: exec.run.clone(),
+                epsilon_override: Some(epsilon),
+                spill_dir: exec.spill_dir.clone(),
+            };
+            match analysis_ref.factorize_with::<T>(a, runtime, threads, &exec_try) {
+                Ok(mut f) => {
+                    f.stats.attempts = attempt;
+                    f.stats.epsilon_history = history;
+                    break f;
+                }
+                Err(e)
+                    if attempt < options.max_refactor_attempts
+                        && e.is_recoverable_by_pivoting() =>
+                {
+                    epsilon = crate::solver::escalate_epsilon(epsilon);
+                }
+                Err(e)
+                    if attempt < options.max_refactor_attempts && e.is_transient_alloc() => {}
+                Err(e) => return Err(e),
+            }
+        };
+        Ok(SharedFactors {
+            factors,
+            matrix: a.clone(),
+            analysis,
+        })
+    }
+
+    /// The shared analysis these factors were built against.
+    pub fn analysis(&self) -> &Arc<Analysis> {
+        &self.analysis
+    }
+
+    /// Execution statistics of the factorization.
+    pub fn stats(&self) -> &FactorStats {
+        &self.factors.stats
+    }
+
+    /// Number of pivots bumped by static pivoting.
+    pub fn pivots_repaired(&self) -> usize {
+        self.factors.pivots_repaired
+    }
+
+    /// Solve `A·x = b`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        self.factors.solve(b)
+    }
+
+    /// Solve for `nrhs` column-major right-hand sides in one blocked
+    /// sweep.
+    pub fn solve_many(&self, b: &[T], nrhs: usize) -> Vec<T> {
+        self.factors.solve_many(b, nrhs)
+    }
+
+    /// Solve with iterative refinement, reporting divergence as a typed
+    /// error (the handle carries the matrix the factors were built from,
+    /// so refinement needs no extra arguments).
+    pub fn solve_refined_checked(
+        &self,
+        b: &[T],
+        max_iter: usize,
+        tol: f64,
+    ) -> Result<RefinedSolve<T>, SolverError> {
+        self.factors
+            .solve_refined_checked(&self.matrix, b, max_iter, tol)
+    }
+
+    /// Resident footprint of the handle in bytes (coefficient storage +
+    /// LDLᵀ diagonal + the retained matrix) — what a cache should charge
+    /// to a [`dagfact_rt::MemoryBudget`] ledger for holding it.
+    pub fn resident_bytes(&self) -> usize {
+        let elt = core::mem::size_of::<T>();
+        let sides = if self.factors.tab.has_u() { 2 } else { 1 };
+        let coef = self.factors.tab.layout.len.saturating_mul(elt * sides);
+        let diag = self.factors.d.len().saturating_mul(elt);
+        // CSC: values + row indices + column pointers.
+        let matrix = self
+            .matrix
+            .nnz()
+            .saturating_mul(elt + core::mem::size_of::<usize>())
+            .saturating_add((self.matrix.ncols() + 1) * core::mem::size_of::<usize>());
+        coef.saturating_add(diag).saturating_add(matrix)
+    }
+}
+
+impl Analysis {
+    /// Resident footprint of the analysis in bytes (permutation + block
+    /// symbolic structure) — what a pattern cache should charge to a
+    /// [`dagfact_rt::MemoryBudget`] ledger for holding it. An estimate:
+    /// the symbol structure dominates and is counted exactly; small
+    /// side tables are approximated.
+    pub fn resident_bytes(&self) -> usize {
+        let usz = core::mem::size_of::<usize>();
+        let perm = self.perm.perm().len().saturating_mul(2 * usz);
+        let cblks = core::mem::size_of_val(&self.symbol.cblks[..]);
+        let blocks = self
+            .symbol
+            .blocks
+            .len()
+            .saturating_mul(6 * usz)
+            .saturating_add(self.symbol.col_to_cblk.len() * usz);
+        perm.saturating_add(cblks).saturating_add(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::SolverOptions;
+    use dagfact_sparse::gen::grid_laplacian_3d;
+    use dagfact_symbolic::FactoKind;
+
+    #[test]
+    fn shared_factors_solve_multiple_rhs_from_one_analysis() {
+        let a = grid_laplacian_3d(6, 6, 6);
+        let analysis = Arc::new(Analysis::new(
+            a.pattern(),
+            FactoKind::Cholesky,
+            &SolverOptions::default(),
+        ));
+        let sf = SharedFactors::factorize(
+            analysis.clone(),
+            &a,
+            RuntimeKind::Native,
+            2,
+            &ExecOptions::default(),
+        )
+        .expect("factorize");
+        // Same analysis, second factorization with scaled values: the
+        // pattern handle is genuinely reusable.
+        let scaled = CscMatrix::new(
+            a.pattern().clone(),
+            a.values().iter().map(|v| v * 2.0).collect(),
+        );
+        let sf2 = SharedFactors::factorize(
+            analysis.clone(),
+            &scaled,
+            RuntimeKind::Native,
+            2,
+            &ExecOptions::default(),
+        )
+        .expect("refactorize");
+        let n = a.nrows();
+        let mut b = vec![0.0; n];
+        a.spmv(&vec![1.0; n], &mut b);
+        let r = sf.solve_refined_checked(&b, 2, 1e-12).expect("solve");
+        assert!(r.residuals.last().copied().unwrap_or(1.0) < 1e-12);
+        // 2A·x = b  →  x = ones/2.
+        let x2 = sf2.solve(&b);
+        assert!(x2.iter().all(|v| (v - 0.5).abs() < 1e-9), "scaled solve wrong");
+        assert!(sf.resident_bytes() > 0);
+        assert!(analysis.resident_bytes() > 0);
+    }
+}

@@ -29,7 +29,7 @@ use dagfact_symbolic::FactoKind;
 /// Escalation schedule of the adaptive recovery loop: a disabled
 /// threshold restarts at the default, an active one grows geometrically
 /// (capped — past 1e-2·‖A‖∞ the "factorization" is no longer meaningful).
-fn escalate_epsilon(eps: f64) -> f64 {
+pub(crate) fn escalate_epsilon(eps: f64) -> f64 {
     if eps <= 0.0 {
         1e-8
     } else {

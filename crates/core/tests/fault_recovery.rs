@@ -31,8 +31,7 @@ fn resilient_with(plan: FaultPlan) -> ExecOptions {
             fault_plan: Some(Arc::new(plan)),
             retry: RetryPolicy::retrying(),
             watchdog: Some(Duration::from_secs(20)),
-            budget: None,
-            trace: None,
+            ..RunConfig::default()
         },
         epsilon_override: None,
         spill_dir: None,

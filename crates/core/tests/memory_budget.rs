@@ -57,6 +57,7 @@ fn exec(
             watchdog: Some(Duration::from_secs(30)),
             budget: Some(budget),
             trace: None,
+            cancel: None,
         },
         epsilon_override: None,
         spill_dir: spill.map(|s| s.0.clone()),

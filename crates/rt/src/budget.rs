@@ -56,6 +56,9 @@ pub mod site {
     pub const ASSEMBLY: usize = 6;
     /// Fault-in of a spilled panel during solve or update.
     pub const SPILL_READBACK: usize = 7;
+    /// Long-lived service caches (analysis / factor handles held across
+    /// requests by `dagfact-serve`); the first shed victim under load.
+    pub const CACHE: usize = 8;
     /// Base for per-panel materialization sites: panel `c` of side L
     /// charges at `PANEL_BASE + key(c)`.
     pub const PANEL_BASE: usize = 64;

@@ -285,10 +285,11 @@ impl FaultPlan {
     }
 
     /// Parse a CLI-style plan: comma-separated directives
-    /// `seed=N`, `panic=T`, `transient=TxK`, `delay=T:MICROS`, `nan=P`,
-    /// `tprob=P.PxK` (sampled transients), `pprob=P.P` (sampled panics),
-    /// `alloc=SITExK` (pinned allocation failures), `aprob=P.PxK`
-    /// (sampled allocation failures).
+    /// `seed=N`, `panic=T`, `transient=TxK`, `delay=T:MICROS`, `nan=P`
+    /// (or `nan=PxK` for K corruptions), `tprob=P.PxK` (sampled
+    /// transients), `pprob=P.P` (sampled panics), `dprob=P.P:MICROS`
+    /// (sampled delays), `alloc=SITExK` (pinned allocation failures),
+    /// `aprob=P.PxK` (sampled allocation failures).
     /// Example: `seed=42,transient=3x2,nan=0,tprob=0.05x1,alloc=4x2`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new();
@@ -314,7 +315,13 @@ impl FaultPlan {
                         .ok_or_else(|| format!("{item:?}: expected delay=TASK:MICROS"))?;
                     plan = plan.delay_on(num(t)? as usize, Duration::from_micros(num(us)?));
                 }
-                "nan" => plan = plan.corrupt_panel(num(value)? as usize),
+                // `nan=P` corrupts panel P once; `nan=PxK` its first K runs.
+                "nan" => match value.split_once('x') {
+                    Some((p, k)) => {
+                        plan = plan.corrupt_panel_times(num(p)? as usize, num(k)? as u32);
+                    }
+                    None => plan = plan.corrupt_panel(num(value)? as usize),
+                },
                 "tprob" => {
                     let (p, k) = value
                         .split_once('x')
@@ -325,6 +332,13 @@ impl FaultPlan {
                 "pprob" => {
                     let p: f64 = value.parse().map_err(|e| format!("{item:?}: {e}"))?;
                     plan = plan.random_panic(p);
+                }
+                "dprob" => {
+                    let (p, us) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("{item:?}: expected dprob=PROB:MICROS"))?;
+                    let p: f64 = p.parse().map_err(|e| format!("{item:?}: {e}"))?;
+                    plan = plan.random_delay(p, Duration::from_micros(num(us)?));
                 }
                 "alloc" => {
                     let (s, k) = value
@@ -343,6 +357,62 @@ impl FaultPlan {
             }
         }
         Ok(plan)
+    }
+}
+
+impl core::fmt::Display for FaultPlan {
+    /// Canonical spec form of the plan, round-trippable through
+    /// [`FaultPlan::parse`]: directives in a fixed order (seed, pinned
+    /// faults sorted by task, corruptions sorted by panel, sampled
+    /// modes, alloc faults), so two plans with the same content render
+    /// identically. Surfaced in [`RunReport::fault_plan`] so a failing
+    /// soak run is reproducible from its report alone.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        let mut pinned: Vec<(usize, FaultKind)> =
+            self.pinned.iter().map(|(&t, &k)| (t, k)).collect();
+        pinned.sort_by_key(|&(t, _)| t);
+        for (task, kind) in pinned {
+            match kind {
+                FaultKind::Panic => parts.push(format!("panic={task}")),
+                FaultKind::Transient { failures } => {
+                    parts.push(format!("transient={task}x{failures}"));
+                }
+                FaultKind::Delay { micros } => parts.push(format!("delay={task}:{micros}")),
+            }
+        }
+        let mut corrupt: Vec<(usize, u32)> =
+            self.corrupt.lock().iter().map(|(&p, &k)| (p, k)).collect();
+        corrupt.sort_by_key(|&(p, _)| p);
+        for (panel, times) in corrupt {
+            if times == 1 {
+                parts.push(format!("nan={panel}"));
+            } else {
+                parts.push(format!("nan={panel}x{times}"));
+            }
+        }
+        if let Some((p, k)) = self.random_transient {
+            parts.push(format!("tprob={p}x{k}"));
+        }
+        if let Some(p) = self.random_panic {
+            parts.push(format!("pprob={p}"));
+        }
+        if let Some((p, micros)) = self.random_delay {
+            parts.push(format!("dprob={p}:{micros}"));
+        }
+        let mut alloc: Vec<(usize, u32)> =
+            self.alloc_pinned.iter().map(|(&s, &k)| (s, k)).collect();
+        alloc.sort_by_key(|&(s, _)| s);
+        for (site, failures) in alloc {
+            parts.push(format!("alloc={site}x{failures}"));
+        }
+        if let Some((p, k)) = self.random_alloc {
+            parts.push(format!("aprob={p}x{k}"));
+        }
+        write!(f, "{}", parts.join(","))
     }
 }
 
@@ -394,6 +464,54 @@ impl RetryPolicy {
     }
 }
 
+/// Cooperative cancellation handle for a checked engine run, shared
+/// between the run's [`RunConfig`] and an external controller (a
+/// deadline timer, a service shutdown path). Firing the token makes the
+/// supervisor poison the run with [`EngineError::Cancelled`] at the next
+/// task boundary — in-flight task bodies are never interrupted midway,
+/// so cancellation can never leave partially-written panels behind; the
+/// run simply refuses to start more work and drains.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    fired: AtomicBool,
+    reason: Mutex<Option<String>>,
+}
+
+impl CancelToken {
+    /// Fresh, un-fired token.
+    pub fn new() -> Arc<CancelToken> {
+        Arc::new(CancelToken::default())
+    }
+
+    /// Fire the token. The first caller's `reason` wins; firing is
+    /// idempotent and monotone (a fired token never un-fires).
+    pub fn cancel(&self, reason: &str) {
+        {
+            let mut guard = self.reason.lock();
+            if guard.is_none() {
+                *guard = Some(reason.to_string());
+            }
+        }
+        // ORDERING: Release pairs with the Acquire in `is_cancelled` so
+        // the reason written above is visible to whoever observes `true`.
+        self.fired.store(true, Ordering::Release);
+    }
+
+    /// Has the token been fired?
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    /// The reason the token was fired with (or a placeholder before it
+    /// fires — callers check [`CancelToken::is_cancelled`] first).
+    pub fn reason(&self) -> String {
+        self.reason
+            .lock()
+            .clone()
+            .unwrap_or_else(|| "cancelled".to_string())
+    }
+}
+
 /// Configuration of one checked engine run.
 #[derive(Debug, Clone, Default)]
 pub struct RunConfig {
@@ -414,6 +532,10 @@ pub struct RunConfig {
     /// queue-wait / execute / steal spans into it (see [`crate::trace`]);
     /// when `None` the instrumentation costs one branch per hook.
     pub trace: Option<Arc<crate::trace::TraceRecorder>>,
+    /// Optional cancellation token (deadline-bounded jobs, shutdown).
+    /// When fired, the run is poisoned with [`EngineError::Cancelled`]
+    /// at the next task boundary and drains.
+    pub cancel: Option<Arc<CancelToken>>,
 }
 
 impl RunConfig {
@@ -425,6 +547,7 @@ impl RunConfig {
             watchdog: Some(Duration::from_secs(30)),
             budget: None,
             trace: None,
+            cancel: None,
         }
     }
 }
@@ -478,6 +601,15 @@ pub enum EngineError {
         /// The successor whose counter underflowed.
         task: TaskId,
     },
+    /// The run's [`CancelToken`] fired (deadline expired, service
+    /// shutdown): remaining tasks were abandoned at a task boundary and
+    /// the partial factorization was discarded, never returned.
+    Cancelled {
+        /// The reason the token was fired with.
+        reason: String,
+        /// Tasks not yet completed when the cancellation was honored.
+        remaining: usize,
+    },
 }
 
 impl core::fmt::Display for EngineError {
@@ -513,6 +645,10 @@ impl core::fmt::Display for EngineError {
                  decremented below zero (duplicate edge or understated \
                  predecessor count)"
             ),
+            EngineError::Cancelled { reason, remaining } => write!(
+                f,
+                "run cancelled ({reason}) with {remaining} task(s) abandoned"
+            ),
         }
     }
 }
@@ -532,6 +668,10 @@ pub struct RunReport {
     pub faults_injected: usize,
     /// `(task, attempts)` for every task needing more than one attempt.
     pub task_attempts: Vec<(TaskId, u32)>,
+    /// Canonical spec of the active fault plan (round-trips through
+    /// [`FaultPlan::parse`]), so a failing soak run is reproducible from
+    /// the report alone. `None` when no plan was installed.
+    pub fault_plan: Option<String>,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Memory-ledger snapshot (peaks, spill/throttle/shed counters) when
@@ -671,12 +811,52 @@ impl Supervisor {
         self.poisoned.store(true, Ordering::Release);
     }
 
+    /// Honor a fired [`CancelToken`]: poison the run with
+    /// [`EngineError::Cancelled`] and report `true`. Cheap (one Acquire
+    /// load) when no token is installed or it has not fired.
+    fn check_cancel(&self) -> bool {
+        let Some(token) = self.config.cancel.as_deref() else {
+            return false;
+        };
+        if !token.is_cancelled() {
+            return false;
+        }
+        self.poison_with(EngineError::Cancelled {
+            reason: token.reason(),
+            remaining: self.remaining(),
+        });
+        true
+    }
+
+    /// Retry backoff that stays responsive to halts: sleeps `total` in
+    /// millisecond slices, returning early as soon as the run is poisoned
+    /// or the cancel token fires — a long exponential backoff must never
+    /// delay a deadline cancellation or keep a poisoned run alive.
+    fn backoff_sleep(&self, total: Duration) {
+        let start = Instant::now();
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= total || self.halted() {
+                return;
+            }
+            if let Some(token) = self.config.cancel.as_deref() {
+                if token.is_cancelled() {
+                    return;
+                }
+            }
+            std::thread::sleep((total - elapsed).min(Duration::from_millis(1)));
+        }
+    }
+
     /// Run one attempt of `task` under the panic net, with fault injection
     /// and retry/backoff handling. The engine re-enqueues on
     /// [`TaskOutcome::Retry`], releases successors and calls
     /// [`Supervisor::task_done`] on [`TaskOutcome::Completed`], and drains
     /// on [`TaskOutcome::Aborted`].
     pub fn run_task<F: FnOnce()>(&self, task: TaskId, body: F) -> TaskOutcome {
+        if self.check_cancel() {
+            return TaskOutcome::Aborted;
+        }
         if self.done[task].load(Ordering::Acquire) {
             self.poison_with(EngineError::DuplicateExecution { task });
             return TaskOutcome::Aborted;
@@ -701,7 +881,7 @@ impl Supervisor {
                         // ORDERING: statistics counter; no memory is
                         // published.
                         self.retries.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(self.config.retry.backoff_for(attempt));
+                        self.backoff_sleep(self.config.retry.backoff_for(attempt));
                         self.note_progress();
                         TaskOutcome::Retry
                     } else {
@@ -735,6 +915,9 @@ impl Supervisor {
     /// detected and recorded).
     pub fn idle_check(&self) -> bool {
         if self.halted() || self.remaining() == 0 {
+            return true;
+        }
+        if self.check_cancel() {
             return true;
         }
         let Some(window) = self.config.watchdog else {
@@ -797,6 +980,11 @@ impl Supervisor {
                 .as_deref()
                 .map_or(0, FaultPlan::faults_injected),
             task_attempts,
+            fault_plan: self
+                .config
+                .fault_plan
+                .as_deref()
+                .map(|p| p.to_string()),
             elapsed: self.start.elapsed(),
             memory: self
                 .config
@@ -961,6 +1149,169 @@ mod tests {
             Err(EngineError::DuplicateExecution { task: 0 }) => {}
             other => panic!("expected DuplicateExecution, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let specs = [
+            "seed=9,transient=3x2,panic=7,delay=1:250,nan=0,tprob=0.05x1",
+            "panic=2,nan=4x3,pprob=0.125,dprob=0.25:100,alloc=64x2,aprob=0.5x3",
+            "seed=42",
+            "",
+        ];
+        for spec in specs {
+            let plan = FaultPlan::parse(spec).unwrap();
+            let shown = plan.to_string();
+            let reparsed = FaultPlan::parse(&shown)
+                .unwrap_or_else(|e| panic!("display of {spec:?} did not reparse: {e}"));
+            assert_eq!(reparsed.to_string(), shown, "canonical form unstable for {spec:?}");
+        }
+        // Multi-directive plans render sorted and dense.
+        let plan = FaultPlan::with_seed(5).panic_on(9).transient_on(2, 3);
+        assert_eq!(plan.to_string(), "seed=5,transient=2x3,panic=9");
+    }
+
+    #[test]
+    fn run_report_logs_the_active_plan() {
+        let plan = Arc::new(FaultPlan::parse("seed=3,transient=0x1").unwrap());
+        let sup = Supervisor::new(1, RunConfig {
+            fault_plan: Some(plan),
+            retry: RetryPolicy::retrying(),
+            ..RunConfig::default()
+        });
+        assert_eq!(sup.run_task(0, || {}), TaskOutcome::Retry);
+        assert_eq!(sup.run_task(0, || {}), TaskOutcome::Completed);
+        sup.task_done(0);
+        let report = sup.finish().unwrap();
+        let spec = report.fault_plan.expect("plan must be logged");
+        assert_eq!(spec, "seed=3,transient=0x1");
+        // The logged spec is executable as-is.
+        FaultPlan::parse(&spec).unwrap();
+        // Plain runs log nothing.
+        let sup = Supervisor::new(0, RunConfig::default());
+        assert_eq!(sup.finish().unwrap().fault_plan, None);
+    }
+
+    #[test]
+    fn zero_task_graph_finishes_immediately() {
+        let sup = Supervisor::new(0, RunConfig {
+            watchdog: Some(Duration::from_millis(5)),
+            ..RunConfig::default()
+        });
+        assert_eq!(sup.remaining(), 0);
+        // An idle worker on an empty graph is told "run over", never
+        // "stalled" — even after the watchdog window has long expired.
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(sup.idle_check());
+        assert!(!sup.halted(), "empty graph must not poison");
+        let report = sup.finish().unwrap();
+        assert_eq!(report.ntasks, 0);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn cancel_token_aborts_at_the_next_task_boundary() {
+        let token = CancelToken::new();
+        let sup = Supervisor::new(2, RunConfig {
+            cancel: Some(token.clone()),
+            ..RunConfig::default()
+        });
+        // A deadline shorter than one task: the token fires while the
+        // body runs. The in-flight body is never interrupted (no partial
+        // writes), but nothing further is dispatched.
+        let mid_task = token.clone();
+        assert_eq!(
+            sup.run_task(0, move || mid_task.cancel("deadline 1ms exceeded")),
+            TaskOutcome::Completed
+        );
+        sup.task_done(0);
+        assert_eq!(sup.run_task(1, || panic!("must not dispatch")), TaskOutcome::Aborted);
+        assert!(sup.halted());
+        // `halted()` is monotone: still true on every later observation.
+        assert!(sup.halted());
+        assert!(sup.idle_check(), "idle workers drain after cancellation");
+        match sup.finish() {
+            Err(EngineError::Cancelled { reason, remaining }) => {
+                assert!(reason.contains("deadline"), "{reason}");
+                assert_eq!(remaining, 1);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_during_retry_backoff_returns_promptly() {
+        let plan = Arc::new(FaultPlan::new().transient_on(0, 99));
+        let token = CancelToken::new();
+        let sup = Supervisor::new(1, RunConfig {
+            fault_plan: Some(plan),
+            retry: RetryPolicy {
+                max_attempts: 10,
+                backoff: Duration::from_secs(30),
+                backoff_factor: 2.0,
+            },
+            cancel: Some(token.clone()),
+            ..RunConfig::default()
+        });
+        let canceller = std::thread::spawn({
+            let token = token.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(20));
+                token.cancel("deadline");
+            }
+        });
+        // The transient failure schedules a 30 s backoff; the token fires
+        // 20 ms in and the sliced sleep must notice — no lost wakeup, no
+        // full backoff served.
+        let t0 = Instant::now();
+        let outcome = sup.run_task(0, || {});
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "backoff ignored the cancellation ({:?})",
+            t0.elapsed()
+        );
+        canceller.join().expect("canceller");
+        // The retry outcome stands; the *next* dispatch honors the token.
+        assert_eq!(outcome, TaskOutcome::Retry);
+        assert_eq!(sup.run_task(0, || {}), TaskOutcome::Aborted);
+        assert!(sup.halted());
+        assert!(sup.halted(), "halted() is monotone");
+        assert!(matches!(sup.finish(), Err(EngineError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn poison_during_retry_backoff_returns_promptly() {
+        let plan = Arc::new(FaultPlan::new().transient_on(0, 99));
+        let sup = Arc::new(Supervisor::new(2, RunConfig {
+            fault_plan: Some(plan),
+            retry: RetryPolicy {
+                max_attempts: 10,
+                backoff: Duration::from_secs(30),
+                backoff_factor: 2.0,
+            },
+            ..RunConfig::default()
+        }));
+        let poisoner = std::thread::spawn({
+            let sup = sup.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(20));
+                sup.poison_with(EngineError::TaskPanicked {
+                    task: 1,
+                    message: "peer died".into(),
+                    attempts: 1,
+                });
+            }
+        });
+        let t0 = Instant::now();
+        let outcome = sup.run_task(0, || {});
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "backoff ignored the halt ({:?})",
+            t0.elapsed()
+        );
+        poisoner.join().expect("poisoner");
+        assert_eq!(outcome, TaskOutcome::Retry);
+        assert!(sup.halted());
     }
 
     #[test]

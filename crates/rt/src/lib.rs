@@ -62,7 +62,7 @@ pub mod verify;
 
 pub use budget::{BudgetError, MemoryBudget, MemoryStats, PhaseStats, PressureLevel};
 pub use fault::{
-    EngineError, FaultPlan, RetryPolicy, RunConfig, RunReport, TransientFault,
+    CancelToken, EngineError, FaultPlan, RetryPolicy, RunConfig, RunReport, TransientFault,
 };
 pub use shared::{release_pending, ReleaseUnderflow, SharedSlice};
 pub use trace::{Span, SpanKind, Trace, TraceRecorder};

@@ -97,8 +97,7 @@ fn panic_config() -> RunConfig {
         fault_plan: Some(Arc::new(FaultPlan::new().panic_on(NTASKS / 2))),
         retry: RetryPolicy::default(),
         watchdog: Some(Duration::from_secs(10)),
-        budget: None,
-        trace: None,
+        ..RunConfig::default()
     }
 }
 
@@ -107,8 +106,7 @@ fn transient_config() -> RunConfig {
         fault_plan: Some(Arc::new(FaultPlan::new().transient_on(NTASKS / 2, 2))),
         retry: RetryPolicy::retrying(),
         watchdog: Some(Duration::from_secs(10)),
-        budget: None,
-        trace: None,
+        ..RunConfig::default()
     }
 }
 
@@ -254,8 +252,7 @@ fn retry_budget_exhaustion_is_an_error() {
         fault_plan: Some(Arc::new(FaultPlan::new().transient_on(3, 99))),
         retry: RetryPolicy::retrying(),
         watchdog: Some(Duration::from_secs(10)),
-        budget: None,
-        trace: None,
+        ..RunConfig::default()
     };
     let tasks = chain_tasks();
     let result = with_timeout(|| run_native_checked(&tasks, NWORKERS, config, |_, _| {}));
@@ -333,8 +330,7 @@ fn random_transients_complete_on_every_engine() {
         fault_plan: plan(),
         retry: RetryPolicy::retrying(),
         watchdog: Some(Duration::from_secs(10)),
-        budget: None,
-        trace: None,
+        ..RunConfig::default()
     };
 
     let (native, dataflow, ptg) = with_timeout(|| {

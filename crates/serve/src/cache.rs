@@ -1,0 +1,404 @@
+//! Generation-tracked, budget-charged cache for analyses and factors.
+//!
+//! The integrity contract of the service's caches (DESIGN.md §12): every
+//! entry is in one of three states — **Filling** (one job is computing
+//! it, others wait), **Ready** (safe to serve) or **Poisoned** (the
+//! filling job panicked or was cancelled mid-fill). A poisoned entry is
+//! *never* served; the next job that wants the key refills it under a
+//! **bumped generation**, so a response's generation number proves which
+//! fill produced its answer. Resident bytes are charged to the service's
+//! [`MemoryBudget`] ledger at [`site::CACHE`]; when a charge is refused,
+//! least-recently-used Ready entries are evicted first, and the admission
+//! controller may shed the whole cache under pressure.
+
+use crate::job::JobError;
+use dagfact_rt::budget::{site, MemoryBudget};
+use dagfact_rt::sync::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache observability counters (monotone; snapshot via
+/// [`GenCache::stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a Ready entry.
+    pub hits: u64,
+    /// Lookups that had to fill.
+    pub misses: u64,
+    /// Lookups that waited for a concurrent fill and got its result.
+    pub shared_fills: u64,
+    /// Entries evicted to make room (LRU) or shed under pressure.
+    pub evictions: u64,
+    /// Fills that poisoned their entry (panic or error mid-fill).
+    pub poisonings: u64,
+    /// Entries currently resident.
+    pub resident: usize,
+    /// Bytes currently charged to the ledger.
+    pub resident_bytes: usize,
+}
+
+enum Slot<V> {
+    /// A job is computing the value; waiters sleep on the condvar.
+    Filling,
+    /// Safe to serve.
+    Ready {
+        value: Arc<V>,
+        bytes: usize,
+        gen: u64,
+        last_used: u64,
+    },
+    /// The fill died; never served, refilled under `gen + 1`.
+    Poisoned { gen: u64 },
+}
+
+struct Inner<K, V> {
+    map: HashMap<K, Slot<V>>,
+    stats: CacheStats,
+}
+
+/// See the module docs. `K` is a content hash (pattern hash, or
+/// pattern+values hash), `V` the cached artifact (`Analysis`,
+/// `SharedFactors`).
+pub struct GenCache<K, V> {
+    inner: Mutex<Inner<K, V>>,
+    cond: Condvar,
+    /// LRU clock: bumped on every touch.
+    clock: AtomicU64,
+    budget: Arc<MemoryBudget>,
+}
+
+/// A successful lookup: the value plus the generation that produced it.
+#[derive(Debug)]
+pub struct CacheHit<V> {
+    /// The cached artifact.
+    pub value: Arc<V>,
+    /// Generation of the fill that produced it (≥ 1; poisoned fills
+    /// never yield a hit, so a response can cite this as integrity
+    /// proof).
+    pub generation: u64,
+    /// `false` when this call performed the fill itself.
+    pub was_hit: bool,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> GenCache<K, V> {
+    /// A cache charging to `budget` (use
+    /// [`MemoryBudget::unbounded`] for accounting without caps).
+    pub fn new(budget: Arc<MemoryBudget>) -> Self {
+        GenCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                stats: CacheStats::default(),
+            }),
+            cond: Condvar::new(),
+            clock: AtomicU64::new(1),
+            budget,
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        // ORDERING: pure LRU clock; only monotonicity matters.
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Look up `key`, filling it with `fill` on miss. Concurrent
+    /// requests for the same key deduplicate: one computes, the rest
+    /// wait. A `fill` that panics (or errors) poisons the entry for
+    /// itself only — waiters get a typed error, the *next* request
+    /// refills under a bumped generation, and no later request can ever
+    /// observe the poisoned artifact.
+    pub fn get_or_fill<F>(&self, key: &K, fill: F) -> Result<CacheHit<V>, JobError>
+    where
+        F: FnOnce() -> Result<(V, usize), JobError>,
+    {
+        enum Action<V> {
+            Hit(Arc<V>, u64),
+            Wait,
+            Fill(u64),
+        }
+        let gen = {
+            let mut inner = self.inner.lock();
+            loop {
+                let action = match inner.map.get_mut(key) {
+                    Some(Slot::Ready {
+                        value,
+                        gen,
+                        last_used,
+                        ..
+                    }) => {
+                        *last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                        Action::Hit(value.clone(), *gen)
+                    }
+                    Some(Slot::Filling) => Action::Wait,
+                    // Take over a poisoned slot's refill under a fresh
+                    // generation.
+                    Some(Slot::Poisoned { gen }) => Action::Fill(*gen + 1),
+                    None => Action::Fill(1),
+                };
+                match action {
+                    Action::Hit(value, generation) => {
+                        inner.stats.hits += 1;
+                        return Ok(CacheHit {
+                            value,
+                            generation,
+                            was_hit: true,
+                        });
+                    }
+                    Action::Wait => {
+                        // The fill may succeed (Ready), die (Poisoned —
+                        // taken over next iteration) or be evicted (None).
+                        inner.stats.shared_fills += 1;
+                        inner = self.cond.wait(inner);
+                    }
+                    Action::Fill(next) => {
+                        inner.map.insert(key.clone(), Slot::Filling);
+                        inner.stats.misses += 1;
+                        break next;
+                    }
+                }
+            }
+        };
+        // Fill outside the lock; a panic must poison only this entry.
+        let outcome = catch_unwind(AssertUnwindSafe(fill));
+        let mut inner = self.inner.lock();
+        match outcome {
+            Ok(Ok((value, bytes))) => {
+                let bytes = self.make_room(&mut inner, bytes, key);
+                match bytes {
+                    Some(bytes) => {
+                        let value = Arc::new(value);
+                        inner.map.insert(
+                            key.clone(),
+                            Slot::Ready {
+                                value: value.clone(),
+                                bytes,
+                                gen,
+                                last_used: self.tick(),
+                            },
+                        );
+                        inner.stats.resident = inner.map.len();
+                        inner.stats.resident_bytes += bytes;
+                        self.cond.notify_all();
+                        Ok(CacheHit {
+                            value,
+                            generation: gen,
+                            was_hit: false,
+                        })
+                    }
+                    None => {
+                        // Could not charge even after evicting everything:
+                        // hand the value to this caller uncached.
+                        inner.map.remove(key);
+                        inner.stats.resident = inner.map.len();
+                        self.cond.notify_all();
+                        Ok(CacheHit {
+                            value: Arc::new(value),
+                            generation: gen,
+                            was_hit: false,
+                        })
+                    }
+                }
+            }
+            Ok(Err(e)) => {
+                inner.map.insert(key.clone(), Slot::Poisoned { gen });
+                inner.stats.poisonings += 1;
+                inner.stats.resident = inner.map.len();
+                self.cond.notify_all();
+                Err(e)
+            }
+            Err(panic) => {
+                inner.map.insert(key.clone(), Slot::Poisoned { gen });
+                inner.stats.poisonings += 1;
+                inner.stats.resident = inner.map.len();
+                self.cond.notify_all();
+                Err(JobError::Panicked(panic_message(&panic)))
+            }
+        }
+    }
+
+    /// Charge `bytes` for `key`, evicting LRU Ready entries until the
+    /// ledger accepts. `None` when the charge cannot fit even with the
+    /// cache empty (the value is then returned uncached).
+    fn make_room(&self, inner: &mut Inner<K, V>, bytes: usize, key: &K) -> Option<usize> {
+        loop {
+            match self.budget.try_charge(bytes, site::CACHE) {
+                Ok(()) => return Some(bytes),
+                Err(_) => {
+                    let victim = inner
+                        .map
+                        .iter()
+                        .filter_map(|(k, slot)| match slot {
+                            Slot::Ready { last_used, .. } if k != key => {
+                                Some((last_used, k))
+                            }
+                            _ => None,
+                        })
+                        .min_by_key(|(lu, _)| **lu)
+                        .map(|(_, k)| k.clone());
+                    match victim {
+                        Some(k) => {
+                            if let Some(Slot::Ready { bytes: b, .. }) = inner.map.remove(&k) {
+                                self.budget.release(b);
+                                inner.stats.resident_bytes -= b;
+                                inner.stats.evictions += 1;
+                            }
+                        }
+                        None => return None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shed every Ready entry (admission controller under pressure).
+    /// In-flight fills and poison markers stay; returns bytes released.
+    pub fn shed(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let keys: Vec<K> = inner
+            .map
+            .iter()
+            .filter_map(|(k, slot)| match slot {
+                Slot::Ready { .. } => Some(k.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut freed = 0usize;
+        for k in keys {
+            if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&k) {
+                self.budget.release(bytes);
+                inner.stats.resident_bytes -= bytes;
+                inner.stats.evictions += 1;
+                freed += bytes;
+            }
+        }
+        inner.stats.resident = inner.map.len();
+        freed
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats.clone()
+    }
+}
+
+/// Best-effort panic payload extraction (mirrors the engine's).
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> GenCache<u64, String> {
+        GenCache::new(MemoryBudget::unbounded())
+    }
+
+    #[test]
+    fn fill_then_hit_with_same_generation() {
+        let c = cache();
+        let a = c.get_or_fill(&7, || Ok(("seven".to_string(), 100))).unwrap();
+        assert!(!a.was_hit);
+        assert_eq!(a.generation, 1);
+        let b = c.get_or_fill(&7, || panic!("must not refill")).unwrap();
+        assert!(b.was_hit);
+        assert_eq!(b.generation, 1);
+        assert_eq!(*b.value, "seven");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn panicked_fill_poisons_only_its_generation() {
+        let c = cache();
+        let err = c
+            .get_or_fill(&1, || -> Result<(String, usize), JobError> {
+                panic!("boom in fill")
+            })
+            .unwrap_err();
+        assert!(matches!(err, JobError::Panicked(_)), "{err:?}");
+        // The refill must run (not serve the poisoned slot) and must
+        // carry a bumped generation.
+        let again = c
+            .get_or_fill(&1, || Ok(("recovered".to_string(), 10)))
+            .unwrap();
+        assert!(!again.was_hit);
+        assert_eq!(again.generation, 2, "refill must bump the generation");
+        assert_eq!(*again.value, "recovered");
+        assert_eq!(c.stats().poisonings, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_cap() {
+        let budget = MemoryBudget::with_cap(250);
+        let c: GenCache<u64, String> = GenCache::new(budget.clone());
+        c.get_or_fill(&1, || Ok(("a".into(), 100))).unwrap();
+        c.get_or_fill(&2, || Ok(("b".into(), 100))).unwrap();
+        // Touch 1 so 2 is the LRU victim.
+        c.get_or_fill(&1, || unreachable!()).unwrap();
+        c.get_or_fill(&3, || Ok(("c".into(), 100))).unwrap();
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        // 2 was evicted; 1 survived.
+        assert!(c.get_or_fill(&1, || unreachable!()).unwrap().was_hit);
+        let refilled = c.get_or_fill(&2, || Ok(("b2".into(), 100))).unwrap();
+        assert!(!refilled.was_hit, "evicted entry must refill");
+        assert!(budget.used() <= 250);
+    }
+
+    #[test]
+    fn oversized_value_is_served_uncached() {
+        let budget = MemoryBudget::with_cap(50);
+        let c: GenCache<u64, String> = GenCache::new(budget.clone());
+        let hit = c.get_or_fill(&1, || Ok(("big".into(), 1000))).unwrap();
+        assert_eq!(*hit.value, "big");
+        assert_eq!(budget.used(), 0, "uncachable value must not leak charge");
+        // Next lookup refills (nothing was cached).
+        let again = c.get_or_fill(&1, || Ok(("big2".into(), 1000))).unwrap();
+        assert!(!again.was_hit);
+    }
+
+    #[test]
+    fn concurrent_fills_deduplicate() {
+        let c = Arc::new(cache());
+        let fills = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            let fills = fills.clone();
+            handles.push(std::thread::spawn(move || {
+                let hit = c
+                    .get_or_fill(&42, || {
+                        fills.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        Ok(("shared".to_string(), 10))
+                    })
+                    .unwrap();
+                assert_eq!(*hit.value, "shared");
+                assert_eq!(hit.generation, 1);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fills.load(Ordering::SeqCst), 1, "exactly one fill");
+    }
+
+    #[test]
+    fn shed_empties_ready_entries_and_releases_budget() {
+        let budget = MemoryBudget::with_cap(1000);
+        let c: GenCache<u64, String> = GenCache::new(budget.clone());
+        c.get_or_fill(&1, || Ok(("a".into(), 100))).unwrap();
+        c.get_or_fill(&2, || Ok(("b".into(), 200))).unwrap();
+        assert_eq!(c.shed(), 300);
+        assert_eq!(budget.used(), 0);
+        assert!(!c.get_or_fill(&1, || Ok(("a2".into(), 100))).unwrap().was_hit);
+    }
+}

@@ -1,0 +1,604 @@
+//! The persistent solve service: bounded queue, isolated workers,
+//! deadline enforcement, admission control, graceful degradation.
+//!
+//! Lifecycle of a job (DESIGN.md §12):
+//!
+//! 1. **admission** — [`Service::submit`] rejects typed-and-fast when the
+//!    service is draining, the queue is full, or memory pressure stays
+//!    critical after shedding the factor cache;
+//! 2. **execution** — a worker thread runs the job under `catch_unwind`
+//!    with a per-job [`CancelToken`] wired into the engine's
+//!    [`RunConfig`]; the deadline monitor fires the token when the job's
+//!    deadline passes, and the engines abandon remaining tasks at the
+//!    next task boundary — a cancelled job answers
+//!    [`JobError::Deadline`], never a partial solution;
+//! 3. **caching** — the ordering+symbolic analysis is keyed by a content
+//!    hash of the sparsity pattern, numeric factors by pattern+values;
+//!    both live in [`GenCache`]s whose entries carry a generation and an
+//!    integrity state, so a fill that panics poisons only itself;
+//! 4. **response** — a typed [`JobResponse`] (with cache provenance) or
+//!    a typed [`JobError`]; the daemon survives either.
+
+use crate::cache::{panic_message, CacheStats, GenCache};
+use crate::job::{JobError, JobResponse, JobSpec, MatrixSource, ReusePolicy, RhsSource};
+use dagfact_core::{Analysis, ExecOptions, SharedFactors, SolverError, SolverOptions};
+use dagfact_rt::budget::{MemoryBudget, PressureLevel};
+use dagfact_rt::sync::{Condvar, Mutex};
+use dagfact_rt::{CancelToken, FaultPlan, RetryPolicy, RunConfig};
+use dagfact_sparse::mm::read_matrix_market_file;
+use dagfact_sparse::{CscMatrix, TripletBuilder};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the job queue (each job may itself run a
+    /// multi-threaded factorization).
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it answer
+    /// [`JobError::Overloaded`].
+    pub queue_cap: usize,
+    /// Shared memory ledger: factorizations charge it while running and
+    /// both caches charge resident entries to it.
+    pub budget: Arc<MemoryBudget>,
+    /// Deadline applied to jobs that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Engine-level retry policy for transient task failures, and the
+    /// cap for the service-level refactorization retries.
+    pub retry: RetryPolicy,
+    /// Stall watchdog handed to every job's engine run.
+    pub watchdog: Option<Duration>,
+    /// Fault-injection plan (chaos testing) applied to every job.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 32,
+            budget: MemoryBudget::unbounded(),
+            default_deadline_ms: None,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff: Duration::from_millis(1),
+                backoff_factor: 2.0,
+            },
+            watchdog: Some(Duration::from_secs(10)),
+            fault_plan: None,
+        }
+    }
+}
+
+/// Monotone service counters (snapshot via [`Service::stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Jobs accepted by admission control.
+    pub submitted: u64,
+    /// Jobs answered with a solution.
+    pub completed: u64,
+    /// Jobs answered `Deadline`.
+    pub deadlines: u64,
+    /// Jobs rejected `Overloaded` (queue or pressure).
+    pub rejected: u64,
+    /// Jobs answered `Panicked`.
+    pub panics: u64,
+    /// Jobs answered with any other typed error.
+    pub failed: u64,
+    /// Factor-cache shed events triggered by admission control.
+    pub sheds: u64,
+    /// Current queue depth.
+    pub queue_depth: usize,
+    /// Pattern-cache counters.
+    pub pattern_cache: CacheStats,
+    /// Factor-cache counters.
+    pub factor_cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// Compact JSON rendering for the HTTP `/stats` endpoint.
+    pub fn to_json(&self) -> String {
+        let cache = |c: &CacheStats| {
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"poisonings\":{},\
+                 \"resident\":{},\"resident_bytes\":{}}}",
+                c.hits, c.misses, c.evictions, c.poisonings, c.resident, c.resident_bytes
+            )
+        };
+        format!(
+            "{{\"submitted\":{},\"completed\":{},\"deadlines\":{},\"rejected\":{},\
+             \"panics\":{},\"failed\":{},\"sheds\":{},\"queue_depth\":{},\
+             \"pattern_cache\":{},\"factor_cache\":{}}}",
+            self.submitted,
+            self.completed,
+            self.deadlines,
+            self.rejected,
+            self.panics,
+            self.failed,
+            self.sheds,
+            self.queue_depth,
+            cache(&self.pattern_cache),
+            cache(&self.factor_cache),
+        )
+    }
+}
+
+/// Handle to a submitted job; [`JobTicket::wait`] blocks for the typed
+/// outcome.
+pub struct JobTicket {
+    state: Arc<TicketState>,
+}
+
+struct TicketState {
+    done: Mutex<Option<Result<JobResponse, JobError>>>,
+    cond: Condvar,
+}
+
+impl JobTicket {
+    /// Block until the job finishes (or is rejected post-queue).
+    pub fn wait(self) -> Result<JobResponse, JobError> {
+        let mut guard = self.state.done.lock();
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            guard = self.state.cond.wait(guard);
+        }
+    }
+}
+
+struct QueuedJob {
+    spec: JobSpec,
+    submitted: Instant,
+    ticket: Arc<TicketState>,
+}
+
+struct ServiceInner {
+    config: ServeConfig,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cond: Condvar,
+    shutting_down: AtomicBool,
+    pattern_cache: GenCache<u64, Analysis>,
+    factor_cache: GenCache<(u64, u64, u8), SharedFactors<f64>>,
+    deadlines: Mutex<Vec<(Instant, Arc<CancelToken>)>>,
+    deadline_cond: Condvar,
+    counters: Mutex<ServiceStats>,
+    shed_events: AtomicU64,
+}
+
+/// The running daemon. Dropping it drains in-flight jobs and joins the
+/// workers.
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start the worker pool and the deadline monitor.
+    pub fn start(config: ServeConfig) -> Service {
+        let inner = Arc::new(ServiceInner {
+            pattern_cache: GenCache::new(config.budget.clone()),
+            factor_cache: GenCache::new(config.budget.clone()),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cond: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            deadlines: Mutex::new(Vec::new()),
+            deadline_cond: Condvar::new(),
+            counters: Mutex::new(ServiceStats::default()),
+            shed_events: AtomicU64::new(0),
+        });
+        let workers = (0..inner.config.workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let monitor = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("serve-deadline".into())
+                .spawn(move || deadline_loop(&inner))
+                .expect("spawn deadline monitor")
+        };
+        Service {
+            inner,
+            workers,
+            monitor: Some(monitor),
+        }
+    }
+
+    /// Admission control + enqueue. Fast typed rejections; never blocks
+    /// on solver work.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, JobError> {
+        let inner = &self.inner;
+        // ORDERING: the flag is a monotone drain latch; Acquire pairs
+        // with the Release in `shutdown`.
+        if inner.shutting_down.load(Ordering::Acquire) {
+            return Err(JobError::ShuttingDown);
+        }
+        // Degradation ladder: at critical memory pressure shed the cached
+        // factors (largest reclaimable residents) before giving up; only
+        // reject when even that leaves the ledger past the throttle line.
+        if inner.config.budget.level() >= PressureLevel::Red {
+            let freed = inner.factor_cache.shed() + inner.pattern_cache.shed();
+            inner.shed_events.fetch_add(1, Ordering::Relaxed);
+            if inner.config.budget.level() >= PressureLevel::Red {
+                let mut c = inner.counters.lock();
+                c.rejected += 1;
+                return Err(JobError::Overloaded(format!(
+                    "memory pressure {:.0}% after shedding {freed} cached bytes",
+                    inner.config.budget.pressure() * 100.0
+                )));
+            }
+        }
+        let ticket = Arc::new(TicketState {
+            done: Mutex::new(None),
+            cond: Condvar::new(),
+        });
+        {
+            let mut q = inner.queue.lock();
+            if q.len() >= inner.config.queue_cap {
+                let mut c = inner.counters.lock();
+                c.rejected += 1;
+                return Err(JobError::Overloaded(format!(
+                    "queue full ({} jobs)",
+                    q.len()
+                )));
+            }
+            q.push_back(QueuedJob {
+                spec,
+                submitted: Instant::now(),
+                ticket: ticket.clone(),
+            });
+            let mut c = inner.counters.lock();
+            c.submitted += 1;
+            c.queue_depth = q.len();
+        }
+        inner.queue_cond.notify_one();
+        Ok(JobTicket { state: ticket })
+    }
+
+    /// Submit and wait — the one-call client path.
+    pub fn solve_blocking(&self, spec: JobSpec) -> Result<JobResponse, JobError> {
+        self.submit(spec)?.wait()
+    }
+
+    /// Counter snapshot (queue depth and cache stats included).
+    pub fn stats(&self) -> ServiceStats {
+        let mut s = self.inner.counters.lock().clone();
+        s.queue_depth = self.inner.queue.lock().len();
+        s.sheds = self.inner.shed_events.load(Ordering::Relaxed);
+        s.pattern_cache = self.inner.pattern_cache.stats();
+        s.factor_cache = self.inner.factor_cache.stats();
+        s
+    }
+
+    /// Stop accepting jobs, drain the queue, join the workers.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.drain();
+        self.stats()
+    }
+
+    fn drain(&mut self) {
+        // ORDERING: Release pairs with submit's Acquire — a submitter
+        // that reads `false` enqueues before the workers see the latch.
+        self.inner.shutting_down.store(true, Ordering::Release);
+        self.inner.queue_cond.notify_all();
+        self.inner.deadline_cond.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(m) = self.monitor.take() {
+            let _ = m.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.drain();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+fn worker_loop(inner: &Arc<ServiceInner>) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    inner.counters.lock().queue_depth = q.len();
+                    break Some(job);
+                }
+                if inner.shutting_down.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = inner.queue_cond.wait(q);
+            }
+        };
+        let Some(job) = job else { return };
+        let started = Instant::now();
+        // The whole job body is isolated: a panic that escapes the cache
+        // fills (solve phase, RHS assembly, response building) downgrades
+        // to a typed error and the worker lives on.
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(inner, &job)))
+            .unwrap_or_else(|p| Err(JobError::Panicked(panic_message(&p))));
+        let outcome = outcome.map(|mut r| {
+            r.elapsed_us = started.elapsed().as_micros() as u64;
+            r
+        });
+        {
+            let mut c = inner.counters.lock();
+            match &outcome {
+                Ok(_) => c.completed += 1,
+                Err(JobError::Deadline { .. }) => c.deadlines += 1,
+                Err(JobError::Panicked(_)) => c.panics += 1,
+                Err(JobError::Overloaded(_)) => c.rejected += 1,
+                Err(_) => c.failed += 1,
+            }
+        }
+        let mut done = job.ticket.done.lock();
+        *done = Some(outcome);
+        job.ticket.cond.notify_all();
+    }
+}
+
+/// Register `token` to fire at `at`; the monitor wakes for the earliest
+/// pending deadline.
+fn arm_deadline(inner: &ServiceInner, at: Instant, token: Arc<CancelToken>) {
+    inner.deadlines.lock().push((at, token));
+    inner.deadline_cond.notify_all();
+}
+
+fn deadline_loop(inner: &Arc<ServiceInner>) {
+    let mut armed = inner.deadlines.lock();
+    loop {
+        let now = Instant::now();
+        armed.retain(|(at, token)| {
+            if *at <= now {
+                token.cancel("deadline exceeded");
+                false
+            } else {
+                !token.is_cancelled()
+            }
+        });
+        if inner.shutting_down.load(Ordering::Acquire) && armed.is_empty() {
+            return;
+        }
+        let next = armed.iter().map(|(at, _)| *at).min();
+        let wait = match next {
+            Some(at) => at.saturating_duration_since(now).min(Duration::from_millis(50)),
+            None => Duration::from_millis(50),
+        };
+        armed = inner.deadline_cond.wait_timeout(armed, wait);
+    }
+}
+
+/// Stable content hash (FNV-1a over words) for patterns and value
+/// arrays.
+fn hash_words(seed: u64, words: impl Iterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn pattern_hash(a: &CscMatrix<f64>) -> u64 {
+    let p = a.pattern();
+    let h = hash_words(p.nrows() as u64, p.colptr().iter().map(|&v| v as u64));
+    hash_words(h, p.rowind().iter().map(|&v| v as u64))
+}
+
+fn values_hash(a: &CscMatrix<f64>) -> u64 {
+    hash_words(0x5eed, a.values().iter().map(|v| v.to_bits()))
+}
+
+fn load_matrix(spec: &JobSpec) -> Result<CscMatrix<f64>, JobError> {
+    let a = match &spec.matrix {
+        MatrixSource::Path(path) => read_matrix_market_file::<f64>(path)
+            .map_err(|e| JobError::BadRequest(format!("read {path}: {e}")))?,
+        MatrixSource::Inline { n, triplets } => {
+            let mut coo = TripletBuilder::new(*n, *n);
+            for &(i, j, v) in triplets {
+                coo.try_push(i, j, v)
+                    .map_err(|e| JobError::BadRequest(format!("triplet ({i},{j}): {e}")))?;
+            }
+            coo.try_build()
+                .map_err(|e| JobError::BadRequest(format!("inline matrix: {e}")))?
+        }
+    };
+    if a.nrows() != a.ncols() {
+        return Err(JobError::BadRequest(format!(
+            "matrix is {}x{}, need square",
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    Ok(a)
+}
+
+fn build_rhs(spec: &JobSpec, a: &CscMatrix<f64>) -> Result<Vec<f64>, JobError> {
+    let n = a.nrows();
+    match &spec.rhs {
+        RhsSource::Ones => Ok(vec![1.0; n * spec.nrhs]),
+        RhsSource::AOnes => {
+            let mut col = vec![0.0; n];
+            a.spmv(&vec![1.0; n], &mut col);
+            let mut b = Vec::with_capacity(n * spec.nrhs);
+            for _ in 0..spec.nrhs {
+                b.extend_from_slice(&col);
+            }
+            Ok(b)
+        }
+        RhsSource::Inline(vals) => {
+            if vals.len() != n * spec.nrhs {
+                return Err(JobError::BadRequest(format!(
+                    "rhs has {} values, need n*nrhs = {}",
+                    vals.len(),
+                    n * spec.nrhs
+                )));
+            }
+            Ok(vals.clone())
+        }
+    }
+}
+
+fn map_solver_error(e: &SolverError, started: Instant) -> JobError {
+    if e.is_cancelled() {
+        JobError::Deadline {
+            elapsed_ms: started.elapsed().as_millis() as u64,
+        }
+    } else if matches!(e, SolverError::BudgetExceeded { .. }) {
+        JobError::BudgetExceeded(e.to_string())
+    } else {
+        JobError::Failed(e.to_string())
+    }
+}
+
+fn run_job(inner: &Arc<ServiceInner>, job: &QueuedJob) -> Result<JobResponse, JobError> {
+    let spec = &job.spec;
+    let started = job.submitted;
+    let token = CancelToken::new();
+    let deadline_ms = spec.deadline_ms.or(inner.config.default_deadline_ms);
+    if let Some(ms) = deadline_ms {
+        let at = started + Duration::from_millis(ms);
+        if at <= Instant::now() {
+            // Spent its whole deadline queueing.
+            return Err(JobError::Deadline {
+                elapsed_ms: started.elapsed().as_millis() as u64,
+            });
+        }
+        arm_deadline(inner, at, token.clone());
+    }
+    let deadline_check = || -> Result<(), JobError> {
+        if token.is_cancelled() {
+            Err(JobError::Deadline {
+                elapsed_ms: started.elapsed().as_millis() as u64,
+            })
+        } else {
+            Ok(())
+        }
+    };
+
+    let a = load_matrix(spec)?;
+    let b = build_rhs(spec, &a)?;
+    deadline_check()?;
+
+    let run = RunConfig {
+        fault_plan: inner.config.fault_plan.clone(),
+        retry: inner.config.retry.clone(),
+        watchdog: inner.config.watchdog,
+        budget: Some(inner.config.budget.clone()),
+        cancel: Some(token.clone()),
+        ..RunConfig::default()
+    };
+    let exec = ExecOptions {
+        run,
+        epsilon_override: None,
+        spill_dir: None,
+    };
+
+    // --- analysis (pattern cache) -------------------------------------
+    let phash = pattern_hash(&a);
+    let mut pattern_hit = false;
+    let analysis: Arc<Analysis> = if spec.reuse == ReusePolicy::None {
+        Arc::new(Analysis::new(a.pattern(), spec.facto, &SolverOptions::default()))
+    } else {
+        // Facto kind changes the cost model but not the symbolic
+        // structure the caches key on panels for; key it anyway so LDLᵀ
+        // and Cholesky analyses never mix.
+        let key = hash_words(phash, std::iter::once(spec.facto as u64));
+        let hit = inner.pattern_cache.get_or_fill(&key, || {
+            let an = Analysis::new(a.pattern(), spec.facto, &SolverOptions::default());
+            let bytes = an.resident_bytes();
+            Ok((an, bytes))
+        })?;
+        pattern_hit = hit.was_hit;
+        hit.value
+    };
+    deadline_check()?;
+
+    // --- numeric factorization (factor cache) -------------------------
+    let vhash = values_hash(&a);
+    let fkey = (phash, vhash, spec.facto as u8);
+    let mut factor_hit = false;
+    let mut generation = 0u64;
+    let factors: Arc<SharedFactors<f64>> = if spec.reuse == ReusePolicy::Factors {
+        let hit = inner.factor_cache.get_or_fill(&fkey, || {
+            let sf = SharedFactors::factorize(
+                analysis.clone(),
+                &a,
+                spec.engine,
+                spec.threads,
+                &exec,
+            )
+            .map_err(|e| map_solver_error(&e, started))?;
+            let bytes = sf.resident_bytes();
+            Ok((sf, bytes))
+        })?;
+        factor_hit = hit.was_hit;
+        generation = hit.generation;
+        hit.value
+    } else {
+        Arc::new(
+            SharedFactors::factorize(analysis.clone(), &a, spec.engine, spec.threads, &exec)
+                .map_err(|e| map_solver_error(&e, started))?,
+        )
+    };
+    deadline_check()?;
+
+    // --- solve ---------------------------------------------------------
+    let n = a.nrows();
+    let (x, iterations, berr) = if spec.refine > 0 {
+        let mut x = Vec::with_capacity(n * spec.nrhs);
+        let mut iters = 0usize;
+        let mut worst_berr = 0.0f64;
+        for r in 0..spec.nrhs {
+            let col = &b[r * n..(r + 1) * n];
+            let refined = factors
+                .solve_refined_checked(col, spec.refine, spec.tol)
+                .map_err(|e| map_solver_error(&e, started))?;
+            iters = iters.max(refined.iterations);
+            if let Some(&last) = refined.residuals.last() {
+                worst_berr = worst_berr.max(last);
+            }
+            x.extend_from_slice(&refined.x);
+        }
+        (x, iters, Some(worst_berr))
+    } else {
+        (factors.solve_many(&b, spec.nrhs), 0, None)
+    };
+    deadline_check()?;
+
+    let attempts = if factor_hit { 0 } else { factors.stats().attempts };
+    Ok(JobResponse {
+        x,
+        n,
+        nrhs: spec.nrhs,
+        iterations,
+        berr,
+        pattern_hit,
+        factor_hit,
+        generation,
+        attempts,
+        elapsed_us: 0, // stamped by the worker loop
+        tag: spec.tag.clone(),
+    })
+}

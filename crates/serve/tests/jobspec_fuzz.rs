@@ -1,0 +1,207 @@
+//! Mutation-fuzz and property tests for the job-spec mini-language: on
+//! *any* input line [`JobSpec::parse`] must return `Ok` or a typed
+//! error string — never panic — and every successful parse must
+//! round-trip through [`core::fmt::Display`] to an identical spec.
+//! Cases are driven by a deterministic SplitMix64 sweep (the repo's
+//! no-external-framework property idiom), so failures reproduce exactly
+//! from the printed case number.
+
+use dagfact_serve::JobSpec;
+
+/// Deterministic parameter source (SplitMix64).
+struct Params {
+    state: u64,
+}
+
+impl Params {
+    fn new(case: u64) -> Params {
+        Params {
+            state: 0x10B5_9EC0 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `lo..hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo).max(1) as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seed corpus: valid exemplars exercising every directive
+// ---------------------------------------------------------------------
+
+const CORPUS: &[&str] = &[
+    "matrix=/data/audi.mtx",
+    "matrix=a.mtx facto=lu engine=dataflow threads=8 refine=3 tol=1e-12",
+    "inline=2:0,0,4;1,0,1;1,1,4 refine=2",
+    "inline=3:0,0,2;1,1,2;2,2,2;1,0,-1;2,1,-1 facto=ldlt rhs=aones",
+    "matrix=m.mtx rhs=1,2,3,4 nrhs=1 reuse=pattern tag=fuzz",
+    "matrix=m.mtx deadline_ms=250 reuse=none engine=ptg",
+    "inline=1:0,0,1 facto=cholesky threads=1 nrhs=4 tag=tiny",
+];
+
+/// Tokens a fuzzer loves: overflow bait, signs, NaN, empties, and
+/// directive fragments that tempt the splitter.
+const EVIL_TOKENS: &[&str] = &[
+    "18446744073709551615",
+    "99999999999999999999999999",
+    "-1",
+    "0",
+    "1e308",
+    "NaN",
+    "inf",
+    "",
+    "=",
+    "inline=",
+    "inline=0:",
+    "inline=1048577:0,0,1",
+    "matrix=",
+    "rhs=",
+    "tol=0",
+    "tol=-1",
+    "threads=0",
+    "threads=9999",
+    "nrhs=0",
+    "reuse=maybe",
+    "facto=qr",
+    "deadline_ms=",
+    "tag==x",
+    "0,0,1;1,1",
+];
+
+/// Apply one random mutation to the line.
+fn mutate(p: &mut Params, text: &mut Vec<u8>) {
+    if text.is_empty() {
+        text.extend_from_slice(b"matrix=x");
+        return;
+    }
+    match p.next_u64() % 6 {
+        // Flip a random byte to a random printable (or separator).
+        0 => {
+            let pos = p.range(0, text.len());
+            text[pos] = match p.next_u64() % 5 {
+                0 => b' ',
+                1 => b'=',
+                2 => b',',
+                3 => b'0' + (p.next_u64() % 10) as u8,
+                _ => 0x21 + (p.next_u64() % 94) as u8,
+            };
+        }
+        // Truncate at a random point.
+        1 => {
+            let pos = p.range(0, text.len());
+            text.truncate(pos);
+        }
+        // Delete a random whitespace-delimited directive.
+        2 => {
+            let s = String::from_utf8_lossy(text).into_owned();
+            let toks: Vec<&str> = s.split_whitespace().collect();
+            if toks.len() > 1 {
+                let skip = p.range(0, toks.len());
+                let kept: Vec<&str> = toks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, t)| *t)
+                    .collect();
+                *text = kept.join(" ").into_bytes();
+            }
+        }
+        // Duplicate a random directive (last-wins semantics must hold).
+        3 => {
+            let s = String::from_utf8_lossy(text).into_owned();
+            let toks: Vec<&str> = s.split_whitespace().collect();
+            if !toks.is_empty() {
+                let dup = toks[p.range(0, toks.len())];
+                let mut out = s.clone();
+                out.push(' ');
+                out.push_str(dup);
+                *text = out.into_bytes();
+            }
+        }
+        // Replace a token with an evil one.
+        4 => {
+            let s = String::from_utf8_lossy(text).into_owned();
+            let toks: Vec<&str> = s.split_whitespace().collect();
+            if !toks.is_empty() {
+                let idx = p.range(0, toks.len());
+                let mut out: Vec<String> = toks.iter().map(|t| t.to_string()).collect();
+                out[idx] = EVIL_TOKENS[p.range(0, EVIL_TOKENS.len())].to_string();
+                *text = out.join(" ").into_bytes();
+            }
+        }
+        // Insert random bytes (possibly invalid UTF-8 — parse takes
+        // &str, so exercise the lossy-decoded junk instead).
+        _ => {
+            let pos = p.range(0, text.len());
+            let n = p.range(1, 8);
+            let junk: Vec<u8> = (0..n).map(|_| (p.next_u64() & 0xFF) as u8).collect();
+            text.splice(pos..pos, junk);
+        }
+    }
+}
+
+#[test]
+fn jobspec_parse_never_panics_on_mutated_input() {
+    for case in 0..6000u64 {
+        let mut p = Params::new(case);
+        let mut text = CORPUS[p.range(0, CORPUS.len())].as_bytes().to_vec();
+        for _ in 0..p.range(1, 5) {
+            mutate(&mut p, &mut text);
+        }
+        let line = String::from_utf8_lossy(&text).into_owned();
+        let shown = line.clone();
+        if std::panic::catch_unwind(move || {
+            let _ = JobSpec::parse(&line);
+        })
+        .is_err()
+        {
+            panic!("JobSpec::parse panicked on fuzz case {case}; input: {shown:?}");
+        }
+    }
+}
+
+#[test]
+fn successful_parses_round_trip_through_display() {
+    // Display is the canonical form: parse(display(spec)) == spec, and
+    // the canonical form is a fixed point of the round trip.
+    let mut parsed = 0usize;
+    for case in 0..6000u64 {
+        let mut p = Params::new(case ^ 0x524F_554E);
+        let mut text = CORPUS[p.range(0, CORPUS.len())].as_bytes().to_vec();
+        mutate(&mut p, &mut text);
+        let line = String::from_utf8_lossy(&text).into_owned();
+        if let Ok(spec) = JobSpec::parse(&line) {
+            parsed += 1;
+            let canon = spec.to_string();
+            let again = JobSpec::parse(&canon).unwrap_or_else(|e| {
+                panic!("case {case}: canonical form {canon:?} failed to re-parse: {e}")
+            });
+            assert_eq!(spec, again, "case {case}: round trip changed the spec");
+            assert_eq!(
+                canon,
+                again.to_string(),
+                "case {case}: canonical form is not a fixed point"
+            );
+        }
+    }
+    // Single mutations often land in paths/tags or leave the line valid,
+    // so a healthy fraction must still parse.
+    assert!(parsed > 500, "only {parsed} cases parsed — corpus or mutator broken");
+}
+
+#[test]
+fn duplicate_directives_are_last_wins() {
+    let spec = JobSpec::parse("matrix=a.mtx threads=2 threads=7 facto=lu facto=ldlt")
+        .expect("duplicates are allowed");
+    assert_eq!(spec.threads, 7);
+    assert_eq!(spec.to_string(), "matrix=a.mtx facto=ldlt threads=7");
+}
