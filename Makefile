@@ -1,6 +1,6 @@
 # Convenience targets. The canonical gate is `make check`.
 
-.PHONY: build test bench check check-robust check-analysis check-memory check-trace check-concurrency check-serve check-loom check-miri check-tsan lint-safety lint-strict clippy
+.PHONY: build test bench check check-robust check-analysis check-memory check-trace check-concurrency check-serve check-loom check-miri check-tsan lint-safety lint-hot lint-strict clippy
 
 build:
 	cargo build --release
@@ -94,14 +94,22 @@ check-miri:
 check-tsan:
 	tools/check-tsan.sh
 
-# The SAFETY-contract / ORDERING-justification / sync-shim lint.
+# The SAFETY-contract / ORDERING-justification / sync-shim /
+# no-unwrap lint.
 lint-safety:
 	cargo run -q -p dagfact-lint --bin lint-safety
 
-# Grep-gates: no .unwrap() in rt/core library code (tests exempt), and
-# 100% SAFETY/ORDERING coverage with no shim bypasses.
-lint-strict: lint-safety
-	tools/lint-unwrap.sh
+# Hot-path purity analyzer (DESIGN.md §13): call-graph reachability from
+# the roots in lint-hotpaths.toml, checked for allocation-, lock-,
+# panic-, I/O- and trace-freedom against tools/lint-hot-baseline.json.
+# New findings fail; removing baseline entries is the burn-down.
+lint-hot:
+	cargo run -q -p dagfact-lint --bin lint-hot
+
+# Static gates: no .unwrap() in rt/core library code (tests exempt),
+# 100% SAFETY/ORDERING coverage with no shim bypasses, and no new
+# hot-path purity findings.
+lint-strict: lint-safety lint-hot
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings

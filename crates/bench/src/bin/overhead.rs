@@ -1,0 +1,234 @@
+//! Scheduler-overhead sweep on tiny-task graphs — the paper's afshell10
+//! regime, where per-task runtime cost (allocation, locking, queue
+//! traffic) dominates end-to-end factorization time.
+//!
+//! ```text
+//! cargo run -p dagfact-bench --bin overhead --release
+//! ```
+//!
+//! Scenarios, all with no-op (or near-no-op) task bodies so nothing but
+//! the runtime itself is on the clock:
+//!
+//! * `native/independent` — 10k independent tasks over all workers: the
+//!   per-task floor (queue push/pop + supervisor accounting).
+//! * `native/chains`      — 64 chains: every task release runs the
+//!   fan-in CAS and a ready-queue push.
+//! * `native/steal_heavy` — all tasks owned by worker 0: idle workers
+//!   hammer the steal path (victim scan) the whole run.
+//! * `dataflow/independent`, `ptg/independent` — same floor for the
+//!   other engines.
+//! * `kernels/ldlt_update` — the LDLᵀ buffered update on a small panel:
+//!   per-call cost including any scratch management.
+//!
+//! Output: ns/task (ns/call for the kernel) per scenario, median of
+//! [`REPS`] runs, written to `results/overhead.json` — the trend file
+//! ROADMAP item 5 gates on.
+
+use dagfact_bench::{write_results, Json};
+use dagfact_kernels::update::{update_via_buffer, Scatter};
+use dagfact_rt::dataflow::DataflowGraph;
+use dagfact_rt::native::{run_native, NativeTask};
+use dagfact_rt::ptg::{run_ptg, PtgProgram};
+use dagfact_rt::AccessMode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+const NTASKS: usize = 10_000;
+const REPS: usize = 9;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    samples[samples.len() / 2]
+}
+
+/// Median seconds of one run of `f`, with one warmup.
+fn time_median<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    median(&mut samples)
+}
+
+fn independent_tasks(threads: usize) -> Vec<NativeTask> {
+    (0..NTASKS)
+        .map(|i| NativeTask {
+            owner: i % threads,
+            npred: 0,
+            succs: vec![],
+            priority: (i % 97) as f64,
+        })
+        .collect()
+}
+
+/// 64 parallel chains: task i depends on i-64 (same chain lane).
+fn chain_tasks(threads: usize) -> Vec<NativeTask> {
+    const LANES: usize = 64;
+    (0..NTASKS)
+        .map(|i| NativeTask {
+            owner: (i % LANES) % threads,
+            npred: u32::from(i >= LANES),
+            succs: if i + LANES < NTASKS {
+                vec![i + LANES]
+            } else {
+                vec![]
+            },
+            priority: (NTASKS - i) as f64,
+        })
+        .collect()
+}
+
+fn steal_heavy_tasks() -> Vec<NativeTask> {
+    (0..NTASKS)
+        .map(|i| NativeTask {
+            owner: 0,
+            npred: 0,
+            succs: vec![],
+            priority: (i % 97) as f64,
+        })
+        .collect()
+}
+
+fn bench_native(tasks: &[NativeTask], threads: usize) -> f64 {
+    time_median(|| {
+        let count = AtomicUsize::new(0);
+        run_native(tasks, threads, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), NTASKS);
+    })
+}
+
+fn bench_dataflow(threads: usize) -> f64 {
+    time_median(|| {
+        let count = AtomicUsize::new(0);
+        let mut g = DataflowGraph::new(64);
+        for i in 0..NTASKS {
+            let count = &count;
+            g.submit(&[(i % 64, AccessMode::ReadWrite)], 0.0, move |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        g.execute(threads);
+        assert_eq!(count.load(Ordering::Relaxed), NTASKS);
+    })
+}
+
+struct Flat<'a> {
+    count: &'a AtomicUsize,
+}
+impl PtgProgram for Flat<'_> {
+    fn num_tasks(&self) -> usize {
+        NTASKS
+    }
+    fn num_predecessors(&self, _t: usize) -> u32 {
+        0
+    }
+    fn successors(&self, _t: usize, _out: &mut Vec<usize>) {}
+    fn execute(&self, _t: usize, _w: usize) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn bench_ptg(threads: usize) -> f64 {
+    time_median(|| {
+        let count = AtomicUsize::new(0);
+        run_ptg(&Flat { count: &count }, threads);
+        assert_eq!(count.load(Ordering::Relaxed), NTASKS);
+    })
+}
+
+/// LDLᵀ buffered update on an afshell-sized small panel, many calls per
+/// rep so scratch-buffer management (the per-call `k×n` W2 materialize)
+/// is on the clock.
+fn bench_ldlt_update() -> (f64, usize) {
+    let (m, n, k) = (48usize, 16usize, 16usize);
+    let calls = 2_000usize;
+    let a1: Vec<f64> = (0..k * m).map(|i| (i % 13) as f64 * 0.25 - 1.0).collect();
+    let a2: Vec<f64> = (0..k * n).map(|i| (i % 11) as f64 * 0.125 - 0.5).collect();
+    let d: Vec<f64> = (0..k).map(|i| 1.0 + (i % 5) as f64).collect();
+    let row_map: Vec<usize> = (0..m).map(|i| i + i / 4).collect();
+    let ldc = row_map.last().map_or(m, |&r| r + 1);
+    let mut c = vec![0.0f64; ldc * (n + 1)];
+    let mut work: Vec<f64> = Vec::new();
+    let scatter = Scatter {
+        row_map: &row_map,
+        col_offset: 1,
+    };
+    let sec = time_median(|| {
+        for _ in 0..calls {
+            update_via_buffer(
+                m, n, k, -1.0, &a1, m, &a2, n,
+                Some(&d), &mut work, &mut c, ldc, scatter,
+            );
+        }
+        std::hint::black_box(&mut c);
+    });
+    (sec, calls)
+}
+
+fn main() {
+    // At least two workers so the steal/contention paths execute even on
+    // a single-core box; the 1-worker scenarios are the clean per-task
+    // floor (no context-switch noise).
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
+    let mut scenarios: Vec<(String, f64)> = Vec::new();
+
+    println!("overhead: tiny-task scheduler sweep ({NTASKS} tasks, {threads} workers, median of {REPS})");
+    println!("{:<24} {:>12}", "scenario", "ns/task");
+
+    let mut push = |name: &str, per_task_ns: f64| {
+        println!("{name:<24} {per_task_ns:>12.1}");
+        scenarios.push((name.to_string(), per_task_ns));
+    };
+
+    let sec = bench_native(&independent_tasks(1), 1);
+    push("native/independent_1w", sec * 1e9 / NTASKS as f64);
+
+    let sec = bench_native(&chain_tasks(1), 1);
+    push("native/chains_1w", sec * 1e9 / NTASKS as f64);
+
+    let sec = bench_native(&independent_tasks(threads), threads);
+    push("native/independent", sec * 1e9 / NTASKS as f64);
+
+    let sec = bench_native(&chain_tasks(threads), threads);
+    push("native/chains", sec * 1e9 / NTASKS as f64);
+
+    let sec = bench_native(&steal_heavy_tasks(), threads);
+    push("native/steal_heavy", sec * 1e9 / NTASKS as f64);
+
+    let sec = bench_dataflow(1);
+    push("dataflow/independent_1w", sec * 1e9 / NTASKS as f64);
+
+    let sec = bench_ptg(1);
+    push("ptg/independent_1w", sec * 1e9 / NTASKS as f64);
+
+    let (sec, calls) = bench_ldlt_update();
+    push("kernels/ldlt_update", sec * 1e9 / calls as f64);
+
+    let mut arr: Vec<Json> = Vec::new();
+    for (name, ns) in &scenarios {
+        arr.push(
+            Json::obj()
+                .field("scenario", name.as_str())
+                .field("ns_per_task", *ns),
+        );
+    }
+    let doc = Json::obj()
+        .field("bench", "overhead")
+        .field("ntasks", NTASKS as i64)
+        .field("workers", threads as i64)
+        .field("reps", REPS as i64)
+        .field("scenarios", Json::Arr(arr));
+    match write_results("overhead", &doc) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("overhead: could not write results: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -68,12 +68,14 @@ pub fn gemm<T: Scalar>(
             debug_assert!(lda >= m && a.len() >= lda * (k - 1) + m);
             debug_assert!(ldb >= k && b.len() >= ldb * (n - 1) + k);
             // op(B)[l, j] = B[l, j] stored at b[j*ldb + l].
+            // BOUNDS: l < k, j < n, and the ldb shape contract above.
             gemm_a_notrans(m, n, k, alpha, a, lda, beta, c, ldc, |l, j| b[j * ldb + l]);
         }
         (Trans::NoTrans, tb) => {
             debug_assert!(lda >= m && a.len() >= lda * (k - 1) + m);
             debug_assert!(ldb >= n && b.len() >= ldb * (k - 1) + n);
             // op(B)[l, j] = B[j, l](^conj) stored at b[l*ldb + j].
+            // BOUNDS: l < k, j < n, and the ldb shape contract above.
             gemm_a_notrans(m, n, k, alpha, a, lda, beta, c, ldc, |l, j| {
                 tb.apply(b[l * ldb + j])
             });
@@ -82,6 +84,8 @@ pub fn gemm<T: Scalar>(
             // C[i,j] = alpha * dot(op(A)[i,:], B[:,j]) + beta C[i,j]
             debug_assert!(lda >= k && a.len() >= lda * (m - 1) + k);
             debug_assert!(ldb >= k && b.len() >= ldb * (n - 1) + k);
+            // BOUNDS: all slices below stay inside the lda/ldb/ldc shape
+            // contracts asserted above (i < m, j < n by loop bounds).
             for j in 0..n {
                 let bj = &b[j * ldb..j * ldb + k];
                 let cj = &mut c[j * ldc..j * ldc + m];
@@ -99,6 +103,8 @@ pub fn gemm<T: Scalar>(
             // Fully transposed case: rarely used, straightforward loops.
             debug_assert!(lda >= k && a.len() >= lda * (m - 1) + k);
             debug_assert!(ldb >= n && b.len() >= ldb * (k - 1) + n);
+            // BOUNDS: i < m, l < k, j < n against the shape contracts
+            // asserted above.
             for j in 0..n {
                 let cj = &mut c[j * ldc..j * ldc + m];
                 for (i, cij) in cj.iter_mut().enumerate() {
@@ -135,6 +141,8 @@ fn gemm_a_notrans<T: Scalar>(
     scale_c(m, n, beta, c, ldc);
     let mut j = 0;
     // 4-wide blocks.
+    // BOUNDS: j+4 <= n and the caller's ldc >= m contract keep every
+    // column slice inside c; al/c0..c3 all have length m.
     while j + 4 <= n {
         let (c0_block, rest) = c[j * ldc..].split_at_mut(ldc);
         let (c1_block, rest) = rest.split_at_mut(ldc);
@@ -143,6 +151,8 @@ fn gemm_a_notrans<T: Scalar>(
         let c1 = &mut c1_block[..m];
         let c2 = &mut c2_block[..m];
         let c3 = &mut rest[..m];
+        // BOUNDS: l < k against the caller's lda shape contract; i < m
+        // by al's length, matching c0..c3.
         for l in 0..k {
             let s0 = alpha * bval(l, j);
             let s1 = alpha * bval(l, j + 1);
@@ -152,6 +162,7 @@ fn gemm_a_notrans<T: Scalar>(
             if s0 == T::zero() && s1 == T::zero() && s2 == T::zero() && s3 == T::zero() {
                 continue;
             }
+            // BOUNDS: i < m = al.len() = c0..c3 lengths.
             for (i, &av) in al.iter().enumerate() {
                 c0[i] += s0 * av;
                 c1[i] += s1 * av;
@@ -162,6 +173,7 @@ fn gemm_a_notrans<T: Scalar>(
         j += 4;
     }
     // Remainder columns.
+    // BOUNDS: j < n, l < k against the caller's lda/ldc contracts.
     while j < n {
         let cj = &mut c[j * ldc..j * ldc + m];
         for l in 0..k {
@@ -177,6 +189,7 @@ fn gemm_a_notrans<T: Scalar>(
 
 #[inline]
 fn scale_c<T: Scalar>(m: usize, n: usize, beta: T, c: &mut [T], ldc: usize) {
+    // BOUNDS: j < n and gemm's ldc >= m / c-length contract.
     for j in 0..n {
         scale_col(beta, &mut c[j * ldc..j * ldc + m]);
     }

@@ -70,6 +70,8 @@ pub fn trsm<T: Scalar>(
 /// the *transposed* view.
 #[inline]
 fn tval<T: Scalar>(t: &[T], ldt: usize, trans: Trans, i: usize, j: usize) -> T {
+    // BOUNDS: (i, j) inside the stored triangle and the ldt shape
+    // contract debug-asserted by trsm_left/trsm_right (doc above).
     match trans {
         Trans::NoTrans => t[j * ldt + i],
         Trans::Trans => t[i * ldt + j],
@@ -104,9 +106,12 @@ fn trsm_left<T: Scalar>(
     debug_assert!(ldb >= m && b.len() >= ldb * (n - 1) + m);
     let lower = effective_lower(uplo, trans);
     for j in 0..n {
+        // BOUNDS: j < n and the ldb shape contract asserted above; col
+        // has length m so col[k] with k < m is in range.
         let col = &mut b[j * ldb..j * ldb + m];
         if lower {
             // Forward substitution.
+            // BOUNDS: k < m == col.len().
             for k in 0..m {
                 let mut xk = col[k];
                 if diag == Diag::NonUnit {
@@ -122,6 +127,7 @@ fn trsm_left<T: Scalar>(
             }
         } else {
             // Backward substitution.
+            // BOUNDS: k < m == col.len().
             for k in (0..m).rev() {
                 let mut xk = col[k];
                 if diag == Diag::NonUnit {
@@ -145,6 +151,8 @@ fn trsm_left<T: Scalar>(
 fn col_axpy<T: Scalar>(b: &mut [T], ldb: usize, m: usize, s: T, src: usize, dst: usize) {
     debug_assert_ne!(src, dst);
     let (lo, hi) = (src.min(dst), src.max(dst));
+    // BOUNDS: src/dst are column indices < n under trsm_right's ldb
+    // shape contract, so both column slices are inside b.
     let (head, tail) = b.split_at_mut(hi * ldb);
     let (col_lo, col_hi) = (&mut head[lo * ldb..lo * ldb + m], &mut tail[..m]);
     if src < dst {
@@ -173,19 +181,18 @@ fn trsm_right<T: Scalar>(
     // op(T) effectively *lower* → l ≥ j → solve j descending;
     // op(T) effectively *upper* → l ≤ j → solve j ascending.
     let lower = effective_lower(uplo, trans);
-    let order: Vec<usize> = if lower {
-        (0..n).rev().collect()
-    } else {
-        (0..n).collect()
-    };
-    for &j in &order {
+    // Columns solve in descending order when op(T) is lower, ascending
+    // when upper; the already-solved columns coupling into j are then
+    // (j+1)..n resp. 0..j. Plain index arithmetic — no order vector or
+    // boxed iterator on this per-panel-task path.
+    for jj in 0..n {
+        // BOUNDS: jj < n in both branches, so j < n; the solved range
+        // stays within 0..n; the ldb column slice is covered by the
+        // shape contract asserted above.
+        let j = if lower { n - 1 - jj } else { jj };
+        let (solved_lo, solved_hi) = if lower { (j + 1, n) } else { (0, j) };
         // X[:, j] = (B[:, j] - Σ_{l already solved} X[:, l]·op(T)[l, j]) / op(T)[j, j]
-        let solved: Box<dyn Iterator<Item = usize>> = if lower {
-            Box::new((j + 1)..n)
-        } else {
-            Box::new(0..j)
-        };
-        for l in solved {
+        for l in solved_lo..solved_hi {
             let coef = tval(t, ldt, trans, l, j);
             if coef == T::zero() {
                 continue;
@@ -195,6 +202,7 @@ fn trsm_right<T: Scalar>(
         }
         if diag == Diag::NonUnit {
             let d = tval(t, ldt, trans, j, j).inv();
+            // BOUNDS: j < n against the ldb/b-length contract above.
             for v in &mut b[j * ldb..j * ldb + m] {
                 *v *= d;
             }

@@ -65,8 +65,21 @@ pub fn update_via_buffer<T: Scalar>(
         return;
     }
     debug_assert_eq!(scatter.row_map.len(), m);
-    work.clear();
-    work.resize(m * n, T::zero());
+    // Both scratch regions — the m×n GEMM result and, for LDLᵀ, the k×n
+    // D·Lᵀ staging block — are carved from the single caller-pooled
+    // buffer, so a per-worker workspace amortizes to zero allocations
+    // per update task once it reaches the panel high-water mark.
+    let scratch = m * n + if d.is_some() { k * n } else { 0 };
+    if work.len() < scratch {
+        // ALLOC: grow-only pooled workspace — reallocates (and
+        // zero-fills) only until the high-water panel size is reached,
+        // then is free for the whole run. Stale contents are harmless:
+        // the GEMM runs with beta = 0 (scale_c overwrites W1) and the
+        // D·Lᵀ staging loop writes every element of W2.
+        work.resize(scratch, T::zero());
+    }
+    // BOUNDS: work.len() >= scratch = m*n (+ k*n) by the resize above.
+    let (w1, w2) = work[..scratch].split_at_mut(m * n);
     match d {
         None => {
             gemm(
@@ -81,15 +94,17 @@ pub fn update_via_buffer<T: Scalar>(
                 a2,
                 lda2,
                 T::zero(),
-                work,
+                w1,
                 m,
             );
         }
         Some(d) => {
             // W2 = diag(d)·A₂ᵀ is small (k×n); materialize it so the big
             // GEMM stays a plain product. This is the panel-level D·Lᵀ
-            // buffer of the native PaStiX scheduler.
-            let mut w2 = vec![T::zero(); k * n];
+            // buffer of the native PaStiX scheduler — staged in the tail
+            // of `work` rather than a fresh vec per call.
+            // BOUNDS: w2 has length k*n; l < k <= d.len()/lda2's rows
+            // and j < n by the caller's shape contract.
             for j in 0..n {
                 for (l, &dl) in d.iter().enumerate().take(k) {
                     w2[j * k + l] = dl * a2[l * lda2 + j];
@@ -104,17 +119,20 @@ pub fn update_via_buffer<T: Scalar>(
                 T::one(),
                 a1,
                 lda1,
-                &w2,
+                w2,
                 k,
                 T::zero(),
-                work,
+                w1,
                 m,
             );
         }
     }
     // Scatter-add the contiguous result into the gappy destination panel.
     for j in 0..n {
-        let wj = &work[j * m..j * m + m];
+        // BOUNDS: w1 is exactly m*n; j < n so j*m+m <= m*n, and row_map
+        // values address the destination panel rows by construction of
+        // the symbolic structure (verified in core::verify).
+        let wj = &w1[j * m..j * m + m];
         let cj = &mut c[(scatter.col_offset + j) * ldc..];
         for (i, &w) in wj.iter().enumerate() {
             cj[scatter.row_map[i]] += alpha * w;
@@ -144,6 +162,9 @@ pub fn update_scatter_direct<T: Scalar>(
         return;
     }
     debug_assert_eq!(scatter.row_map.len(), m);
+    // BOUNDS: l < k, j < n against the lda1/lda2 shape contracts;
+    // row_map values address destination panel rows by construction of
+    // the symbolic structure (verified in core::verify).
     for j in 0..n {
         let cj = &mut c[(scatter.col_offset + j) * ldc..];
         for l in 0..k {
@@ -155,6 +176,8 @@ pub fn update_scatter_direct<T: Scalar>(
                 continue;
             }
             let a1l = &a1[l * lda1..l * lda1 + m];
+            // BOUNDS: i < m = row_map.len(); row_map values address the
+            // destination rows by the symbolic-structure construction.
             for (i, &av) in a1l.iter().enumerate() {
                 cj[scatter.row_map[i]] += s * av;
             }

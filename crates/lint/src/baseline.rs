@@ -1,0 +1,360 @@
+//! Baseline file for the hot-path lint: the committed debt ledger.
+//!
+//! `tools/lint-hot-baseline.json` holds the *stable keys* of every
+//! grandfathered finding (`rule|function|detail` — no line numbers, so
+//! unrelated edits don't churn it). The gate is exact-match in both
+//! directions:
+//!
+//! * a finding whose key is **not** in the baseline is *new* → fail;
+//! * a baseline key with **no** matching finding is *stale* → also fail,
+//!   with instructions to re-baseline and record the win. Burn-down is
+//!   a deliberate act, never silent.
+//!
+//! The file is plain JSON written and read by hand here — the workspace
+//! has no serde and takes no dependencies.
+
+use std::collections::BTreeSet;
+
+/// Parsed baseline: the set of grandfathered finding keys.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// Sorted unique keys.
+    pub keys: BTreeSet<String>,
+}
+
+/// Gate result: what changed relative to the baseline.
+#[derive(Debug, Default)]
+pub struct Drift {
+    /// Findings not in the baseline (regressions).
+    pub new: Vec<String>,
+    /// Baseline keys with no matching finding (burned-down debt that
+    /// must be recorded).
+    pub stale: Vec<String>,
+}
+
+impl Drift {
+    /// No drift in either direction.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Compare current finding keys against the baseline.
+    pub fn drift<'a, I: IntoIterator<Item = &'a str>>(&self, current: I) -> Drift {
+        let cur: BTreeSet<&str> = current.into_iter().collect();
+        Drift {
+            new: cur
+                .iter()
+                .filter(|k| !self.keys.contains(**k))
+                .map(|k| k.to_string())
+                .collect(),
+            stale: self
+                .keys
+                .iter()
+                .filter(|k| !cur.contains(k.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Serialize to the committed JSON form (sorted, one key per line).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"keys\": [\n");
+        let n = self.keys.len();
+        for (i, k) in self.keys.iter().enumerate() {
+            s.push_str("    \"");
+            s.push_str(&escape(k));
+            s.push('"');
+            if i + 1 < n {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse the committed JSON form. Errors are strings — the caller
+    /// (the lint binary) reports and exits.
+    pub fn from_json(src: &str) -> Result<Baseline, String> {
+        let v = json_parse(src)?;
+        let obj = match v {
+            JsonVal::Obj(o) => o,
+            _ => return Err("baseline: top level must be an object".into()),
+        };
+        let keys = obj
+            .iter()
+            .find(|(k, _)| k == "keys")
+            .ok_or("baseline: missing \"keys\" array")?;
+        let arr = match &keys.1 {
+            JsonVal::Arr(a) => a,
+            _ => return Err("baseline: \"keys\" must be an array".into()),
+        };
+        let mut out = BTreeSet::new();
+        for item in arr {
+            match item {
+                JsonVal::Str(s) => {
+                    out.insert(s.clone());
+                }
+                _ => return Err("baseline: keys must be strings".into()),
+            }
+        }
+        Ok(Baseline { keys: out })
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal JSON value — just enough to read the baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// any number (kept as f64)
+    Num(f64),
+    /// string
+    Str(String),
+    /// array
+    Arr(Vec<JsonVal>),
+    /// object (insertion order preserved)
+    Obj(Vec<(String, JsonVal)>),
+}
+
+/// Parse one JSON document. Rejects trailing garbage.
+pub fn json_parse(src: &str) -> Result<JsonVal, String> {
+    let b = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonVal, String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err("unexpected end of input".into());
+    };
+    match c {
+        b'{' => {
+            *pos += 1;
+            let mut obj = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonVal::Obj(obj));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    JsonVal::Str(s) => s,
+                    _ => return Err("object key must be a string".into()),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                obj.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonVal::Obj(obj));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonVal::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonVal::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        b'"' => {
+            *pos += 1;
+            let mut s = String::new();
+            while *pos < b.len() {
+                match b[*pos] {
+                    b'"' => {
+                        *pos += 1;
+                        return Ok(JsonVal::Str(s));
+                    }
+                    b'\\' => {
+                        *pos += 1;
+                        let Some(&e) = b.get(*pos) else {
+                            return Err("unterminated escape".into());
+                        };
+                        match e {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'n' => s.push('\n'),
+                            b't' => s.push('\t'),
+                            b'r' => s.push('\r'),
+                            b'b' => s.push('\u{8}'),
+                            b'f' => s.push('\u{c}'),
+                            b'u' => {
+                                let hex = b
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex)
+                                        .map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape \\{}", e as char)),
+                        }
+                        *pos += 1;
+                    }
+                    c => {
+                        // Copy raw UTF-8 bytes through.
+                        let start = *pos;
+                        let mut end = *pos + 1;
+                        if c >= 0x80 {
+                            while end < b.len() && b[end] & 0xc0 == 0x80 {
+                                end += 1;
+                            }
+                        }
+                        s.push_str(&String::from_utf8_lossy(&b[start..end]));
+                        *pos = end;
+                    }
+                }
+            }
+            Err("unterminated string".into())
+        }
+        b't' if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonVal::Bool(true))
+        }
+        b'f' if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonVal::Bool(false))
+        }
+        b'n' if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonVal::Null)
+        }
+        b'-' | b'0'..=b'9' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(JsonVal::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        c => Err(format!("unexpected byte '{}' at {pos}", c as char)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut b = Baseline::default();
+        b.keys.insert("alloc|c::m::f|.push()".to_string());
+        b.keys.insert("panic|c::m::g|.unwrap()".to_string());
+        let json = b.to_json();
+        let back = Baseline::from_json(&json).unwrap();
+        assert_eq!(back.keys, b.keys);
+    }
+
+    #[test]
+    fn empty_baseline_round_trip() {
+        let b = Baseline::default();
+        let back = Baseline::from_json(&b.to_json()).unwrap();
+        assert!(back.keys.is_empty());
+    }
+
+    #[test]
+    fn drift_detects_new_and_stale() {
+        let mut b = Baseline::default();
+        b.keys.insert("old|f|d".to_string());
+        b.keys.insert("kept|f|d".to_string());
+        let drift = b.drift(["kept|f|d", "fresh|f|d"]);
+        assert_eq!(drift.new, vec!["fresh|f|d"]);
+        assert_eq!(drift.stale, vec!["old|f|d"]);
+        assert!(!drift.is_clean());
+        assert!(b.drift(["kept|f|d", "old|f|d"]).is_clean());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Baseline::from_json("not json").is_err());
+        assert!(Baseline::from_json("[1,2]").is_err());
+        assert!(Baseline::from_json("{\"keys\": [1]}").is_err());
+        assert!(Baseline::from_json("{}").is_err());
+        assert!(json_parse("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = json_parse(r#"{"a": ["x\"y", {"b": -1.5e2}], "c": null}"#).unwrap();
+        match v {
+            JsonVal::Obj(o) => {
+                assert_eq!(o.len(), 2);
+                match &o[0].1 {
+                    JsonVal::Arr(a) => {
+                        assert_eq!(a[0], JsonVal::Str("x\"y".to_string()));
+                    }
+                    _ => panic!("expected array"),
+                }
+            }
+            _ => panic!("expected object"),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! `lint-hotpaths.toml` — the checked-in declaration of hot roots.
+//!
+//! Minimal TOML subset, parsed by hand (no dependencies): comments,
+//! `[[root]]` array-of-tables headers, and `key = "string"` pairs.
+//! Anything else is a loud error — the config is ours, it doesn't need
+//! to accept the world.
+//!
+//! ```toml
+//! # kernels
+//! [[root]]
+//! path = "dagfact_kernels::gemm::gemm"
+//! note = "supernode update inner loop"
+//! ```
+
+/// One declared hot root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotRoot {
+    /// Fully qualified function path (`crate::module::fn` or
+    /// `crate::module::Type::method`).
+    pub path: String,
+    /// Why this is a hot root (reported alongside findings).
+    pub note: String,
+}
+
+/// Parse the hot-roots config. Returns an error string naming the line
+/// on any unrecognized construct.
+pub fn parse_hotpaths(src: &str) -> Result<Vec<HotRoot>, String> {
+    let mut roots: Vec<HotRoot> = Vec::new();
+    let mut in_root = false;
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[root]]" {
+            roots.push(HotRoot {
+                path: String::new(),
+                note: String::new(),
+            });
+            in_root = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "lint-hotpaths.toml:{lineno}: unknown table {line:?} (only [[root]] is supported)"
+            ));
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            return Err(format!(
+                "lint-hotpaths.toml:{lineno}: expected `key = \"value\"`, got {line:?}"
+            ));
+        };
+        if !in_root {
+            return Err(format!(
+                "lint-hotpaths.toml:{lineno}: key outside a [[root]] table"
+            ));
+        }
+        let key = key.trim();
+        let val = val.trim();
+        let val = val
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| {
+                format!("lint-hotpaths.toml:{lineno}: value must be a double-quoted string")
+            })?;
+        let Some(root) = roots.last_mut() else {
+            return Err(format!("lint-hotpaths.toml:{lineno}: key before any [[root]]"));
+        };
+        match key {
+            "path" => root.path = val.to_string(),
+            "note" => root.note = val.to_string(),
+            _ => {
+                return Err(format!(
+                    "lint-hotpaths.toml:{lineno}: unknown key {key:?} (path, note)"
+                ))
+            }
+        }
+    }
+    for (i, r) in roots.iter().enumerate() {
+        if r.path.is_empty() {
+            return Err(format!("lint-hotpaths.toml: [[root]] #{} has no path", i + 1));
+        }
+    }
+    Ok(roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_roots_with_comments() {
+        let src = "# kernels\n[[root]]\npath = \"a::b::c\"\nnote = \"why\"\n\n[[root]]\npath = \"d::e\"\n";
+        let roots = parse_hotpaths(src).unwrap();
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].path, "a::b::c");
+        assert_eq!(roots[0].note, "why");
+        assert_eq!(roots[1].note, "");
+    }
+
+    #[test]
+    fn rejects_unknown_constructs() {
+        assert!(parse_hotpaths("[server]\n").is_err());
+        assert!(parse_hotpaths("[[root]]\nbad = \"x\"\n").is_err());
+        assert!(parse_hotpaths("path = \"orphan\"\n").is_err());
+        assert!(parse_hotpaths("[[root]]\npath = unquoted\n").is_err());
+        assert!(parse_hotpaths("[[root]]\nnote = \"no path\"\n").is_err());
+    }
+}

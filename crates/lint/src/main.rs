@@ -1,15 +1,27 @@
 //! `lint-safety`: enforce the SAFETY-contract, Relaxed-justification and
 //! sync-shim rules over the concurrency-bearing crates (rt, core,
-//! kernels). Exits non-zero listing `file:line` for every violation.
+//! kernels), plus the no-`.unwrap()` rule over runtime/solver library
+//! code. Exits non-zero listing `file:line` for every violation.
 //!
 //! Scope:
 //! * `crates/rt/src` — all three rules (the shim rule exempts the shim
 //!   itself, `sync.rs`, and the model checker under `model/`);
 //! * `crates/core/src`, `crates/kernels/src` — SAFETY + ORDERING;
-//! * each crate's `tests/` and `examples/` — SAFETY only.
+//! * each crate's `tests/` and `examples/` — SAFETY only;
+//! * `crates/rt/src` (minus `model/`) and `crates/core/src` — the
+//!   unwrap rule (see [`dagfact_lint::unwrap`]): an unwrap in an engine
+//!   or the numeric phase takes the worker pool down with a
+//!   poisoned-lock cascade instead of surfacing a structured error.
+//!   `#[cfg(test)]` mod blocks are stripped; `rt/src/model/` is exempt
+//!   because there a panic IS the model-checker counterexample.
 
+use dagfact_lint::unwrap::check_unwrap;
 use dagfact_lint::{check_source, Finding, Options};
 use std::path::{Path, PathBuf};
+
+/// Directories gated by the unwrap rule (library code only — tests and
+/// examples may unwrap freely).
+const UNWRAP_DIRS: &[&str] = &["crates/rt/src", "crates/core/src"];
 
 /// The crates whose concurrency code the lint gates.
 const CRATES: &[&str] = &["crates/rt", "crates/core", "crates/kernels"];
@@ -80,13 +92,42 @@ fn main() {
         }
     }
 
-    if total.is_empty() {
+    // The unwrap rule: rt + core library sources, model/ exempt.
+    let mut unwraps: Vec<(PathBuf, usize, String)> = Vec::new();
+    for dir in UNWRAP_DIRS {
+        let mut files = Vec::new();
+        collect_rs(Path::new(dir), &mut files);
+        for path in files {
+            if path.to_string_lossy().contains("rt/src/model/") {
+                continue;
+            }
+            let Ok(src) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            for f in check_unwrap(&src) {
+                unwraps.push((path.clone(), f.line, f.excerpt));
+            }
+        }
+    }
+
+    if total.is_empty() && unwraps.is_empty() {
         println!("lint-safety: clean ({nfiles} files, zero exceptions)");
         return;
     }
-    eprintln!("lint-safety: {} violation(s):", total.len());
-    for (path, f) in &total {
-        eprintln!("{}:{}: {} — {}", path.display(), f.line, f.rule, f.excerpt);
+    if !total.is_empty() {
+        eprintln!("lint-safety: {} violation(s):", total.len());
+        for (path, f) in &total {
+            eprintln!("{}:{}: {} — {}", path.display(), f.line, f.rule, f.excerpt);
+        }
+    }
+    if !unwraps.is_empty() {
+        eprintln!(
+            "lint-safety: .unwrap() is forbidden in library code (use expect with\n\
+             a message, a structured error, or the poison-transparent rt::sync locks):"
+        );
+        for (path, line, excerpt) in &unwraps {
+            eprintln!("{}:{line}: {excerpt}", path.display());
+        }
     }
     std::process::exit(1);
 }

@@ -1,0 +1,177 @@
+//! Forbid `.unwrap()` in runtime/solver *library* code.
+//!
+//! Rust port of the old `tools/lint-unwrap.sh` awk gate, so the
+//! exemption logic (cfg-test module stripping, comment skipping, the
+//! `rt/src/model/` carve-out) lives in one tested place.
+//!
+//! An unwrap in an engine or the numeric phase takes the whole worker
+//! pool down with a poisoned-lock cascade instead of surfacing a
+//! structured `EngineError`/`SolverError` through the fault-tolerant
+//! layer. Tests are exempt (`#[cfg(test)]` / `#[cfg(all(test, …))]`
+//! `mod` blocks are stripped by brace counting), as are comment-only
+//! lines. The `rt/src/model/` carve-out stays with the caller
+//! (`lint-safety` skips those files): the loom-style checker backing
+//! `rt::sync` cannot route through the shim it implements, and there a
+//! poisoned internal lock means a model thread panicked — which must
+//! abort exploration (the panic IS the counterexample).
+
+/// One `.unwrap()` offender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnwrapFinding {
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, leading whitespace stripped.
+    pub excerpt: String,
+}
+
+/// Net brace-depth change of a line, ignoring braces in line comments.
+/// (Braces inside string literals are miscounted, same as the awk
+/// original — the workspace's library code doesn't hit that edge.)
+fn braces(line: &str) -> i64 {
+    let code = match line.find("//") {
+        Some(idx) => &line[..idx],
+        None => line,
+    };
+    let opens = code.matches('{').count() as i64;
+    let closes = code.matches('}').count() as i64;
+    opens - closes
+}
+
+/// Is this the start of a test-gating cfg attribute?
+/// Matches `#[cfg(test)]`, `#[cfg(test,…`, `#[cfg(all(test,…`.
+fn is_cfg_test_attr(stripped: &str) -> bool {
+    for prefix in ["#[cfg(", "#[cfg(all("] {
+        if let Some(rest) = stripped.strip_prefix(prefix) {
+            if let Some(rest) = rest.strip_prefix("test") {
+                if rest.starts_with(',') || rest.starts_with(')') {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Scan one file's source for `.unwrap()` in non-test code.
+pub fn check_unwrap(src: &str) -> Vec<UnwrapFinding> {
+    let mut findings = Vec::new();
+    let mut intest = false;
+    let mut pending = false;
+    let mut depth: i64 = 0;
+    let mut opened = false;
+
+    for (i, line) in src.lines().enumerate() {
+        let stripped = line.trim_start();
+        if intest {
+            depth += braces(line);
+            if depth > 0 {
+                opened = true;
+            }
+            if opened && depth <= 0 {
+                intest = false;
+            }
+            continue;
+        }
+        if is_cfg_test_attr(stripped) {
+            pending = true;
+            continue;
+        }
+        if pending {
+            pending = false;
+            let is_mod = (stripped.starts_with("mod ")
+                || stripped.starts_with("pub mod "))
+                && !stripped.trim_end().ends_with(';');
+            if is_mod {
+                intest = true;
+                depth = braces(line);
+                opened = depth > 0;
+                if opened && depth <= 0 {
+                    intest = false;
+                }
+                continue;
+            }
+            // A cfg(test)-gated non-mod item (fn, use): skip just it if
+            // it's a single line; the awk original only stripped mods,
+            // so we match that behaviour and fall through.
+        }
+        if stripped.starts_with("//") {
+            continue;
+        }
+        if line.contains(".unwrap()") {
+            findings.push(UnwrapFinding {
+                line: i + 1,
+                excerpt: stripped.to_string(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_lib_code_is_flagged() {
+        let f = check_unwrap("fn f() {\n    let x = y.unwrap();\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].excerpt, "let x = y.unwrap();");
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(check_unwrap(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_all_test_mod_is_exempt() {
+        let src = "#[cfg(all(test, not(loom)))]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(check_unwrap(src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_mod_is_still_checked() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); }\n}\nfn g() { b.unwrap(); }\n";
+        let f = check_unwrap(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn nested_braces_in_test_mod() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        if x { y.unwrap(); }\n    }\n}\n";
+        assert!(check_unwrap(src).is_empty());
+    }
+
+    #[test]
+    fn comment_lines_are_exempt() {
+        assert!(check_unwrap("// example: x.unwrap()\n/// doc: y.unwrap()\n").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_decl_without_body_does_not_strip() {
+        // `#[cfg(test)] mod tests;` (file module) has no inline body;
+        // subsequent code is live.
+        let src = "#[cfg(test)]\nmod tests;\nfn g() { b.unwrap(); }\n";
+        let f = check_unwrap(src);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_fn_is_not_a_mod() {
+        // The awk original only stripped mods; a cfg(test) fn's body is
+        // still scanned. Keep that exact behaviour (documented quirk).
+        let src = "#[cfg(test)]\nfn helper() { x.unwrap(); }\n";
+        assert_eq!(check_unwrap(src).len(), 1);
+    }
+
+    #[test]
+    fn braces_in_comments_do_not_confuse_depth() {
+        let src = "#[cfg(test)]\nmod tests {\n    // closing } in comment\n    fn t() { x.unwrap(); }\n}\nfn g() { b.unwrap(); }\n";
+        let f = check_unwrap(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 6);
+    }
+}

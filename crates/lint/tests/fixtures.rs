@@ -1,0 +1,367 @@
+//! Fixture corpus for the hot-path purity analyzer (DESIGN.md §13).
+//!
+//! Each case is a small source snippet with a known-positive or
+//! known-negative outcome per rule, checked against golden findings
+//! (rule, detail, witness chain, baseline key) through the public
+//! pipeline an external consumer sees: `parse_file` → `CallGraph::build`
+//! → `check_hot_paths` → `Baseline::drift`.
+
+use dagfact_lint::baseline::Baseline;
+use dagfact_lint::callgraph::CallGraph;
+use dagfact_lint::config::parse_hotpaths;
+use dagfact_lint::hotpath::{check_hot_paths, HotFinding, HotRule};
+use dagfact_lint::parse::parse_file;
+use dagfact_lint::unwrap::check_unwrap;
+
+/// Run the analyzer over a set of `(module, source)` fixture files with
+/// one hot root.
+fn analyze(files: &[(&str, &str)], root: &str) -> Vec<HotFinding> {
+    let parsed: Vec<_> = files
+        .iter()
+        .map(|(module, src)| parse_file(src, module))
+        .collect();
+    // Align a (path, comments) record to each function, as lint_hot does.
+    let mut meta = Vec::new();
+    for (i, p) in parsed.iter().enumerate() {
+        for _ in &p.functions {
+            meta.push((format!("fixture{i}.rs"), p.comments.clone()));
+        }
+    }
+    let g = CallGraph::build(parsed);
+    let roots = g.by_qname.get(root).unwrap_or_else(|| {
+        panic!("fixture root {root} did not resolve; known: {:?}", {
+            let mut k: Vec<_> = g.by_qname.keys().collect();
+            k.sort();
+            k
+        })
+    });
+    check_hot_paths(&g, roots, &|i| meta[i].clone())
+}
+
+fn golden(findings: &[HotFinding]) -> Vec<(HotRule, String)> {
+    findings
+        .iter()
+        .map(|f| (f.rule, f.detail.clone()))
+        .collect()
+}
+
+// --- rule: allocation ----------------------------------------------------
+
+#[test]
+fn alloc_positive_ctor_method_macro_clone() {
+    let f = analyze(
+        &[(
+            "k::gemm",
+            "pub fn hot() {\n\
+             \x20 let v = Vec::with_capacity(8);\n\
+             \x20 v.push(1);\n\
+             \x20 let w = vec![0; 4];\n\
+             \x20 let x = w.clone();\n\
+             }",
+        )],
+        "k::gemm::hot",
+    );
+    assert_eq!(
+        golden(&f),
+        vec![
+            (HotRule::Alloc, "Vec::with_capacity".into()),
+            (HotRule::Alloc, ".push()".into()),
+            (HotRule::Alloc, "vec!".into()),
+            (HotRule::Alloc, ".clone()".into()),
+        ]
+    );
+    // Baseline keys are line-free and stable.
+    assert_eq!(f[0].key(), "alloc|k::gemm::hot|Vec::with_capacity");
+}
+
+#[test]
+fn alloc_negative_marker_and_iterators() {
+    let f = analyze(
+        &[(
+            "k::gemm",
+            "pub fn hot(dst: &mut [f64], src: &[f64]) {\n\
+             \x20 // ALLOC: pooled at spawn; amortized to zero per task.\n\
+             \x20 buf.push(1);\n\
+             \x20 for (d, s) in dst.iter_mut().zip(src.iter()) { *d += *s; }\n\
+             }",
+        )],
+        "k::gemm::hot",
+    );
+    assert!(f.is_empty(), "expected clean, got {f:?}");
+}
+
+// --- rule: locks ---------------------------------------------------------
+
+#[test]
+fn lock_positive_mutex_rwlock_condvar() {
+    let f = analyze(
+        &[(
+            "r::native",
+            "pub fn hot() { q.lock(); s.read(); s.write(); cv.wait(g); }",
+        )],
+        "r::native::hot",
+    );
+    assert_eq!(
+        golden(&f),
+        vec![
+            (HotRule::Lock, ".lock()".into()),
+            (HotRule::Lock, ".read()".into()),
+            (HotRule::Lock, ".write()".into()),
+            (HotRule::Lock, ".wait()".into()),
+        ]
+    );
+}
+
+#[test]
+fn lock_negative_justified_protocol() {
+    let f = analyze(
+        &[(
+            "r::native",
+            "pub fn hot() {\n\
+             \x20 // LOCK: owner/thief deque protocol, model-checked.\n\
+             \x20 q.lock();\n\
+             }",
+        )],
+        "r::native::hot",
+    );
+    assert!(f.is_empty(), "expected clean, got {f:?}");
+}
+
+// --- rule: panic sites ---------------------------------------------------
+
+#[test]
+fn panic_positive_no_marker_escape_hatch() {
+    // Panic findings accept NO justification marker: the fix is a
+    // structured error or a baseline entry, never a comment.
+    let f = analyze(
+        &[(
+            "r::ptg",
+            "pub fn hot() {\n\
+             \x20 // HOT: this marker must NOT silence a panic site.\n\
+             \x20 x.unwrap();\n\
+             \x20 y.expect(\"msg\");\n\
+             \x20 panic!(\"boom\");\n\
+             \x20 assert!(cond);\n\
+             }",
+        )],
+        "r::ptg::hot",
+    );
+    assert_eq!(
+        golden(&f),
+        vec![
+            (HotRule::Panic, ".unwrap()".into()),
+            (HotRule::Panic, ".expect()".into()),
+            (HotRule::Panic, "panic!".into()),
+            (HotRule::Panic, "assert!".into()),
+        ]
+    );
+}
+
+#[test]
+fn panic_negative_debug_assert_is_free() {
+    let f = analyze(
+        &[(
+            "r::ptg",
+            "pub fn hot(i: usize, n: usize) { debug_assert!(i < n); debug_assert_eq!(n % 2, 0); }",
+        )],
+        "r::ptg::hot",
+    );
+    assert!(f.is_empty(), "expected clean, got {f:?}");
+}
+
+// --- rule: slice indexing ------------------------------------------------
+
+#[test]
+fn index_positive_and_bounds_negative() {
+    let f = analyze(
+        &[(
+            "k::trsm",
+            "pub fn hot(a: &[f64], i: usize) -> f64 { a[i] }\n\
+             pub fn safe(a: &[f64], i: usize) -> f64 {\n\
+             \x20 // BOUNDS: i < a.len() by the caller's panel contract.\n\
+             \x20 a[i]\n\
+             }",
+        )],
+        "k::trsm::hot",
+    );
+    assert_eq!(golden(&f), vec![(HotRule::Index, "slice indexing".into())]);
+    let f = analyze(
+        &[(
+            "k::trsm",
+            "pub fn hot(a: &[f64], i: usize) -> f64 {\n\
+             \x20 // BOUNDS: i < a.len() by the caller's panel contract.\n\
+             \x20 a[i]\n\
+             }",
+        )],
+        "k::trsm::hot",
+    );
+    assert!(f.is_empty(), "expected clean, got {f:?}");
+}
+
+// --- rule: blocking I/O --------------------------------------------------
+
+#[test]
+fn io_positive_macros_files_sleep() {
+    let f = analyze(
+        &[(
+            "r::native",
+            "pub fn hot() { println!(\"{}\", 1); let f = File::open(p); thread::sleep(d); }",
+        )],
+        "r::native::hot",
+    );
+    assert_eq!(
+        golden(&f),
+        vec![
+            (HotRule::Io, "println!".into()),
+            (HotRule::Io, "File::open".into()),
+            (HotRule::Io, "thread::sleep".into()),
+        ]
+    );
+}
+
+// --- rule: tracing -------------------------------------------------------
+
+#[test]
+fn trace_positive_recorder_negative_lane_wrappers() {
+    let f = analyze(
+        &[(
+            "r::native",
+            "pub fn hot(rec: &TraceRecorder) { rec.merge_lane(l); lane.record(span); }",
+        )],
+        "r::native::hot",
+    );
+    // merge_lane is TraceRecorder-unique; .record() is the sanctioned
+    // detached-check Lane wrapper and stays silent.
+    assert_eq!(golden(&f), vec![(HotRule::Trace, ".merge_lane()".into())]);
+}
+
+#[test]
+fn trace_negative_inside_trace_module() {
+    let f = analyze(
+        &[("r::trace", "pub fn hot(r: &mut R) { r.merge_lane(l); }")],
+        "r::trace::hot",
+    );
+    assert!(f.is_empty(), "the trace module implements the recorder");
+}
+
+// --- call-graph resolution across fixture files --------------------------
+
+#[test]
+fn cross_file_resolution_carries_witness_chain() {
+    let f = analyze(
+        &[
+            (
+                "r::native",
+                "use crate::queue::Ready;\n\
+                 pub fn run() { step(); }\n\
+                 fn step() { crate::queue::grab(); }",
+            ),
+            (
+                "r::queue",
+                "pub struct Ready;\n\
+                 pub fn grab() { Ready::refill(); }\n\
+                 impl Ready { fn refill() { let v: Vec<u8> = Vec::new(); } }",
+            ),
+        ],
+        "r::native::run",
+    );
+    assert_eq!(golden(&f), vec![(HotRule::Alloc, "Vec::new".into())]);
+    assert_eq!(
+        f[0].chain,
+        vec![
+            "r::native::run",
+            "r::native::step",
+            "r::queue::grab",
+            "r::queue::Ready::refill",
+        ]
+    );
+}
+
+#[test]
+fn unreachable_violations_stay_silent() {
+    let f = analyze(
+        &[(
+            "r::native",
+            "pub fn hot() {}\n\
+             pub fn cold() { v.push(1); q.lock(); x.unwrap(); }",
+        )],
+        "r::native::hot",
+    );
+    assert!(f.is_empty(), "cold() is not reachable from hot()");
+}
+
+#[test]
+fn cfg_test_modules_are_invisible() {
+    let f = analyze(
+        &[(
+            "r::native",
+            "pub fn hot() {}\n\
+             #[cfg(test)]\n\
+             mod tests { pub fn hot() { v.push(1); } }",
+        )],
+        "r::native::hot",
+    );
+    assert!(f.is_empty(), "test-only twin must not shadow the hot fn");
+}
+
+// --- baseline drift ------------------------------------------------------
+
+#[test]
+fn baseline_gates_new_and_stale_keys() {
+    let f = analyze(
+        &[("k::gemm", "pub fn hot() { v.push(1); }")],
+        "k::gemm::hot",
+    );
+    let keys: Vec<String> = f.iter().map(HotFinding::key).collect();
+
+    // Exact baseline: clean.
+    let b = Baseline::from_json(&format!(
+        "{{\"version\":1,\"keys\":[\"{}\"]}}",
+        keys[0]
+    ))
+    .expect("baseline parses");
+    assert!(b.drift(keys.iter().map(String::as_str)).is_clean());
+
+    // Empty baseline: the finding is NEW and fails the gate.
+    let empty = Baseline::from_json("{\"version\":1,\"keys\":[]}").expect("parses");
+    let d = empty.drift(keys.iter().map(String::as_str));
+    assert_eq!(d.new, keys);
+    assert!(d.stale.is_empty());
+
+    // Baseline with an extra key: STALE (burn-down win) also drifts.
+    let stale = Baseline::from_json(
+        "{\"version\":1,\"keys\":[\"alloc|k::gemm::hot|.push()\",\"lock|gone::fn|.lock()\"]}",
+    )
+    .expect("parses");
+    let d = stale.drift(keys.iter().map(String::as_str));
+    assert!(d.new.is_empty());
+    assert_eq!(d.stale, vec!["lock|gone::fn|.lock()".to_string()]);
+}
+
+// --- hot-roots config ----------------------------------------------------
+
+#[test]
+fn hotpaths_config_roundtrip_and_errors() {
+    let roots = parse_hotpaths(
+        "# comment\n[[root]]\npath = \"a::b::c\"\nnote = \"why\"\n\n[[root]]\npath = \"d::e\"\n",
+    )
+    .expect("valid config");
+    assert_eq!(roots.len(), 2);
+    assert_eq!(roots[0].path, "a::b::c");
+    assert!(parse_hotpaths("[[root]]\npath = \"\"\n").is_err());
+    assert!(parse_hotpaths("[[root]]\nmystery = true\n").is_err());
+}
+
+// --- the consolidated unwrap rule ---------------------------------------
+
+#[test]
+fn unwrap_rule_strips_cfg_test_modules() {
+    let src = "pub fn lib_code() { x.unwrap(); }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   fn t() { y.unwrap(); }\n\
+               }\n";
+    let f = check_unwrap(src);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].line, 1);
+}

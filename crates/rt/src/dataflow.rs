@@ -266,7 +266,9 @@ impl<'a> DataflowGraph<'a> {
         policy: SchedulerPolicy,
         config: RunConfig,
     ) -> Result<RunReport, EngineError> {
-        assert!(nworkers >= 1);
+        if nworkers == 0 {
+            return Err(EngineError::NoWorkers);
+        }
         let ntasks = self.tasks.len();
         let tracer = config.trace.clone();
         let sup = Supervisor::new(ntasks, config);

@@ -8,18 +8,40 @@
 //! critical section around a `VecDeque`; the tasks it schedules are dense
 //! linear-algebra kernels, so the per-task locking cost is noise, and the
 //! semantics (LIFO owner, FIFO thieves) are identical.
+//!
+//! Victim *selection*, however, is lock-free: each deque maintains an
+//! atomic length mirror under its lock, so `Stealer::len`/`is_empty` and
+//! the empty-check in `steal` never serialize scanning thieves on the
+//! victims' mutexes. A stale mirror costs one wasted lock or one missed
+//! round of a polling loop — never a lost task.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use crate::sync::{Arc, Mutex};
 use std::collections::VecDeque;
 
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Length mirror, written under `queue`'s lock.
+    len: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn new() -> Shared<T> {
+        Shared {
+            queue: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+}
+
 /// The owner's end of a work-stealing deque.
 pub struct WorkerDeque<T> {
-    shared: Arc<Mutex<VecDeque<T>>>,
+    shared: Arc<Shared<T>>,
 }
 
 /// A thief's handle onto some worker's deque.
 pub struct Stealer<T> {
-    shared: Arc<Mutex<VecDeque<T>>>,
+    shared: Arc<Shared<T>>,
 }
 
 impl<T> Clone for Stealer<T> {
@@ -40,7 +62,7 @@ impl<T> WorkerDeque<T> {
     /// New empty deque.
     pub fn new() -> WorkerDeque<T> {
         WorkerDeque {
-            shared: Arc::new(Mutex::new(VecDeque::new())),
+            shared: Arc::new(Shared::new()),
         }
     }
 
@@ -53,24 +75,55 @@ impl<T> WorkerDeque<T> {
 
     /// Owner push (LIFO end).
     pub fn push(&self, value: T) {
-        self.shared.lock().push_back(value);
+        // LOCK: owner/thief deque protocol, model-checked in
+        // tests/loom_models.rs. ALLOC: VecDeque growth is amortized —
+        // the buffer is retained across the whole run, reaching its
+        // high-water mark within the first DAG wave.
+        let mut q = self.shared.queue.lock();
+        q.push_back(value);
+        // ORDERING: Relaxed — the mirror is a victim-selection
+        // heuristic; the mutex synchronizes the queue contents.
+        self.shared.len.store(q.len(), Ordering::Relaxed);
     }
 
     /// Owner pop (LIFO end): the most recently released task.
     pub fn pop(&self) -> Option<T> {
-        self.shared.lock().pop_back()
+        // ORDERING: Relaxed empty pre-check skips the lock when the own
+        // deque is dry; the PTG worker loop polls, so a racing push is
+        // seen next round.
+        if self.shared.len.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        // LOCK: owner/thief deque protocol (see `push`).
+        let mut q = self.shared.queue.lock();
+        let v = q.pop_back();
+        // ORDERING: Relaxed — heuristic mirror, see `push`.
+        self.shared.len.store(q.len(), Ordering::Relaxed);
+        v
     }
 }
 
 impl<T> Stealer<T> {
     /// Steal from the FIFO end: the oldest (coldest) task.
     pub fn steal(&self) -> Option<T> {
-        self.shared.lock().pop_front()
+        // ORDERING: Relaxed empty pre-check — scanning thieves skip
+        // empty victims without touching their mutexes.
+        if self.shared.len.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        // LOCK: owner/thief deque protocol (see `WorkerDeque::push`).
+        let mut q = self.shared.queue.lock();
+        let v = q.pop_front();
+        // ORDERING: Relaxed — heuristic mirror, see `WorkerDeque::push`.
+        self.shared.len.store(q.len(), Ordering::Relaxed);
+        v
     }
 
-    /// Number of queued tasks (racy snapshot, for victim selection).
+    /// Number of queued tasks (racy snapshot, for victim selection) —
+    /// lock-free.
     pub fn len(&self) -> usize {
-        self.shared.lock().len()
+        // ORDERING: Relaxed — racy by contract.
+        self.shared.len.load(Ordering::Relaxed)
     }
 
     /// `true` when the snapshot is empty.
@@ -83,6 +136,7 @@ impl<T> Stealer<T> {
 #[derive(Default)]
 pub struct Injector<T> {
     queue: Mutex<VecDeque<T>>,
+    len: AtomicUsize,
 }
 
 impl<T> Injector<T> {
@@ -90,17 +144,35 @@ impl<T> Injector<T> {
     pub fn new() -> Injector<T> {
         Injector {
             queue: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
         }
     }
 
     /// Enqueue at the back.
     pub fn push(&self, value: T) {
-        self.queue.lock().push_back(value);
+        // LOCK: global injector — touched once per task at seed time.
+        // ALLOC: VecDeque growth amortized over the run (see
+        // `WorkerDeque::push`).
+        let mut q = self.queue.lock();
+        q.push_back(value);
+        // ORDERING: Relaxed — heuristic mirror, see `WorkerDeque::push`.
+        self.len.store(q.len(), Ordering::Relaxed);
     }
 
     /// Dequeue from the front.
     pub fn steal(&self) -> Option<T> {
-        self.queue.lock().pop_front()
+        // ORDERING: Relaxed empty pre-check — after the seed drains, all
+        // workers poll the injector every loop; this keeps that poll off
+        // the mutex.
+        if self.len.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        // LOCK: global injector mutex.
+        let mut q = self.queue.lock();
+        let v = q.pop_front();
+        // ORDERING: Relaxed — heuristic mirror, see `push`.
+        self.len.store(q.len(), Ordering::Relaxed);
+        v
     }
 }
 
@@ -119,6 +191,21 @@ mod tests {
         assert_eq!(w.pop(), Some(3)); // newest
         assert_eq!(w.pop(), Some(2));
         assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn len_mirror_tracks_contents() {
+        let w = WorkerDeque::new();
+        let s = w.stealer();
+        assert!(s.is_empty());
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.len(), 2);
+        let _ = w.pop();
+        assert_eq!(s.len(), 1);
+        let _ = s.steal();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
     }
 
     #[test]

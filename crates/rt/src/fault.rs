@@ -610,6 +610,10 @@ pub enum EngineError {
         /// Tasks not yet completed when the cancellation was honored.
         remaining: usize,
     },
+    /// The engine was invoked with zero workers — a configuration error
+    /// surfaced as a structured rejection instead of an assert in the
+    /// engine entry point.
+    NoWorkers,
 }
 
 impl core::fmt::Display for EngineError {
@@ -649,6 +653,7 @@ impl core::fmt::Display for EngineError {
                 f,
                 "run cancelled ({reason}) with {remaining} task(s) abandoned"
             ),
+            EngineError::NoWorkers => write!(f, "engine invoked with zero workers"),
         }
     }
 }

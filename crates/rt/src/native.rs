@@ -15,7 +15,7 @@
 
 use crate::fault::{EngineError, RunConfig, RunReport, Supervisor, TaskOutcome};
 use crate::shared::release_pending;
-use crate::sync::atomic::AtomicU32;
+use crate::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use crate::sync::Mutex;
 use crate::trace::{Lane, SpanKind};
 use crate::TaskId;
@@ -57,6 +57,60 @@ impl Ord for Entry {
 
 struct Queues {
     ready: Vec<Mutex<BinaryHeap<Entry>>>,
+    /// Per-queue length mirrors, maintained under each queue's lock.
+    /// They let `pop`'s empty check and `steal`'s victim scan run
+    /// without touching any mutex — the lock-elided fast path.
+    lens: Vec<AtomicUsize>,
+}
+
+impl Queues {
+    /// Pre-size each worker's heap to the number of tasks statically
+    /// owned by it: releases go to the successor's owner and retries
+    /// return to the task's own owner, so a queue can never exceed its
+    /// owner's task count and the heap never reallocates mid-run.
+    fn with_owner_counts(tasks: &[NativeTask], nworkers: usize) -> Queues {
+        let mut counts = vec![0usize; nworkers];
+        for task in tasks {
+            counts[task.owner % nworkers] += 1;
+        }
+        Queues {
+            // ALLOC: once per run (engine setup), pooled for the whole
+            // run — the per-task push path below never grows the heap.
+            ready: counts
+                .iter()
+                .map(|&c| Mutex::new(BinaryHeap::with_capacity(c)))
+                .collect(),
+            lens: (0..nworkers).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    fn push(&self, w: usize, e: Entry) {
+        // LOCK: per-owner queue mutex — the engine's ready-queue
+        // protocol, model-checked in tests/loom_models.rs.
+        let mut q = self.ready[w].lock();
+        q.push(e);
+        // ORDERING: Relaxed — the length mirror is a heuristic read by
+        // lock-free scans; the mutex is the synchronization point for
+        // the queue contents themselves.
+        self.lens[w].store(q.len(), Ordering::Relaxed);
+    }
+
+    fn pop(&self, w: usize) -> Option<Entry> {
+        // ORDERING: Relaxed empty pre-check elides the lock entirely
+        // when the local queue is dry (the steal-bound worker's common
+        // case); a racing push is observed on the next loop iteration —
+        // the worker loop polls, so no wakeup is lost.
+        if self.lens[w].load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        // LOCK: per-owner queue mutex, uncontended in the static-map
+        // common case.
+        let mut q = self.ready[w].lock();
+        let e = q.pop();
+        // ORDERING: Relaxed — heuristic mirror, see `push`.
+        self.lens[w].store(q.len(), Ordering::Relaxed);
+        e
+    }
 }
 
 /// Execute a statically-scheduled DAG on `nworkers` threads.
@@ -88,7 +142,9 @@ pub fn run_native_checked<F>(
 where
     F: Fn(TaskId, usize) + Sync,
 {
-    assert!(nworkers >= 1);
+    if nworkers == 0 {
+        return Err(EngineError::NoWorkers);
+    }
     let ntasks = tasks.len();
     let tracer = config.trace.clone();
     let sup = Supervisor::new(ntasks, config);
@@ -96,16 +152,17 @@ where
         return sup.finish();
     }
     let pending: Vec<AtomicU32> = tasks.iter().map(|t| AtomicU32::new(t.npred)).collect();
-    let queues = Queues {
-        ready: (0..nworkers).map(|_| Mutex::new(BinaryHeap::new())).collect(),
-    };
+    let queues = Queues::with_owner_counts(tasks, nworkers);
     // Seed initially-ready tasks onto their owners' queues.
     for (t, task) in tasks.iter().enumerate() {
         if task.npred == 0 {
-            queues.ready[task.owner % nworkers].lock().push(Entry {
-                priority: task.priority,
-                task: t,
-            });
+            queues.push(
+                task.owner % nworkers,
+                Entry {
+                    priority: task.priority,
+                    task: t,
+                },
+            );
         }
     }
 
@@ -130,7 +187,7 @@ where
                 continue;
             }
             // 1) Own queue first (locality of the static mapping).
-            let mine = queues.ready[worker].lock().pop();
+            let mine = queues.pop(worker);
             let (picked, stolen) = match mine {
                 Some(e) => (Some(e.task), false),
                 None => (steal(&queues, worker, nworkers), true),
@@ -159,10 +216,13 @@ where
                     for &s in &tasks[t].succs {
                         match release_pending(&pending[s], s) {
                             Ok(true) => {
-                                queues.ready[tasks[s].owner % nworkers].lock().push(Entry {
-                                    priority: tasks[s].priority,
-                                    task: s,
-                                });
+                                queues.push(
+                                    tasks[s].owner % nworkers,
+                                    Entry {
+                                        priority: tasks[s].priority,
+                                        task: s,
+                                    },
+                                );
                             }
                             Ok(false) => {}
                             Err(e) => {
@@ -179,10 +239,13 @@ where
                 }
                 TaskOutcome::Retry => {
                     // Backoff already applied; retry on the static owner.
-                    queues.ready[tasks[t].owner % nworkers].lock().push(Entry {
-                        priority: tasks[t].priority,
-                        task: t,
-                    });
+                    queues.push(
+                        tasks[t].owner % nworkers,
+                        Entry {
+                            priority: tasks[t].priority,
+                            task: t,
+                        },
+                    );
                 }
                 TaskOutcome::Aborted => break,
             }
@@ -206,29 +269,41 @@ where
 /// work — the lowest-priority entry — so the owner keeps the critical
 /// path.
 fn steal(queues: &Queues, thief: usize, nworkers: usize) -> Option<TaskId> {
+    // Lock-elided victim scan: read the atomic length mirrors instead of
+    // locking every queue (the pre-fix scan serialized all workers on
+    // each other's mutexes whenever anyone ran dry).
     let mut victim = None;
     let mut best_len = 0usize;
     for v in 0..nworkers {
         if v == thief {
             continue;
         }
-        let len = queues.ready[v].lock().len();
+        // ORDERING: Relaxed — victim choice is a heuristic; the victim's
+        // mutex below is the synchronization point, and a stale length
+        // only costs one wasted lock or one missed steal round.
+        let len = queues.lens[v].load(Ordering::Relaxed);
         if len > best_len {
             best_len = len;
             victim = Some(v);
         }
     }
     let v = victim?;
+    // LOCK: single victim mutex — the only lock the steal path takes.
     let mut q = queues.ready[v].lock();
     // Take the *lowest* priority entry: rebuild without the minimum.
     // Queues are short (panel counts), so the O(len) drain is noise.
     if q.is_empty() {
         return None;
     }
+    // ALLOC: BinaryHeap → Vec → BinaryHeap round-trip reuses the heap's
+    // own buffer (into_vec / into_iter().collect() are allocation-free
+    // capacity moves); nothing is allocated per steal.
     let mut entries: Vec<Entry> = std::mem::take(&mut *q).into_vec();
     let (min_idx, _) = entries.iter().enumerate().min_by(|a, b| a.1.cmp(b.1))?;
     let stolen = entries.swap_remove(min_idx);
     *q = entries.into_iter().collect();
+    // ORDERING: Relaxed — heuristic mirror, see `Queues::push`.
+    queues.lens[v].store(q.len(), Ordering::Relaxed);
     Some(stolen.task)
 }
 

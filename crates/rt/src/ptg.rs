@@ -64,7 +64,9 @@ pub fn run_ptg_checked<P: PtgProgram>(
     nworkers: usize,
     config: RunConfig,
 ) -> Result<RunReport, EngineError> {
-    assert!(nworkers >= 1);
+    if nworkers == 0 {
+        return Err(EngineError::NoWorkers);
+    }
     let ntasks = program.num_tasks();
     let tracer = config.trace.clone();
     let sup = Supervisor::new(ntasks, config);

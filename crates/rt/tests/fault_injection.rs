@@ -380,3 +380,20 @@ fn injected_delays_do_not_fail_the_run() {
     assert_eq!(report.faults_injected, 2);
     assert!(report.retries == 0);
 }
+
+/// Zero workers is a configuration error, rejected as a structured
+/// `EngineError::NoWorkers` by every checked engine instead of an
+/// assert in the entry point (hot-path purity: panic-free engines).
+#[test]
+fn zero_workers_is_a_structured_rejection() {
+    let tasks = chain_tasks();
+    let r = run_native_checked(&tasks, 0, RunConfig::default(), |_, _| {});
+    assert!(matches!(r, Err(EngineError::NoWorkers)), "{r:?}");
+
+    let g = DataflowGraph::new(4);
+    let r = g.execute_checked(0, RunConfig::default());
+    assert!(matches!(r, Err(EngineError::NoWorkers)), "{r:?}");
+
+    let r = run_ptg_checked(&ChainProgram, 0, RunConfig::default());
+    assert!(matches!(r, Err(EngineError::NoWorkers)), "{r:?}");
+}
