@@ -1,6 +1,6 @@
 # Convenience targets. The canonical gate is `make check`.
 
-.PHONY: build test bench check check-robust check-analysis check-memory check-trace check-concurrency check-serve check-loom check-miri check-tsan lint-safety lint-hot lint-strict clippy
+.PHONY: build test bench check check-robust check-analysis check-memory check-trace check-concurrency check-serve check-dist check-loom check-miri check-tsan lint-safety lint-hot lint-strict clippy
 
 build:
 	cargo build --release
@@ -18,10 +18,13 @@ bench:
 	cargo run -q --release -p dagfact-bench --bin memsweep
 	cargo run -q --release -p dagfact-bench --bin tracesweep
 	cargo run -q --release -p dagfact-bench --bin servesweep
+	cargo run -q --release -p dagfact-bench --bin comm
+	cargo run -q --release -p dagfact-bench --bin distsweep
 
 # The full gate: robustness + static-analysis + memory-budget +
-# observability + concurrency-verification + serving suites.
-check: check-robust check-analysis check-memory check-trace check-concurrency check-serve
+# observability + concurrency-verification + serving + distributed
+# suites.
+check: check-robust check-analysis check-memory check-trace check-concurrency check-serve check-dist
 
 # Full robustness gate: the whole test suite plus the fault-injection and
 # recovery suites with backtraces on, then a warning-free clippy pass.
@@ -72,13 +75,24 @@ check-serve:
 	RUST_BACKTRACE=1 cargo test -q -p dagfact-cli serve
 	cargo run -q --release -p dagfact-bench --bin servesweep
 
+# Distributed-execution gate (DESIGN.md §14): the dist engine's unit
+# and integration suites (chaos sweep, traffic cross-check, recovery
+# edge cases), the CLI dist-mode tests, and the release-mode cluster
+# sweep (strong scaling + recovery overhead; wrong answers fail). The
+# retransmit/ack loom model rides in check-loom.
+check-dist:
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-core dist
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-core --test dist_exec
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-cli dist
+	cargo run -q --release -p dagfact-bench --bin distsweep
+
 # Concurrency-verification gate (DESIGN.md §11): exhaustive loom models
-# of the five runtime protocols, then the best-effort real-execution
+# of the six runtime protocols, then the best-effort real-execution
 # checkers (Miri, TSan — each skips with a warning when its nightly
 # component is unavailable).
 check-concurrency: check-loom check-miri check-tsan
 
-# Model-check the five runtime sync protocols (+ their negative "teeth"
+# Model-check the six runtime sync protocols (+ their negative "teeth"
 # twins) under the in-repo loom-style explorer. The dedicated target dir
 # keeps --cfg loom artifacts from churning the normal build cache.
 check-loom:

@@ -1,0 +1,51 @@
+//! Shared JSON shape for the fan-in communication study
+//! (`results/comm.json`): one record per matrix with the predicted
+//! message/byte traffic at each cluster width, written identically by
+//! `dagfact dist --study` and the `comm` bench binary so downstream
+//! tooling parses one format.
+
+use crate::json::Json;
+use dagfact_core::{fan_in_study, Analysis, CommStats};
+
+fn stats_json(s: &CommStats) -> Json {
+    Json::obj()
+        .field("messages", s.messages)
+        .field("bytes", s.bytes)
+        .field(
+            "sent_per_node",
+            Json::Arr(s.sent_per_node.iter().map(|&b| Json::Num(b)).collect()),
+        )
+        .field(
+            "buffer_bytes_per_node",
+            Json::Arr(
+                s.buffer_bytes_per_node
+                    .iter()
+                    .map(|&b| Json::Num(b))
+                    .collect(),
+            ),
+        )
+}
+
+/// The study record for one matrix: fan-out vs fan-in traffic predicted
+/// by [`fan_in_study`] at each width in `nodes`.
+pub fn comm_study_json(name: &str, analysis: &Analysis, complex: bool, nodes: &[usize]) -> Json {
+    let mut widths = Vec::new();
+    for &nnodes in nodes {
+        let study = fan_in_study(analysis, complex, nnodes);
+        widths.push(
+            Json::obj()
+                .field("nnodes", nnodes)
+                .field(
+                    "work_per_node",
+                    Json::Arr(study.mapping.work.iter().map(|&w| Json::Num(w)).collect()),
+                )
+                .field("fan_out", stats_json(&study.fan_out))
+                .field("fan_in", stats_json(&study.fan_in)),
+        );
+    }
+    Json::obj()
+        .field("matrix", name)
+        .field("facto", analysis.facto.label())
+        .field("panels", analysis.symbol.ncblk())
+        .field("widths", Json::Arr(widths))
+}

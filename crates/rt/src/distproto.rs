@@ -1,0 +1,246 @@
+//! Message protocol primitives for the distributed fan-in engine: an
+//! idempotent apply log (at-least-once delivery → exactly-once
+//! application) and per-message retransmit state (bounded attempts with
+//! exponential backoff, duplicate-ack absorption, idempotent release).
+//!
+//! The dist engine (`dagfact-core::dist`) runs these single-threaded
+//! inside its discrete-event loop, but the protocol itself must be sound
+//! under *concurrent* duplicate delivery — a retransmitted message and
+//! its original can race into a receiver on a real cluster. The types
+//! therefore synchronize through [`crate::sync`] (Mutex + atomics) and
+//! are exhaustively model-checked in the `loom_models` suite (protocol
+//! 6: retransmit/ack with duplicate delivery, plus its negative "teeth"
+//! twin that bypasses the apply log and is caught as a data race).
+
+use crate::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use crate::sync::Mutex;
+use std::collections::HashSet;
+
+/// A message identity: the fan-in pair it belongs to and the delivery
+/// epoch (bumped when a recovered shard re-requests the pair, so a stale
+/// pre-crash duplicate can never satisfy a post-recovery request).
+pub type MsgKey = (u64, u64);
+
+/// Idempotent application log. Every delivery attempt of a message calls
+/// [`ApplyLog::apply_if_new`]; exactly one caller per `(pair, epoch)` is
+/// told to apply the payload, every duplicate is absorbed. The interior
+/// mutex is the happens-before edge that makes the winner's payload
+/// write visible to whoever observes the key as applied.
+#[derive(Debug, Default)]
+pub struct ApplyLog {
+    applied: Mutex<HashSet<MsgKey>>,
+}
+
+impl ApplyLog {
+    /// Empty log.
+    pub fn new() -> ApplyLog {
+        ApplyLog::default()
+    }
+
+    /// First delivery of `(pair, epoch)`? `true` exactly once per key —
+    /// the caller applies the payload; `false` means a duplicate that
+    /// must be dropped (its ack is still sent: the sender may have
+    /// missed the first one).
+    pub fn apply_if_new(&self, pair: u64, epoch: u64) -> bool {
+        self.applied.lock().insert((pair, epoch))
+    }
+
+    /// Has `(pair, epoch)` been applied?
+    pub fn seen(&self, pair: u64, epoch: u64) -> bool {
+        self.applied.lock().contains(&(pair, epoch))
+    }
+
+    /// Forget every epoch of `pair` — recovery resets a restored panel
+    /// to its assembled state, so the pair's contributions must apply
+    /// again.
+    pub fn forget_pair(&self, pair: u64) {
+        self.applied.lock().retain(|&(p, _)| p != pair);
+    }
+
+    /// Number of applied keys.
+    pub fn len(&self) -> usize {
+        self.applied.lock().len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.applied.lock().is_empty()
+    }
+}
+
+/// Bounded-retransmit budget exhausted: the network kept eating the
+/// message past `attempts` sends. Surfaced by the dist engine as a typed
+/// recovery failure, never a silent hang or a wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitExhausted {
+    /// Send attempts made (= the configured maximum).
+    pub attempts: u32,
+}
+
+impl core::fmt::Display for RetransmitExhausted {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "retransmit budget exhausted after {} attempts", self.attempts)
+    }
+}
+
+impl std::error::Error for RetransmitExhausted {}
+
+/// Sender-side state of one outstanding fan-in message: attempt counter
+/// against a bounded budget, first-ack detection (duplicate final acks
+/// are absorbed), and the idempotent release latch that frees the
+/// retained payload once the target panel is checkpointed.
+#[derive(Debug)]
+pub struct SendState {
+    attempts: AtomicU32,
+    max_attempts: u32,
+    acked: AtomicBool,
+    released: AtomicBool,
+}
+
+impl SendState {
+    /// Fresh state with a total send budget of `max_attempts` (≥ 1).
+    pub fn new(max_attempts: u32) -> SendState {
+        SendState {
+            attempts: AtomicU32::new(0),
+            max_attempts: max_attempts.max(1),
+            acked: AtomicBool::new(false),
+            released: AtomicBool::new(false),
+        }
+    }
+
+    /// Reserve one send attempt. Returns the 1-based attempt number, or
+    /// the typed exhaustion error once the budget is spent. An acked
+    /// message never retransmits.
+    pub fn try_send(&self) -> Result<u32, RetransmitExhausted> {
+        if self.is_acked() {
+            return Err(RetransmitExhausted {
+                attempts: self.attempts.load(Ordering::Acquire),
+            });
+        }
+        // ORDERING: AcqRel read-modify-write keeps concurrent reservers
+        // from sharing an attempt number; the counter guards no payload.
+        let prev = self.attempts.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.max_attempts {
+            // Undo the overshoot so repeated polls cannot wrap the
+            // counter; the budget stays pinned at max_attempts.
+            self.attempts.fetch_sub(1, Ordering::AcqRel);
+            return Err(RetransmitExhausted {
+                attempts: self.max_attempts,
+            });
+        }
+        Ok(prev + 1)
+    }
+
+    /// Exponential backoff (µs) before retransmitting `attempt` (1-based):
+    /// `base · 2^(attempt-1)`, saturating.
+    pub fn backoff_micros(base_micros: u64, attempt: u32) -> u64 {
+        base_micros.saturating_mul(1u64.checked_shl(attempt.saturating_sub(1)).unwrap_or(u64::MAX))
+    }
+
+    /// Record an ack. `true` for the first ack only — duplicates of the
+    /// final ack land here and are absorbed without double-completing
+    /// the message.
+    pub fn mark_acked(&self) -> bool {
+        // ORDERING: AcqRel swap — exactly one acker observes false, and
+        // the winner's prior protocol writes are visible to later
+        // readers of `is_acked`.
+        !self.acked.swap(true, Ordering::AcqRel)
+    }
+
+    /// Has the message been acked?
+    pub fn is_acked(&self) -> bool {
+        self.acked.load(Ordering::Acquire)
+    }
+
+    /// Latch the release of the retained payload (the target panel is
+    /// checkpointed; the buffer can be freed). `true` exactly once —
+    /// duplicate Release messages are benign.
+    pub fn mark_released(&self) -> bool {
+        // ORDERING: AcqRel swap — exactly one releaser frees the buffer.
+        !self.released.swap(true, Ordering::AcqRel)
+    }
+
+    /// Has the payload been released?
+    pub fn is_released(&self) -> bool {
+        self.released.load(Ordering::Acquire)
+    }
+
+    /// Send attempts made so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_log_is_exactly_once_per_key() {
+        let log = ApplyLog::new();
+        assert!(log.apply_if_new(3, 0));
+        assert!(!log.apply_if_new(3, 0), "duplicate absorbed");
+        assert!(log.apply_if_new(3, 1), "new epoch applies again");
+        assert!(log.apply_if_new(4, 0), "other pairs independent");
+        assert_eq!(log.len(), 3);
+        assert!(log.seen(3, 0));
+        assert!(!log.seen(5, 0));
+    }
+
+    #[test]
+    fn forget_pair_clears_all_epochs() {
+        let log = ApplyLog::new();
+        log.apply_if_new(7, 0);
+        log.apply_if_new(7, 1);
+        log.apply_if_new(8, 0);
+        log.forget_pair(7);
+        assert!(!log.seen(7, 0));
+        assert!(!log.seen(7, 1));
+        assert!(log.seen(8, 0), "other pairs untouched");
+        // Post-recovery redelivery applies again.
+        assert!(log.apply_if_new(7, 0));
+    }
+
+    #[test]
+    fn send_budget_is_bounded_and_typed() {
+        let s = SendState::new(3);
+        assert_eq!(s.try_send(), Ok(1));
+        assert_eq!(s.try_send(), Ok(2));
+        assert_eq!(s.try_send(), Ok(3));
+        assert_eq!(s.try_send(), Err(RetransmitExhausted { attempts: 3 }));
+        // The counter stays pinned; polling the exhausted state forever
+        // never wraps it.
+        for _ in 0..100 {
+            assert!(s.try_send().is_err());
+        }
+        assert_eq!(s.attempts(), 3);
+    }
+
+    #[test]
+    fn duplicate_final_ack_is_absorbed() {
+        let s = SendState::new(4);
+        s.try_send().expect("first send");
+        assert!(s.mark_acked(), "first ack completes the message");
+        assert!(!s.mark_acked(), "duplicate final ack absorbed");
+        assert!(s.is_acked());
+        // An acked message never retransmits.
+        assert!(s.try_send().is_err());
+    }
+
+    #[test]
+    fn release_latch_is_idempotent() {
+        let s = SendState::new(1);
+        assert!(s.mark_released());
+        assert!(!s.mark_released(), "duplicate Release is benign");
+        assert!(s.is_released());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_saturates() {
+        assert_eq!(SendState::backoff_micros(100, 1), 100);
+        assert_eq!(SendState::backoff_micros(100, 2), 200);
+        assert_eq!(SendState::backoff_micros(100, 5), 1600);
+        assert_eq!(SendState::backoff_micros(100, 200), u64::MAX);
+        assert_eq!(SendState::backoff_micros(0, 3), 0);
+    }
+}

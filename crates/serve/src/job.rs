@@ -405,6 +405,11 @@ pub struct JobResponse {
     /// Factorization attempts by the adaptive recovery loop (0 on a pure
     /// factor-cache hit).
     pub attempts: u32,
+    /// Size of the coalesced blocked solve this answer rode in: queued
+    /// same-factor jobs are batched into one `solve_many` call, so a
+    /// value ≥ 2 means this job shared its triangular sweeps with that
+    /// many peers. 1 = solved alone.
+    pub batched: usize,
     /// Wall-clock job latency in microseconds.
     pub elapsed_us: u64,
     /// Client tag, echoed back.
@@ -427,6 +432,7 @@ impl JobResponse {
         push_kv(&mut s, "factor_hit", if self.factor_hit { "true" } else { "false" });
         push_kv(&mut s, "generation", &self.generation.to_string());
         push_kv(&mut s, "attempts", &self.attempts.to_string());
+        push_kv(&mut s, "batched", &self.batched.to_string());
         push_kv(&mut s, "elapsed_us", &self.elapsed_us.to_string());
         if let Some(tag) = &self.tag {
             s.push_str(",\"tag\":");

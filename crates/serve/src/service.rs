@@ -90,6 +90,10 @@ pub struct ServiceStats {
     pub panics: u64,
     /// Jobs answered with any other typed error.
     pub failed: u64,
+    /// Jobs answered out of a coalesced blocked solve (batch size ≥ 2).
+    pub batched: u64,
+    /// Coalesced blocked solves executed (each covers ≥ 2 jobs).
+    pub batches: u64,
     /// Factor-cache shed events triggered by admission control.
     pub sheds: u64,
     /// Current queue depth.
@@ -112,7 +116,8 @@ impl ServiceStats {
         };
         format!(
             "{{\"submitted\":{},\"completed\":{},\"deadlines\":{},\"rejected\":{},\
-             \"panics\":{},\"failed\":{},\"sheds\":{},\"queue_depth\":{},\
+             \"panics\":{},\"failed\":{},\"batched\":{},\"batches\":{},\
+             \"sheds\":{},\"queue_depth\":{},\
              \"pattern_cache\":{},\"factor_cache\":{}}}",
             self.submitted,
             self.completed,
@@ -120,6 +125,8 @@ impl ServiceStats {
             self.rejected,
             self.panics,
             self.failed,
+            self.batched,
+            self.batches,
             self.sheds,
             self.queue_depth,
             cache(&self.pattern_cache),
@@ -318,12 +325,32 @@ impl Drop for Service {
 
 fn worker_loop(inner: &Arc<ServiceInner>) {
     loop {
-        let job = {
+        let batch = {
             let mut q = inner.queue.lock();
             loop {
                 if let Some(job) = q.pop_front() {
+                    let mut batch = vec![job];
+                    // Coalesce: a batchable lead adopts every queued
+                    // follower that resolves to the same factors, so the
+                    // whole group is answered by one blocked solve_many
+                    // instead of one triangular sweep per job. The queue
+                    // cap bounds the batch width.
+                    if batchable(inner, &batch[0].spec) {
+                        let mut i = 0;
+                        while i < q.len() {
+                            if batchable(inner, &q[i].spec)
+                                && coalescable(&batch[0].spec, &q[i].spec)
+                            {
+                                let follower =
+                                    q.remove(i).expect("index bounded by queue len");
+                                batch.push(follower);
+                            } else {
+                                i += 1;
+                            }
+                        }
+                    }
                     inner.counters.lock().queue_depth = q.len();
-                    break Some(job);
+                    break Some(batch);
                 }
                 if inner.shutting_down.load(Ordering::Acquire) {
                     break None;
@@ -331,31 +358,179 @@ fn worker_loop(inner: &Arc<ServiceInner>) {
                 q = inner.queue_cond.wait(q);
             }
         };
-        let Some(job) = job else { return };
+        let Some(batch) = batch else { return };
         let started = Instant::now();
         // The whole job body is isolated: a panic that escapes the cache
         // fills (solve phase, RHS assembly, response building) downgrades
         // to a typed error and the worker lives on.
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(inner, &job)))
-            .unwrap_or_else(|p| Err(JobError::Panicked(panic_message(&p))));
-        let outcome = outcome.map(|mut r| {
-            r.elapsed_us = started.elapsed().as_micros() as u64;
-            r
-        });
+        let outcomes: Vec<Result<JobResponse, JobError>> = if batch.len() == 1 {
+            vec![catch_unwind(AssertUnwindSafe(|| run_job(inner, &batch[0])))
+                .unwrap_or_else(|p| Err(JobError::Panicked(panic_message(&p))))]
+        } else {
+            catch_unwind(AssertUnwindSafe(|| run_batch(inner, &batch))).unwrap_or_else(|p| {
+                let e = JobError::Panicked(panic_message(&p));
+                batch.iter().map(|_| Err(e.clone())).collect()
+            })
+        };
+        let elapsed_us = started.elapsed().as_micros() as u64;
         {
             let mut c = inner.counters.lock();
-            match &outcome {
-                Ok(_) => c.completed += 1,
-                Err(JobError::Deadline { .. }) => c.deadlines += 1,
-                Err(JobError::Panicked(_)) => c.panics += 1,
-                Err(JobError::Overloaded(_)) => c.rejected += 1,
-                Err(_) => c.failed += 1,
+            if batch.len() > 1 {
+                c.batches += 1;
+            }
+            for outcome in &outcomes {
+                match outcome {
+                    Ok(_) => {
+                        c.completed += 1;
+                        if batch.len() > 1 {
+                            c.batched += 1;
+                        }
+                    }
+                    Err(JobError::Deadline { .. }) => c.deadlines += 1,
+                    Err(JobError::Panicked(_)) => c.panics += 1,
+                    Err(JobError::Overloaded(_)) => c.rejected += 1,
+                    Err(_) => c.failed += 1,
+                }
             }
         }
-        let mut done = job.ticket.done.lock();
-        *done = Some(outcome);
-        job.ticket.cond.notify_all();
+        debug_assert_eq!(outcomes.len(), batch.len());
+        for (job, outcome) in batch.iter().zip(outcomes) {
+            let outcome = outcome.map(|mut r| {
+                r.elapsed_us = elapsed_us;
+                r
+            });
+            let mut done = job.ticket.done.lock();
+            *done = Some(outcome);
+            job.ticket.cond.notify_all();
+        }
     }
+}
+
+/// Whether a job may ride in a coalesced blocked solve: nothing about it
+/// may be per-job beyond the RHS — cached factors, no iterative
+/// refinement (its convergence loop is per-column), and no deadline that
+/// would need per-member cancellation inside the shared solve.
+fn batchable(inner: &ServiceInner, spec: &JobSpec) -> bool {
+    spec.reuse == ReusePolicy::Factors
+        && spec.refine == 0
+        && spec.deadline_ms.is_none()
+        && inner.config.default_deadline_ms.is_none()
+}
+
+/// Whether a queued follower resolves to the same factors as the batch
+/// lead: same matrix, factorization kind and engine configuration. The
+/// RHS (and its width) is exactly what is allowed to differ.
+fn coalescable(lead: &JobSpec, follower: &JobSpec) -> bool {
+    follower.matrix == lead.matrix
+        && follower.facto == lead.facto
+        && follower.engine == lead.engine
+        && follower.threads == lead.threads
+}
+
+/// Run a coalesced batch: one analysis, one (cached) factorization, and
+/// one blocked `solve_many` over the concatenated RHS columns, split
+/// back per ticket afterwards. Results cannot mix across members
+/// because each job's columns occupy a disjoint `n × nrhs` slab of the
+/// block, and the solve treats columns independently. Whole-batch
+/// failures (matrix load, factorization) replicate to every member; a
+/// malformed per-job RHS fails only the offending job.
+fn run_batch(inner: &Arc<ServiceInner>, batch: &[QueuedJob]) -> Vec<Result<JobResponse, JobError>> {
+    let lead = &batch[0].spec;
+    let whole = |e: JobError| batch.iter().map(|_| Err(e.clone())).collect::<Vec<_>>();
+    let a = match load_matrix(lead) {
+        Ok(a) => a,
+        Err(e) => return whole(e),
+    };
+    let n = a.nrows();
+    let rhs: Vec<Result<Vec<f64>, JobError>> =
+        batch.iter().map(|j| build_rhs(&j.spec, &a)).collect();
+    let mut b = Vec::new();
+    let mut total = 0usize;
+    for (job, r) in batch.iter().zip(&rhs) {
+        if let Ok(col) = r {
+            b.extend_from_slice(col);
+            total += job.spec.nrhs;
+        }
+    }
+    if total == 0 {
+        return rhs
+            .into_iter()
+            .map(|r| r.map(|_| unreachable!("total == 0 means every rhs failed")))
+            .collect();
+    }
+
+    let run = RunConfig {
+        fault_plan: inner.config.fault_plan.clone(),
+        retry: inner.config.retry.clone(),
+        watchdog: inner.config.watchdog,
+        budget: Some(inner.config.budget.clone()),
+        cancel: None, // batch members carry no deadlines by construction
+        ..RunConfig::default()
+    };
+    let exec = ExecOptions {
+        run,
+        epsilon_override: None,
+        spill_dir: None,
+    };
+    let started = batch[0].submitted;
+
+    // Batch members all have reuse == Factors, so both caches are keyed.
+    let phash = pattern_hash(&a);
+    let pkey = hash_words(phash, std::iter::once(lead.facto as u64));
+    let hit = match inner.pattern_cache.get_or_fill(&pkey, || {
+        let an = Analysis::new(a.pattern(), lead.facto, &SolverOptions::default());
+        let bytes = an.resident_bytes();
+        Ok((an, bytes))
+    }) {
+        Ok(h) => h,
+        Err(e) => return whole(e),
+    };
+    let pattern_hit = hit.was_hit;
+    let analysis = hit.value;
+
+    let vhash = values_hash(&a);
+    let fkey = (phash, vhash, lead.facto as u8);
+    let hit = match inner.factor_cache.get_or_fill(&fkey, || {
+        let sf = SharedFactors::factorize(analysis.clone(), &a, lead.engine, lead.threads, &exec)
+            .map_err(|e| map_solver_error(&e, started))?;
+        let bytes = sf.resident_bytes();
+        Ok((sf, bytes))
+    }) {
+        Ok(h) => h,
+        Err(e) => return whole(e),
+    };
+    let factor_hit = hit.was_hit;
+    let generation = hit.generation;
+    let factors = hit.value;
+
+    let x = factors.solve_many(&b, total);
+    let attempts = if factor_hit { 0 } else { factors.stats().attempts };
+    let mut off = 0usize;
+    batch
+        .iter()
+        .zip(rhs)
+        .map(|(job, r)| {
+            r.map(|_| {
+                let w = job.spec.nrhs;
+                let cols = x[off * n..(off + w) * n].to_vec();
+                off += w;
+                JobResponse {
+                    x: cols,
+                    n,
+                    nrhs: w,
+                    iterations: 0,
+                    berr: None,
+                    pattern_hit,
+                    factor_hit,
+                    generation,
+                    attempts,
+                    batched: batch.len(),
+                    elapsed_us: 0, // stamped by the worker loop
+                    tag: job.spec.tag.clone(),
+                }
+            })
+        })
+        .collect()
 }
 
 /// Register `token` to fire at `at`; the monitor wakes for the earliest
@@ -598,6 +773,7 @@ fn run_job(inner: &Arc<ServiceInner>, job: &QueuedJob) -> Result<JobResponse, Jo
         factor_hit,
         generation,
         attempts,
+        batched: 1,
         elapsed_us: 0, // stamped by the worker loop
         tag: spec.tag.clone(),
     })

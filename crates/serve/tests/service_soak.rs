@@ -223,6 +223,64 @@ fn deadline_job_returns_typed_error_not_partial_answer() {
 }
 
 #[test]
+fn batched_same_factor_jobs_never_mix_results() {
+    // One worker so the followers provably queue: the warmup job is
+    // refine-heavy (refinement makes it non-batchable) and holds the
+    // worker while the batchable same-factor jobs pile up behind it.
+    // When the worker frees up it must coalesce them into one blocked
+    // solve_many — and each ticket must still get exactly its own
+    // columns back.
+    let service = Service::start(ServeConfig {
+        workers: 1,
+        queue_cap: 32,
+        ..ServeConfig::default()
+    });
+    let a = grid_laplacian_3d(6, 6, 6);
+    let n = a.nrows();
+    let src = inline_of(&a);
+    let warm = JobSpec::parse(&format!("{src} refine=3 tag=warmup")).expect("spec");
+    let warm_ticket = service.submit(warm).expect("warmup admitted");
+
+    // Job k carries the RHS k·(A·1), so its solution is exactly k·1 —
+    // any cross-member leakage in the blocked solve shows up as a wrong
+    // scale somewhere in x.
+    let mut a1 = vec![0.0; n];
+    a.spmv(&vec![1.0; n], &mut a1);
+    let mut tickets = Vec::new();
+    for k in 1..=6usize {
+        let rhs: Vec<String> = a1.iter().map(|v| format!("{}", v * k as f64)).collect();
+        let spec = JobSpec::parse(&format!("{src} rhs={} tag=k{k}", rhs.join(";")))
+            .expect("spec");
+        tickets.push((k, service.submit(spec).expect("follower admitted")));
+    }
+
+    warm_ticket.wait().expect("warmup solves");
+    let mut coalesced = 0u32;
+    for (k, t) in tickets {
+        let resp = t.wait().expect("batched job solves");
+        assert_eq!(resp.nrhs, 1);
+        assert_eq!(resp.x.len(), n);
+        for (i, v) in resp.x.iter().enumerate() {
+            assert!(
+                (v - k as f64).abs() < 1e-6 * k as f64,
+                "job k={k}: x[{i}] = {v}, expected {k} — batch mixed member columns?"
+            );
+        }
+        if resp.batched >= 2 {
+            coalesced += 1;
+        }
+    }
+    assert!(
+        coalesced >= 2,
+        "queued same-factor jobs never coalesced (coalesced={coalesced})"
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 7);
+    assert!(stats.batches >= 1, "no blocked solve recorded: {stats:?}");
+    assert_eq!(stats.batched as u32, coalesced);
+}
+
+#[test]
 fn budget_pressure_sheds_caches_before_rejecting() {
     // Cap sized so one set of factors fits but pressure rises past the
     // shed threshold as entries accumulate; admission must shed instead
