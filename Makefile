@@ -1,6 +1,6 @@
 # Convenience targets. The canonical gate is `make check`.
 
-.PHONY: build test bench check check-robust check-analysis check-memory check-trace check-concurrency check-serve check-dist check-loom check-miri check-tsan lint-safety lint-hot lint-strict clippy
+.PHONY: build test bench check check-kernels check-robust check-analysis check-memory check-trace check-concurrency check-serve check-dist check-loom check-miri check-tsan lint-safety lint-hot lint-strict clippy
 
 build:
 	cargo build --release
@@ -20,11 +20,23 @@ bench:
 	cargo run -q --release -p dagfact-bench --bin servesweep
 	cargo run -q --release -p dagfact-bench --bin comm
 	cargo run -q --release -p dagfact-bench --bin distsweep
+	cargo run -q --release -p dagfact-bench --bin kernels_bench
 
-# The full gate: robustness + static-analysis + memory-budget +
+# The full gate: kernels + robustness + static-analysis + memory-budget +
 # observability + concurrency-verification + serving + distributed
 # suites.
-check: check-robust check-analysis check-memory check-trace check-concurrency check-serve check-dist
+check: check-kernels check-robust check-analysis check-memory check-trace check-concurrency check-serve check-dist
+
+# Kernel gate (DESIGN.md §15): the kernels unit suite, the differential
+# SIMD-vs-portable fuzz suite, a forced-scalar build+test leg
+# (--no-default-features proves the portable tier stands alone), and the
+# release-mode kernel study with its >=1.5x SIMD speedup gate (skipped
+# loudly on hosts without AVX2).
+check-kernels:
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-kernels --lib
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-kernels --test simd_fuzz
+	RUST_BACKTRACE=1 cargo test -q -p dagfact-kernels --no-default-features
+	cargo run -q --release -p dagfact-bench --bin kernels_bench
 
 # Full robustness gate: the whole test suite plus the fault-injection and
 # recovery suites with backtraces on, then a warning-free clippy pass.

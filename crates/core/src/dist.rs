@@ -158,6 +158,16 @@ pub enum DistError {
     },
     /// A numeric task failed (pivot breakdown, non-finite sweep, …).
     Solver(SolverError),
+    /// A pair was delivered whose retained send buffer is gone — a
+    /// protocol-invariant violation (the sender must hold the buffer
+    /// until the ack), surfaced as a typed error instead of a panic in
+    /// the hot accumulate path.
+    PairBufferMissing {
+        /// Index into the fan-in pair table.
+        pair: usize,
+        /// Target panel of the pair.
+        target: usize,
+    },
 }
 
 impl std::fmt::Display for DistError {
@@ -177,6 +187,11 @@ impl std::fmt::Display for DistError {
                 write!(f, "protocol stalled with {done}/{total} panels complete")
             }
             DistError::Solver(e) => write!(f, "numeric failure: {e}"),
+            DistError::PairBufferMissing { pair, target } => write!(
+                f,
+                "pair {pair} (target panel {target}) was delivered without \
+                 a retained buffer — protocol invariant violated"
+            ),
         }
     }
 }
@@ -947,7 +962,7 @@ impl<'s, 'a, T: Scalar> Sim<'s, 'a, T> {
                 ch.access(tgt, Mode::Accum, apply_id, owner);
                 ch.task_end(apply_id, owner, &[tgt]);
             }
-            self.apply_pair(pair);
+            self.apply_pair(pair)?;
             self.pending[tgt] -= 1;
             self.last_progress = self.queue.now();
             self.enqueue_if_ready(tgt);
@@ -976,18 +991,19 @@ impl<'s, 'a, T: Scalar> Sim<'s, 'a, T> {
     }
 
     /// Elementwise-add a pair's accumulated (negative) contribution into
-    /// the live target panel.
-    fn apply_pair(&mut self, pair: usize) {
+    /// the live target panel. A missing retained buffer is a protocol
+    /// invariant violation and surfaces as a typed [`DistError`] — never
+    /// a panic on the hot accumulate path.
+    fn apply_pair(&mut self, pair: usize) -> Result<(), DistError> {
         let symbol = &self.analysis.symbol;
         // BOUNDS: `pair` indexes the fixed pair table it was enumerated
         // from; delivery events carry no other values.
         let tgt = self.pairs[pair].tgt;
         // BOUNDS: same fixed-size table, same index.
         let st = &self.pstate[pair];
-        let buf = st
-            .buf
-            .as_ref()
-            .expect("delivered pair without a retained buffer");
+        let Some(buf) = st.buf.as_ref() else {
+            return Err(DistError::PairBufferMissing { pair, target: tgt });
+        };
         let lpin = self
             .tab
             .pin_l_solve(symbol, tgt);
@@ -1005,6 +1021,7 @@ impl<'s, 'a, T: Scalar> Sim<'s, 'a, T> {
                 *dst += *src;
             }
         }
+        Ok(())
     }
 
     // -- failure detection and recovery -------------------------------

@@ -18,8 +18,9 @@
 //! When [`ExecOptions::run`] carries a [`MemoryBudget`], every large
 //! allocation of the factorization is charged to it: the coefficient
 //! panels (through the pager in [`CoefTab`]), the per-worker GEMM buffers
-//! (`site::WORKSPACE`), the native engine's `D·Lᵀ` panel (`site::DLT`)
-//! and the pivot diagonal (`site::DIAG`). Under a hard cap the tasks
+//! (`site::WORKSPACE`), the native engine's per-supernode packed B-panel
+//! (`site::DLT` — plain `Lᵀ` for Cholesky, `D·Lᵀ` for LDLᵀ) and the
+//! pivot diagonal (`site::DIAG`). Under a hard cap the tasks
 //! degrade instead of failing, in pressure order:
 //!
 //! 1. **shed** — GEMM updates narrow their scatter buffer to a few
@@ -43,7 +44,10 @@ use crate::tasks::{OneDGraph, TaskGraph, TaskKind};
 use crate::SolverError;
 use dagfact_kernels::gemm::{gemm, Trans};
 use dagfact_kernels::trsm::{trsm, Diag, Side, Uplo};
-use dagfact_kernels::update::{update_scatter_direct, update_via_buffer, Scatter};
+use dagfact_kernels::update::{
+    pack_b, update_scatter_direct, update_scatter_packed, update_via_buffer,
+    update_via_buffer_packed, Scatter,
+};
 use dagfact_kernels::{getrf, ldlt, ldlt_apply_diag, potrf, Scalar};
 use dagfact_rt::budget::{site, MemoryBudget, PressureLevel};
 use dagfact_rt::dataflow::DataflowGraph;
@@ -397,17 +401,18 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
     // ------------------------------------------------------------------
 
     /// Apply update task of global block `bi` from panel `c` onto its
-    /// facing panel. `dlt` optionally carries the native engine's
-    /// precomputed `D·Lᵀ` panel (k × below, column per source row).
-    /// `lock_target` must be true when the caller's DAG does not order
-    /// updates into a common target against each other (the native 1D
-    /// graph): the write then becomes a lock-protected accumulation.
+    /// facing panel. `pack` optionally carries the native engine's
+    /// per-supernode packed B-panel (k × below, column per source row):
+    /// plain `Lᵀ` for Cholesky, `D·Lᵀ` for LDLᵀ. `lock_target` must be
+    /// true when the caller's DAG does not order updates into a common
+    /// target against each other (the native 1D graph): the write then
+    /// becomes a lock-protected accumulation.
     pub(crate) fn update_task(
         &self,
         c: usize,
         bi: usize,
         worker: usize,
-        dlt: Option<&[T]>,
+        pack: Option<&[T]>,
         lock_target: bool,
     ) {
         if self.failed() {
@@ -462,7 +467,7 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
             Some((us, ud)) => (Some(unsafe { us.slice() }), Some(unsafe { ud.slice_mut() })),
             None => (None, None),
         };
-        self.update_kernel(c, bi, ws, cols_l, dlt, lsrc, usrc, ldst, udst);
+        self.update_kernel(c, bi, ws, cols_l, pack, lsrc, usrc, ldst, udst);
         // This update has consumed its read of panel c; the last one
         // hands the panel to the pager as a preferred spill victim.
         if self.remaining_reads[c].fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -521,7 +526,8 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
     /// [`NumericCtx::update_task`] (destination = the live target panel)
     /// and [`NumericCtx::update_into`] (destination = a fan-in pair
     /// buffer with the target panel's layout). `cols_l` is the
-    /// pre-decided scatter-buffer plan for the m×n L-side GEMM.
+    /// pre-decided scatter-buffer plan for the m×n L-side GEMM; `pack`
+    /// is the supernode's packed B-panel when the 1D task built one.
     #[allow(clippy::too_many_arguments)]
     fn update_kernel(
         &self,
@@ -529,7 +535,7 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
         bi: usize,
         ws: &mut Workspace<T>,
         cols_l: Option<usize>,
-        dlt: Option<&[T]>,
+        pack: Option<&[T]>,
         lsrc: &[T],
         usrc: Option<&[T]>,
         ldst: &mut [T],
@@ -548,82 +554,83 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
         let a1 = &lsrc[block.local_offset..];
         let a2 = &lsrc[block.local_offset..];
         match self.analysis.facto {
-            FactoKind::Cholesky => match cols_l {
-                Some(cols) => chunked_update(
-                    cols, m, n, k,
-                    -T::one(),
-                    a1, cb.stride,
-                    a2, cb.stride,
-                    None,
-                    &mut ws.tmp,
-                    ldst, tcb.stride,
-                    &ws.row_map, col_off,
-                ),
-                None => update_scatter_direct(
-                    m, n, k,
-                    -T::one(),
-                    a1, cb.stride,
-                    a2, cb.stride,
-                    None,
-                    ldst, tcb.stride,
-                    Scatter { row_map: &ws.row_map, col_offset: col_off },
-                ),
+            FactoKind::Cholesky => match pack {
+                Some(w_panel) => {
+                    // Native path: the supernode's Lᵀ B-panel was packed
+                    // once by the 1D task; every update of the panel reads
+                    // the same contiguous cache-blocked columns.
+                    let col0 = block.local_offset - cb.width();
+                    let pk = &w_panel[col0 * k..(col0 + n) * k];
+                    match cols_l {
+                        Some(cols) => chunked_update_packed(
+                            cols, m, n, k,
+                            -T::one(),
+                            a1, cb.stride,
+                            pk,
+                            &mut ws.tmp,
+                            ldst, tcb.stride,
+                            &ws.row_map, col_off,
+                        ),
+                        None => update_scatter_packed(
+                            m, n, k,
+                            -T::one(),
+                            a1, cb.stride,
+                            pk,
+                            ldst, tcb.stride,
+                            Scatter { row_map: &ws.row_map, col_offset: col_off },
+                        ),
+                    }
+                }
+                None => match cols_l {
+                    Some(cols) => chunked_update(
+                        cols, m, n, k,
+                        -T::one(),
+                        a1, cb.stride,
+                        a2, cb.stride,
+                        None,
+                        &mut ws.tmp,
+                        ldst, tcb.stride,
+                        &ws.row_map, col_off,
+                    ),
+                    None => update_scatter_direct(
+                        m, n, k,
+                        -T::one(),
+                        a1, cb.stride,
+                        a2, cb.stride,
+                        None,
+                        ldst, tcb.stride,
+                        Scatter { row_map: &ws.row_map, col_offset: col_off },
+                    ),
+                },
             },
             FactoKind::Ldlt => {
-                match dlt {
+                match pack {
                     Some(w_panel) => {
-                        // Native path: W = D·Lᵀ was built once per panel;
+                        // Native path: W = D·Lᵀ was packed once per panel;
                         // pick the columns of block bi and run a plain
-                        // GEMM (the PaStiX temp-buffer trick).
+                        // GEMM (the PaStiX temp-buffer trick), or the
+                        // fused GEMM-scatter when the pressure ladder
+                        // forbids the staging buffer.
                         let col0 = block.local_offset - cb.width();
+                        let pk = &w_panel[col0 * k..(col0 + n) * k];
                         match cols_l {
-                            Some(cols) => {
-                                let mut j0 = 0;
-                                while j0 < n {
-                                    let nc = cols.min(n - j0);
-                                    let w2 = &w_panel[(col0 + j0) * k..(col0 + j0 + nc) * k];
-                                    ws.tmp.clear();
-                                    ws.tmp.resize(m * nc, T::zero());
-                                    gemm(
-                                        Trans::NoTrans,
-                                        Trans::NoTrans,
-                                        m, nc, k,
-                                        T::one(),
-                                        a1, cb.stride,
-                                        w2, k,
-                                        T::zero(),
-                                        &mut ws.tmp, m,
-                                    );
-                                    scatter_sub(
-                                        &ws.tmp,
-                                        m,
-                                        nc,
-                                        ldst,
-                                        tcb.stride,
-                                        Scatter {
-                                            row_map: &ws.row_map,
-                                            col_offset: col_off + j0,
-                                        },
-                                    );
-                                    j0 += nc;
-                                }
-                            }
-                            None => {
-                                // Zero-workspace fallback: accumulate the
-                                // outer products straight into the target.
-                                for jj in 0..n {
-                                    let col = &mut ldst[(col_off + jj) * tcb.stride..];
-                                    for l in 0..k {
-                                        let s = w_panel[(col0 + jj) * k + l];
-                                        if s == T::zero() {
-                                            continue;
-                                        }
-                                        for (i, &rm) in ws.row_map.iter().enumerate().take(m) {
-                                            col[rm] -= a1[l * cb.stride + i] * s;
-                                        }
-                                    }
-                                }
-                            }
+                            Some(cols) => chunked_update_packed(
+                                cols, m, n, k,
+                                -T::one(),
+                                a1, cb.stride,
+                                pk,
+                                &mut ws.tmp,
+                                ldst, tcb.stride,
+                                &ws.row_map, col_off,
+                            ),
+                            None => update_scatter_packed(
+                                m, n, k,
+                                -T::one(),
+                                a1, cb.stride,
+                                pk,
+                                ldst, tcb.stride,
+                                Scatter { row_map: &ws.row_map, col_offset: col_off },
+                            ),
                         }
                     }
                     None => {
@@ -758,7 +765,8 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
     }
 
     /// The fused 1D task of the native engine: panel + all its updates,
-    /// with the per-panel `D·Lᵀ` buffer for LDLᵀ.
+    /// with the per-supernode packed B-panel (`Lᵀ` for Cholesky, `D·Lᵀ`
+    /// for LDLᵀ) built once and reused by every trailing update.
     fn one_d_task(&self, c: usize, worker: usize) {
         self.panel_task(c, worker);
         if self.failed() {
@@ -766,8 +774,12 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
         }
         let symbol = &self.analysis.symbol;
         let cb = &symbol.cblks[c];
-        let mut dlt_charged = 0usize;
-        let dlt_panel: Option<Vec<T>> = if self.analysis.facto == FactoKind::Ldlt {
+        let mut pack_charged = 0usize;
+        let wants_pack = matches!(
+            self.analysis.facto,
+            FactoKind::Cholesky | FactoKind::Ldlt
+        );
+        let pack_panel: Option<Vec<T>> = if wants_pack {
             let below = cb.stride - cb.width();
             let k = cb.width();
             let granted = below > 0 && {
@@ -777,13 +789,13 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
                         let bytes = k * below * std::mem::size_of::<T>();
                         match b.try_charge(bytes, site::DLT) {
                             Ok(()) => {
-                                dlt_charged = bytes;
+                                pack_charged = bytes;
                                 true
                             }
                             Err(_) => {
                                 // Refused (pressure or injected fault):
                                 // the generic per-update kernel needs no
-                                // D·Lᵀ buffer.
+                                // packed panel.
                                 b.note_shed();
                                 false
                             }
@@ -796,16 +808,11 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
                     Ok(pin) => {
                         // SAFETY: panel(c) is complete and ours to read.
                         let l = unsafe { pin.slice() };
-                        let d = unsafe { self.d.range(cb.fcol..cb.lcol) };
+                        let d = (self.analysis.facto == FactoKind::Ldlt)
+                            // SAFETY: d[cols of c] was finalized by panel(c).
+                            .then(|| unsafe { self.d.range(cb.fcol..cb.lcol) });
                         let mut w = vec![T::zero(); k * below];
-                        dagfact_kernels::ldlt::ldlt_scale_transpose(
-                            below,
-                            k,
-                            d,
-                            &l[k..],
-                            cb.stride,
-                            &mut w,
-                        );
+                        pack_b(below, k, d, &l[k..], cb.stride, &mut w);
                         Some(w)
                     }
                     Err(_) => {
@@ -813,9 +820,9 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
                         // fault or spill IO): degrade to the generic
                         // update kernel; it re-pins and reports properly.
                         if let Some(b) = &self.budget {
-                            b.release(dlt_charged);
+                            b.release(pack_charged);
                         }
-                        dlt_charged = 0;
+                        pack_charged = 0;
                         None
                     }
                 }
@@ -826,12 +833,12 @@ impl<'a, T: Scalar> NumericCtx<'a, T> {
             None
         };
         for bi in (cb.block_begin + 1)..cb.block_end {
-            self.update_task(c, bi, worker, dlt_panel.as_deref(), true);
+            self.update_task(c, bi, worker, pack_panel.as_deref(), true);
         }
-        drop(dlt_panel);
-        if dlt_charged > 0 {
+        drop(pack_panel);
+        if pack_charged > 0 {
             if let Some(b) = &self.budget {
-                b.release(dlt_charged);
+                b.release(pack_charged);
             }
         }
     }
@@ -876,6 +883,42 @@ fn chunked_update<T: Scalar>(
     }
 }
 
+/// Column-chunked twin of [`chunked_update`] over a panel packed by
+/// [`pack_b`]: the per-chunk B slice is a contiguous `k×nc` subrange of
+/// the supernode's pack, so every chunk is a plain `NoTrans×NoTrans`
+/// GEMM (or the fused SIMD GEMM-scatter inside the kernel crate).
+#[allow(clippy::too_many_arguments)]
+fn chunked_update_packed<T: Scalar>(
+    cols: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a1: &[T],
+    lda1: usize,
+    pack: &[T],
+    work: &mut Vec<T>,
+    c: &mut [T],
+    ldc: usize,
+    row_map: &[usize],
+    col_offset: usize,
+) {
+    let mut j0 = 0;
+    while j0 < n {
+        let nc = cols.min(n - j0);
+        update_via_buffer_packed(
+            m, nc, k,
+            alpha,
+            a1, lda1,
+            &pack[j0 * k..(j0 + nc) * k],
+            work,
+            c, ldc,
+            Scatter { row_map, col_offset: col_offset + j0 },
+        );
+        j0 += nc;
+    }
+}
+
 /// Copy the lower triangle (including diagonal) of the leading `w×w` block
 /// into a compact `w×w` buffer; the upper triangle is zero-filled.
 fn copy_lower_triangle<T: Scalar>(panel: &[T], stride: usize, w: usize, out: &mut Vec<T>) {
@@ -894,23 +937,6 @@ fn copy_full_block<T: Scalar>(panel: &[T], stride: usize, w: usize, out: &mut Ve
     out.resize(w * w, T::zero());
     for j in 0..w {
         out[j * w..j * w + w].copy_from_slice(&panel[j * stride..j * stride + w]);
-    }
-}
-
-/// `C[scatter] -= tmp` for a contiguous `m×n` buffer.
-fn scatter_sub<T: Scalar>(
-    tmp: &[T],
-    m: usize,
-    n: usize,
-    c: &mut [T],
-    ldc: usize,
-    scatter: Scatter<'_>,
-) {
-    for j in 0..n {
-        let col = &mut c[(scatter.col_offset + j) * ldc..];
-        for (i, &v) in tmp[j * m..j * m + m].iter().enumerate() {
-            col[scatter.row_map[i]] -= v;
-        }
     }
 }
 

@@ -180,6 +180,9 @@ fn chaos_sweep_never_silently_wrong() {
                     | DistError::Stalled { .. },
                 ) => typed_failures += 1,
                 Err(DistError::Solver(e)) => panic!("{name} seed {seed}: numeric failure {e}"),
+                Err(e @ DistError::PairBufferMissing { .. }) => {
+                    panic!("{name} seed {seed}: protocol invariant violated: {e}")
+                }
             }
         }
     }

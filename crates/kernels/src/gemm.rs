@@ -3,13 +3,20 @@
 //! The update tasks of the supernodal factorization spend nearly all their
 //! time here (`C ← βC + α·op(A)·op(B)`), so the `NoTrans × Trans` case —
 //! the outer product `L_{i,k} · L_{j,k}ᵀ` of the paper's Figure 1 — gets a
-//! cache-friendly axpy-based fast path. The kernel is deliberately a plain
-//! safe-Rust implementation: on the single-socket machines this project
-//! targets it reaches a few GFlop/s, and the *relative* measurements of the
-//! reproduction (scheduler vs. scheduler) do not depend on absolute BLAS
-//! peak.
+//! cache-friendly axpy-based fast path. Two tiers serve it:
+//!
+//! * the portable blocked safe-Rust kernel ([`gemm_portable`]) — the
+//!   baseline-target build that runs everywhere and is the reference the
+//!   differential fuzz suite pins the SIMD tier against, and
+//! * the AVX2+FMA register-tiled microkernel in [`crate::simd`], entered
+//!   through a cached runtime dispatch when the host supports it, the
+//!   element type is `f64`, and the shape is big enough to win.
+//!
+//! [`gemm`] is the dispatching front door; everything else in the solver
+//! calls it and gets the fastest applicable tier.
 
 use crate::scalar::Scalar;
+use crate::simd;
 
 /// Transposition selector for a GEMM operand.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -37,8 +44,11 @@ impl Trans {
 /// * `m, n` — dimensions of `C`; `k` — inner dimension.
 /// * `a` has logical shape `m×k` after `transa`, stored with leading
 ///   dimension `lda` (so untransposed `A` is `m×k`, transposed is `k×m`).
-/// * Panics in debug builds if a buffer is too small for the described
-///   shape.
+/// * Panics if `c` is too small for the described shape (checked before
+///   any write — a release build must never slice-panic mid-update and
+///   leave `C` half-mutated); the remaining contracts are debug-checked
+///   on the portable tier and promoted to real asserts on the
+///   `A`-untransposed arms, where the SIMD tier reads raw pointers.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm<T: Scalar>(
     transa: Trans,
@@ -58,11 +68,91 @@ pub fn gemm<T: Scalar>(
     if m == 0 || n == 0 {
         return;
     }
-    debug_assert!(ldc >= m && c.len() >= ldc * (n - 1) + m);
+    // HOT: shape guard, once per call, outside every loop — fails before
+    // the first write instead of slice-panicking mid-update in release.
+    assert!(
+        ldc >= m && c.len() >= ldc * (n - 1) + m,
+        "gemm: C buffer too small for m={m} n={n} ldc={ldc}"
+    );
     if k == 0 || alpha == T::zero() {
         scale_c(m, n, beta, c, ldc);
         return;
     }
+    if transa == Trans::NoTrans {
+        let b_trans = transb != Trans::NoTrans;
+        // HOT: the SIMD tier reads A/B through raw pointers, so its shape
+        // contracts must hold in release builds too. Once per call.
+        assert!(
+            lda >= m && a.len() >= lda * (k - 1) + m,
+            "gemm: A buffer too small for m={m} k={k} lda={lda}"
+        );
+        assert!(
+            if b_trans {
+                ldb >= n && b.len() >= ldb * (k - 1) + n
+            } else {
+                ldb >= k && b.len() >= ldb * (n - 1) + k
+            },
+            "gemm: B buffer too small for n={n} k={k} ldb={ldb}"
+        );
+        if simd::try_gemm_a_notrans(b_trans, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc) {
+            return;
+        }
+    }
+    gemm_body(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+/// The portable blocked kernel with no SIMD dispatch — identical argument
+/// contract to [`gemm`]. This is the scalar reference of the differential
+/// fuzz suite and the guaranteed-reproducible tier of the forced-scalar
+/// (`--no-default-features`) build.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_portable<T: Scalar>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(
+        ldc >= m && c.len() >= ldc * (n - 1) + m,
+        "gemm: C buffer too small for m={m} n={n} ldc={ldc}"
+    );
+    if k == 0 || alpha == T::zero() {
+        scale_c(m, n, beta, c, ldc);
+        return;
+    }
+    gemm_body(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+/// Shared portable body of [`gemm`] / [`gemm_portable`]; callers have
+/// handled the degenerate shapes and the `C` contract.
+#[allow(clippy::too_many_arguments)]
+fn gemm_body<T: Scalar>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
     match (transa, transb) {
         (Trans::NoTrans, Trans::NoTrans) => {
             debug_assert!(lda >= m && a.len() >= lda * (k - 1) + m);

@@ -176,12 +176,9 @@ pub fn ldlt_apply_diag<T: Scalar>(m: usize, n: usize, d: &[T], b: &mut [T], ldb:
 /// update becomes a plain GEMM, whereas the generic runtimes recompute the
 /// scaling inside each update task.
 pub fn ldlt_scale_transpose<T: Scalar>(m: usize, n: usize, d: &[T], b: &[T], ldb: usize, w: &mut [T]) {
-    debug_assert!(w.len() >= n * m);
-    for j in 0..m {
-        for i in 0..n {
-            w[j * n + i] = d[i] * b[i * ldb + j];
-        }
-    }
+    // Same packed layout as the generalized panel packer — one code path
+    // for the D·Lᵀ buffer and the Cholesky/LU B-panels.
+    crate::update::pack_b(m, n, Some(d), b, ldb, w);
 }
 
 #[cfg(test)]

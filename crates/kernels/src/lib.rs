@@ -25,16 +25,19 @@ pub mod getrf;
 pub mod ldlt;
 pub mod potrf;
 pub mod scalar;
+pub mod simd;
 pub mod smallblas;
 pub mod trsm;
 pub mod update;
 
-pub use gemm::{gemm, Trans};
+pub use gemm::{gemm, gemm_portable, Trans};
 pub use getrf::{getrf, StaticPivotStats};
 pub use ldlt::{ldlt, ldlt_apply_diag};
 pub use potrf::potrf;
 pub use scalar::{Scalar, C64};
+pub use simd::{force_isa, isa, Blocking, Isa};
 pub use trsm::{trsm, Diag, Side, Uplo};
+pub use update::{pack_b, update_scatter_packed, update_via_buffer_packed};
 
 /// Error raised by the diagonal-block factorization kernels.
 #[derive(Debug, Clone, PartialEq)]

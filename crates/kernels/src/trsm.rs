@@ -9,6 +9,7 @@
 
 use crate::gemm::axpy;
 use crate::scalar::Scalar;
+use crate::simd;
 
 /// Which side the triangular matrix multiplies from.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -155,10 +156,9 @@ fn col_axpy<T: Scalar>(b: &mut [T], ldb: usize, m: usize, s: T, src: usize, dst:
     // shape contract, so both column slices are inside b.
     let (head, tail) = b.split_at_mut(hi * ldb);
     let (col_lo, col_hi) = (&mut head[lo * ldb..lo * ldb + m], &mut tail[..m]);
-    if src < dst {
-        axpy(s, col_lo, col_hi);
-    } else {
-        axpy(s, col_hi, col_lo);
+    let (x, y) = if src < dst { (col_lo, col_hi) } else { (col_hi, col_lo) };
+    if !simd::try_axpy(s, x, y) {
+        axpy(s, x, y);
     }
 }
 
@@ -203,8 +203,11 @@ fn trsm_right<T: Scalar>(
         if diag == Diag::NonUnit {
             let d = tval(t, ldt, trans, j, j).inv();
             // BOUNDS: j < n against the ldb/b-length contract above.
-            for v in &mut b[j * ldb..j * ldb + m] {
-                *v *= d;
+            let col = &mut b[j * ldb..j * ldb + m];
+            if !simd::try_scale(d, col) {
+                for v in col {
+                    *v *= d;
+                }
             }
         }
     }
