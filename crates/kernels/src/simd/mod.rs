@@ -79,6 +79,10 @@ pub fn isa() -> Isa {
 /// portable and SIMD paths in one process). Overrides detection until
 /// the next call.
 pub fn force_isa(isa: Isa) {
+    // A force ahead of the first isa() call skips detect_and_cache()
+    // entirely, so the persisted autotune choice must be seeded here
+    // too (once-guarded — see load_env_blocking).
+    load_env_blocking();
     let v = match isa {
         Isa::Scalar => 1,
         Isa::Avx2 => 2,
@@ -93,8 +97,20 @@ pub fn force_isa(isa: Isa) {
 fn detect_and_cache() -> Isa {
     load_env_blocking();
     let detected = detect();
-    force_isa(detected);
-    detected
+    let v = match detected {
+        Isa::Scalar => 1,
+        Isa::Avx2 => 2,
+    };
+    // Install only if still unseeded: a concurrent force_isa() racing
+    // ahead of first detection must win, not be clobbered (bench/test
+    // tier pinning).
+    // ORDERING: same monotonic-cache discipline as `isa()` — the value
+    // itself is the only payload, no happens-before needed.
+    match ISA_CACHE.compare_exchange(0, v, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => detected,
+        Err(1) => Isa::Scalar,
+        Err(_) => Isa::Avx2,
+    }
 }
 
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
@@ -163,18 +179,40 @@ pub fn blocking() -> Blocking {
     }
 }
 
-/// Install autotuned block sizes (values are clamped to sane minima and
-/// rounded to the register-tile granularity).
+/// Upper bound on any blocking dimension — far above any cache-sane
+/// value, low enough that tile rounding (and mc·kc panel products)
+/// cannot overflow `usize`. A multiple of both register-tile sizes, so
+/// `next_multiple_of` below is overflow-free after the clamp.
+const MAX_BLOCK: usize = 1 << 24;
+
+/// Install autotuned block sizes (values are clamped into
+/// `[tile, MAX_BLOCK]` and rounded to the register-tile granularity —
+/// absurd values from a corrupted `DAGFACT_KERNELS_BLOCK` degrade to the
+/// cap rather than panicking at first dispatch).
 pub fn set_blocking(b: Blocking) {
     // ORDERING: see `blocking()`.
-    MC.store(b.mc.max(MR).next_multiple_of(MR), Ordering::Relaxed);
-    KC.store(b.kc.max(8), Ordering::Relaxed);
-    NC.store(b.nc.max(NR).next_multiple_of(NR), Ordering::Relaxed);
+    MC.store(b.mc.clamp(MR, MAX_BLOCK).next_multiple_of(MR), Ordering::Relaxed);
+    KC.store(b.kc.clamp(8, MAX_BLOCK), Ordering::Relaxed);
+    NC.store(b.nc.clamp(NR, MAX_BLOCK).next_multiple_of(NR), Ordering::Relaxed);
 }
 
+/// Once-guard for [`load_env_blocking`].
+static ENV_BLOCKING_LOADED: AtomicU8 = AtomicU8::new(0);
+
 /// Parse `DAGFACT_KERNELS_BLOCK=mc,kc,nc` (the persisted autotune
-/// choice) once, at first dispatch. Malformed values are ignored.
+/// choice) once, at the first dispatch *or* the first [`force_isa`] —
+/// whichever comes first. Malformed values are ignored.
 fn load_env_blocking() {
+    // Once-only: both detect_and_cache() and force_isa() call here; the
+    // guard keeps a later caller from clobbering set_blocking() tuning
+    // installed in between.
+    // ORDERING: the blocking knobs it guards are themselves relaxed and
+    // self-contained (any torn combination is a valid blocking), so the
+    // once-flag needs no happens-before either; racing initializers at
+    // worst both read the same env value.
+    if ENV_BLOCKING_LOADED.swap(1, Ordering::Relaxed) != 0 {
+        return;
+    }
     let Some(raw) = std::env::var_os("DAGFACT_KERNELS_BLOCK") else {
         return;
     };
@@ -353,8 +391,10 @@ pub(crate) fn try_update_scatter<T: Scalar>(
             avx2::BLayout::NoTrans { ldb }
         };
         // SAFETY: isa() == Avx2 certifies avx2+fma; shape contracts
-        // (including row_map.len() == m and d.len() >= k) were asserted
-        // by the calling update kernel before dispatch.
+        // (row_map.len() == m, d.len() >= k, the A/B strides, and the
+        // destination: every row_map value < ldc and the last written
+        // element (col_offset+n-1, max row_map) inside `c`) were
+        // asserted by the calling update kernel before dispatch.
         unsafe {
             avx2::update_scatter_f64(
                 m,
@@ -448,6 +488,15 @@ mod tests {
         assert_eq!(b.kc, 8);
         set_blocking(Blocking { mc: 96, kc: 192, nc: 384 });
         assert_eq!(blocking(), Blocking { mc: 96, kc: 192, nc: 384 });
+        // Absurd (e.g. corrupted-env) values clamp to the cap instead of
+        // overflowing in next_multiple_of.
+        set_blocking(Blocking {
+            mc: usize::MAX,
+            kc: usize::MAX,
+            nc: usize::MAX,
+        });
+        let b = blocking();
+        assert_eq!(b, Blocking { mc: MAX_BLOCK, kc: MAX_BLOCK, nc: MAX_BLOCK });
         set_blocking(prev);
     }
 

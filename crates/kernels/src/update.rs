@@ -188,6 +188,26 @@ pub fn update_scatter_direct<T: Scalar>(
         k == 0 || (lda2 >= n && a2.len() >= lda2 * (k - 1) + n),
         "update_scatter_direct: A2 too small for n={n} k={k} lda2={lda2}"
     );
+    // The SIMD tier writes C through raw pointers, so the destination
+    // contract must be proven here, not merely slice-panicked on by the
+    // portable loops: every row_map value stays inside its column and
+    // the last written element (col_offset+n-1, max row_map) is inside
+    // `c`. row_map is non-empty: m >= 1 past the early return.
+    let max_row = scatter.row_map.iter().copied().max().unwrap_or(0);
+    assert!(
+        max_row < ldc,
+        "update_scatter_direct: row_map max {max_row} >= ldc={ldc}"
+    );
+    let last = scatter
+        .col_offset
+        .checked_add(n - 1)
+        .and_then(|j| j.checked_mul(ldc))
+        .and_then(|o| o.checked_add(max_row));
+    assert!(
+        last.is_some_and(|last| last < c.len()),
+        "update_scatter_direct: C too small for n={n} ldc={ldc} col_offset={} max row_map {max_row}",
+        scatter.col_offset
+    );
     // Fused GEMM-scatter (the paper's GPU-kernel strategy at CPU SIMD
     // speed): the k-reduction runs in the 8×4 register tile and only the
     // finished tile is scattered through row_map.
@@ -353,6 +373,23 @@ pub fn update_scatter_packed<T: Scalar>(
         "update_scatter_packed: A1 too small for m={m} k={k} lda1={lda1}"
     );
     assert!(pack.len() >= k * n, "update_scatter_packed: pack too small for k={k} n={n}");
+    // Same destination contract as update_scatter_direct: the SIMD tier
+    // writes C through raw pointers, so prove the bounds before dispatch.
+    let max_row = scatter.row_map.iter().copied().max().unwrap_or(0);
+    assert!(
+        max_row < ldc,
+        "update_scatter_packed: row_map max {max_row} >= ldc={ldc}"
+    );
+    let last = scatter
+        .col_offset
+        .checked_add(n - 1)
+        .and_then(|j| j.checked_mul(ldc))
+        .and_then(|o| o.checked_add(max_row));
+    assert!(
+        last.is_some_and(|last| last < c.len()),
+        "update_scatter_packed: C too small for n={n} ldc={ldc} col_offset={} max row_map {max_row}",
+        scatter.col_offset
+    );
     if simd::try_update_scatter(
         false,
         m,
@@ -507,6 +544,46 @@ mod tests {
             assert!((c_buf[i] - c_ref[i]).abs() < 1e-12);
             assert!((c_dir[i] - c_ref[i]).abs() < 1e-12);
         }
+    }
+
+    /// The destination contract must fail loudly *before* dispatch: the
+    /// SIMD tier writes C through raw pointers, so a row_map value at or
+    /// beyond ldc would be silent memory corruption, not a slice panic.
+    #[test]
+    #[should_panic(expected = "row_map max")]
+    fn direct_scatter_rejects_row_map_beyond_ldc() {
+        let (m, n, k) = (2, 1, 1);
+        let a1 = [1.0f64; 2];
+        let a2 = [1.0f64; 1];
+        let row_map = [0usize, 4]; // 4 >= ldc
+        let mut c = vec![0.0f64; 8];
+        let scatter = Scatter { row_map: &row_map, col_offset: 0 };
+        update_scatter_direct(m, n, k, 1.0, &a1, m, &a2, n, None, &mut c, 4, scatter);
+    }
+
+    #[test]
+    #[should_panic(expected = "C too small")]
+    fn direct_scatter_rejects_short_c() {
+        let (m, n, k) = (2, 2, 1);
+        let a1 = [1.0f64; 2];
+        let a2 = [1.0f64; 2];
+        let row_map = [0usize, 3];
+        // Last write lands at (col_offset+1)*ldc + 3 = 11; c has 10.
+        let mut c = vec![0.0f64; 10];
+        let scatter = Scatter { row_map: &row_map, col_offset: 1 };
+        update_scatter_direct(m, n, k, 1.0, &a1, m, &a2, n, None, &mut c, 4, scatter);
+    }
+
+    #[test]
+    #[should_panic(expected = "C too small")]
+    fn packed_scatter_rejects_short_c() {
+        let (m, n, k) = (2, 2, 1);
+        let a1 = [1.0f64; 2];
+        let pack = [1.0f64; 2];
+        let row_map = [0usize, 3];
+        let mut c = vec![0.0f64; 10];
+        let scatter = Scatter { row_map: &row_map, col_offset: 1 };
+        update_scatter_packed(m, n, k, 1.0, &a1, m, &pack, &mut c, 4, scatter);
     }
 
     #[test]
