@@ -1,6 +1,6 @@
 # Convenience targets. The canonical gate is `make check`.
 
-.PHONY: build test bench check check-kernels check-robust check-analysis check-memory check-trace check-concurrency check-serve check-dist check-loom check-miri check-tsan lint-safety lint-hot lint-strict clippy
+.PHONY: build test bench check check-kernels check-robust check-analysis check-memory check-trace check-concurrency check-serve check-dist check-loom check-miri check-tsan lint-safety lint-hot lint-sync lint-strict clippy
 
 build:
 	cargo build --release
@@ -132,10 +132,17 @@ lint-safety:
 lint-hot:
 	cargo run -q -p dagfact-lint --bin lint-hot
 
+# Lock-discipline & atomics-protocol analyzer (DESIGN.md §16): lock-order
+# graph with cycle witnesses, held-across-blocking rule, atomics pairing
+# pass. Exact-drift baseline in tools/lint-sync-baseline.json — new
+# findings fail, and so do stale keys (record the win).
+lint-sync:
+	cargo run -q -p dagfact-lint --bin lint-sync
+
 # Static gates: no .unwrap() in rt/core library code (tests exempt),
-# 100% SAFETY/ORDERING coverage with no shim bypasses, and no new
-# hot-path purity findings.
-lint-strict: lint-safety lint-hot
+# 100% SAFETY/ORDERING coverage with no shim bypasses, no new hot-path
+# purity findings, and a clean synchronization-discipline pass.
+lint-strict: lint-safety lint-hot lint-sync
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings

@@ -14,15 +14,25 @@
 //! * `native/chains`      — 64 chains: every task release runs the
 //!   fan-in CAS and a ready-queue push.
 //! * `native/steal_heavy` — all tasks owned by worker 0: idle workers
-//!   hammer the steal path (victim scan) the whole run.
+//!   hammer the steal path (victim scan + batched steal) the whole run.
+//! * `native/steal_chains` — chains all owned by worker 0: every release
+//!   refills worker 0's deque while the thieves batch-steal, so the
+//!   owner-pop/steal race of the chase-lev protocol stays hot.
 //! * `dataflow/independent`, `ptg/independent` — same floor for the
 //!   other engines.
 //! * `kernels/ldlt_update` — the LDLᵀ buffered update on a small panel:
 //!   per-call cost including any scratch management.
 //!
+//! Every `native/*` scenario is timed as an interleaved A/A pair (the
+//! tracesweep overhead-guard pattern): two independent sample streams of
+//! the *same* configuration, alternating run by run. If their medians
+//! disagree by more than [`MAX_AA_SKEW`] the box is too noisy for the
+//! number to mean anything, and the bench fails instead of letting a
+//! before/after gate pass on noise.
+//!
 //! Output: ns/task (ns/call for the kernel) per scenario, median of
-//! [`REPS`] runs, written to `results/overhead.json` — the trend file
-//! ROADMAP item 5 gates on.
+//! [`REPS`] runs (+ `aa_skew` for guarded scenarios), written to
+//! `results/overhead.json` — the trend file ROADMAP item 5 gates on.
 
 use dagfact_bench::{write_results, Json};
 use dagfact_kernels::update::{update_via_buffer, Scatter};
@@ -35,6 +45,10 @@ use std::time::Instant;
 
 const NTASKS: usize = 10_000;
 const REPS: usize = 9;
+/// Largest tolerated A/A median skew before a scenario's number is
+/// declared noise. Looser than tracesweep's 10% because these runs are
+/// milliseconds, not seconds, and single-core boxes jitter more.
+const MAX_AA_SKEW: f64 = 0.15;
 
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
@@ -52,6 +66,25 @@ fn time_median<F: FnMut()>(mut f: F) -> f64 {
         })
         .collect();
     median(&mut samples)
+}
+
+/// Interleaved A/A timing (tracesweep's overhead-guard pattern): two
+/// sample streams of the same `f`, alternating run by run so drift hits
+/// both equally. Returns `(best_median_seconds, aa_skew)` where skew is
+/// the relative gap between the stream medians — the run-to-run noise
+/// floor any before/after claim has to clear.
+fn time_median_aa<F: FnMut()>(mut f: F) -> (f64, f64) {
+    f(); // warmup
+    let (mut a, mut b): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+    for _ in 0..REPS {
+        for out in [&mut a, &mut b] {
+            let t0 = Instant::now();
+            f();
+            out.push(t0.elapsed().as_secs_f64());
+        }
+    }
+    let (ma, mb) = (median(&mut a), median(&mut b));
+    (ma.min(mb), (ma - mb).abs() / ma.min(mb).max(f64::MIN_POSITIVE))
 }
 
 fn independent_tasks(threads: usize) -> Vec<NativeTask> {
@@ -93,9 +126,30 @@ fn steal_heavy_tasks() -> Vec<NativeTask> {
         .collect()
 }
 
-fn bench_native(tasks: &[NativeTask], threads: usize) -> f64 {
-    time_median(|| {
+/// 64 chains all owned by worker 0: every release refills the owner's
+/// deque while every other worker lives on the batched-steal path.
+fn steal_chain_tasks() -> Vec<NativeTask> {
+    const LANES: usize = 64;
+    (0..NTASKS)
+        .map(|i| NativeTask {
+            owner: 0,
+            npred: u32::from(i >= LANES),
+            succs: if i + LANES < NTASKS {
+                vec![i + LANES]
+            } else {
+                vec![]
+            },
+            priority: (NTASKS - i) as f64,
+        })
+        .collect()
+}
+
+/// A/A-guarded native-engine timing: `(seconds, aa_skew)`.
+fn bench_native(tasks: &[NativeTask], threads: usize) -> (f64, f64) {
+    time_median_aa(|| {
         let count = AtomicUsize::new(0);
+        // ORDERING: completion tally; the engine joins its workers
+        // before returning, which orders the final load.
         run_native(tasks, threads, |_, _| {
             count.fetch_add(1, Ordering::Relaxed);
         });
@@ -107,6 +161,8 @@ fn bench_dataflow(threads: usize) -> f64 {
     time_median(|| {
         let count = AtomicUsize::new(0);
         let mut g = DataflowGraph::new(64);
+        // ORDERING: completion tally; `execute` joins its workers
+        // before returning, which orders the final load.
         for i in 0..NTASKS {
             let count = &count;
             g.submit(&[(i % 64, AccessMode::ReadWrite)], 0.0, move |_| {
@@ -130,6 +186,8 @@ impl PtgProgram for Flat<'_> {
     }
     fn successors(&self, _t: usize, _out: &mut Vec<usize>) {}
     fn execute(&self, _t: usize, _w: usize) {
+        // ORDERING: completion tally; the engine's join orders the
+        // final load in `bench_ptg`.
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -138,6 +196,7 @@ fn bench_ptg(threads: usize) -> f64 {
     time_median(|| {
         let count = AtomicUsize::new(0);
         run_ptg(&Flat { count: &count }, threads);
+        // ORDERING: completion tally; `run_ptg` joined its workers.
         assert_eq!(count.load(Ordering::Relaxed), NTASKS);
     })
 }
@@ -176,53 +235,79 @@ fn main() {
     // a single-core box; the 1-worker scenarios are the clean per-task
     // floor (no context-switch noise).
     let threads = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
-    let mut scenarios: Vec<(String, f64)> = Vec::new();
+    let mut scenarios: Vec<(String, f64, Option<f64>)> = Vec::new();
+    let mut noisy = 0usize;
 
     println!("overhead: tiny-task scheduler sweep ({NTASKS} tasks, {threads} workers, median of {REPS})");
-    println!("{:<24} {:>12}", "scenario", "ns/task");
+    println!("{:<24} {:>12} {:>10}", "scenario", "ns/task", "A/A skew");
 
-    let mut push = |name: &str, per_task_ns: f64| {
-        println!("{name:<24} {per_task_ns:>12.1}");
-        scenarios.push((name.to_string(), per_task_ns));
-    };
+    fn push(scenarios: &mut Vec<(String, f64, Option<f64>)>, name: &str, per_task_ns: f64) {
+        println!("{name:<24} {per_task_ns:>12.1} {:>10}", "-");
+        scenarios.push((name.to_string(), per_task_ns, None));
+    }
+    fn push_aa(
+        scenarios: &mut Vec<(String, f64, Option<f64>)>,
+        noisy: &mut usize,
+        name: &str,
+        per_task_ns: f64,
+        skew: f64,
+    ) {
+        println!("{name:<24} {per_task_ns:>12.1} {:>9.1}%", skew * 100.0);
+        if skew > MAX_AA_SKEW {
+            eprintln!(
+                "overhead: {name} A/A skew {:.1}% exceeds the {:.0}% noise bound — \
+                 this number cannot support a before/after claim",
+                skew * 100.0,
+                MAX_AA_SKEW * 100.0
+            );
+            *noisy += 1;
+        }
+        scenarios.push((name.to_string(), per_task_ns, Some(skew)));
+    }
 
-    let sec = bench_native(&independent_tasks(1), 1);
-    push("native/independent_1w", sec * 1e9 / NTASKS as f64);
+    let (sec, skew) = bench_native(&independent_tasks(1), 1);
+    push_aa(&mut scenarios, &mut noisy, "native/independent_1w", sec * 1e9 / NTASKS as f64, skew);
 
-    let sec = bench_native(&chain_tasks(1), 1);
-    push("native/chains_1w", sec * 1e9 / NTASKS as f64);
+    let (sec, skew) = bench_native(&chain_tasks(1), 1);
+    push_aa(&mut scenarios, &mut noisy, "native/chains_1w", sec * 1e9 / NTASKS as f64, skew);
 
-    let sec = bench_native(&independent_tasks(threads), threads);
-    push("native/independent", sec * 1e9 / NTASKS as f64);
+    let (sec, skew) = bench_native(&independent_tasks(threads), threads);
+    push_aa(&mut scenarios, &mut noisy, "native/independent", sec * 1e9 / NTASKS as f64, skew);
 
-    let sec = bench_native(&chain_tasks(threads), threads);
-    push("native/chains", sec * 1e9 / NTASKS as f64);
+    let (sec, skew) = bench_native(&chain_tasks(threads), threads);
+    push_aa(&mut scenarios, &mut noisy, "native/chains", sec * 1e9 / NTASKS as f64, skew);
 
-    let sec = bench_native(&steal_heavy_tasks(), threads);
-    push("native/steal_heavy", sec * 1e9 / NTASKS as f64);
+    let (sec, skew) = bench_native(&steal_heavy_tasks(), threads);
+    push_aa(&mut scenarios, &mut noisy, "native/steal_heavy", sec * 1e9 / NTASKS as f64, skew);
+
+    let (sec, skew) = bench_native(&steal_chain_tasks(), threads);
+    push_aa(&mut scenarios, &mut noisy, "native/steal_chains", sec * 1e9 / NTASKS as f64, skew);
 
     let sec = bench_dataflow(1);
-    push("dataflow/independent_1w", sec * 1e9 / NTASKS as f64);
+    push(&mut scenarios, "dataflow/independent_1w", sec * 1e9 / NTASKS as f64);
 
     let sec = bench_ptg(1);
-    push("ptg/independent_1w", sec * 1e9 / NTASKS as f64);
+    push(&mut scenarios, "ptg/independent_1w", sec * 1e9 / NTASKS as f64);
 
     let (sec, calls) = bench_ldlt_update();
-    push("kernels/ldlt_update", sec * 1e9 / calls as f64);
+    push(&mut scenarios, "kernels/ldlt_update", sec * 1e9 / calls as f64);
 
     let mut arr: Vec<Json> = Vec::new();
-    for (name, ns) in &scenarios {
-        arr.push(
-            Json::obj()
-                .field("scenario", name.as_str())
-                .field("ns_per_task", *ns),
-        );
+    for (name, ns, skew) in &scenarios {
+        let mut obj = Json::obj()
+            .field("scenario", name.as_str())
+            .field("ns_per_task", *ns);
+        if let Some(skew) = skew {
+            obj = obj.field("aa_skew", *skew);
+        }
+        arr.push(obj);
     }
     let doc = Json::obj()
         .field("bench", "overhead")
         .field("ntasks", NTASKS as i64)
         .field("workers", threads as i64)
         .field("reps", REPS as i64)
+        .field("max_aa_skew", MAX_AA_SKEW)
         .field("scenarios", Json::Arr(arr));
     match write_results("overhead", &doc) {
         Ok(path) => println!("\nwrote {}", path.display()),
@@ -230,5 +315,9 @@ fn main() {
             eprintln!("overhead: could not write results: {e}");
             std::process::exit(1);
         }
+    }
+    if noisy > 0 {
+        eprintln!("overhead: A/A guard FAILED on {noisy} scenario(s)");
+        std::process::exit(1);
     }
 }

@@ -447,6 +447,9 @@ impl<T: Scalar> CoefTab<T> {
             .as_ref()
             .is_some_and(|b| b.should_spill() && self.spill.is_some());
         for key in keys.into_iter().flatten() {
+            // SYNC: Release pairs with the Acquire scan of `s.retired`
+            // in the eviction victim loop; the load goes through an
+            // iterator local the pairing pass cannot resolve.
             self.slots[key].retired.store(true, Ordering::Release);
             if eager_spill {
                 self.try_evict(key);

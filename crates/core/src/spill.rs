@@ -118,12 +118,14 @@ impl SpillStore {
     /// Drop panel `key`'s file (after a fault-in, the disk copy is stale
     /// the moment anyone writes to the panel again).
     pub fn remove(&self, key: usize) {
-        if self
+        // Release the key-set lock before touching the filesystem: the
+        // unlink can stall on IO and nothing below needs the set.
+        let present = self
             .keys
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .remove(&key)
-        {
+            .remove(&key);
+        if present {
             let _ = std::fs::remove_file(self.path_for(key));
         }
     }

@@ -187,7 +187,9 @@ fn justified(rule: HotRule, comments: &[Comment], line: usize) -> bool {
 }
 
 /// Judge one event. Returns `(rule, detail)` when it violates a rule.
-fn judge(ev: &Event) -> Option<(HotRule, String)> {
+/// (`pub(crate)`: the sync analyzer reuses the alloc judgement to score
+/// alloc-heavy callees.)
+pub(crate) fn judge(ev: &Event) -> Option<(HotRule, String)> {
     match ev {
         Event::Call { path, .. } => {
             if path.len() >= 2 {

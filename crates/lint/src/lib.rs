@@ -19,12 +19,14 @@
 //! The rules run as the `lint-safety` binary (wired into `make
 //! lint-strict` / `make check`) and are unit-tested here.
 
+pub mod atomics;
 pub mod baseline;
 pub mod callgraph;
 pub mod config;
 pub mod hotpath;
 pub mod lex;
 pub mod parse;
+pub mod syncgraph;
 pub mod unwrap;
 
 use std::fmt;

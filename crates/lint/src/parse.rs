@@ -76,6 +76,12 @@ pub struct Function {
     pub line: usize,
     /// Body events, in order.
     pub events: Vec<Event>,
+    /// Half-open token range of the body (inside the braces) into the
+    /// owning [`ParsedFile::tokens`] stream. `(0, 0)` for bodyless fns.
+    pub body: (usize, usize),
+    /// Half-open token range of the signature (from just after the name
+    /// to the opening body brace). `(0, 0)` for bodyless fns.
+    pub sig: (usize, usize),
 }
 
 /// Parse result for one file.
@@ -87,6 +93,8 @@ pub struct ParsedFile {
     pub imports: HashMap<String, HashMap<String, Vec<String>>>,
     /// All comments (for marker-window checks).
     pub comments: Vec<Comment>,
+    /// The file's full token stream ([`Function::body`] indexes into it).
+    pub tokens: Vec<Token>,
 }
 
 /// Keywords that must not be mistaken for a call head in expressions.
@@ -98,6 +106,11 @@ const EXPR_KEYWORDS: &[&str] = &[
     "mod", "struct", "enum", "trait", "const", "static", "type", "box", "true",
     "false", "await", "yield", "extern",
 ];
+
+/// Is `s` an expression-position keyword (never a call head)?
+pub(crate) fn is_expr_keyword(s: &str) -> bool {
+    EXPR_KEYWORDS.contains(&s)
+}
 
 /// Parse one file. `module` is the file's module path derived from its
 /// location (e.g. `dagfact_rt::native`).
@@ -112,6 +125,7 @@ pub fn parse_file(src: &str, module: &str) -> ParsedFile {
         pos: 0,
     };
     p.items(module, None, &mut out);
+    out.tokens = lexed.tokens;
     out
 }
 
@@ -511,6 +525,7 @@ impl Parser<'_> {
             return;
         };
         self.bump();
+        let sig_start = self.pos;
         // Signature: skip to the body `{` or a `;` (trait method decl).
         while self.pos < self.toks.len() {
             if self.is_punct(0, ';') {
@@ -536,7 +551,8 @@ impl Parser<'_> {
         // Body: event extraction over the balanced region.
         let body_start = self.pos;
         self.skip_group('{', '}');
-        let body = &self.toks[body_start + 1..self.pos.saturating_sub(1)];
+        let body_range = (body_start + 1, self.pos.saturating_sub(1));
+        let body = &self.toks[body_range.0..body_range.1];
         let events = extract_events(body);
         let qname = match self_type {
             Some(t) => format!("{module}::{t}::{name}"),
@@ -549,6 +565,8 @@ impl Parser<'_> {
             name,
             line,
             events,
+            body: body_range,
+            sig: (sig_start, body_start),
         });
     }
 }

@@ -1,0 +1,1143 @@
+//! Lock-discipline analyzer (DESIGN.md §16): the workspace lock-order
+//! graph and the held-across-blocking rules behind `lint-sync`.
+//!
+//! Works on the same artifacts as the hot-path analyzer — the parsed
+//! token stream, per-function events and the module-resolved call graph
+//! — but asks a different question: **which locks can be held at the
+//! same time, and what happens while they are held?**
+//!
+//! * Every `Mutex`/`RwLock` acquisition site (`.lock()`, empty-argument
+//!   `.read()`/`.write()`, `.try_lock()`) is classified by a *lock
+//!   identity*: the receiver's field path rooted at the `impl` type
+//!   (`CentralQueue.queue`), a parameter's declared type
+//!   (`Queues.ready` for `fn steal(queues: &Queues)`), an upper-case
+//!   static, or — when the root cannot be resolved — a function-scoped
+//!   pseudo-identity. The scheme is conservative: two identities that
+//!   print differently may alias the same lock (splits weaken cycle
+//!   detection but never fabricate an edge between unrelated locks).
+//! * A linear scan of each body tracks **guard liveness** (named `let`
+//!   guards die at scope end or `drop(g)`; temporaries die at the end
+//!   of their statement). A second acquisition while any guard is live
+//!   adds a lock-order edge; a blocking call (`recv`/`wait`/`join`/
+//!   spill-IO) while a guard is live is a finding. The condvar protocol
+//!   — `cv.wait(guard)` consuming the guard it releases — is exempt for
+//!   the guard named in the wait call's arguments.
+//! * Calls made while a guard is live are resolved through the call
+//!   graph; every acquisition or blocking op reachable from the callee
+//!   becomes a **cross-function** edge/finding carrying the BFS witness
+//!   chain, and a direct callee with ≥3 allocation events (the hot-path
+//!   analyzer's alloc judgement) is flagged as an alloc-heavy callee.
+//! * Cycles in the lock-order graph (including self-edges: re-acquiring
+//!   an identity while holding it) are reported as potential-deadlock
+//!   witnesses listing every participating edge with its source chain.
+//!
+//! A `// SYNC:` marker within [`WINDOW`] lines above a site suppresses
+//! held-across findings (the written-down argument for why the hold is
+//! benign); cycle findings accept no marker — like panic findings, the
+//! fix is a lock-order change or a baseline entry.
+//!
+//! The model checker (`dagfact_rt::model*`) and the sync shim
+//! (`dagfact_rt::sync`) are exempt: they are the verification mechanism
+//! and the sanctioned wrapper, not subjects.
+
+use crate::callgraph::CallGraph;
+use crate::hotpath::{self, HotRule};
+use crate::lex::{Comment, Tok, Token};
+use crate::parse::Function;
+use crate::WINDOW;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::rc::Rc;
+
+/// Which sync rule produced a finding (shared with the atomics pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SyncRule {
+    /// A cycle in the lock-order graph (potential deadlock).
+    LockCycle,
+    /// A guard live across a blocking operation.
+    HeldBlocking,
+    /// A guard live across an alloc-heavy callee.
+    HeldAlloc,
+    /// A Release store with no Acquire/AcqRel load anywhere.
+    UnpairedRelease,
+    /// An Acquire load with no Release/AcqRel store anywhere.
+    UnpairedAcquire,
+    /// A Relaxed site without an `// ORDERING:` note.
+    UnjustifiedRelaxed,
+    /// A compare_exchange failure ordering stronger than the success
+    /// ordering's load component.
+    CxFailureOrdering,
+}
+
+impl SyncRule {
+    /// Stable key fragment for baselines.
+    pub fn key(self) -> &'static str {
+        match self {
+            SyncRule::LockCycle => "lock-cycle",
+            SyncRule::HeldBlocking => "held-across-blocking",
+            SyncRule::HeldAlloc => "held-across-alloc",
+            SyncRule::UnpairedRelease => "unpaired-release",
+            SyncRule::UnpairedAcquire => "unpaired-acquire",
+            SyncRule::UnjustifiedRelaxed => "unjustified-relaxed",
+            SyncRule::CxFailureOrdering => "cx-failure-ordering",
+        }
+    }
+
+    /// Parse a key fragment back into the rule.
+    pub fn from_key(key: &str) -> Option<SyncRule> {
+        [
+            SyncRule::LockCycle,
+            SyncRule::HeldBlocking,
+            SyncRule::HeldAlloc,
+            SyncRule::UnpairedRelease,
+            SyncRule::UnpairedAcquire,
+            SyncRule::UnjustifiedRelaxed,
+            SyncRule::CxFailureOrdering,
+        ]
+        .into_iter()
+        .find(|r| r.key() == key)
+    }
+}
+
+impl fmt::Display for SyncRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One sync-discipline violation.
+#[derive(Debug, Clone)]
+pub struct SyncFinding {
+    /// The violated rule.
+    pub rule: SyncRule,
+    /// Source file of the offending site (or the holding call site).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Fully qualified function containing the site.
+    pub function: String,
+    /// Human-readable specifics (stable across line churn).
+    pub detail: String,
+    /// Witness chain: holding function → … → offending function, or the
+    /// participating edges for a cycle.
+    pub chain: Vec<String>,
+}
+
+impl SyncFinding {
+    /// Line-free baseline key.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}", self.rule.key(), self.function, self.detail)
+    }
+}
+
+/// One lock acquisition site.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Lock identity (see module docs).
+    pub id: String,
+    /// Acquiring method (`lock`, `read`, `write`, `try_lock`).
+    pub method: String,
+    /// Source file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Containing function.
+    pub function: String,
+}
+
+/// One lock-order edge: a guard of `from` was provably live at an
+/// acquisition of `to`.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Held lock identity.
+    pub from: String,
+    /// Acquired lock identity.
+    pub to: String,
+    /// Function holding `from` at the acquisition (or at the call that
+    /// reaches it).
+    pub function: String,
+    /// Source file of the holding site.
+    pub file: String,
+    /// 1-based line of the acquisition / call site.
+    pub line: usize,
+    /// Witness chain from the holding function to the acquiring one
+    /// (length 1 for an intra-function edge).
+    pub chain: Vec<String>,
+}
+
+/// Analyzer output: the lock-order graph plus the findings.
+#[derive(Debug, Default)]
+pub struct SyncReport {
+    /// Every acquisition site, sorted by (file, line).
+    pub sites: Vec<LockSite>,
+    /// Deduplicated lock-order edges, sorted by (from, to).
+    pub edges: Vec<LockEdge>,
+    /// Rule violations, sorted by (file, line, rule).
+    pub findings: Vec<SyncFinding>,
+}
+
+/// Per-function context handed to the analyzer by the driver, aligned
+/// with [`CallGraph::functions`] (same pattern as `check_hot_paths`,
+/// plus the owning file's token stream for the body scan).
+#[derive(Clone)]
+pub struct FnCtx {
+    /// Source path (for reports).
+    pub file: String,
+    /// The owning file's full token stream ([`Function::body`] and
+    /// [`Function::sig`] index into it).
+    pub tokens: Rc<Vec<Token>>,
+    /// The owning file's comments (for `// SYNC:` markers).
+    pub comments: Rc<Vec<Comment>>,
+}
+
+/// Guard-acquiring methods. `read`/`write` count only with an empty
+/// argument list (`io::Read::read` / `io::Write::write` take buffers).
+const ACQUIRE_METHODS: &[&str] = &["lock", "try_lock", "read", "write"];
+
+/// Blocking methods a guard must not be live across. `join` counts only
+/// with an empty argument list (`str::join` takes a separator).
+const BLOCKING_METHODS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "join",
+    "park",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "sync_all",
+];
+
+/// The condvar wait family: consuming the guard named in the arguments
+/// is the sanctioned protocol (the wait releases and re-acquires it).
+const WAIT_METHODS: &[&str] = &["wait", "wait_timeout", "wait_while"];
+
+/// Methods that count as blocking only when called with no arguments.
+const EMPTY_ARGS_ONLY: &[&str] = &["join", "recv", "park"];
+
+/// Smart-pointer / container heads skipped when inferring a parameter's
+/// nominal type (`&Arc<FaultPlan>` → `FaultPlan`).
+const TYPE_WRAPPERS: &[&str] = &[
+    "Arc", "Rc", "Box", "Option", "Vec", "Mutex", "RwLock", "RefCell", "Cell", "Result",
+];
+
+/// Alloc events in a direct callee before it counts as alloc-heavy.
+const ALLOC_HEAVY: usize = 3;
+
+/// Modules exempt from the whole analysis: the model checker is the
+/// verification mechanism, the sync shim the sanctioned wrapper.
+fn module_exempt(module: &str) -> bool {
+    module == "dagfact_rt::sync"
+        || module.starts_with("dagfact_rt::sync::")
+        || module.contains("::model")
+}
+
+/// Is a `// SYNC:` (or `// ORDERING:`) marker within the window above
+/// `line`?
+pub(crate) fn sync_marked(comments: &[Comment], line: usize) -> bool {
+    let lo = line.saturating_sub(WINDOW);
+    comments.iter().any(|c| {
+        c.line >= lo && c.line <= line && (c.text.contains("SYNC:") || c.text.contains("ORDERING:"))
+    })
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// Index just past a balanced `<…>` group starting at `open` (which must
+/// be `<`). Conservative: gives up (returns `open`) on suspicious runs.
+fn skip_angles(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() && i < open + 64 {
+        match toks[i].kind {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            Tok::Punct(';') | Tok::Punct('{') => return open,
+            _ => {}
+        }
+        i += 1;
+    }
+    open
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn match_paren(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].kind {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Walk the receiver chain backwards from the `.` at `dot`: identifier
+/// segments joined by `.`, looking through index groups (`x[i].lock()`
+/// → `["x"]`… the indexed segment is kept: `self.ready[w].lock()` →
+/// `["self", "ready"]`). An opaque receiver (call result, parenthesized
+/// expression) yields an empty chain.
+pub(crate) fn receiver_chain(toks: &[Token], dot: usize) -> Vec<String> {
+    let mut chain: Vec<String> = Vec::new();
+    let mut k = dot;
+    loop {
+        if k == 0 {
+            break;
+        }
+        k -= 1;
+        // Look through trailing index groups: `…foo[w]` ← cursor on `]`.
+        while punct_at(toks, k, ']') {
+            let mut depth = 0usize;
+            loop {
+                match toks.get(k).map(|t| &t.kind) {
+                    Some(Tok::Punct(']')) => depth += 1,
+                    Some(Tok::Punct('[')) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    None => return Vec::new(),
+                    _ => {}
+                }
+                if k == 0 {
+                    return Vec::new();
+                }
+                k -= 1;
+            }
+            if k == 0 {
+                return Vec::new();
+            }
+            k -= 1;
+        }
+        match toks.get(k).map(|t| &t.kind) {
+            Some(Tok::Ident(s)) => chain.push(s.clone()),
+            // Anything else (a `)` of a call, a literal…): opaque.
+            _ => return Vec::new(),
+        }
+        // Continue only through a `.` immediately before the segment.
+        if k >= 1 && punct_at(toks, k - 1, '.') {
+            k -= 1; // onto the `.`; loop decrements onto the segment
+        } else {
+            break;
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// Infer `parameter name → nominal type` from the signature token range.
+pub(crate) fn param_types(tokens: &[Token], sig: (usize, usize)) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let toks = match tokens.get(sig.0..sig.1) {
+        Some(t) => t,
+        None => return out,
+    };
+    // First *top-level* paren: a leading generics group may itself
+    // contain parens (`fn run<F: FnOnce() -> T>(…)`), so track angle
+    // depth, ignoring the `>` of `->` arrows.
+    let mut adepth = 0usize;
+    let mut open_at = None;
+    for (idx, t) in toks.iter().enumerate() {
+        match t.kind {
+            Tok::Punct('<') => adepth += 1,
+            Tok::Punct('>')
+                if adepth > 0
+                    && !(idx > 0 && matches!(toks[idx - 1].kind, Tok::Punct('-'))) =>
+            {
+                adepth -= 1;
+            }
+            Tok::Punct('(') if adepth == 0 => {
+                open_at = Some(idx);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open_at else {
+        return out;
+    };
+    let close = match_paren(toks, open);
+    let mut i = open + 1;
+    let mut pname: Option<String> = None;
+    let mut in_type = false;
+    let mut depth = 0usize;
+    while i < close {
+        match &toks[i].kind {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => depth = depth.saturating_sub(1),
+            Tok::Punct(',') if depth == 0 => {
+                pname = None;
+                in_type = false;
+            }
+            Tok::Punct(':') if depth == 0 && !punct_at(toks, i + 1, ':') => in_type = true,
+            Tok::Ident(s) if !in_type && pname.is_none() && s != "mut" && s != "self" => {
+                pname = Some(s.clone());
+            }
+            Tok::Ident(s)
+                if in_type
+                    && s.chars().next().is_some_and(char::is_uppercase)
+                    && !TYPE_WRAPPERS.contains(&s.as_str()) =>
+            {
+                if let Some(n) = pname.take() {
+                    out.insert(n, s.clone());
+                }
+                in_type = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Classify a receiver chain into a lock identity (see module docs).
+pub(crate) fn lock_identity(
+    chain: &[String],
+    f: &Function,
+    params: &HashMap<String, String>,
+) -> String {
+    fn join(root: &str, rest: &[String]) -> String {
+        if rest.is_empty() {
+            root.to_string()
+        } else {
+            format!("{}.{}", root, rest.join("."))
+        }
+    }
+    let Some(root) = chain.first() else {
+        return format!("<expr {}>", f.qname);
+    };
+    let rest = &chain[1..];
+    if root == "self" {
+        return join(f.self_type.as_deref().unwrap_or("Self"), rest);
+    }
+    if let Some(t) = params.get(root.as_str()) {
+        return join(t, rest);
+    }
+    if root.chars().next().is_some_and(char::is_uppercase) {
+        return join(root, rest);
+    }
+    if !rest.is_empty() {
+        // Unknown lowercase local root: keep the field path only. This
+        // may split one lock into several identities — conservative.
+        return rest.join(".");
+    }
+    format!("{}::{}", f.qname, root)
+}
+
+/// A live guard during the body scan.
+struct Guard {
+    /// Binding name (`None` for statement temporaries).
+    name: Option<String>,
+    /// Lock identity it guards.
+    id: String,
+    /// Brace depth it was created at.
+    depth: usize,
+}
+
+/// Raw per-function scan results.
+#[derive(Debug, Default)]
+pub(crate) struct Scan {
+    /// `(identity, method, line)` per acquisition.
+    pub(crate) acquires: Vec<(String, String, usize)>,
+    /// `(held, acquired, line)` intra-function lock-order edges.
+    pub(crate) intra_edges: Vec<(String, String, usize)>,
+    /// `(held identity, op detail, line)` guard-across-blocking hits.
+    pub(crate) blocked: Vec<(String, String, usize)>,
+    /// `(op detail, line)` blocking ops regardless of local guards (for
+    /// callers that hold locks across a call into this function).
+    pub(crate) blocking_ops: Vec<(String, usize)>,
+    /// `(callee name, line, held identities)` calls made under guards.
+    pub(crate) calls_held: Vec<(String, usize, Vec<String>)>,
+}
+
+/// Scan one function body for guard liveness (see module docs).
+pub(crate) fn scan_fn(
+    f: &Function,
+    tokens: &[Token],
+    params: &HashMap<String, String>,
+) -> Scan {
+    let mut out = Scan::default();
+    let toks = match tokens.get(f.body.0..f.body.1) {
+        Some(t) => t,
+        None => return out,
+    };
+    let n = toks.len();
+    let mut guards: Vec<Guard> = Vec::new();
+    // A `let [mut] name =` waiting for its initializer, with its depth.
+    let mut pending: Option<(String, usize)> = None;
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        match &toks[i].kind {
+            Tok::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                if pending.as_ref().is_some_and(|p| p.1 > depth) {
+                    pending = None;
+                }
+                i += 1;
+            }
+            Tok::Punct(';') => {
+                guards.retain(|g| !(g.name.is_none() && g.depth == depth));
+                if pending.as_ref().is_some_and(|p| p.1 >= depth) {
+                    pending = None;
+                }
+                i += 1;
+            }
+            Tok::Punct('.') if ident_at(toks, i + 1).is_some() => {
+                let name = ident_at(toks, i + 1).map(str::to_string).unwrap_or_default();
+                let line = toks[i + 1].line;
+                // Locate the call parens (allowing a turbofish).
+                let mut j = i + 2;
+                if punct_at(toks, j, ':') && punct_at(toks, j + 1, ':') && punct_at(toks, j + 2, '<')
+                {
+                    j = skip_angles(toks, j + 2);
+                }
+                if !punct_at(toks, j, '(') {
+                    i += 2; // field access / method reference
+                    continue;
+                }
+                let open = j;
+                let close = match_paren(toks, open);
+                let empty_args = close == open + 1;
+                let is_acquire = name == "lock"
+                    || name == "try_lock"
+                    || ((name == "read" || name == "write") && empty_args);
+                debug_assert!(ACQUIRE_METHODS.contains(&name.as_str()) || !is_acquire);
+                if is_acquire {
+                    let chain = receiver_chain(toks, i);
+                    let id = lock_identity(&chain, f, params);
+                    out.acquires.push((id.clone(), name.clone(), line));
+                    for g in &guards {
+                        out.intra_edges.push((g.id.clone(), id.clone(), line));
+                    }
+                    // `let g = m.lock();` binds the guard by name; any
+                    // longer initializer chain drops it at the `;`.
+                    let named = punct_at(toks, close + 1, ';');
+                    match (named, pending.take()) {
+                        (true, Some((nm, _))) => guards.push(Guard {
+                            name: Some(nm),
+                            id,
+                            depth,
+                        }),
+                        (_, p) => {
+                            pending = p;
+                            guards.push(Guard {
+                                name: None,
+                                id,
+                                depth,
+                            });
+                        }
+                    }
+                } else if BLOCKING_METHODS.contains(&name.as_str())
+                    && (!EMPTY_ARGS_ONLY.contains(&name.as_str()) || empty_args)
+                {
+                    let is_wait = WAIT_METHODS.contains(&name.as_str());
+                    let arg_idents: BTreeSet<&str> = toks[open + 1..close]
+                        .iter()
+                        .filter_map(|t| match &t.kind {
+                            Tok::Ident(s) => Some(s.as_str()),
+                            _ => None,
+                        })
+                        .collect();
+                    let exempt = |g: &Guard| {
+                        is_wait && g.name.as_deref().is_some_and(|nm| arg_idents.contains(nm))
+                    };
+                    let mut held = Vec::new();
+                    for g in &guards {
+                        if exempt(g) {
+                            continue;
+                        }
+                        out.blocked.push((g.id.clone(), format!(".{name}()"), line));
+                        held.push(g.id.clone());
+                    }
+                    out.blocking_ops.push((format!(".{name}()"), line));
+                } else if !guards.is_empty() {
+                    let held: Vec<String> = guards.iter().map(|g| g.id.clone()).collect();
+                    out.calls_held.push((name, line, held));
+                }
+                i = open + 1; // keep scanning inside the arguments
+            }
+            Tok::Ident(kw) if kw == "let" => {
+                let mut j = i + 1;
+                if ident_at(toks, j) == Some("mut") {
+                    j += 1;
+                }
+                match (ident_at(toks, j), punct_at(toks, j + 1, '=')) {
+                    (Some(nm), true) => {
+                        pending = Some((nm.to_string(), depth));
+                        i = j + 2;
+                    }
+                    _ => i += 1,
+                }
+            }
+            Tok::Ident(head) => {
+                // Path call: `seg::seg::…::f(…)`, plus `drop(g)` and the
+                // blocking path heads (`thread::sleep`, `File::open`,
+                // `fs::…`).
+                let mut segs: Vec<&str> = vec![head];
+                let mut j = i + 1;
+                while punct_at(toks, j, ':')
+                    && punct_at(toks, j + 1, ':')
+                    && ident_at(toks, j + 2).is_some()
+                {
+                    segs.push(ident_at(toks, j + 2).unwrap_or_default());
+                    j += 3;
+                }
+                if !punct_at(toks, j, '(') || crate::parse::is_expr_keyword(head) {
+                    i = j.max(i + 1);
+                    continue;
+                }
+                let open = j;
+                let close = match_paren(toks, open);
+                let line = toks[i].line;
+                let last = *segs.last().unwrap_or(&"");
+                if last == "drop" && close == open + 2 {
+                    if let Some(nm) = ident_at(toks, open + 1) {
+                        guards.retain(|g| g.name.as_deref() != Some(nm));
+                    }
+                } else {
+                    let blocking_path = (segs.contains(&"thread") && last == "sleep")
+                        || (segs.contains(&"File") && (last == "open" || last == "create"))
+                        || segs.contains(&"fs");
+                    if blocking_path {
+                        let detail = segs.join("::");
+                        for g in &guards {
+                            out.blocked.push((g.id.clone(), detail.clone(), line));
+                        }
+                        out.blocking_ops.push((detail, line));
+                    } else if !guards.is_empty() && segs.len() <= 3 {
+                        let held: Vec<String> = guards.iter().map(|g| g.id.clone()).collect();
+                        out.calls_held.push((last.to_string(), line, held));
+                    }
+                }
+                i = open + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Run the lock-discipline analysis over the whole graph. `ctx(i)` must
+/// return the file/token/comment context of `graph.functions[i]`.
+pub fn analyze(graph: &CallGraph, ctx: &dyn Fn(usize) -> FnCtx) -> SyncReport {
+    let nf = graph.functions.len();
+    let mut ctxs: Vec<FnCtx> = Vec::with_capacity(nf);
+    let mut scans: Vec<Scan> = Vec::with_capacity(nf);
+    for i in 0..nf {
+        let f = &graph.functions[i];
+        let c = ctx(i);
+        let scan = if module_exempt(&f.module) {
+            Scan::default()
+        } else {
+            let params = param_types(&c.tokens, f.sig);
+            scan_fn(f, &c.tokens, &params)
+        };
+        scans.push(scan);
+        ctxs.push(c);
+    }
+    let alloc_score: Vec<usize> = graph
+        .functions
+        .iter()
+        .map(|f| {
+            f.events
+                .iter()
+                .filter(|e| matches!(hotpath::judge(e), Some((HotRule::Alloc, _))))
+                .count()
+        })
+        .collect();
+
+    let mut sites: Vec<LockSite> = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut findings: Vec<SyncFinding> = Vec::new();
+
+    for i in 0..nf {
+        let f = &graph.functions[i];
+        let scan = &scans[i];
+        let c = &ctxs[i];
+        for (id, method, line) in &scan.acquires {
+            sites.push(LockSite {
+                id: id.clone(),
+                method: method.clone(),
+                file: c.file.clone(),
+                line: *line,
+                function: f.qname.clone(),
+            });
+        }
+        for (from, to, line) in &scan.intra_edges {
+            edges.push(LockEdge {
+                from: from.clone(),
+                to: to.clone(),
+                function: f.qname.clone(),
+                file: c.file.clone(),
+                line: *line,
+                chain: vec![f.qname.clone()],
+            });
+        }
+        for (gid, op, line) in &scan.blocked {
+            if sync_marked(&c.comments, *line) {
+                continue;
+            }
+            findings.push(SyncFinding {
+                rule: SyncRule::HeldBlocking,
+                file: c.file.clone(),
+                line: *line,
+                function: f.qname.clone(),
+                detail: format!("guard `{gid}` held across {op}"),
+                chain: vec![f.qname.clone()],
+            });
+        }
+    }
+
+    // Cross-function pass: resolve calls made under guards through the
+    // call graph; reachable acquisitions become edges, reachable
+    // blocking ops become findings, alloc-heavy direct callees are
+    // flagged.
+    let mut reach_cache: HashMap<usize, Rc<HashMap<usize, usize>>> = HashMap::new();
+    for i in 0..nf {
+        if scans[i].calls_held.is_empty() {
+            continue;
+        }
+        let holder = graph.functions[i].qname.clone();
+        let file = ctxs[i].file.clone();
+        for (callee, line, held) in &scans[i].calls_held {
+            let marked = sync_marked(&ctxs[i].comments, *line);
+            let cands: Vec<usize> = graph.edges[i]
+                .iter()
+                .copied()
+                .filter(|&j| graph.functions[j].name == *callee)
+                .collect();
+            for j in cands {
+                if module_exempt(&graph.functions[j].module) {
+                    continue;
+                }
+                if alloc_score[j] >= ALLOC_HEAVY && !marked {
+                    for gid in held {
+                        findings.push(SyncFinding {
+                            rule: SyncRule::HeldAlloc,
+                            file: file.clone(),
+                            line: *line,
+                            function: holder.clone(),
+                            detail: format!(
+                                "guard `{gid}` held across alloc-heavy callee `{}` ({} alloc sites)",
+                                graph.functions[j].qname, alloc_score[j]
+                            ),
+                            chain: vec![holder.clone(), graph.functions[j].qname.clone()],
+                        });
+                    }
+                }
+                let parent = reach_cache
+                    .entry(j)
+                    .or_insert_with(|| Rc::new(graph.reach(&[j])))
+                    .clone();
+                let mut reached: Vec<usize> = parent.keys().copied().collect();
+                reached.sort_unstable();
+                for k in reached {
+                    if module_exempt(&graph.functions[k].module) {
+                        continue;
+                    }
+                    if scans[k].acquires.is_empty() && scans[k].blocking_ops.is_empty() {
+                        continue;
+                    }
+                    let mut chain = vec![holder.clone()];
+                    chain.extend(graph.witness(&parent, k));
+                    for (aid, _m, _al) in &scans[k].acquires {
+                        for gid in held {
+                            edges.push(LockEdge {
+                                from: gid.clone(),
+                                to: aid.clone(),
+                                function: holder.clone(),
+                                file: file.clone(),
+                                line: *line,
+                                chain: chain.clone(),
+                            });
+                        }
+                    }
+                    if !marked {
+                        for (op, _ol) in &scans[k].blocking_ops {
+                            for gid in held {
+                                findings.push(SyncFinding {
+                                    rule: SyncRule::HeldBlocking,
+                                    file: file.clone(),
+                                    line: *line,
+                                    function: holder.clone(),
+                                    detail: format!(
+                                        "guard `{gid}` held across {op} in `{}`",
+                                        graph.functions[k].qname
+                                    ),
+                                    chain: chain.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Dedup edges by (from, to, function) — intra edges were pushed
+    // first and win, keeping the tightest witness chain.
+    let mut seen_edges: BTreeSet<(String, String, String)> = BTreeSet::new();
+    edges.retain(|e| seen_edges.insert((e.from.clone(), e.to.clone(), e.function.clone())));
+
+    // Cycle detection over lock identities (SCCs; a self-edge is a
+    // one-node cycle: re-acquiring an identity while holding it).
+    findings.extend(find_cycles(&edges));
+
+    // Dedup findings by key (cross paths can re-derive the same fact).
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    findings.retain(|f| seen.insert(f.key()));
+
+    sites.sort_by(|a, b| (&a.file, a.line, &a.id).cmp(&(&b.file, b.line, &b.id)));
+    edges.sort_by(|a, b| (&a.from, &a.to, &a.function).cmp(&(&b.from, &b.to, &b.function)));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.detail).cmp(&(&b.file, b.line, b.rule, &b.detail))
+    });
+    SyncReport {
+        sites,
+        edges,
+        findings,
+    }
+}
+
+/// Kosaraju SCC over the edge list; SCCs of size > 1 (or with a
+/// self-edge) become [`SyncRule::LockCycle`] findings.
+fn find_cycles(edges: &[LockEdge]) -> Vec<SyncFinding> {
+    let mut ids: BTreeSet<&str> = BTreeSet::new();
+    for e in edges {
+        ids.insert(&e.from);
+        ids.insert(&e.to);
+    }
+    let index: BTreeMap<&str, usize> = ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let names: Vec<&str> = ids.iter().copied().collect();
+    let n = names.len();
+    let mut fwd = vec![Vec::new(); n];
+    let mut rev = vec![Vec::new(); n];
+    let mut selfloop = vec![false; n];
+    for e in edges {
+        let (u, v) = (index[e.from.as_str()], index[e.to.as_str()]);
+        if u == v {
+            selfloop[u] = true;
+        } else {
+            fwd[u].push(v);
+            rev[v].push(u);
+        }
+    }
+    // Pass 1: finish order.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        // Iterative DFS with an explicit child cursor.
+        let mut stack: Vec<(usize, usize)> = vec![(s, 0)];
+        seen[s] = true;
+        while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+            if *cursor < fwd[u].len() {
+                let v = fwd[u][*cursor];
+                *cursor += 1;
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push((v, 0));
+                }
+            } else {
+                order.push(u);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: reverse-graph components in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut ncomp = 0usize;
+    for &s in order.iter().rev() {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![s];
+        comp[s] = ncomp;
+        while let Some(u) = stack.pop() {
+            for &v in &rev[u] {
+                if comp[v] == usize::MAX {
+                    comp[v] = ncomp;
+                    stack.push(v);
+                }
+            }
+        }
+        ncomp += 1;
+    }
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
+    for (v, &c) in comp.iter().enumerate() {
+        members[c].push(v);
+    }
+    let mut out = Vec::new();
+    for m in members {
+        let cyclic = m.len() > 1 || (m.len() == 1 && selfloop[m[0]]);
+        if !cyclic {
+            continue;
+        }
+        let in_scc: BTreeSet<&str> = m.iter().map(|&v| names[v]).collect();
+        let mut internal: Vec<&LockEdge> = edges
+            .iter()
+            .filter(|e| {
+                in_scc.contains(e.from.as_str())
+                    && in_scc.contains(e.to.as_str())
+                    && (e.from != e.to || m.len() == 1)
+            })
+            .collect();
+        internal.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+        let Some(first) = internal.first() else {
+            continue;
+        };
+        let mut cycle_ids: Vec<&str> = in_scc.iter().copied().collect();
+        cycle_ids.sort_unstable();
+        let chain: Vec<String> = internal
+            .iter()
+            .map(|e| {
+                format!(
+                    "{} -> {} in {} ({}:{}) via {}",
+                    e.from,
+                    e.to,
+                    e.function,
+                    e.file,
+                    e.line,
+                    e.chain.join(" -> ")
+                )
+            })
+            .collect();
+        out.push(SyncFinding {
+            rule: SyncRule::LockCycle,
+            file: first.file.clone(),
+            line: first.line,
+            function: first.function.clone(),
+            detail: format!("lock-order cycle: {}", cycle_ids.join(" <-> ")),
+            chain,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn run(files: &[(&str, &str)]) -> SyncReport {
+        let parsed: Vec<_> = files
+            .iter()
+            .map(|(m, s)| parse_file(s, m))
+            .collect();
+        let mut meta: Vec<FnCtx> = Vec::new();
+        for (i, p) in parsed.iter().enumerate() {
+            let toks = Rc::new(p.tokens.clone());
+            let comments = Rc::new(p.comments.clone());
+            for _ in &p.functions {
+                meta.push(FnCtx {
+                    file: format!("fixture{i}.rs"),
+                    tokens: toks.clone(),
+                    comments: comments.clone(),
+                });
+            }
+        }
+        let g = CallGraph::build(parsed);
+        analyze(&g, &|i| meta[i].clone())
+    }
+
+    #[test]
+    fn two_lock_hold_makes_an_edge() {
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) { let g = self.a.lock(); let h = self.b.lock(); } }",
+        )]);
+        assert_eq!(r.sites.len(), 2);
+        assert_eq!(r.edges.len(), 1);
+        assert_eq!(r.edges[0].from, "S.a");
+        assert_eq!(r.edges[0].to, "S.b");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn temp_guard_dies_at_statement_end() {
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) { self.a.lock().push(1); let h = self.b.lock(); } }",
+        )]);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn chained_let_initializer_is_a_temporary() {
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) { let v = self.a.lock().take(); let h = self.b.lock(); } }",
+        )]);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn scope_and_drop_kill_guards() {
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) { { let g = self.a.lock(); } let h = self.b.lock(); } \
+             fn g(&self) { let g = self.a.lock(); drop(g); let h = self.b.lock(); } }",
+        )]);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn guard_across_recv_is_flagged_and_sync_marker_suppresses() {
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) { let g = self.q.lock(); self.rx.recv(); } }",
+        )]);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, SyncRule::HeldBlocking);
+        assert_eq!(r.findings[0].detail, "guard `S.q` held across .recv()");
+        assert_eq!(r.findings[0].key(), "held-across-blocking|r::a::S::f|guard `S.q` held across .recv()");
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) {\n let g = self.q.lock();\n // SYNC: bounded: rx is pre-filled.\n self.rx.recv(); } }",
+        )]);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn condvar_wait_consuming_its_guard_is_sanctioned() {
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) { let mut q = self.queue.lock(); \
+             loop { q = self.cv.wait_timeout(q, timeout); } } }",
+        )]);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        // …but a *different* guard held at the same wait is flagged.
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) { let o = self.other.lock(); let mut q = self.queue.lock(); \
+             q = self.cv.wait_timeout(q, timeout); } }",
+        )]);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == SyncRule::HeldBlocking && f.detail.contains("S.other")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn cross_function_edge_carries_witness_chain() {
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) { let g = self.a.lock(); self.helper(); } \
+             fn helper(&self) { self.inner(); } \
+             fn inner(&self) { let h = self.b.lock(); } }",
+        )]);
+        assert_eq!(r.edges.len(), 1, "{:?}", r.edges);
+        assert_eq!(r.edges[0].from, "S.a");
+        assert_eq!(r.edges[0].to, "S.b");
+        assert_eq!(
+            r.edges[0].chain,
+            vec!["r::a::S::f", "r::a::S::helper", "r::a::S::inner"]
+        );
+    }
+
+    #[test]
+    fn two_lock_cycle_is_a_deadlock_witness() {
+        let r = run(&[(
+            "r::a",
+            "impl S { fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); } \
+             fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); } }",
+        )]);
+        let cycles: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == SyncRule::LockCycle)
+            .collect();
+        assert_eq!(cycles.len(), 1, "{:?}", r.findings);
+        assert_eq!(cycles[0].detail, "lock-order cycle: S.a <-> S.b");
+        assert_eq!(cycles[0].chain.len(), 2);
+        assert!(cycles[0].chain[0].contains("S.a -> S.b in r::a::S::ab"));
+    }
+
+    #[test]
+    fn relock_while_held_is_a_self_cycle() {
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) { let g = self.a.lock(); let h = self.a.lock(); } }",
+        )]);
+        let cycles: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == SyncRule::LockCycle)
+            .collect();
+        assert_eq!(cycles.len(), 1, "{:?}", r.findings);
+        assert_eq!(cycles[0].detail, "lock-order cycle: S.a");
+    }
+
+    #[test]
+    fn param_type_unifies_free_fn_with_method_identity() {
+        let r = run(&[(
+            "r::a",
+            "pub struct Queues;\n\
+             impl Queues { fn pop(&self, w: usize) { let g = self.ready[w].lock(); } }\n\
+             fn steal(queues: &Queues, v: usize) { let g = queues.ready[v].lock(); }",
+        )]);
+        assert_eq!(r.sites.len(), 2);
+        assert_eq!(r.sites[0].id, "Queues.ready");
+        assert_eq!(r.sites[1].id, "Queues.ready");
+    }
+
+    #[test]
+    fn rwlock_read_write_only_with_empty_args() {
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) { let g = self.map.read(); } \
+             fn io(&self, f: &mut F) { f.read(buf); f.write(buf); } }",
+        )]);
+        assert_eq!(r.sites.len(), 1, "{:?}", r.sites);
+        assert_eq!(r.sites[0].method, "read");
+    }
+
+    #[test]
+    fn alloc_heavy_callee_under_guard_is_flagged() {
+        let r = run(&[(
+            "r::a",
+            "impl S { fn f(&self) { let g = self.q.lock(); rebuild(); } }\n\
+             fn rebuild() { let mut v = Vec::new(); v.push(1); v.extend(o); let s = x.to_vec(); }",
+        )]);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, SyncRule::HeldAlloc);
+        assert!(r.findings[0].detail.contains("r::a::rebuild"));
+    }
+}

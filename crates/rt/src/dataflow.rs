@@ -389,6 +389,7 @@ enum ReadyQueue {
 
 impl ReadyQueue {
     fn new(policy: SchedulerPolicy) -> Self {
+        // ALLOC: empty containers at scheduler construction, once per run.
         match policy {
             SchedulerPolicy::Eager => ReadyQueue::Fifo(VecDeque::new()),
             SchedulerPolicy::Priority => ReadyQueue::Prio(BinaryHeap::new()),

@@ -333,6 +333,8 @@ impl FaultPlan {
         let Some(failures) = budget else {
             return false;
         };
+        // LOCK: fault-injection bookkeeping — reached only when an
+        // alloc-fault budget is actually configured for this site.
         let mut used = self.alloc_used.lock();
         let consumed = used.entry(site).or_insert(0);
         if *consumed < failures {
@@ -352,6 +354,8 @@ impl FaultPlan {
         let kind = self.pinned.get(&task).copied().or_else(|| self.sample(task));
         // `injected` is a statistics counter; no memory is published
         // through it, so Relaxed increments suffice at every site below.
+        // IO: the delay fault *is* a deliberate sleep in the task body.
+        // ALLOC: panic-payload formatting happens only when a fault fires.
         match kind {
             Some(FaultKind::Delay { micros }) if attempt == 1 => {
                 // ORDERING: statistics counter; no memory is published.
@@ -670,6 +674,9 @@ impl CancelToken {
     /// The reason the token was fired with (or a placeholder before it
     /// fires — callers check [`CancelToken::is_cancelled`] first).
     pub fn reason(&self) -> String {
+        // LOCK: cancellation is a cold, at-most-once-per-run event;
+        // callers read the reason only after `is_cancelled()` fires.
+        // ALLOC: clones the reason string on that same cold path.
         self.reason
             .lock()
             .clone()
@@ -1143,7 +1150,10 @@ impl Supervisor {
         Ok(RunReport {
             ntasks,
             completed,
-            retries: self.retries.load(Ordering::Acquire),
+            // ORDERING: statistics counter; `finish(self)` runs after
+            // every worker joined, and join supplies the happens-before
+            // edge for the final value.
+            retries: self.retries.load(Ordering::Relaxed),
             faults_injected: self
                 .config
                 .fault_plan

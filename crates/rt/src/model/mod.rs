@@ -66,7 +66,7 @@ pub mod sync;
 pub mod thread;
 
 pub use cell::ModelCell;
-pub use sched::{in_model, Builder, Failure, Report, MAX_THREADS};
+pub use sched::{in_model, Builder, Failure, FailureKind, Report, MAX_THREADS};
 
 /// Exhaustively model-check `f` with default limits; panics with the
 /// failing schedule on any failure.
@@ -268,5 +268,62 @@ mod tests {
         })
         .expect_err("2 executions cannot cover this");
         assert!(failure.message.contains("exceeded 2 executions"), "got: {failure}");
+        assert_eq!(
+            failure.kind,
+            FailureKind::BudgetExhausted,
+            "an exhausted execution cap is a budget error, not a property failure"
+        );
+    }
+
+    /// Regression: before the total step budget existed, the per-limit
+    /// pair admitted a silent `max_executions × max_steps` worst case
+    /// (2 × 10⁹ scheduler steps at the defaults) — a too-big model spun
+    /// for hours producing no verdict. The cross-execution budget must
+    /// end exploration in bounded time with a *typed* error so teeth
+    /// tests can't mistake it for the failure they expect.
+    #[test]
+    fn total_step_budget_is_enforced_and_typed() {
+        let builder = Builder {
+            max_total_steps: 40,
+            ..Builder::default()
+        };
+        let big_model = || {
+            let a = Arc::new(atomic::AtomicU32::new(0));
+            let a2 = Arc::clone(&a);
+            let b2 = Arc::clone(&a);
+            let t1 = thread::spawn(move || {
+                a2.fetch_add(1, Ordering::AcqRel);
+                a2.fetch_add(1, Ordering::AcqRel);
+            });
+            let t2 = thread::spawn(move || {
+                b2.fetch_add(1, Ordering::AcqRel);
+                b2.fetch_add(1, Ordering::AcqRel);
+            });
+            t1.join();
+            t2.join();
+        };
+        let failure = builder.try_check(big_model).expect_err("40 total steps cannot cover this");
+        assert_eq!(failure.kind, FailureKind::BudgetExhausted);
+        assert!(failure.message.contains("total step budget"), "got: {failure}");
+
+        // `check` must NOT panic on an exhausted budget (incomplete is
+        // not broken) — it skips loudly and marks the report incomplete.
+        let report = builder.check(big_model);
+        assert!(!report.complete, "a budget-exhausted check cannot claim completeness");
+    }
+
+    /// The sibling property: exhaustive runs advertise completeness.
+    #[test]
+    fn complete_exploration_is_marked_complete() {
+        let report = check(|| {
+            let a = Arc::new(atomic::AtomicU32::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                a2.fetch_add(1, Ordering::AcqRel);
+            });
+            a.fetch_add(1, Ordering::AcqRel);
+            t.join();
+        });
+        assert!(report.complete);
     }
 }

@@ -380,17 +380,36 @@ struct Choice {
     pick: usize,
 }
 
-/// Result of a completed exploration.
+/// Result of an exploration.
 #[derive(Clone, Debug)]
 pub struct Report {
     /// Number of distinct interleavings executed.
     pub executions: usize,
+    /// `true` when the state space was covered exhaustively; `false`
+    /// when [`Builder::check`] skipped on an exhausted exploration
+    /// budget — the run proved nothing beyond the executions it did
+    /// explore.
+    pub complete: bool,
+}
+
+/// What class of failure the explorer is reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The model itself failed: a panic, deadlock, data race, lost
+    /// update, or a nondeterministic-replay error.
+    Property,
+    /// The exploration budget (executions or total scheduler steps) ran
+    /// out before the DFS converged — the model is too big, not
+    /// (necessarily) wrong.
+    BudgetExhausted,
 }
 
 /// A failed exploration: the first failing execution, with the schedule
 /// (sequence of thread picks) that reproduces it.
 #[derive(Clone, Debug)]
 pub struct Failure {
+    /// Property violation vs. exhausted exploration budget.
+    pub kind: FailureKind,
     /// What went wrong (panic message, deadlock report, race report, …).
     pub message: String,
     /// Thread ids in scheduling order for the failing execution.
@@ -420,6 +439,13 @@ pub struct Builder {
     /// Abort one execution after this many scheduler steps (guards
     /// livelocked models, e.g. an unbounded spin loop).
     pub max_steps: usize,
+    /// Abort exploration after this many scheduler steps **summed over
+    /// all executions**. The per-limit pair alone admits a silent
+    /// `max_executions × max_steps` worst case (2 × 10⁹ steps at the
+    /// defaults — hours of "exploring" with no verdict); the total
+    /// budget turns that into a typed [`FailureKind::BudgetExhausted`]
+    /// in bounded time.
+    pub max_total_steps: usize,
 }
 
 impl Default for Builder {
@@ -427,32 +453,53 @@ impl Default for Builder {
         Builder {
             max_executions: 200_000,
             max_steps: 10_000,
+            max_total_steps: 20_000_000,
         }
     }
 }
 
 impl Builder {
     /// Exhaustively explore `f`; panic (with the failing schedule) on any
-    /// panic, assertion failure, data race, or deadlock.
+    /// panic, assertion failure, data race, or deadlock. An exhausted
+    /// exploration *budget* is not a property failure: it is reported
+    /// loudly on stderr and the returned report is marked
+    /// `complete: false` — callers that require exhaustiveness must
+    /// assert on it.
     pub fn check<F: Fn() + Send + Sync + 'static>(&self, f: F) -> Report {
         match self.try_check(f) {
             Ok(report) => report,
+            Err(failure) if failure.kind == FailureKind::BudgetExhausted => {
+                eprintln!(
+                    "model check SKIPPED (exploration incomplete, nothing verified \
+                     beyond {} executions): {failure}",
+                    failure.execution.saturating_sub(1)
+                );
+                Report {
+                    executions: failure.execution.saturating_sub(1),
+                    complete: false,
+                }
+            }
             Err(failure) => panic!("{failure}"),
         }
     }
 
     /// Exhaustively explore `f`, returning the first failure instead of
-    /// panicking — the hook for "teeth" tests that expect a model to fail.
+    /// panicking — the hook for "teeth" tests that expect a model to
+    /// fail. Check `Failure::kind`: a [`FailureKind::BudgetExhausted`]
+    /// error means the DFS ran out of budget, not that the property
+    /// failed.
     pub fn try_check<F: Fn() + Send + Sync + 'static>(&self, f: F) -> Result<Report, Failure> {
         assert!(!in_model(), "model::check cannot be nested inside a model");
         install_quiet_hook();
         let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
         let mut path: Vec<Choice> = Vec::new();
         let mut executions = 0usize;
+        let mut total_steps = 0usize;
         loop {
             executions += 1;
             if executions > self.max_executions {
                 return Err(Failure {
+                    kind: FailureKind::BudgetExhausted,
                     message: format!(
                         "exploration exceeded {} executions without converging; shrink the model",
                         self.max_executions
@@ -461,17 +508,38 @@ impl Builder {
                     execution: executions,
                 });
             }
-            if let Err((message, schedule)) = run_one(&f, &mut path, self.max_steps) {
+            match run_one(&f, &mut path, self.max_steps) {
+                Ok(steps) => total_steps += steps,
+                Err((message, schedule)) => {
+                    return Err(Failure {
+                        kind: FailureKind::Property,
+                        message,
+                        schedule,
+                        execution: executions,
+                    });
+                }
+            }
+            if total_steps > self.max_total_steps {
                 return Err(Failure {
-                    message,
-                    schedule,
+                    kind: FailureKind::BudgetExhausted,
+                    message: format!(
+                        "exploration exceeded the total step budget ({} scheduler steps \
+                         across {executions} executions); shrink the model",
+                        self.max_total_steps
+                    ),
+                    schedule: Vec::new(),
                     execution: executions,
                 });
             }
             // Depth-first advance: bump the deepest unexhausted choice.
             loop {
                 match path.last_mut() {
-                    None => return Ok(Report { executions }),
+                    None => {
+                        return Ok(Report {
+                            executions,
+                            complete: true,
+                        })
+                    }
                     Some(c) if c.pick + 1 < c.options.len() => {
                         c.pick += 1;
                         break;
@@ -486,12 +554,14 @@ impl Builder {
 }
 
 /// Run one execution, replaying the decision prefix recorded in `path`
-/// and recording any new choices at the tail.
+/// and recording any new choices at the tail. `Ok` carries the number of
+/// scheduler steps the execution consumed (fed into the explorer's total
+/// step budget).
 fn run_one(
     f: &Arc<dyn Fn() + Send + Sync>,
     path: &mut Vec<Choice>,
     max_steps: usize,
-) -> Result<(), (String, Vec<usize>)> {
+) -> Result<usize, (String, Vec<usize>)> {
     let shared = Arc::new(ExecShared {
         m: OsMutex::new(ExecState {
             threads: vec![Th {
@@ -520,7 +590,7 @@ fn run_one(
     }
 
     let mut cursor = 0usize;
-    let outcome: Result<(), (String, Vec<usize>)> = loop {
+    let outcome: Result<usize, (String, Vec<usize>)> = loop {
         let mut st = shared.m.lock().unwrap();
         while st.active.is_some() {
             st = shared.cv.wait(st).unwrap();
@@ -547,7 +617,7 @@ fn run_one(
             .collect();
         if runnable.is_empty() {
             if st.threads.iter().all(|t| matches!(t.status, Status::Finished)) {
-                break Ok(());
+                break Ok(st.steps);
             }
             let detail = st
                 .threads

@@ -45,6 +45,7 @@ impl<T> Mutex<T> {
             s: OsMutex::new(MState {
                 held: false,
                 clock: sched::VClock::default(),
+                // ALLOC: model-checker bookkeeping, never a production path.
                 waiters: Vec::new(),
             }),
             data: UnsafeCell::new(value),
@@ -153,6 +154,7 @@ impl Condvar {
     pub fn new() -> Condvar {
         Condvar {
             s: OsMutex::new(CvState {
+                // ALLOC: model-checker bookkeeping, never a production path.
                 waiters: Vec::new(),
             }),
         }

@@ -4,22 +4,33 @@
 //! every 1D task to a worker ("this static scheduling associates ready
 //! tasks with the first available resources", §III), then recovers from
 //! model error at run time with work stealing \[1\]. This engine replays
-//! exactly that: ready tasks go to their *assigned* worker's local priority
-//! queue; a worker that runs dry steals the lowest-priority ready task of
-//! the most loaded victim (stealing cold work preserves the owner's
-//! locality).
+//! that policy on a **lock-free ready structure**: each worker owns a
+//! bounded Chase-Lev deque ([`crate::deque`]), initially-ready tasks are
+//! seeded onto their *assigned* owner's deque before the workers spawn,
+//! and at run time a completing worker pushes the successors it unlocks
+//! onto its *own* deque (work-first: the freshly written panel is hot in
+//! its cache). A worker that runs dry drains the shared injector (seed
+//! overflow spills), then steals a batch from the most loaded victim's
+//! cold end.
+//!
+//! Priority ordering is a heuristic here, not an invariant: within one
+//! release the unlocked successors are pushed in ascending priority
+//! order, so the owner LIFO-pops the most critical one first and thieves
+//! FIFO-steal the coldest — the same shape the old per-owner binary
+//! heaps produced, without any per-task mutex. (`lint-sync`'s lock-order
+//! graph documents the diff: the `Queues.ready` lock node is gone; the
+//! only ready-path lock left is the seed/overflow `Injector.queue`.)
 //!
 //! [`run_native_checked`] executes under the fault-tolerant layer of
 //! [`crate::fault`]; [`run_native`] is the legacy path that panics on the
 //! calling thread if the run fails.
 
+use crate::deque::{Injector, Stealer, WorkerDeque};
 use crate::fault::{EngineError, RunConfig, RunReport, Supervisor, TaskOutcome};
 use crate::shared::release_pending;
-use crate::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use crate::sync::Mutex;
+use crate::sync::atomic::AtomicU32;
 use crate::trace::{Lane, SpanKind};
 use crate::TaskId;
-use std::collections::BinaryHeap;
 
 /// A task in the native engine's statically-scheduled DAG.
 #[derive(Debug, Clone)]
@@ -34,84 +45,15 @@ pub struct NativeTask {
     pub priority: f64,
 }
 
-#[derive(PartialEq)]
-struct Entry {
-    priority: f64,
-    task: TaskId,
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        // total_cmp: NaN priorities order deterministically instead of
-        // panicking inside the scheduler.
-        self.priority
-            .total_cmp(&other.priority)
-            .then_with(|| other.task.cmp(&self.task))
-    }
-}
+/// Upper bound on tasks moved per steal round: the first comes back to
+/// run immediately, the rest land on the thief's deque so it does not
+/// return to the victim scan after every single task.
+const STEAL_BATCH: usize = 8;
 
-struct Queues {
-    ready: Vec<Mutex<BinaryHeap<Entry>>>,
-    /// Per-queue length mirrors, maintained under each queue's lock.
-    /// They let `pop`'s empty check and `steal`'s victim scan run
-    /// without touching any mutex — the lock-elided fast path.
-    lens: Vec<AtomicUsize>,
-}
-
-impl Queues {
-    /// Pre-size each worker's heap to the number of tasks statically
-    /// owned by it: releases go to the successor's owner and retries
-    /// return to the task's own owner, so a queue can never exceed its
-    /// owner's task count and the heap never reallocates mid-run.
-    fn with_owner_counts(tasks: &[NativeTask], nworkers: usize) -> Queues {
-        let mut counts = vec![0usize; nworkers];
-        for task in tasks {
-            counts[task.owner % nworkers] += 1;
-        }
-        Queues {
-            // ALLOC: once per run (engine setup), pooled for the whole
-            // run — the per-task push path below never grows the heap.
-            ready: counts
-                .iter()
-                .map(|&c| Mutex::new(BinaryHeap::with_capacity(c)))
-                .collect(),
-            lens: (0..nworkers).map(|_| AtomicUsize::new(0)).collect(),
-        }
-    }
-
-    fn push(&self, w: usize, e: Entry) {
-        // LOCK: per-owner queue mutex — the engine's ready-queue
-        // protocol, model-checked in tests/loom_models.rs.
-        let mut q = self.ready[w].lock();
-        q.push(e);
-        // ORDERING: Relaxed — the length mirror is a heuristic read by
-        // lock-free scans; the mutex is the synchronization point for
-        // the queue contents themselves.
-        self.lens[w].store(q.len(), Ordering::Relaxed);
-    }
-
-    fn pop(&self, w: usize) -> Option<Entry> {
-        // ORDERING: Relaxed empty pre-check elides the lock entirely
-        // when the local queue is dry (the steal-bound worker's common
-        // case); a racing push is observed on the next loop iteration —
-        // the worker loop polls, so no wakeup is lost.
-        if self.lens[w].load(Ordering::Relaxed) == 0 {
-            return None;
-        }
-        // LOCK: per-owner queue mutex, uncontended in the static-map
-        // common case.
-        let mut q = self.ready[w].lock();
-        let e = q.pop();
-        // ORDERING: Relaxed — heuristic mirror, see `push`.
-        self.lens[w].store(q.len(), Ordering::Relaxed);
-        e
-    }
-}
+/// Cap on the per-worker ring size; deeper backlogs spill to the
+/// injector, which is correct (just slower) and keeps setup cost bounded
+/// for huge DAGs.
+const MAX_DEQUE_CAP: usize = 8192;
 
 /// Execute a statically-scheduled DAG on `nworkers` threads.
 ///
@@ -130,8 +72,8 @@ where
 
 /// Execute a statically-scheduled DAG under the fault-tolerant layer:
 /// task panics become [`EngineError::TaskPanicked`], transient failures
-/// are retried per `config.retry` (the task is re-queued on its owner),
-/// and the watchdog converts a stalled scheduler into
+/// are retried per `config.retry` (the task is re-queued on the retrying
+/// worker), and the watchdog converts a stalled scheduler into
 /// [`EngineError::Stalled`].
 pub fn run_native_checked<F>(
     tasks: &[NativeTask],
@@ -146,29 +88,52 @@ where
         return Err(EngineError::NoWorkers);
     }
     let ntasks = tasks.len();
+    // ALLOC: run setup — one tracer handle and one counter table per run.
     let tracer = config.trace.clone();
     let sup = Supervisor::new(ntasks, config);
     if ntasks == 0 {
         return sup.finish();
     }
     let pending: Vec<AtomicU32> = tasks.iter().map(|t| AtomicU32::new(t.npred)).collect();
-    let queues = Queues::with_owner_counts(tasks, nworkers);
-    // Seed initially-ready tasks onto their owners' queues.
-    for (t, task) in tasks.iter().enumerate() {
-        if task.npred == 0 {
-            queues.push(
-                task.owner % nworkers,
-                Entry {
-                    priority: task.priority,
-                    task: t,
-                },
-            );
+    // ALLOC: once per run (engine setup) — the rings are bounded and the
+    // per-task push/pop/steal paths below never allocate.
+    let cap = ntasks.min(MAX_DEQUE_CAP);
+    let deques: Vec<WorkerDeque> = (0..nworkers)
+        .map(|_| WorkerDeque::with_capacity(cap))
+        .collect();
+    let stealers: Vec<Stealer> = deques.iter().map(WorkerDeque::stealer).collect();
+    let injector: Injector<TaskId> = Injector::new();
+
+    // Seed initially-ready tasks onto their owners' deques, in ascending
+    // priority order so each owner LIFO-pops its most critical seed
+    // first. Pushing into other workers' deques is an owner-side
+    // operation, but no worker threads exist yet and `thread::scope`'s
+    // spawn edge publishes the rings, so the single-threaded seed phase
+    // is sound.
+    // ALLOC: the seed list is built once, before any worker exists.
+    // BOUNDS: seed ids come from the `0..ntasks` scan; owners are reduced
+    // `% nworkers`.
+    let mut seeds: Vec<TaskId> = (0..ntasks).filter(|&t| tasks[t].npred == 0).collect();
+    seeds.sort_by(|&a, &b| tasks[a].priority.total_cmp(&tasks[b].priority));
+    for t in seeds {
+        if let Err(t) = deques[tasks[t].owner % nworkers].push(t) {
+            injector.push(t);
         }
     }
 
     let supref = &sup;
     let traceref = tracer.as_deref();
+    let deqref = &deques;
+    let stealref = &stealers;
+    let injref = &injector;
     let body = |worker: usize| {
+        // BOUNDS: `worker` is the scope-spawn index, < nworkers == deqref.len().
+        let local = &deqref[worker];
+        // Reusable successor-release buffer: sorted so the highest
+        // priority is pushed last (= popped first by the LIFO owner).
+        // ALLOC: once per worker; `sort_unstable_by` is in-place and the
+        // buffer keeps its high-water capacity across tasks.
+        let mut unlocked: Vec<TaskId> = Vec::with_capacity(32);
         let mut lane = Lane::new(traceref, worker);
         // Open interval of not-executing time; closed (as QueueWait or
         // Steal) when the next task is acquired.
@@ -186,11 +151,15 @@ where
                 std::thread::yield_now();
                 continue;
             }
-            // 1) Own queue first (locality of the static mapping).
-            let mine = queues.pop(worker);
-            let (picked, stolen) = match mine {
-                Some(e) => (Some(e.task), false),
-                None => (steal(&queues, worker, nworkers), true),
+            // 1) Own deque first (locality of the static mapping +
+            // work-first releases), 2) injector (seed/overflow spills),
+            // 3) batch-steal from the most loaded victim.
+            let (picked, stolen) = match local.pop() {
+                Some(t) => (Some(t), false),
+                None => match injref.steal() {
+                    Some(t) => (Some(t), true),
+                    None => (steal(stealref, local, injref, worker), true),
+                },
             };
             let Some(t) = picked else {
                 // Idle: service the watchdog, then yield to the OS.
@@ -208,22 +177,21 @@ where
             wait_from = lane.now();
             match outcome {
                 TaskOutcome::Completed => {
-                    // Release successors onto their owners' queues via the
-                    // checked fan-in decrement: an underflow (double
-                    // release / corrupted npred) poisons the run instead
-                    // of silently wrapping the counter.
+                    // Release successors via the checked fan-in
+                    // decrement: an underflow (double release /
+                    // corrupted npred) poisons the run instead of
+                    // silently wrapping the counter. Unlocked tasks go
+                    // to *this* worker's deque — only the owner may
+                    // push, and the releaser's cache holds the panel the
+                    // successors read.
                     let mut underflow = false;
+                    unlocked.clear();
+                    // BOUNDS: `t` and its successors are task ids < ntasks,
+                    // indexing the pre-sized task/pending tables.
+                    // ALLOC: `unlocked` reuses its high-water capacity.
                     for &s in &tasks[t].succs {
                         match release_pending(&pending[s], s) {
-                            Ok(true) => {
-                                queues.push(
-                                    tasks[s].owner % nworkers,
-                                    Entry {
-                                        priority: tasks[s].priority,
-                                        task: s,
-                                    },
-                                );
-                            }
+                            Ok(true) => unlocked.push(s),
                             Ok(false) => {}
                             Err(e) => {
                                 supref.poison_with(EngineError::ReleaseUnderflow { task: e.succ });
@@ -235,17 +203,24 @@ where
                     if underflow {
                         break;
                     }
+                    // BOUNDS: released ids < ntasks index the task table.
+                    // ALLOC: ring pushes store into the preallocated ring;
+                    // the injector push is the cold overflow-spill path.
+                    unlocked
+                        .sort_unstable_by(|&a, &b| tasks[a].priority.total_cmp(&tasks[b].priority));
+                    for &s in &unlocked {
+                        if let Err(s) = local.push(s) {
+                            injref.push(s);
+                        }
+                    }
                     supref.task_done(t);
                 }
                 TaskOutcome::Retry => {
-                    // Backoff already applied; retry on the static owner.
-                    queues.push(
-                        tasks[t].owner % nworkers,
-                        Entry {
-                            priority: tasks[t].priority,
-                            task: t,
-                        },
-                    );
+                    // Backoff already applied; retry where it failed.
+                    // ALLOC: store-only ring push; injector only on overflow.
+                    if let Err(t) = local.push(t) {
+                        injref.push(t);
+                    }
                 }
                 TaskOutcome::Aborted => break,
             }
@@ -265,46 +240,40 @@ where
     sup.finish()
 }
 
-/// Steal one ready task from the most loaded victim. PaStiX steals "cold"
-/// work — the lowest-priority entry — so the owner keeps the critical
-/// path.
-fn steal(queues: &Queues, thief: usize, nworkers: usize) -> Option<TaskId> {
-    // Lock-elided victim scan: read the atomic length mirrors instead of
-    // locking every queue (the pre-fix scan serialized all workers on
-    // each other's mutexes whenever anyone ran dry).
+/// Steal a batch of ready tasks from the most loaded victim's cold
+/// (FIFO) end: the first stolen task is returned to run now, the rest
+/// land on the thief's own deque (spilling to the injector if it is
+/// full, so no task is ever dropped). PaStiX steals "cold" work so the
+/// owner keeps the critical path; here the cold end is the FIFO end by
+/// construction.
+fn steal(
+    stealers: &[Stealer],
+    local: &WorkerDeque,
+    injector: &Injector<TaskId>,
+    thief: usize,
+) -> Option<TaskId> {
+    // Victim scan on the racy length snapshots — no locks, no CAS until
+    // a victim is chosen.
     let mut victim = None;
     let mut best_len = 0usize;
-    for v in 0..nworkers {
+    for (v, s) in stealers.iter().enumerate() {
         if v == thief {
             continue;
         }
-        // ORDERING: Relaxed — victim choice is a heuristic; the victim's
-        // mutex below is the synchronization point, and a stale length
-        // only costs one wasted lock or one missed steal round.
-        let len = queues.lens[v].load(Ordering::Relaxed);
+        let len = s.len();
         if len > best_len {
             best_len = len;
-            victim = Some(v);
+            victim = Some(s);
         }
     }
-    let v = victim?;
-    // LOCK: single victim mutex — the only lock the steal path takes.
-    let mut q = queues.ready[v].lock();
-    // Take the *lowest* priority entry: rebuild without the minimum.
-    // Queues are short (panel counts), so the O(len) drain is noise.
-    if q.is_empty() {
-        return None;
-    }
-    // ALLOC: BinaryHeap → Vec → BinaryHeap round-trip reuses the heap's
-    // own buffer (into_vec / into_iter().collect() are allocation-free
-    // capacity moves); nothing is allocated per steal.
-    let mut entries: Vec<Entry> = std::mem::take(&mut *q).into_vec();
-    let (min_idx, _) = entries.iter().enumerate().min_by(|a, b| a.1.cmp(b.1))?;
-    let stolen = entries.swap_remove(min_idx);
-    *q = entries.into_iter().collect();
-    // ORDERING: Relaxed — heuristic mirror, see `Queues::push`.
-    queues.lens[v].store(q.len(), Ordering::Relaxed);
-    Some(stolen.task)
+    victim?.steal_batch(STEAL_BATCH, |t| {
+        // ALLOC: WorkerDeque::push only stores into the preallocated
+        // ring; the injector push (amortized VecDeque growth) runs only
+        // on the capacity-overflow spill path.
+        if let Err(t) = local.push(t) {
+            injector.push(t);
+        }
+    })
 }
 
 #[cfg(test)]
@@ -397,6 +366,57 @@ mod tests {
         assert_eq!(total, width + 2);
         let thieves: usize = worker_hits[1..].iter().map(|c| c.load(Ordering::SeqCst)).sum();
         assert!(thieves > 0, "no stealing happened");
+    }
+
+    #[test]
+    fn priority_guides_the_owner_within_a_release() {
+        // One source unlocks 8 successors with distinct priorities, all
+        // owned by worker 0 and run single-threaded: the owner must
+        // LIFO-pop them most-critical-first.
+        let width = 8usize;
+        let mut tasks = vec![NativeTask {
+            owner: 0,
+            npred: 0,
+            succs: (1..=width).collect(),
+            priority: 100.0,
+        }];
+        for i in 1..=width {
+            tasks.push(NativeTask {
+                owner: 0,
+                npred: 1,
+                succs: vec![],
+                priority: i as f64,
+            });
+        }
+        let log = StdMutex::new(Vec::new());
+        run_native(&tasks, 1, |t, _| log.lock().unwrap().push(t));
+        let log = log.into_inner().unwrap();
+        let expected: Vec<usize> = std::iter::once(0).chain((1..=width).rev()).collect();
+        assert_eq!(log, expected, "successors must run highest-priority first");
+    }
+
+    #[test]
+    fn deque_overflow_spills_to_injector_and_completes() {
+        // 20k independent tasks on 2 workers: the per-worker ring caps at
+        // MAX_DEQUE_CAP, so seeding alone must overflow into the
+        // injector; every task still runs exactly once.
+        let n = 20_000usize;
+        let tasks: Vec<NativeTask> = (0..n)
+            .map(|i| NativeTask {
+                owner: i % 2,
+                npred: 0,
+                succs: vec![],
+                priority: (i % 97) as f64,
+            })
+            .collect();
+        assert!(n / 2 > MAX_DEQUE_CAP, "scenario must exercise the spill path");
+        let run_count: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run_native(&tasks, 2, |t, _| {
+            run_count[t].fetch_add(1, Ordering::SeqCst);
+        });
+        for (t, c) in run_count.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "task {t} ran wrong count");
+        }
     }
 
     #[test]

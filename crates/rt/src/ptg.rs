@@ -68,6 +68,7 @@ pub fn run_ptg_checked<P: PtgProgram>(
         return Err(EngineError::NoWorkers);
     }
     let ntasks = program.num_tasks();
+    // ALLOC: run setup — one tracer handle and one counter table per run.
     let tracer = config.trace.clone();
     let sup = Supervisor::new(ntasks, config);
     if ntasks == 0 {
@@ -77,11 +78,13 @@ pub fn run_ptg_checked<P: PtgProgram>(
     let pending: Vec<AtomicU32> = (0..ntasks)
         .map(|t| AtomicU32::new(program.num_predecessors(t)))
         .collect();
-    // Per-worker LIFO deques + global injector for the seeds.
-    let deques: Vec<WorkerDeque<usize>> = (0..nworkers).map(|_| WorkerDeque::new()).collect();
-    let stealers: Vec<Stealer<usize>> = deques.iter().map(|d| d.stealer()).collect();
-    let injector = Injector::new();
-    // Seed roots in priority order so early steals grab urgent work.
+    // ALLOC: per-worker LIFO deques + global injector for the seeds and
+    // the bounded rings' overflow spills — engine setup, once per run.
+    let deques: Vec<WorkerDeque> = (0..nworkers).map(|_| WorkerDeque::new()).collect();
+    let stealers: Vec<Stealer> = deques.iter().map(|d| d.stealer()).collect();
+    let injector: Injector<usize> = Injector::new();
+    // ALLOC: seed roots, collected and pushed once at startup in priority
+    // order so early steals grab urgent work.
     let mut roots: Vec<usize> = (0..ntasks)
         .filter(|&t| program.num_predecessors(t) == 0)
         .collect();
@@ -94,7 +97,9 @@ pub fn run_ptg_checked<P: PtgProgram>(
     let deques = &deques;
     let traceref = tracer.as_deref();
     let body = |w: usize| {
+        // BOUNDS: `w` is the scope-spawn index, < nworkers == deques.len().
         let local = &deques[w];
+        // ALLOC: per-worker successor buffer, reused across tasks.
         let mut succ_buf: Vec<usize> = Vec::new();
         let mut lane = Lane::new(traceref, w);
         // Open interval of not-executing time; closed (as QueueWait or
@@ -156,9 +161,17 @@ pub fn run_ptg_checked<P: PtgProgram>(
                     // poisoned run instead of a wrapped counter.
                     succ_buf.sort_by(|&a, &b| program.priority(a).total_cmp(&program.priority(b)));
                     let mut underflow = false;
+                    // BOUNDS: successor ids < ntasks index `pending`.
                     for &s in &succ_buf {
                         match release_pending(&pending[s], s) {
-                            Ok(true) => local.push(s),
+                            Ok(true) => {
+                                // ALLOC: bounded-ring push is store-only; a
+                                // full deque spills to the injector
+                                // (correct, just colder).
+                                if let Err(s) = local.push(s) {
+                                    injector.push(s);
+                                }
+                            }
                             Ok(false) => {}
                             Err(e) => {
                                 supref.poison_with(EngineError::ReleaseUnderflow { task: e.succ });
@@ -174,7 +187,10 @@ pub fn run_ptg_checked<P: PtgProgram>(
                 }
                 TaskOutcome::Retry => {
                     // Backoff already applied; keep the task local.
-                    local.push(t);
+                    // ALLOC: store-only ring push; injector only on overflow.
+                    if let Err(t) = local.push(t) {
+                        injector.push(t);
+                    }
                 }
                 TaskOutcome::Aborted => break,
             }

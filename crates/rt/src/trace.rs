@@ -289,6 +289,8 @@ impl<'a> Lane<'a> {
         Lane {
             rec,
             worker,
+            // ALLOC: one span buffer per worker, created at spawn time;
+            // `record` pushes amortize over the kept capacity.
             buf: Vec::new(),
         }
     }

@@ -71,18 +71,19 @@ fn steady_state_hot_loops_do_not_allocate() {
     const ITERS: usize = 10_000;
 
     // --- deque: owner push/pop at steady state -------------------------
-    // Warm up to the high-water mark so VecDeque growth is done, then a
-    // push/pop cycle must never touch the allocator.
+    // The Chase-Lev ring is allocated once at construction; every
+    // push/pop afterwards — including thousands of wrap-arounds — must
+    // never touch the allocator.
     let w = WorkerDeque::new();
     for i in 0..64 {
-        w.push(i);
+        w.push(i).expect("warm-up fits the ring");
     }
     for _ in 0..64 {
         let _ = w.pop();
     }
     let n = allocs_during(|| {
         for i in 0..ITERS {
-            w.push(i);
+            w.push(i).expect("ring never grows past depth 1");
             assert_eq!(w.pop(), Some(i));
         }
     });
@@ -91,19 +92,39 @@ fn steady_state_hot_loops_do_not_allocate() {
     // --- deque: thief steal path ---------------------------------------
     let s = w.stealer();
     for i in 0..64 {
-        w.push(i);
+        w.push(i).expect("warm-up fits the ring");
     }
     let n = allocs_during(|| {
         for _ in 0..ITERS {
             match s.steal() {
-                Some(i) => w.push(i),
+                Some(i) => w.push(i).expect("constant occupancy fits the ring"),
                 None => unreachable!("deque drained under a single thread"),
             }
         }
         let _ = s.len();
         let _ = s.is_empty();
+        let _ = w.spare();
     });
     assert_eq!(n, 0, "Stealer::steal allocated {n} times");
+
+    // --- deque: batched steal ------------------------------------------
+    // The batch loop is plain CAS-per-item with a caller-supplied sink;
+    // nothing on the path may allocate.
+    let w2 = WorkerDeque::new();
+    let s2 = w2.stealer();
+    for i in 0..64 {
+        w2.push(i).expect("warm-up fits the ring");
+    }
+    let n = allocs_during(|| {
+        for _ in 0..ITERS / 8 {
+            let first = s2.steal_batch(8, |v| {
+                w2.push(v).expect("items cycle back into the same ring");
+            });
+            let first = first.expect("deque never drains under a single thread");
+            w2.push(first).expect("items cycle back into the same ring");
+        }
+    });
+    assert_eq!(n, 0, "Stealer::steal_batch allocated {n} times");
 
     // --- injector seed/drain cycle at steady state ---------------------
     let inj = Injector::new();

@@ -136,36 +136,48 @@ fn fan_in_underflow_is_typed_in_every_interleaving() {
 // ---------------------------------------------------------------------
 
 /// Owner pops and a thief steals concurrently: every item is taken
-/// exactly once, owner sees LIFO order, thief sees FIFO order.
+/// exactly once, owner sees LIFO order, thief sees FIFO order. The
+/// single-remaining-item case exercises the Chase-Lev `top` CAS
+/// arbitration between `pop` and `steal` in every interleaving.
 #[test]
 fn deque_owner_and_thief_take_each_item_exactly_once() {
     model::check(|| {
-        let w = WorkerDeque::new();
-        w.push(1u32);
-        w.push(2u32);
+        // Tiny ring: every model atomic is explorable state.
+        let w = WorkerDeque::with_capacity(4);
+        w.push(1).expect("fits");
+        w.push(2).expect("fits");
         let s = w.stealer();
         let taken = Arc::new(Mutex::new(Vec::new()));
 
         let t2 = Arc::clone(&taken);
         let t = thread::spawn(move || {
             let mut mine = Vec::new();
-            while let Some(v) = s.steal() {
-                mine.push(v);
+            // Two bounded attempts (`None` can mean "lost the CAS
+            // race"; the engines poll, the model keeps the attempt
+            // count finite to bound the interleaving space).
+            for _ in 0..2 {
+                if let Some(v) = s.steal() {
+                    mine.push(v);
+                }
             }
             // Thief steals from the FIFO (cold) end.
-            assert!(mine == [] as [u32; 0] || mine == [1] || mine == [1, 2]);
+            assert!(mine == [] as [usize; 0] || mine == [1] || mine == [1, 2]);
             t2.lock().extend(mine);
         });
 
         let mut mine = Vec::new();
+        // One pop attempt concurrent with the thief; the post-join drain
+        // below is single-threaded and adds no interleavings.
+        if let Some(v) = w.pop() {
+            mine.push(v);
+        }
+        t.join();
         while let Some(v) = w.pop() {
             mine.push(v);
         }
         // Owner pops from the LIFO (hot) end.
-        assert!(mine == [] as [u32; 0] || mine == [2] || mine == [2, 1]);
+        assert!(mine == [] as [usize; 0] || mine == [2] || mine == [2, 1]);
         taken.lock().extend(mine);
-
-        t.join();
         let mut all = taken.lock().clone();
         all.sort_unstable();
         assert_eq!(all, [1, 2], "each item taken exactly once");
@@ -174,13 +186,14 @@ fn deque_owner_and_thief_take_each_item_exactly_once() {
 
 /// Teeth: check-then-act on the stealer's racy `is_empty` snapshot. Two
 /// thieves both observe one remaining item; the loser's `unwrap` panics
-/// — the hazard the `Stealer::len` docs warn about, and the reason the
-/// engines treat emptiness as a hint only.
+/// — under Chase-Lev, `steal` additionally returns `None` on a lost CAS,
+/// so the hazard is even wider than under the old mutex deque. This is
+/// why the engines treat emptiness as a hint only.
 #[test]
 fn deque_check_then_act_on_snapshot_panics_somewhere() {
     let failure = model::try_check(|| {
-        let w = WorkerDeque::new();
-        w.push(7u32);
+        let w = WorkerDeque::with_capacity(4);
+        w.push(7).expect("fits");
         let s1 = w.stealer();
         let s2 = w.stealer();
 
@@ -196,6 +209,145 @@ fn deque_check_then_act_on_snapshot_panics_somewhere() {
     })
     .expect_err("TOCTOU on the emptiness snapshot must panic in some interleaving");
     assert!(failure.message.contains("unwrap"), "got: {failure}");
+}
+
+// ---------------------------------------------------------------------
+// Model 7: Chase-Lev batched steal (ROADMAP item 5)
+// ---------------------------------------------------------------------
+
+/// A thief batch-steals (one `top` CAS per item) while the owner pops:
+/// the batch plus the owner's pops cover every item exactly once in
+/// every interleaving — loss-freedom and no double-take for the exact
+/// protocol `native`'s steal path runs.
+#[test]
+fn deque_batched_steal_and_owner_pop_cover_each_item_exactly_once() {
+    model::check(|| {
+        let w = WorkerDeque::with_capacity(4);
+        for i in 1..=3 {
+            w.push(i).expect("fits");
+        }
+        let s = w.stealer();
+        let taken = Arc::new(Mutex::new(Vec::new()));
+
+        let t2 = Arc::clone(&taken);
+        let t = thread::spawn(move || {
+            let mut mine = Vec::new();
+            if let Some(first) = s.steal_batch(3, |v| mine.push(v)) {
+                mine.insert(0, first);
+            }
+            // FIFO end: stolen items are an in-order run from the cold
+            // end.
+            for pair in mine.windows(2) {
+                assert_eq!(pair[1], pair[0] + 1, "batch must be contiguous from the cold end");
+            }
+            t2.lock().extend(mine);
+        });
+
+        let mut mine = Vec::new();
+        // One pop attempt concurrent with the batch; the post-join drain
+        // is single-threaded and adds no interleavings.
+        if let Some(v) = w.pop() {
+            mine.push(v);
+        }
+        t.join();
+        while let Some(v) = w.pop() {
+            mine.push(v);
+        }
+        taken.lock().extend(mine);
+        let mut all = taken.lock().clone();
+        all.sort_unstable();
+        assert_eq!(all, [1, 2, 3], "each item taken exactly once, none lost");
+    });
+}
+
+/// Teeth: the batched steal that looks cheaper — claim `k = 2` items
+/// with a **single** `top` CAS (`t -> t + 2`) — double-takes against a
+/// LIFO owner. The owner's plain pops never touch `top` while more than
+/// one entry remains, so it can take a slot *inside* the thief's claimed
+/// window and the wide CAS still succeeds. This is exactly why
+/// `Stealer::steal_batch` pays one CAS per item.
+#[test]
+fn deque_wide_cas_batch_steal_double_takes_against_the_owner() {
+    use dagfact_rt::sync::atomic::{AtomicU64, AtomicUsize};
+
+    // The Chase-Lev ring with the unsound batch shortcut, inlined (the
+    // real `deque` module does not expose one, by design).
+    struct WideBatch {
+        top: AtomicU64,
+        bottom: AtomicU64,
+        slots: Vec<AtomicUsize>,
+    }
+    impl WideBatch {
+        fn pop(&self) -> Option<usize> {
+            let b = self.bottom.load(Ordering::Relaxed);
+            if self.top.load(Ordering::Relaxed) >= b {
+                return None;
+            }
+            let b = b - 1;
+            self.bottom.store(b, Ordering::SeqCst);
+            let t = self.top.load(Ordering::SeqCst);
+            if t < b {
+                // More than one entry left: plain take, no CAS — the
+                // legitimate Chase-Lev owner fast path the wide batch
+                // CAS is unsound against.
+                return Some(self.slots[b as usize].load(Ordering::Relaxed));
+            }
+            if t == b {
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                return won.then(|| self.slots[b as usize].load(Ordering::Relaxed));
+            }
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+
+        /// The unsound part: two slots, one CAS.
+        fn steal_two(&self) -> Option<[usize; 2]> {
+            let t = self.top.load(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::SeqCst);
+            if b - t < 2 {
+                return None;
+            }
+            let v0 = self.slots[t as usize].load(Ordering::Relaxed);
+            let v1 = self.slots[t as usize + 1].load(Ordering::Relaxed);
+            self.top
+                .compare_exchange(t, t + 2, Ordering::SeqCst, Ordering::Relaxed)
+                .ok()
+                .map(|_| [v0, v1])
+        }
+    }
+
+    let failure = model::try_check(|| {
+        let d = Arc::new(WideBatch {
+            top: AtomicU64::new(0),
+            bottom: AtomicU64::new(3),
+            slots: (0..4).map(AtomicUsize::new).collect(),
+        });
+        let seen = Arc::new(Mutex::new([0u8; 3]));
+
+        let (d2, s2) = (Arc::clone(&d), Arc::clone(&seen));
+        let t = thread::spawn(move || {
+            if let Some(pair) = d2.steal_two() {
+                let mut seen = s2.lock();
+                for v in pair {
+                    seen[v] += 1;
+                    assert!(seen[v] == 1, "item {v} taken twice");
+                }
+            }
+        });
+
+        while let Some(v) = d.pop() {
+            let mut seen = seen.lock();
+            seen[v] += 1;
+            assert!(seen[v] == 1, "item {v} taken twice");
+        }
+        t.join();
+    })
+    .expect_err("a k=2 single-CAS batch must double-take in some interleaving");
+    assert!(failure.message.contains("taken twice"), "got: {failure}");
 }
 
 // ---------------------------------------------------------------------

@@ -127,7 +127,7 @@ impl<K: std::hash::Hash + Eq + Clone, V> GenCache<K, V> {
                         last_used,
                         ..
                     }) => {
-                        *last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                        *last_used = self.tick();
                         Action::Hit(value.clone(), *gen)
                     }
                     Some(Slot::Filling) => Action::Wait,
@@ -212,6 +212,9 @@ impl<K: std::hash::Hash + Eq + Clone, V> GenCache<K, V> {
                 inner.stats.poisonings += 1;
                 inner.stats.resident = inner.map.len();
                 self.cond.notify_all();
+                // Waiters are already unblocked; format the panic payload
+                // (which allocates) outside the critical section.
+                drop(inner);
                 Err(JobError::Panicked(panic_message(&panic)))
             }
         }

@@ -178,6 +178,18 @@ struct ServiceInner {
     shed_events: AtomicU64,
 }
 
+impl ServiceInner {
+    /// Latch the drain flag. Lives here — next to the Acquire loads in
+    /// `worker_loop` / `deadline_loop` — so both sides of the protocol
+    /// share one owner.
+    fn begin_shutdown(&self) {
+        // ORDERING: Release pairs with submit's (and the loops') Acquire
+        // — a submitter that reads `false` enqueues before the workers
+        // see the latch.
+        self.shutting_down.store(true, Ordering::Release);
+    }
+}
+
 /// The running daemon. Dropping it drains in-flight jobs and joins the
 /// workers.
 pub struct Service {
@@ -284,6 +296,7 @@ impl Service {
     pub fn stats(&self) -> ServiceStats {
         let mut s = self.inner.counters.lock().clone();
         s.queue_depth = self.inner.queue.lock().len();
+        // ORDERING: shed counter snapshot; staleness only skews stats.
         s.sheds = self.inner.shed_events.load(Ordering::Relaxed);
         s.pattern_cache = self.inner.pattern_cache.stats();
         s.factor_cache = self.inner.factor_cache.stats();
@@ -297,9 +310,7 @@ impl Service {
     }
 
     fn drain(&mut self) {
-        // ORDERING: Release pairs with submit's Acquire — a submitter
-        // that reads `false` enqueues before the workers see the latch.
-        self.inner.shutting_down.store(true, Ordering::Release);
+        self.inner.begin_shutdown();
         self.inner.queue_cond.notify_all();
         self.inner.deadline_cond.notify_all();
         for h in self.workers.drain(..) {
